@@ -1,0 +1,123 @@
+// Command clear-ablate runs the design-choice ablations DESIGN.md calls
+// out but the paper only motivates in prose:
+//
+//   - architecture: the Fig. 2 CNN-LSTM versus its CNN-only and LSTM-only
+//     ablations, under the same CL-validation protocol ("the CNN-LSTM
+//     architecture can effectively integrate the feature maps' global and
+//     sequential information, ultimately enhancing classification
+//     accuracy");
+//   - clustering algorithm: the paper's refined k-means versus
+//     agglomerative alternatives (Ward / average / complete linkage) and a
+//     random-partition control, measured by downstream CL accuracy and
+//     ground-truth archetype purity.
+//
+// Usage:
+//
+//	clear-ablate [-seed N] [-scale F] [-arch] [-clustering]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/nn"
+	"repro/internal/wemac"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "master seed")
+		scale    = flag.Float64("scale", 0.6, "population scale factor")
+		archOnly = flag.Bool("arch", false, "run only the architecture ablation")
+		clusOnly = flag.Bool("clustering", false, "run only the clustering ablation")
+	)
+	flag.Parse()
+	runArch := !*clusOnly
+	runClus := !*archOnly
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	dcfg := wemac.DefaultConfig()
+	dcfg.Seed = *seed
+	for i, s := range dcfg.ArchetypeSizes {
+		n := int(float64(s)**scale + 0.5)
+		if n < 2 {
+			n = 2
+		}
+		dcfg.ArchetypeSizes[i] = n
+	}
+
+	fmt.Printf("generating synthetic WEMAC population (%v volunteers)...\n", dcfg.ArchetypeSizes)
+	ds := wemac.Generate(dcfg)
+	users, err := wemac.ExtractAll(ds, cfg.Extractor)
+	die(err)
+
+	if runArch {
+		fmt.Println("\nABLATION — classifier architecture (CL validation protocol)")
+		res, err := eval.RunArchAblation(users, cfg,
+			[]nn.Arch{nn.ArchCNNLSTM, nn.ArchCNNGRU, nn.ArchCNNOnly, nn.ArchLSTMOnly})
+		die(err)
+		fmt.Printf("%-10s %10s %10s %10s %12s\n", "arch", "acc", "F1", "params", "MACs")
+		for _, r := range res {
+			fmt.Printf("%-10s %9.2f%% %9.2f%% %10d %12d\n",
+				r.Arch, r.CL.MeanAcc, r.CL.MeanF1, r.Params, r.MACs)
+		}
+	}
+
+	if runClus {
+		fmt.Println("\nABLATION — global clustering algorithm (CL validation protocol)")
+		algos := map[string]eval.ClusterAssigner{
+			"kmeans+refine": func(pts [][]float64, k int, seed int64) ([]int, error) {
+				res, err := cluster.KMeans(pts, k, cluster.Options{Seed: seed*31 + 7})
+				if err != nil {
+					return nil, err
+				}
+				res = cluster.Refine(pts, res, cfg.RefineRounds, cfg.RefineSampleFrac, seed*31+11)
+				return res.Assign, nil
+			},
+			"ward":     agglo(cluster.WardLinkage),
+			"average":  agglo(cluster.AverageLinkage),
+			"complete": agglo(cluster.CompleteLinkage),
+			"random": func(pts [][]float64, k int, seed int64) ([]int, error) {
+				rng := rand.New(rand.NewSource(seed))
+				assign := make([]int, len(pts))
+				for i := range assign {
+					assign[i] = i % k // balanced random-ish control
+				}
+				rng.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
+				return assign, nil
+			},
+		}
+		res, err := eval.RunClusteringAblation(users, cfg, algos)
+		die(err)
+		sort.Slice(res, func(i, j int) bool { return res[i].CL.MeanAcc > res[j].CL.MeanAcc })
+		fmt.Printf("%-14s %10s %10s %8s   %s\n", "algorithm", "CL acc", "RT acc", "purity", "sizes")
+		for _, r := range res {
+			fmt.Printf("%-14s %9.2f%% %9.2f%% %7.0f%%   %v\n",
+				r.Name, r.CL.MeanAcc, r.RT.MeanAcc, r.Purity*100, r.Sizes)
+		}
+	}
+}
+
+func agglo(l cluster.Linkage) eval.ClusterAssigner {
+	return func(pts [][]float64, k int, seed int64) ([]int, error) {
+		res, err := cluster.Agglomerative(pts, k, l)
+		if err != nil {
+			return nil, err
+		}
+		return res.Assign, nil
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-ablate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+// Command clear-features prints the dictionary of all 123 physiological
+// features the CLEAR pipeline extracts (84 BVP + 34 GSR + 5 SKT), with
+// their modality, computation domain and meaning — the paper's §III-A-1
+// feature split as reference documentation.
+//
+// Usage:
+//
+//	clear-features [-modality BVP|GSR|SKT] [-domain time|frequency|non-linear|morphology]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/features"
+)
+
+func main() {
+	var (
+		modality = flag.String("modality", "", "filter by sensor modality")
+		domain   = flag.String("domain", "", "filter by computation domain")
+	)
+	flag.Parse()
+
+	cat := features.Catalog()
+	byModality := map[features.Modality]int{}
+	byDomain := map[features.Domain]int{}
+	shown := 0
+	fmt.Printf("%-4s %-22s %-4s %-11s %s\n", "idx", "name", "mod", "domain", "description")
+	for _, info := range cat {
+		byModality[info.Modality]++
+		byDomain[info.Domain]++
+		if *modality != "" && string(info.Modality) != *modality {
+			continue
+		}
+		if *domain != "" && string(info.Domain) != *domain {
+			continue
+		}
+		fmt.Printf("%-4d %-22s %-4s %-11s %s\n",
+			info.Index, info.Name, info.Modality, info.Domain, info.Description)
+		shown++
+	}
+	fmt.Printf("\n%d of %d features shown\n", shown, len(cat))
+	fmt.Printf("by modality: BVP %d, GSR %d, SKT %d (paper: 84/34/5)\n",
+		byModality[features.ModalityBVP], byModality[features.ModalityGSR], byModality[features.ModalitySKT])
+	fmt.Printf("by domain: time %d, frequency %d, non-linear %d, morphology %d\n",
+		byDomain[features.DomainTime], byDomain[features.DomainFrequency],
+		byDomain[features.DomainNonlinear], byDomain[features.DomainMorphology])
+}

@@ -1,0 +1,107 @@
+// Command clear-ksweep reproduces the paper's two design-selection
+// analyses:
+//
+//   - the choice of K=4 clusters ("the best balance between intra-cluster
+//     similarity and inter-cluster separation", §IV-A): silhouette and
+//     inertia over K=2..8, with the resulting cluster sizes;
+//   - the cold-start data budget ("10 % of the data", §IV-B): assignment
+//     stability against the ground-truth archetypes as a function of the
+//     unlabeled fraction, including the flat (non-hierarchical) ablation.
+//
+// Usage:
+//
+//	clear-ksweep [-seed N] [-kmin 2] [-kmax 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/wemac"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "master seed")
+		kmin = flag.Int("kmin", 2, "smallest K")
+		kmax = flag.Int("kmax", 8, "largest K")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	dcfg := wemac.DefaultConfig()
+	dcfg.Seed = *seed
+
+	fmt.Printf("generating synthetic WEMAC population (%v volunteers)...\n", dcfg.ArchetypeSizes)
+	ds := wemac.Generate(dcfg)
+	users, err := wemac.ExtractAll(ds, cfg.Extractor)
+	die(err)
+
+	// --- A1: K selection -------------------------------------------------
+	summaries := make([][]float64, len(users))
+	for i, u := range users {
+		summaries[i] = u.Summary(1.0)
+	}
+	std := cluster.FitStandardizer(summaries)
+	zs := std.ApplyAll(summaries)
+	sweep, err := cluster.SweepK(zs, *kmin, *kmax, cluster.Options{Seed: *seed})
+	die(err)
+	fmt.Printf("\nABLATION A1 — cluster count selection (paper: K=4, sizes 17/13/7/7)\n")
+	fmt.Printf("%-4s %12s %12s %10s %10s   %s\n", "K", "silhouette", "inertia", "DaviesB", "CalinskiH", "sizes")
+	for _, p := range sweep {
+		res, err := cluster.KMeans(zs, p.K, cluster.Options{Seed: *seed + int64(p.K)*101})
+		die(err)
+		db := cluster.DaviesBouldin(zs, res)
+		ch := cluster.CalinskiHarabasz(zs, res)
+		marker := ""
+		if p.K == cluster.BestK(sweep) {
+			marker = "  ← best silhouette"
+		}
+		fmt.Printf("%-4d %12.4f %12.1f %10.3f %10.1f   %v%s\n",
+			p.K, p.Silhouette, p.Inertia, db, ch, p.Sizes, marker)
+	}
+
+	// --- A2: cold-start data budget --------------------------------------
+	fmt.Printf("\nABLATION A2 — cold-start assignment vs unlabeled data budget (paper: 10%%)\n")
+	fmt.Printf("%-8s %22s %22s\n", "frac", "hierarchical assign", "flat assign (ablation)")
+	fracs := []float64{0.05, 0.10, 0.20, 0.50, 1.00}
+	for _, frac := range fracs {
+		hier, flat := assignmentAccuracy(users, cfg, frac)
+		fmt.Printf("%-8.2f %21.0f%% %21.0f%%\n", frac, hier*100, flat*100)
+	}
+}
+
+// assignmentAccuracy LOSO-clusters the population (no model training) and
+// measures how often the held-out user's assignment lands on the cluster
+// dominated by their ground-truth archetype, for the hierarchical and flat
+// assignment rules.
+func assignmentAccuracy(users []*wemac.UserMaps, cfg core.Config, frac float64) (hier, flat float64) {
+	nh, nf := 0, 0
+	for i := range users {
+		train := append(append([]*wemac.UserMaps{}, users[:i]...), users[i+1:]...)
+		p, err := eval.ClusterOnly(train, cfg)
+		die(err)
+		a := p.Assign(users[i], frac)
+		fl := p.Hier.AssignFlat(p.Std.Apply(users[i].Summary(frac)))
+		if eval.DominantArchetype(p, train, a.Cluster) == users[i].Archetype {
+			nh++
+		}
+		if eval.DominantArchetype(p, train, fl) == users[i].Archetype {
+			nf++
+		}
+	}
+	n := float64(len(users))
+	return float64(nh) / n, float64(nf) / n
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-ksweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,41 @@
+// Command clear-model prints the Fig. 2 CNN-LSTM architecture: per-layer
+// output shapes, parameter counts and multiply-accumulate estimates, for
+// both the paper-size profile and the fast experiment profile, plus the
+// simulated per-device inference cost of each.
+//
+// Usage:
+//
+//	clear-model [-windows W]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/edge"
+	"repro/internal/nn"
+)
+
+func main() {
+	windows := flag.Int("windows", 8, "feature-map window count W")
+	flag.Parse()
+
+	for _, prof := range []struct {
+		name string
+		cfg  nn.ModelConfig
+	}{
+		{"paper profile (Fig. 2)", nn.PaperModelConfig(*windows)},
+		{"fast profile", nn.FastModelConfig(*windows)},
+	} {
+		m := nn.NewCNNLSTM(prof.cfg)
+		in := []int{prof.cfg.InH, prof.cfg.InW}
+		fmt.Printf("=== %s — input %d×%d feature map ===\n", prof.name, in[0], in[1])
+		fmt.Print(m.Summary(in))
+		fmt.Printf("\nsimulated single-inference latency:\n")
+		for _, d := range edge.Devices() {
+			c := d.Cost(m, in, 0, 0)
+			fmt.Printf("  %-12s %8.2f ms  @ %.2f W\n", d.Name, c.TestS*1000, c.MPCTestW)
+		}
+		fmt.Println()
+	}
+}

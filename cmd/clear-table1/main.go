@@ -1,0 +1,210 @@
+// Command clear-table1 regenerates Table I of the CLEAR paper: accuracy and
+// F1 (mean ± std over LOSO folds) for the General model, CL validation with
+// its robustness test, and the full CLEAR pipeline with and without
+// fine-tuning, on the synthetic WEMAC-like population.
+//
+// Usage:
+//
+//	clear-table1 [-profile fast|paper] [-seed N] [-scale F] [-ftsweep] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/wemac"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "fast", "experiment profile: fast or paper")
+		seed     = flag.Int64("seed", 1, "master seed for data and training")
+		scale    = flag.Float64("scale", 1.0, "population scale factor (1.0 = the paper's 17/13/7/7)")
+		caFrac   = flag.Float64("ca", 0.10, "unlabeled data fraction for cold-start assignment")
+		ftFrac   = flag.Float64("ft", 0.20, "labelled data fraction for fine-tuning")
+		ftSweep  = flag.Bool("ftsweep", false, "also sweep the fine-tuning label budget")
+		ftLR     = flag.Float64("ftlr", 0, "override fine-tuning learning rate")
+		ftEpochs = flag.Int("ftepochs", 0, "override fine-tuning epochs")
+		cache    = flag.String("cache", "", "LOSO run cache path shared with clear-table2 (load if present, save after computing)")
+		mdOut    = flag.String("md", "", "also write the table as markdown to this path")
+		verbose  = flag.Bool("v", false, "print per-fold progress")
+	)
+	flag.Parse()
+
+	cfg, dcfg, err := buildConfigs(*profile, *seed, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-table1:", err)
+		os.Exit(1)
+	}
+	if *ftLR > 0 {
+		cfg.FineTune.LR = *ftLR
+	}
+	if *ftEpochs > 0 {
+		cfg.FineTune.Epochs = *ftEpochs
+	}
+
+	start := time.Now()
+	fmt.Printf("generating synthetic WEMAC population (%v volunteers, %d trials each)...\n",
+		dcfg.ArchetypeSizes, dcfg.TrialsPerVolunteer)
+	ds := wemac.Generate(dcfg)
+	users, err := wemac.ExtractAll(ds, cfg.Extractor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-table1:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("extracted %d feature maps (%d features × %d windows) in %v\n\n",
+		wemac.TotalMaps(users), features.TotalFeatureCount, cfg.Extractor.Windows,
+		time.Since(start).Round(time.Millisecond))
+
+	// General model: group size = mean cluster size (11 in the paper).
+	groupSize := len(users) / cfg.K
+	if groupSize < 2 {
+		groupSize = 2
+	}
+	fmt.Printf("[1/3] General model (%d random users, intra-group LOSO)...\n", groupSize)
+	gen, err := eval.RunGeneralModel(users, cfg, groupSize, *seed)
+	die(err)
+
+	fmt.Println("[2/3] CL validation (global clustering + intra-cluster LOSO + RT)...")
+	cl, err := eval.RunCL(users, cfg)
+	die(err)
+	fmt.Printf("      cluster sizes: %v\n", cl.Sizes)
+	for k, pc := range cl.PerCluster {
+		if pc.Folds > 0 {
+			fmt.Printf("      cluster %d (%d users): %v\n", k+1, cl.Sizes[k], pc)
+		}
+	}
+
+	fmt.Println("[3/3] CLEAR validation (full LOSO: recluster + retrain per held-out volunteer)...")
+	var progress func(done, total int)
+	if *verbose {
+		progress = func(done, total int) { fmt.Printf("      fold %d/%d\n", done, total) }
+	}
+	run := cachedLOSO(users, cfg, *caFrac, *cache, progress)
+	clear, err := eval.EvaluateCLEAR(run, *ftFrac)
+	die(err)
+
+	fmt.Printf("\nTABLE I — WEMAC fear / non-fear (paper values in brackets)\n")
+	fmt.Printf("%-22s %10s %10s %10s %10s\n", "Validation func", "Accuracy", "STD(Acc)", "F1-score", "STD(F1)")
+	fmt.Println("--- previous works (quoted from the paper; not re-run) ---")
+	printQuoted("Bindi [22]", 64.63, 16.56, 66.67, 17.31)
+	printQuoted("Sun et al. [18]", 79.90, 4.16, 78.13, 6.52)
+	fmt.Println("--- without clustering ---")
+	printRow("General Model", gen, 75.00, 72.57)
+	fmt.Println("--- Clustering and Learning (CL) validation ---")
+	printRow("RT CL", cl.RT, 64.33, 62.42)
+	printRow("CL validation", cl.CL, 81.90, 80.41)
+	fmt.Println("--- CLEAR validation ---")
+	printRow("RT CLEAR", clear.RT, 72.68, 70.98)
+	printRow("CLEAR w/o FT", clear.WithoutFT, 80.63, 79.97)
+	printRow("CLEAR w FT", clear.WithFT, 86.34, 86.03)
+	fmt.Printf("\ncold-start assignment matched the ground-truth archetype in %.0f%% of folds\n",
+		clear.AssignmentAccuracy*100)
+	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Second))
+
+	if *mdOut != "" {
+		rep := eval.NewReport("Table I — WEMAC fear / non-fear").
+			Section("Measured vs paper").
+			Table(
+				[]string{"Validation func", "Accuracy", "F1-score", "Paper acc", "Paper F1"},
+				[][]string{
+					{"Bindi [22] (quoted)", "—", "—", "64.63 ± 16.56", "66.67 ± 17.31"},
+					{"Sun et al. [18] (quoted)", "—", "—", "79.90 ± 4.16", "78.13 ± 6.52"},
+					eval.AggRow("General Model", gen, "75.00 ± 2.76", "72.57 ± 3.12"),
+					eval.AggRow("RT CL", cl.RT, "64.33 ± 1.80", "62.42 ± 1.57"),
+					eval.AggRow("CL validation", cl.CL, "81.90 ± 3.44", "80.41 ± 3.58"),
+					eval.AggRow("RT CLEAR", clear.RT, "72.68 ± 5.10", "70.98 ± 4.26"),
+					eval.AggRow("CLEAR w/o FT", clear.WithoutFT, "80.63 ± 4.22", "79.97 ± 4.74"),
+					eval.AggRow("CLEAR w FT", clear.WithFT, "86.34 ± 4.04", "86.03 ± 5.04"),
+				},
+			).
+			Paragraph(fmt.Sprintf("\nCold-start assignment matched the ground-truth archetype in %.0f%% of folds.",
+				clear.AssignmentAccuracy*100))
+		if err := os.WriteFile(*mdOut, []byte(rep.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "clear-table1: writing markdown:", err)
+		} else {
+			fmt.Printf("wrote markdown report to %s\n", *mdOut)
+		}
+	}
+
+	if *ftSweep {
+		fmt.Println("\nABLATION — fine-tuning label budget (reusing the LOSO pipelines)")
+		fmt.Printf("%-8s %10s %10s\n", "ft frac", "Accuracy", "F1")
+		for _, frac := range []float64{0.05, 0.10, 0.20, 0.30, 0.50} {
+			res, err := eval.EvaluateCLEAR(run, frac)
+			die(err)
+			fmt.Printf("%-8.2f %10.2f %10.2f\n", frac, res.WithFT.MeanAcc, res.WithFT.MeanF1)
+		}
+	}
+}
+
+// cachedLOSO loads the LOSO run cache if present, otherwise computes the
+// run and (if a path was given) saves it for clear-table2 to reuse.
+func cachedLOSO(users []*wemac.UserMaps, cfg core.Config, caFrac float64, cache string, progress func(int, int)) *eval.LOSORun {
+	if cache != "" {
+		if f, err := os.Open(cache); err == nil {
+			defer f.Close()
+			if run, err := eval.LoadRun(f, users); err == nil {
+				fmt.Printf("      loaded LOSO run cache from %s (%d folds)\n", cache, len(run.Folds))
+				return run
+			}
+		}
+	}
+	run, err := eval.RunLOSO(users, cfg, caFrac, progress)
+	die(err)
+	if cache != "" {
+		if f, err := os.Create(cache); err == nil {
+			defer f.Close()
+			if err := eval.SaveRun(f, run); err == nil {
+				fmt.Printf("      saved LOSO run cache to %s\n", cache)
+			}
+		}
+	}
+	return run
+}
+
+func buildConfigs(profile string, seed int64, scale float64) (core.Config, wemac.Config, error) {
+	var cfg core.Config
+	switch profile {
+	case "fast":
+		cfg = core.DefaultConfig()
+	case "paper":
+		cfg = core.PaperConfig()
+	default:
+		return core.Config{}, wemac.Config{}, fmt.Errorf("unknown profile %q", profile)
+	}
+	cfg.Seed = seed
+	dcfg := wemac.DefaultConfig()
+	dcfg.Seed = seed
+	if scale != 1.0 {
+		for i, s := range dcfg.ArchetypeSizes {
+			n := int(float64(s)*scale + 0.5)
+			if n < 2 {
+				n = 2
+			}
+			dcfg.ArchetypeSizes[i] = n
+		}
+	}
+	return cfg, dcfg, nil
+}
+
+func printRow(name string, a eval.Agg, paperAcc, paperF1 float64) {
+	fmt.Printf("%-22s %10.2f %10.2f %10.2f %10.2f   [%.2f / %.2f]\n",
+		name, a.MeanAcc, a.StdAcc, a.MeanF1, a.StdF1, paperAcc, paperF1)
+}
+
+func printQuoted(name string, acc, accStd, f1, f1Std float64) {
+	fmt.Printf("%-22s %10.2f %10.2f %10.2f %10.2f   [quoted]\n", name, acc, accStd, f1, f1Std)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-table1:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+// Command clear-table2 regenerates Table II of the CLEAR paper: the
+// cloud-edge validation. Every LOSO fold's assigned cluster checkpoint is
+// deployed to three simulated platforms (GPU baseline, Coral Edge TPU at
+// int8, Raspberry Pi + Intel NCS2 at fp16), evaluated before and after
+// on-device fine-tuning, and the analytic time/power model reports the
+// MTC/MPC rows.
+//
+// The expensive LOSO pipelines can be cached with -cache and shared with
+// clear-table1.
+//
+// Usage:
+//
+//	clear-table2 [-profile fast|paper] [-seed N] [-scale F] [-cache run.bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/eval"
+	"repro/internal/wemac"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "fast", "experiment profile: fast or paper")
+		seed    = flag.Int64("seed", 1, "master seed for data and training")
+		scale   = flag.Float64("scale", 1.0, "population scale factor")
+		caFrac  = flag.Float64("ca", 0.10, "unlabeled data fraction for cold-start assignment")
+		ftFrac  = flag.Float64("ft", 0.20, "labelled data fraction for on-device fine-tuning")
+		cache   = flag.String("cache", "", "path to LOSO run cache (load if present, save after computing)")
+		verbose = flag.Bool("v", false, "print per-fold progress")
+	)
+	flag.Parse()
+
+	var cfg core.Config
+	switch *profile {
+	case "fast":
+		cfg = core.DefaultConfig()
+	case "paper":
+		cfg = core.PaperConfig()
+	default:
+		die(fmt.Errorf("unknown profile %q", *profile))
+	}
+	cfg.Seed = *seed
+
+	dcfg := wemac.DefaultConfig()
+	dcfg.Seed = *seed
+	if *scale != 1.0 {
+		for i, s := range dcfg.ArchetypeSizes {
+			n := int(float64(s)**scale + 0.5)
+			if n < 2 {
+				n = 2
+			}
+			dcfg.ArchetypeSizes[i] = n
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("generating synthetic WEMAC population (%v volunteers)...\n", dcfg.ArchetypeSizes)
+	ds := wemac.Generate(dcfg)
+	users, err := wemac.ExtractAll(ds, cfg.Extractor)
+	die(err)
+
+	run := loadOrRun(users, cfg, *caFrac, *cache, *verbose)
+
+	fmt.Println("deploying to edge platforms and fine-tuning on-device...")
+	t2, err := eval.RunTable2(run, edge.Devices(), *ftFrac)
+	die(err)
+
+	paperUpper := map[string][4]float64{
+		"GPU":       {80.63, 4.22, 79.97, 4.74},
+		"Coral TPU": {74.17, 3.84, 73.57, 4.44},
+		"Pi + NCS2": {79.03, 4.10, 78.48, 4.76},
+	}
+	paperRT := map[string][2]float64{
+		"Coral TPU": {65.32, 64.79},
+		"Pi + NCS2": {68.47, 69.02},
+	}
+	paperFT := map[string][4]float64{
+		"GPU":       {86.34, 4.04, 86.03, 5.04},
+		"Coral TPU": {79.40, 4.51, 79.14, 4.66},
+		"Pi + NCS2": {84.49, 4.82, 84.07, 5.16},
+	}
+
+	fmt.Printf("\nTABLE II (upper) — deployment without fine-tuning (paper values in brackets)\n")
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "Platform", "Accuracy", "STD(Acc)", "F1-score", "STD(F1)")
+	for _, r := range t2.Results {
+		p := paperUpper[r.Device]
+		fmt.Printf("%-12s %10.2f %10.2f %10.2f %10.2f   [%.2f / %.2f]\n",
+			r.Device, r.NoFT.MeanAcc, r.NoFT.StdAcc, r.NoFT.MeanF1, r.NoFT.StdF1, p[0], p[2])
+		if rt, ok := paperRT[r.Device]; ok {
+			fmt.Printf("%-12s %10.2f %10.2f %10.2f %10.2f   [%.2f / %.2f]\n",
+				"  RT CLEAR", r.RT.MeanAcc, r.RT.StdAcc, r.RT.MeanF1, r.RT.StdF1, rt[0], rt[1])
+		}
+	}
+
+	fmt.Printf("\nTABLE II (lower) — after on-device fine-tuning + cost model\n")
+	fmt.Printf("%-18s %12s %12s %12s %6s\n", "", "GPU", "TPU", "Pi+NCS2", "unit")
+	row := func(name string, f func(r eval.DeviceResult) float64, unit string) {
+		fmt.Printf("%-18s %12.2f %12.2f %12.2f %6s\n", name,
+			f(t2.Results[0]), f(t2.Results[1]), f(t2.Results[2]), unit)
+	}
+	row("Accuracy", func(r eval.DeviceResult) float64 { return r.FT.MeanAcc }, "-")
+	fmt.Printf("%-18s %12.2f %12.2f %12.2f %6s\n", "  (paper)",
+		paperFT["GPU"][0], paperFT["Coral TPU"][0], paperFT["Pi + NCS2"][0], "-")
+	row("Accuracy std", func(r eval.DeviceResult) float64 { return r.FT.StdAcc }, "-")
+	row("F1-score", func(r eval.DeviceResult) float64 { return r.FT.MeanF1 }, "-")
+	fmt.Printf("%-18s %12.2f %12.2f %12.2f %6s\n", "  (paper)",
+		paperFT["GPU"][2], paperFT["Coral TPU"][2], paperFT["Pi + NCS2"][2], "-")
+	row("F1 std", func(r eval.DeviceResult) float64 { return r.FT.StdF1 }, "-")
+	row("MTC Re-training", func(r eval.DeviceResult) float64 { return r.Cost.RetrainS }, "s")
+	row("MPC Re-training", func(r eval.DeviceResult) float64 { return r.Cost.MPCRetrainW }, "W")
+	row("MTC Test", func(r eval.DeviceResult) float64 { return r.Cost.TestS * 1000 }, "ms")
+	row("MPC Test", func(r eval.DeviceResult) float64 { return r.Cost.MPCTestW }, "W")
+	row("MPC Baseline", func(r eval.DeviceResult) float64 { return r.Cost.MPCIdleW }, "W")
+	fmt.Printf("\npaper (lower block): FT acc 86.34/79.40/84.49; MTC retrain -/32.48/78.52 s;\n")
+	fmt.Printf("MTC test -/47.31/239.70 ms; MPC retrain -/1.82/3.78 W; test -/1.64/3.43 W; idle -/1.28/2.76 W\n")
+	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Second))
+}
+
+// loadOrRun loads the LOSO run cache if present, otherwise computes the run
+// and (if a cache path was given) saves it.
+func loadOrRun(users []*wemac.UserMaps, cfg core.Config, caFrac float64, cache string, verbose bool) *eval.LOSORun {
+	if cache != "" {
+		if f, err := os.Open(cache); err == nil {
+			defer f.Close()
+			run, err := eval.LoadRun(f, users)
+			if err == nil {
+				fmt.Printf("loaded LOSO run cache from %s (%d folds)\n", cache, len(run.Folds))
+				return run
+			}
+			fmt.Fprintf(os.Stderr, "clear-table2: ignoring bad cache: %v\n", err)
+		}
+	}
+	fmt.Println("running full CLEAR LOSO (recluster + retrain per held-out volunteer)...")
+	var progress func(done, total int)
+	if verbose {
+		progress = func(done, total int) { fmt.Printf("  fold %d/%d\n", done, total) }
+	}
+	run, err := eval.RunLOSO(users, cfg, caFrac, progress)
+	die(err)
+	if cache != "" {
+		f, err := os.Create(cache)
+		if err == nil {
+			defer f.Close()
+			if err := eval.SaveRun(f, run); err != nil {
+				fmt.Fprintf(os.Stderr, "clear-table2: cache save failed: %v\n", err)
+			} else {
+				fmt.Printf("saved LOSO run cache to %s\n", cache)
+			}
+		}
+	}
+	return run
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-table2:", err)
+		os.Exit(1)
+	}
+}

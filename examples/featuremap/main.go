@@ -1,0 +1,78 @@
+// Featuremap: from raw physiological signals to the paper's 123-feature
+// 2-D map.
+//
+// Generates one fear and one non-fear trial for a single synthetic
+// volunteer, extracts the 123×W feature maps, and prints the features that
+// separate the two conditions most strongly — the raw material both the
+// clustering and the CNN-LSTM operate on.
+//
+// Run with: go run ./examples/featuremap
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"repro/internal/features"
+	"repro/internal/wemac"
+)
+
+func main() {
+	ds := wemac.Generate(wemac.Config{
+		ArchetypeSizes:     []int{1},
+		TrialsPerVolunteer: 8,
+		TrialSec:           60,
+		Seed:               3,
+	})
+	v := ds.Volunteers[0]
+	fmt.Printf("volunteer archetype: %s\n", wemac.Archetypes()[v.Archetype].Name)
+	fmt.Printf("channels: BVP %.0f Hz, GSR %.0f Hz, SKT %.0f Hz, %d s per trial\n\n",
+		wemac.BVPFs, wemac.GSRFs, wemac.SKTFs, 60)
+
+	ecfg := features.ExtractorConfig{WindowSec: 8, Windows: 6}
+	names := features.FeatureNames()
+
+	// Average each feature over windows, per condition.
+	sums := map[wemac.Label][]float64{}
+	counts := map[wemac.Label]float64{}
+	for _, tr := range v.Trials {
+		m, err := features.ExtractMap(tr.Rec, ecfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sums[tr.Label] == nil {
+			sums[tr.Label] = make([]float64, features.TotalFeatureCount)
+		}
+		for f := 0; f < features.TotalFeatureCount; f++ {
+			for w := 0; w < ecfg.Windows; w++ {
+				sums[tr.Label][f] += m.At(f, w)
+			}
+		}
+		counts[tr.Label] += float64(ecfg.Windows)
+	}
+
+	type row struct {
+		name       string
+		fear, calm float64
+		relDiff    float64
+	}
+	var rows []row
+	for f, name := range names {
+		fear := sums[wemac.Fear][f] / counts[wemac.Fear]
+		calm := sums[wemac.NonFear][f] / counts[wemac.NonFear]
+		den := math.Max(1e-9, math.Abs(fear)+math.Abs(calm))
+		rows = append(rows, row{name, fear, calm, math.Abs(fear-calm) / den})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].relDiff > rows[j].relDiff })
+
+	fmt.Printf("feature map: %d features × %d windows per trial\n", features.TotalFeatureCount, ecfg.Windows)
+	fmt.Printf("%d BVP + %d GSR + %d SKT features\n\n",
+		features.BVPFeatureCount, features.GSRFeatureCount, features.SKTFeatureCount)
+	fmt.Printf("top fear-discriminative features for this volunteer:\n")
+	fmt.Printf("%-22s %12s %12s %10s\n", "feature", "fear", "non-fear", "rel.diff")
+	for _, r := range rows[:15] {
+		fmt.Printf("%-22s %12.4f %12.4f %9.0f%%\n", r.name, r.fear, r.calm, r.relDiff*100)
+	}
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects how agglomerative clustering scores the distance between
+// two clusters.
+type Linkage int
+
+// Linkage methods.
+const (
+	// SingleLinkage merges by the minimum pairwise distance.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges by the maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage merges by the mean pairwise distance (UPGMA).
+	AverageLinkage
+	// WardLinkage merges by the increase in total within-cluster variance.
+	WardLinkage
+)
+
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	case WardLinkage:
+		return "ward"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Agglomerative performs bottom-up hierarchical clustering to exactly k
+// clusters using the Lance-Williams update for the chosen linkage, then
+// returns a Result with centroids computed as member means. It is the
+// "standard technique" alternative to k-means for the paper's global
+// clustering step and is used by the clustering ablation.
+func Agglomerative(points [][]float64, k int, linkage Linkage) (*Result, error) {
+	if err := validate(points, k); err != nil {
+		return nil, err
+	}
+	n := len(points)
+
+	// active[i] reports whether cluster i still exists; size[i] its
+	// cardinality. d holds the current inter-cluster distances.
+	active := make([]bool, n)
+	size := make([]float64, n)
+	member := make([][]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		member[i] = []int{i}
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i == j {
+				continue
+			}
+			dist := Dist(points[i], points[j])
+			if linkage == WardLinkage {
+				// Ward works on squared Euclidean distances.
+				dist = dist * dist
+			}
+			d[i][j] = dist
+		}
+	}
+
+	remaining := n
+	for remaining > k {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if d[i][j] < best {
+					best, bi, bj = d[i][j], i, j
+				}
+			}
+		}
+		// Merge bj into bi with the Lance-Williams update.
+		ni, nj := size[bi], size[bj]
+		for h := 0; h < n; h++ {
+			if !active[h] || h == bi || h == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case SingleLinkage:
+				nd = math.Min(d[bi][h], d[bj][h])
+			case CompleteLinkage:
+				nd = math.Max(d[bi][h], d[bj][h])
+			case AverageLinkage:
+				nd = (ni*d[bi][h] + nj*d[bj][h]) / (ni + nj)
+			case WardLinkage:
+				nh := size[h]
+				tot := ni + nj + nh
+				nd = ((ni+nh)*d[bi][h] + (nj+nh)*d[bj][h] - nh*d[bi][bj]) / tot
+			default:
+				return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+			}
+			d[bi][h] = nd
+			d[h][bi] = nd
+		}
+		size[bi] += size[bj]
+		member[bi] = append(member[bi], member[bj]...)
+		active[bj] = false
+		remaining--
+	}
+
+	// Collect clusters in first-member order for deterministic labels.
+	assign := make([]int, n)
+	centroids := make([][]float64, 0, k)
+	label := 0
+	dim := len(points[0])
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		c := make([]float64, dim)
+		for _, m := range member[i] {
+			assign[m] = label
+			for j, v := range points[m] {
+				c[j] += v
+			}
+		}
+		for j := range c {
+			c[j] /= float64(len(member[i]))
+		}
+		centroids = append(centroids, c)
+		label++
+	}
+	res := &Result{K: k, Centroids: centroids, Assign: assign}
+	res.Inertia = inertia(points, assign, centroids)
+	return res, nil
+}
+
+// DaviesBouldin computes the Davies-Bouldin index of a clustering (lower is
+// better): the mean over clusters of the worst-case ratio of within-cluster
+// scatter to between-centroid separation.
+func DaviesBouldin(points [][]float64, res *Result) float64 {
+	k := res.K
+	if k < 2 {
+		return 0
+	}
+	scatter := make([]float64, k)
+	counts := make([]int, k)
+	for i, p := range points {
+		c := res.Assign[i]
+		scatter[c] += Dist(p, res.Centroids[c])
+		counts[c]++
+	}
+	for c := range scatter {
+		if counts[c] > 0 {
+			scatter[c] /= float64(counts[c])
+		}
+	}
+	total := 0.0
+	used := 0
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			if j == i || counts[j] == 0 {
+				continue
+			}
+			sep := Dist(res.Centroids[i], res.Centroids[j])
+			if sep == 0 {
+				continue
+			}
+			if r := (scatter[i] + scatter[j]) / sep; r > worst {
+				worst = r
+			}
+		}
+		total += worst
+		used++
+	}
+	if used == 0 {
+		return 0
+	}
+	return total / float64(used)
+}
+
+// CalinskiHarabasz computes the Calinski-Harabasz index (higher is better):
+// the ratio of between-cluster to within-cluster dispersion, scaled by
+// degrees of freedom.
+func CalinskiHarabasz(points [][]float64, res *Result) float64 {
+	n := len(points)
+	k := res.K
+	if n <= k || k < 2 {
+		return 0
+	}
+	dim := len(points[0])
+	grand := make([]float64, dim)
+	for _, p := range points {
+		for j, v := range p {
+			grand[j] += v
+		}
+	}
+	for j := range grand {
+		grand[j] /= float64(n)
+	}
+	counts := make([]int, k)
+	for _, a := range res.Assign {
+		counts[a]++
+	}
+	var between, within float64
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		between += float64(counts[c]) * SqDist(res.Centroids[c], grand)
+	}
+	for i, p := range points {
+		within += SqDist(p, res.Centroids[res.Assign[i]])
+	}
+	if within == 0 {
+		return math.Inf(1)
+	}
+	return (between / float64(k-1)) / (within / float64(n-k))
+}

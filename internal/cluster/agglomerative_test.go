@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAgglomerativeRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centres := [][]float64{{0, 0}, {12, 0}, {0, 12}}
+	pts, truth := blobs(rng, centres, 15, 1.0)
+	for _, linkage := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage, WardLinkage} {
+		res, err := Agglomerative(pts, 3, linkage)
+		if err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+		if ag := agreement(res.Assign, truth, 3); ag < 0.95 {
+			t.Errorf("%v: agreement %.2f", linkage, ag)
+		}
+		if res.Inertia <= 0 {
+			t.Errorf("%v: inertia %g", linkage, res.Inertia)
+		}
+	}
+}
+
+func TestAgglomerativeK1AndKN(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	res, err := Agglomerative(pts, 1, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("k=1 must put everything in one cluster")
+		}
+	}
+	res, err = Agglomerative(pts, 3, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("k=n must keep singletons")
+	}
+}
+
+func TestAgglomerativeErrors(t *testing.T) {
+	if _, err := Agglomerative(nil, 2, AverageLinkage); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := Agglomerative([][]float64{{1}}, 2, AverageLinkage); err == nil {
+		t.Error("want error for k > n")
+	}
+}
+
+func TestAgglomerativeSingleLinkageChains(t *testing.T) {
+	// A chain of near points plus one distant point: single linkage keeps
+	// the chain together while complete linkage may split it.
+	pts := [][]float64{{0}, {1}, {2}, {3}, {4}, {100}}
+	res, err := Agglomerative(pts, 2, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := res.Assign[0]
+	for i := 1; i <= 4; i++ {
+		if res.Assign[i] != chain {
+			t.Fatalf("single linkage split the chain: %v", res.Assign)
+		}
+	}
+	if res.Assign[5] == chain {
+		t.Fatal("outlier merged into the chain")
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if SingleLinkage.String() != "single" || WardLinkage.String() != "ward" {
+		t.Error("linkage strings wrong")
+	}
+	if Linkage(99).String() == "" {
+		t.Error("unknown linkage should still render")
+	}
+}
+
+func TestDaviesBouldinOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tightPts, tightTruth := blobs(rng, [][]float64{{0, 0}, {20, 0}}, 20, 0.5)
+	loosePts, looseTruth := blobs(rng, [][]float64{{0, 0}, {3, 0}}, 20, 1.5)
+	tight, _ := KMeans(tightPts, 2, Options{Seed: 1})
+	loose, _ := KMeans(loosePts, 2, Options{Seed: 1})
+	_ = tightTruth
+	_ = looseTruth
+	dbTight := DaviesBouldin(tightPts, tight)
+	dbLoose := DaviesBouldin(loosePts, loose)
+	if dbTight >= dbLoose {
+		t.Errorf("DB: tight %g should be below loose %g", dbTight, dbLoose)
+	}
+	if DaviesBouldin(tightPts, &Result{K: 1, Centroids: tight.Centroids[:1], Assign: make([]int, len(tightPts))}) != 0 {
+		t.Error("DB with k<2 should be 0")
+	}
+}
+
+func TestCalinskiHarabaszOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tightPts, _ := blobs(rng, [][]float64{{0, 0}, {20, 0}}, 20, 0.5)
+	loosePts, _ := blobs(rng, [][]float64{{0, 0}, {3, 0}}, 20, 1.5)
+	tight, _ := KMeans(tightPts, 2, Options{Seed: 1})
+	loose, _ := KMeans(loosePts, 2, Options{Seed: 1})
+	chTight := CalinskiHarabasz(tightPts, tight)
+	chLoose := CalinskiHarabasz(loosePts, loose)
+	if chTight <= chLoose {
+		t.Errorf("CH: tight %g should exceed loose %g", chTight, chLoose)
+	}
+}
+
+func TestIndicesAgreeOnBestK(t *testing.T) {
+	// All three quality indices should prefer the true K on clean blobs.
+	rng := rand.New(rand.NewSource(4))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {15, 0}, {0, 15}}, 15, 1.0)
+	type score struct{ sil, db, ch float64 }
+	scores := map[int]score{}
+	for k := 2; k <= 5; k++ {
+		res, err := KMeans(pts, k, Options{Seed: int64(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores[k] = score{
+			sil: Silhouette(pts, res.Assign, k),
+			db:  DaviesBouldin(pts, res),
+			ch:  CalinskiHarabasz(pts, res),
+		}
+	}
+	bestSil, bestDB, bestCH := 2, 2, 2
+	for k := 3; k <= 5; k++ {
+		if scores[k].sil > scores[bestSil].sil {
+			bestSil = k
+		}
+		if scores[k].db < scores[bestDB].db {
+			bestDB = k
+		}
+		if scores[k].ch > scores[bestCH].ch {
+			bestCH = k
+		}
+	}
+	if bestSil != 3 || bestDB != 3 || bestCH != 3 {
+		t.Errorf("indices disagree on true K: sil=%d db=%d ch=%d", bestSil, bestDB, bestCH)
+	}
+}
+
+func TestAgglomerativeMatchesKMeansOnCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _ := blobs(rng, [][]float64{{0, 0, 0}, {10, 10, 10}}, 12, 0.8)
+	km, _ := KMeans(pts, 2, Options{Seed: 6})
+	ag, err := Agglomerative(pts, 2, WardLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := agreement(km.Assign, ag.Assign, 2); a < 0.99 {
+		t.Errorf("kmeans vs ward agreement %.2f", a)
+	}
+	if math.Abs(km.Inertia-ag.Inertia) > 0.2*km.Inertia {
+		t.Errorf("inertia mismatch %g vs %g", km.Inertia, ag.Inertia)
+	}
+}
+
+func BenchmarkAgglomerative44(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	centres := make([][]float64, 4)
+	for i := range centres {
+		c := make([]float64, 123)
+		for j := range c {
+			c[j] = rng.NormFloat64() * 3
+		}
+		centres[i] = c
+	}
+	pts, _ := blobs(rng, centres, 11, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Agglomerative(pts, 4, WardLinkage); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

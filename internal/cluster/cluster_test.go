@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates n points per centre with isotropic Gaussian spread.
+func blobs(rng *rand.Rand, centres [][]float64, n int, spread float64) ([][]float64, []int) {
+	var pts [][]float64
+	var truth []int
+	for ci, c := range centres {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(c))
+			for j, v := range c {
+				p[j] = v + rng.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+			truth = append(truth, ci)
+		}
+	}
+	// Shuffle consistently.
+	perm := rng.Perm(len(pts))
+	sp := make([][]float64, len(pts))
+	st := make([]int, len(pts))
+	for i, j := range perm {
+		sp[i] = pts[j]
+		st[i] = truth[j]
+	}
+	return sp, st
+}
+
+// agreement computes the best-case label agreement between two partitions
+// of ≤4 clusters by exhaustive permutation matching.
+func agreement(a, b []int, k int) float64 {
+	perms := permutations(k)
+	best := 0
+	for _, perm := range perms {
+		match := 0
+		for i := range a {
+			if perm[a[i]] == b[i] {
+				match++
+			}
+		}
+		if match > best {
+			best = match
+		}
+	}
+	return float64(best) / float64(len(a))
+}
+
+func permutations(k int) [][]int {
+	if k == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	var rec func(cur []int, used []bool)
+	rec = func(cur []int, used []bool) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < k; i++ {
+			if !used[i] {
+				used[i] = true
+				rec(append(cur, i), used)
+				used[i] = false
+			}
+		}
+	}
+	rec(nil, make([]bool, k))
+	return out
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centres := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	pts, truth := blobs(rng, centres, 30, 1.0)
+	res, err := KMeans(pts, 3, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag := agreement(res.Assign, truth, 3); ag < 0.98 {
+		t.Errorf("agreement = %.3f, want ≥0.98", ag)
+	}
+	sizes := res.Sizes()
+	for c, s := range sizes {
+		if s < 25 || s > 35 {
+			t.Errorf("cluster %d size %d, want ≈30", c, s)
+		}
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, _ := blobs(rng, [][]float64{{5, 5}}, 20, 1)
+	res, err := KMeans(pts, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centroids[0][0]-5) > 0.8 || math.Abs(res.Centroids[0][1]-5) > 0.8 {
+		t.Errorf("centroid %v, want ≈(5,5)", res.Centroids[0])
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, Options{}); err == nil {
+		t.Error("want error for empty points")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 3, Options{}); err == nil {
+		t.Error("want error for k > n")
+	}
+	if _, err := KMeans(pts, 0, Options{}); err == nil {
+		t.Error("want error for k = 0")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 1, Options{}); err == nil {
+		t.Error("want error for ragged points")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {8, 8}}, 20, 1)
+	a, _ := KMeans(pts, 2, Options{Seed: 5})
+	b, _ := KMeans(pts, 2, Options{Seed: 5})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed must give identical clustering")
+		}
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	// All identical points: every k must still terminate.
+	pts := make([][]float64, 10)
+	for i := range pts {
+		pts[i] = []float64{1, 2}
+	}
+	res, err := KMeans(pts, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("inertia = %g, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansInertiaImprovesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {6, 0}, {0, 6}, {6, 6}}, 15, 1)
+	var prev float64 = math.Inf(1)
+	for k := 1; k <= 4; k++ {
+		res, err := KMeans(pts, k, Options{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Errorf("inertia increased at k=%d: %g > %g", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestMembersAndSizesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {9, 9}}, 12, 1)
+	res, _ := KMeans(pts, 2, Options{Seed: 2})
+	total := 0
+	for k := 0; k < res.K; k++ {
+		m := res.Members(k)
+		if len(m) != res.Sizes()[k] {
+			t.Errorf("cluster %d: members %d != size %d", k, len(m), res.Sizes()[k])
+		}
+		total += len(m)
+		for _, i := range m {
+			if res.Assign[i] != k {
+				t.Errorf("member %d not assigned to %d", i, k)
+			}
+		}
+	}
+	if total != len(pts) {
+		t.Errorf("members total %d != %d", total, len(pts))
+	}
+}
+
+func TestSilhouetteOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tight, truthT := blobs(rng, [][]float64{{0, 0}, {20, 0}}, 25, 0.5)
+	loose, truthL := blobs(rng, [][]float64{{0, 0}, {2, 0}}, 25, 1.5)
+	sT := Silhouette(tight, truthT, 2)
+	sL := Silhouette(loose, truthL, 2)
+	if sT < 0.8 {
+		t.Errorf("tight silhouette %.3f, want high", sT)
+	}
+	if sT <= sL {
+		t.Errorf("tight %.3f should beat loose %.3f", sT, sL)
+	}
+	if Silhouette(tight, truthT, 1) != 0 {
+		t.Error("k=1 silhouette should be 0")
+	}
+	if Silhouette(nil, nil, 2) != 0 {
+		t.Error("empty silhouette should be 0")
+	}
+}
+
+func TestSweepKFindsTrueK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {12, 0}, {0, 12}, {12, 12}}, 12, 1)
+	sweep, err := SweepK(pts, 2, 7, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 6 {
+		t.Fatalf("sweep length %d", len(sweep))
+	}
+	if k := BestK(sweep); k != 4 {
+		t.Errorf("BestK = %d, want 4", k)
+	}
+}
+
+func TestSweepKErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	if _, err := SweepK(pts, 5, 9, Options{}); err == nil {
+		t.Error("want error for empty K range")
+	}
+}
+
+func TestRefineKeepsGoodPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts, truth := blobs(rng, [][]float64{{0, 0}, {15, 0}, {0, 15}}, 20, 1)
+	res, _ := KMeans(pts, 3, Options{Seed: 4})
+	ref := Refine(pts, res, 10, 0.8, 99)
+	if ag := agreement(ref.Assign, truth, 3); ag < 0.95 {
+		t.Errorf("refined agreement %.3f", ag)
+	}
+	// Refine with 0 rounds is identity.
+	same := Refine(pts, res, 0, 0.8, 99)
+	if same != res {
+		t.Error("0 rounds should return the input result")
+	}
+}
+
+func TestRefineDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {15, 0}}, 15, 1)
+	res, _ := KMeans(pts, 2, Options{Seed: 4})
+	c00 := res.Centroids[0][0]
+	a0 := append([]int(nil), res.Assign...)
+	Refine(pts, res, 5, 0.5, 1)
+	if res.Centroids[0][0] != c00 {
+		t.Error("Refine mutated input centroids")
+	}
+	for i := range a0 {
+		if res.Assign[i] != a0[i] {
+			t.Fatal("Refine mutated input assignment")
+		}
+	}
+}
+
+func TestHierarchyAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// Two top clusters, each made of two sub-blobs.
+	pts, truth := blobs(rng, [][]float64{{0, 0}, {0, 4}, {20, 0}, {20, 4}}, 15, 0.7)
+	top2 := make([]int, len(truth))
+	for i, tr := range truth {
+		top2[i] = tr / 2
+	}
+	res, _ := KMeans(pts, 2, Options{Seed: 11})
+	if ag := agreement(res.Assign, top2, 2); ag < 0.95 {
+		t.Fatalf("top-level clustering agreement %.3f", ag)
+	}
+	h, err := BuildHierarchy(pts, res, 2, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if len(h.Sub[k]) != 2 {
+			t.Errorf("cluster %d has %d sub-centroids, want 2", k, len(h.Sub[k]))
+		}
+	}
+	// New points near each blob assign to the right top cluster.
+	probes := [][]float64{{0, 2}, {20, 2}, {-1, -1}, {21, 5}}
+	wantTop := []int{topOf(res, pts, truth, 0), topOf(res, pts, truth, 2),
+		topOf(res, pts, truth, 0), topOf(res, pts, truth, 2)}
+	for i, p := range probes {
+		got, scores := h.Assign(p)
+		if got != wantTop[i] {
+			t.Errorf("probe %d assigned to %d, want %d (scores %v)", i, got, wantTop[i], scores)
+		}
+		if h.AssignFlat(p) != wantTop[i] {
+			t.Errorf("probe %d flat-assigned wrong", i)
+		}
+	}
+}
+
+// topOf finds which learned cluster contains most points of ground-truth
+// blob g (blobs 0,1 form top group 0; 2,3 form top group 1).
+func topOf(res *Result, pts [][]float64, truth []int, g int) int {
+	counts := map[int]int{}
+	for i, tr := range truth {
+		if tr == g {
+			counts[res.Assign[i]]++
+		}
+	}
+	best, bk := -1, 0
+	for k, c := range counts {
+		if c > best {
+			best, bk = c, k
+		}
+	}
+	_ = pts
+	return bk
+}
+
+func TestHierarchySubKClamped(t *testing.T) {
+	pts := [][]float64{{0}, {0.1}, {10}}
+	res, _ := KMeans(pts, 2, Options{Seed: 13})
+	h, err := BuildHierarchy(pts, res, 5, Options{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range h.Sub {
+		if len(h.Sub[k]) > len(res.Members(k)) {
+			t.Errorf("cluster %d: %d sub-centroids for %d members", k, len(h.Sub[k]), len(res.Members(k)))
+		}
+	}
+	if _, err := BuildHierarchy(pts, res, 0, Options{}); err == nil {
+		t.Error("want error for subK=0")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	pts := [][]float64{{0, 100}, {2, 300}, {4, 500}}
+	s := FitStandardizer(pts)
+	out := s.ApplyAll(pts)
+	for j := 0; j < 2; j++ {
+		mean, va := 0.0, 0.0
+		for _, p := range out {
+			mean += p[j]
+		}
+		mean /= 3
+		for _, p := range out {
+			va += (p[j] - mean) * (p[j] - mean)
+		}
+		va /= 3
+		if math.Abs(mean) > 1e-12 || math.Abs(va-1) > 1e-9 {
+			t.Errorf("coordinate %d: mean %g var %g", j, mean, va)
+		}
+	}
+	// Constant coordinate must not divide by zero.
+	cpts := [][]float64{{5, 1}, {5, 2}}
+	cs := FitStandardizer(cpts)
+	o := cs.Apply([]float64{5, 1.5})
+	if math.IsNaN(o[0]) || math.IsInf(o[0], 0) {
+		t.Error("constant coordinate produced non-finite value")
+	}
+	// Empty standardizer is identity.
+	e := FitStandardizer(nil)
+	if got := e.Apply([]float64{3}); got[0] != 3 {
+		t.Error("empty standardizer should be identity")
+	}
+}
+
+// Property: assignment always picks the argmin-distance centroid.
+func TestQuickAssignIsArgmin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		dim := 1 + rng.Intn(4)
+		var pts [][]float64
+		for i := 0; i < k*6; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.NormFloat64() * 5
+			}
+			pts = append(pts, p)
+		}
+		res, err := KMeans(pts, k, Options{Seed: seed, Restarts: 2, MaxIter: 30})
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			d := SqDist(p, res.Centroids[res.Assign[i]])
+			for _, c := range res.Centroids {
+				if SqDist(p, c) < d-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SqDist is symmetric, non-negative and zero iff equal points.
+func TestQuickSqDistMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(8)
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+			b[j] = rng.NormFloat64()
+		}
+		if SqDist(a, b) != SqDist(b, a) {
+			return false
+		}
+		if SqDist(a, b) < 0 {
+			return false
+		}
+		if SqDist(a, a) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKMeans44x123(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	centres := make([][]float64, 4)
+	for i := range centres {
+		c := make([]float64, 123)
+		for j := range c {
+			c[j] = rng.NormFloat64() * 3
+		}
+		centres[i] = c
+	}
+	pts, _ := blobs(rng, centres, 11, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(pts, 4, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

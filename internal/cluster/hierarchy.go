@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hierarchy is the two-level structure the paper's cold-start Cluster
+// Assignment (CA) uses: the top-level clusters, and for each cluster a set
+// of internal sub-cluster centroids C_{k,i} capturing its fine structure.
+// A new user is assigned to the cluster that minimises the *sum* of
+// distances from the user's feature summary to that cluster's internal
+// centroids (Section III-B-1 of the paper).
+type Hierarchy struct {
+	Top *Result
+	// Sub[k] holds the internal centroids of top-level cluster k.
+	Sub [][][]float64
+}
+
+// BuildHierarchy runs a small k-means inside each top-level cluster to
+// obtain its internal centroids. subK is clamped to the cluster's member
+// count; clusters keep at least their own centroid.
+func BuildHierarchy(points [][]float64, top *Result, subK int, opts Options) (*Hierarchy, error) {
+	if subK < 1 {
+		return nil, fmt.Errorf("cluster: subK must be ≥1, got %d", subK)
+	}
+	h := &Hierarchy{Top: top, Sub: make([][][]float64, top.K)}
+	for k := 0; k < top.K; k++ {
+		idx := top.Members(k)
+		if len(idx) == 0 {
+			h.Sub[k] = [][]float64{clone(top.Centroids[k])}
+			continue
+		}
+		member := make([][]float64, len(idx))
+		for i, j := range idx {
+			member[i] = points[j]
+		}
+		kk := subK
+		if kk > len(member) {
+			kk = len(member)
+		}
+		o := opts
+		o.Seed = opts.Seed + int64(k)*997
+		res, err := KMeans(member, kk, o)
+		if err != nil {
+			return nil, err
+		}
+		h.Sub[k] = res.Centroids
+	}
+	return h, nil
+}
+
+// Assign returns the top-level cluster whose internal centroids minimise
+// the summed distance to x, together with the per-cluster scores. Scores
+// are mean (not raw-sum) distances so clusters with different sub-cluster
+// counts compare fairly.
+func (h *Hierarchy) Assign(x []float64) (best int, scores []float64) {
+	scores = make([]float64, h.Top.K)
+	bestScore := math.Inf(1)
+	for k := 0; k < h.Top.K; k++ {
+		s := 0.0
+		for _, c := range h.Sub[k] {
+			s += Dist(x, c)
+		}
+		s /= float64(len(h.Sub[k]))
+		scores[k] = s
+		if s < bestScore {
+			bestScore, best = s, k
+		}
+	}
+	return best, scores
+}
+
+// AssignFlat returns the top-level cluster with the nearest top centroid,
+// ignoring the sub-cluster structure. Used as the ablation baseline for the
+// hierarchical assignment.
+func (h *Hierarchy) AssignFlat(x []float64) int {
+	return nearest(h.Top.Centroids, x)
+}

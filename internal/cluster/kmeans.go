@@ -1,0 +1,291 @@
+// Package cluster implements the clustering machinery of the CLEAR
+// methodology: k-means with k-means++ seeding and restarts, the iterative
+// subsample-refine-reassign loop of Gutiérrez-Martín et al. (the paper's
+// reference [19]), silhouette-based selection of the cluster count K, and
+// the hierarchical sub-cluster structure used for unsupervised cold-start
+// assignment of new users.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Options configures KMeans.
+type Options struct {
+	// MaxIter bounds Lloyd iterations per restart (default 100).
+	MaxIter int
+	// Restarts is the number of independent k-means++ initialisations;
+	// the lowest-inertia run wins (default 8).
+	Restarts int
+	// Seed makes clustering deterministic.
+	Seed int64
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 8
+	}
+}
+
+// Result is a flat clustering of points.
+type Result struct {
+	K         int
+	Centroids [][]float64
+	// Assign maps each input point to its cluster index.
+	Assign []int
+	// Inertia is the total squared distance of points to their centroids.
+	Inertia float64
+}
+
+// Sizes returns the number of points in each cluster.
+func (r *Result) Sizes() []int {
+	s := make([]int, r.K)
+	for _, a := range r.Assign {
+		s[a]++
+	}
+	return s
+}
+
+// Members returns the indices of points assigned to cluster k.
+func (r *Result) Members(k int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// KMeans clusters points into k groups. Points must be non-empty and share
+// one dimensionality; k must satisfy 1 ≤ k ≤ len(points).
+func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
+	if err := validate(points, k); err != nil {
+		return nil, err
+	}
+	opts.fillDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var best *Result
+	for r := 0; r < opts.Restarts; r++ {
+		res := lloyd(points, k, rng, opts.MaxIter)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func validate(points [][]float64, k int) error {
+	if len(points) == 0 {
+		return fmt.Errorf("cluster: no points")
+	}
+	if k < 1 || k > len(points) {
+		return fmt.Errorf("cluster: k=%d invalid for %d points", k, len(points))
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	return nil
+}
+
+// lloyd runs one k-means++ init followed by Lloyd iterations.
+func lloyd(points [][]float64, k int, rng *rand.Rand, maxIter int) *Result {
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			c := nearest(centroids, p)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		recomputeCentroids(points, assign, centroids, rng)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return &Result{K: k, Centroids: centroids, Assign: assign, Inertia: inertia(points, assign, centroids)}
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, clone(first))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			d := SqDist(p, centroids[len(centroids)-1])
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		var next []float64
+		if total == 0 {
+			next = points[rng.Intn(len(points))]
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			next = points[len(points)-1]
+			for i, p := range points {
+				acc += d2[i]
+				if acc >= r {
+					next = p
+					break
+				}
+			}
+		}
+		centroids = append(centroids, clone(next))
+	}
+	return centroids
+}
+
+// recomputeCentroids sets each centroid to the mean of its members; an
+// empty cluster is re-seeded at the point farthest from its centroid.
+func recomputeCentroids(points [][]float64, assign []int, centroids [][]float64, rng *rand.Rand) {
+	dim := len(points[0])
+	k := len(centroids)
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	for i, p := range points {
+		a := assign[i]
+		counts[a]++
+		for j, v := range p {
+			sums[a][j] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			// Re-seed at the globally worst-fitted point.
+			worst, worstD := 0, -1.0
+			for i, p := range points {
+				d := SqDist(p, centroids[assign[i]])
+				if d > worstD {
+					worst, worstD = i, d
+				}
+			}
+			copy(centroids[c], points[worst])
+			continue
+		}
+		for j := range centroids[c] {
+			centroids[c][j] = sums[c][j] / float64(counts[c])
+		}
+	}
+	_ = rng
+}
+
+func nearest(centroids [][]float64, p []float64) int {
+	best, bi := math.Inf(1), 0
+	for i, c := range centroids {
+		if d := SqDist(p, c); d < best {
+			best, bi = d, i
+		}
+	}
+	return bi
+}
+
+func inertia(points [][]float64, assign []int, centroids [][]float64) float64 {
+	s := 0.0
+	for i, p := range points {
+		s += SqDist(p, centroids[assign[i]])
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+func clone(x []float64) []float64 { return append([]float64(nil), x...) }
+
+// AssignAll maps each point to its nearest centroid.
+func AssignAll(points [][]float64, centroids [][]float64) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		out[i] = nearest(centroids, p)
+	}
+	return out
+}
+
+// Refine runs the iterative refinement loop of [19]: for a number of
+// rounds, recompute centroids from a random subsample of each cluster's
+// members, then reassign every point to its now-nearest centroid. This
+// makes the partition robust to outlier volunteers dominating a mean.
+func Refine(points [][]float64, res *Result, rounds int, sampleFrac float64, seed int64) *Result {
+	if rounds <= 0 {
+		return res
+	}
+	if sampleFrac <= 0 || sampleFrac > 1 {
+		sampleFrac = 0.8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := &Result{K: res.K, Centroids: make([][]float64, res.K), Assign: append([]int(nil), res.Assign...)}
+	for i, c := range res.Centroids {
+		cur.Centroids[i] = clone(c)
+	}
+	dim := len(points[0])
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < cur.K; c++ {
+			members := cur.members(c)
+			if len(members) == 0 {
+				continue
+			}
+			n := int(sampleFrac*float64(len(members)) + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+			sample := members[:n]
+			mean := make([]float64, dim)
+			for _, idx := range sample {
+				for j, v := range points[idx] {
+					mean[j] += v
+				}
+			}
+			for j := range mean {
+				mean[j] /= float64(n)
+			}
+			cur.Centroids[c] = mean
+		}
+		cur.Assign = AssignAll(points, cur.Centroids)
+	}
+	cur.Inertia = inertia(points, cur.Assign, cur.Centroids)
+	return cur
+}
+
+func (r *Result) members(k int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Silhouette returns the mean silhouette coefficient of the clustering:
+// for each point, (b−a)/max(a,b) where a is the mean distance to its own
+// cluster's other members and b the smallest mean distance to another
+// cluster. Ranges in [−1, 1]; higher is better. Singleton clusters
+// contribute 0 for their members, following the scikit-learn convention.
+func Silhouette(points [][]float64, assign []int, k int) float64 {
+	n := len(points)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	total := 0.0
+	for i, p := range points {
+		own := assign[i]
+		// Mean distance to each cluster.
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for j, q := range points {
+			if j == i {
+				continue
+			}
+			sums[assign[j]] += Dist(p, q)
+			counts[assign[j]]++
+		}
+		if counts[own] == 0 {
+			continue // singleton: contributes 0
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n)
+}
+
+// KSweepPoint is one entry of a K-selection sweep.
+type KSweepPoint struct {
+	K          int
+	Silhouette float64
+	Inertia    float64
+	Sizes      []int
+}
+
+// SweepK clusters points for each K in [kmin, kmax] and reports silhouette
+// and inertia, for elbow/silhouette-based selection of the cluster count
+// (the paper chose K=4 as "the best balance between intra-cluster
+// similarity and inter-cluster separation").
+func SweepK(points [][]float64, kmin, kmax int, opts Options) ([]KSweepPoint, error) {
+	if kmin < 2 {
+		kmin = 2
+	}
+	if kmax > len(points) {
+		kmax = len(points)
+	}
+	if kmin > kmax {
+		return nil, fmt.Errorf("cluster: empty K range [%d, %d]", kmin, kmax)
+	}
+	var out []KSweepPoint
+	for k := kmin; k <= kmax; k++ {
+		o := opts
+		o.Seed = opts.Seed + int64(k)*101
+		res, err := KMeans(points, k, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, KSweepPoint{
+			K:          k,
+			Silhouette: Silhouette(points, res.Assign, k),
+			Inertia:    res.Inertia,
+			Sizes:      res.Sizes(),
+		})
+	}
+	return out, nil
+}
+
+// BestK returns the K with the highest silhouette in the sweep.
+func BestK(sweep []KSweepPoint) int {
+	best, bk := math.Inf(-1), 0
+	for _, p := range sweep {
+		if p.Silhouette > best {
+			best, bk = p.Silhouette, p.K
+		}
+	}
+	return bk
+}
+
+// Standardizer z-scores point coordinates with statistics fitted on a
+// training population. Clustering in standardised space prevents large-
+// magnitude features (e.g. spectral powers) from dominating distances.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer computes per-coordinate mean and std over points.
+func FitStandardizer(points [][]float64) *Standardizer {
+	if len(points) == 0 {
+		return &Standardizer{}
+	}
+	dim := len(points[0])
+	mean := make([]float64, dim)
+	for _, p := range points {
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(points))
+	}
+	std := make([]float64, dim)
+	for _, p := range points {
+		for j, v := range p {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(points)))
+		if std[j] < 1e-9 {
+			std[j] = 1
+		}
+	}
+	return &Standardizer{Mean: mean, Std: std}
+}
+
+// Apply returns the standardised copy of p.
+func (s *Standardizer) Apply(p []float64) []float64 {
+	if len(s.Mean) == 0 {
+		return clone(p)
+	}
+	out := make([]float64, len(p))
+	for j, v := range p {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll standardises a batch of points.
+func (s *Standardizer) ApplyAll(points [][]float64) [][]float64 {
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		out[i] = s.Apply(p)
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+// Package core implements the CLEAR methodology itself — the paper's
+// primary contribution. It wires the substrates together:
+//
+//   - Stage 1 ("cloud"): per-user feature summaries → global clustering
+//     (k-means++ with the iterative refinement of [19]) → hierarchical
+//     sub-clusters → one CNN-LSTM classifier trained per cluster.
+//   - Stage 2 ("edge"): a new user's *unlabeled* feature maps → cold-start
+//     cluster assignment by minimum summed distance to the assigned
+//     cluster's internal centroids → optional fine-tuning of the cluster
+//     checkpoint with a small labelled fraction of the user's data.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/wemac"
+)
+
+// tensorT shortens signatures below.
+type tensorT = tensor.Tensor
+
+// Config parameterises a CLEAR pipeline.
+type Config struct {
+	// K is the number of top-level clusters (the paper selects 4).
+	K int
+	// SubK is the number of internal sub-cluster centroids per cluster used
+	// by cold-start assignment.
+	SubK int
+	// Extractor controls feature-map generation (needed to size the model).
+	Extractor features.ExtractorConfig
+	// Model is the per-cluster classifier architecture. InH/InW are
+	// overridden from the extractor configuration.
+	Model nn.ModelConfig
+	// Train controls per-cluster pre-training.
+	Train nn.TrainConfig
+	// FineTune controls edge-side personalisation.
+	FineTune nn.TrainConfig
+	// Cluster passes through to k-means.
+	Cluster cluster.Options
+	// RefineRounds and RefineSampleFrac control the [19]-style iterative
+	// refinement after the initial k-means.
+	RefineRounds     int
+	RefineSampleFrac float64
+	// FTBlend interpolates the fine-tuned weights with the original
+	// checkpoint: final = FTBlend·original + (1−FTBlend)·fine-tuned.
+	// 0 keeps the pure fine-tuned model; ~0.3–0.5 damps the variance of
+	// updates estimated from very few labelled maps (weight-space
+	// ensembling).
+	FTBlend float64
+	// FTAugment is the number of noise-jittered copies of each labelled
+	// sample added during fine-tuning (0 disables). With only a handful of
+	// labelled maps from a new user, augmentation is what makes gradient
+	// descent extract the user-specific signal instead of memorising the
+	// few points (cf. the user-adaptive transfer learning of the paper's
+	// reference [12]).
+	FTAugment int
+	// FTAugmentNoise is the augmentation noise scale in units of each
+	// feature's training-set standard deviation.
+	FTAugmentNoise float64
+	// DisableBaselineCorrect turns off the stimulus-locked baseline
+	// correction of classifier inputs (see features.BaselineCorrect).
+	// Correction is on by default: it removes user/group offsets so models
+	// learn response dynamics; the clustering stage always sees raw
+	// summaries either way.
+	DisableBaselineCorrect bool
+	// Seed namespaces all stochastic steps.
+	Seed int64
+}
+
+// DefaultConfig returns the fast-profile configuration used by the
+// experiment harness (identical code path to the paper profile, reduced
+// widths/epochs so the full LOSO protocol runs on a laptop CPU).
+func DefaultConfig() Config {
+	ecfg := features.DefaultExtractorConfig()
+	mcfg := nn.FastModelConfig(ecfg.Windows)
+	tcfg := nn.DefaultTrainConfig()
+	ft := tcfg
+	// Fine-tuning sees only a handful of labelled maps; moderate LR over
+	// few epochs with noise augmentation (FTAugment below) extracts the
+	// user-specific signal without catastrophic forgetting.
+	ft.Epochs = 15
+	ft.LR = 3e-3
+	ft.BatchSize = 8
+	ft.ValFrac = 0 // fine-tuning uses every labelled sample
+	ft.Patience = 0
+	return Config{
+		FTAugment:        8,
+		FTAugmentNoise:   0.2,
+		K:                4,
+		SubK:             2,
+		Extractor:        ecfg,
+		Model:            mcfg,
+		Train:            tcfg,
+		FineTune:         ft,
+		Cluster:          cluster.Options{Restarts: 8, MaxIter: 100},
+		RefineRounds:     5,
+		RefineSampleFrac: 0.8,
+		Seed:             1,
+	}
+}
+
+// PaperConfig returns the full-size profile (paper-width model, longer
+// training).
+func PaperConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Model = nn.PaperModelConfig(cfg.Extractor.Windows)
+	cfg.Train.Epochs = 30
+	cfg.Train.Patience = 8
+	cfg.FineTune.Epochs = 15
+	return cfg
+}
+
+// WithDefaults returns a copy of c with unset fields defaulted and the
+// model input dimensions sized to the extractor output.
+func (c Config) WithDefaults() Config {
+	c.fillDefaults()
+	return c
+}
+
+func (c *Config) fillDefaults() {
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.SubK == 0 {
+		c.SubK = 2
+	}
+	if c.Extractor.Windows == 0 {
+		c.Extractor = features.DefaultExtractorConfig()
+	}
+	if c.Model.LSTMHidden == 0 {
+		c.Model = nn.FastModelConfig(c.Extractor.Windows)
+	}
+	c.Model.InH = features.TotalFeatureCount
+	c.Model.InW = c.Extractor.Windows
+}
+
+// Pipeline is a trained CLEAR system ready for new users.
+type Pipeline struct {
+	Cfg Config
+	// Norm z-scores feature maps with statistics from the training users.
+	Norm *features.Normalizer
+	// Std standardises per-user summary vectors before clustering.
+	Std *cluster.Standardizer
+	// Hier holds the top-level clusters and their internal centroids.
+	Hier *cluster.Hierarchy
+	// Models holds one trained classifier per cluster.
+	Models []*nn.Model
+	// UserCluster maps each training-user index to its cluster.
+	UserCluster []int
+	// TrainUserIDs records the volunteer IDs used for training, in order.
+	TrainUserIDs []int
+}
+
+// ClusterOnly builds the clustering stage of a pipeline (summaries,
+// standardiser, hierarchy, normaliser) without training any models. Used
+// by assignment-only analyses such as the cold-start ablation.
+func ClusterOnly(users []*wemac.UserMaps, cfg Config) (*Pipeline, error) {
+	return build(users, cfg, false)
+}
+
+// Train builds a complete CLEAR pipeline from the training users' feature
+// maps. It is the paper's Stage 1.
+func Train(users []*wemac.UserMaps, cfg Config) (*Pipeline, error) {
+	return build(users, cfg, true)
+}
+
+func build(users []*wemac.UserMaps, cfg Config, trainModels bool) (*Pipeline, error) {
+	cfg.fillDefaults()
+	if len(users) < cfg.K {
+		return nil, fmt.Errorf("core: %d users < K=%d clusters", len(users), cfg.K)
+	}
+
+	// Per-user unlabeled summaries → standardised clustering space.
+	summaries := make([][]float64, len(users))
+	for i, u := range users {
+		summaries[i] = u.Summary(1.0)
+	}
+	std := cluster.FitStandardizer(summaries)
+	zs := std.ApplyAll(summaries)
+
+	copts := cfg.Cluster
+	copts.Seed = cfg.Seed*31 + 7
+	top, err := cluster.KMeans(zs, cfg.K, copts)
+	if err != nil {
+		return nil, fmt.Errorf("core: global clustering: %w", err)
+	}
+	top = cluster.Refine(zs, top, cfg.RefineRounds, cfg.RefineSampleFrac, cfg.Seed*31+11)
+	hier, err := cluster.BuildHierarchy(zs, top, cfg.SubK, copts)
+	if err != nil {
+		return nil, fmt.Errorf("core: hierarchy: %w", err)
+	}
+
+	// Normalisation statistics come from training users only, computed on
+	// the same representation the classifier consumes.
+	var allMaps []*tensorT
+	for _, u := range users {
+		for _, m := range u.AllMaps() {
+			allMaps = append(allMaps, correctMap(m, cfg))
+		}
+	}
+	norm := features.FitNormalizer(allMaps)
+
+	p := &Pipeline{
+		Cfg: cfg, Norm: norm, Std: std, Hier: hier,
+		UserCluster: top.Assign,
+		Models:      make([]*nn.Model, cfg.K),
+	}
+	for _, u := range users {
+		p.TrainUserIDs = append(p.TrainUserIDs, u.ID)
+	}
+
+	if !trainModels {
+		return p, nil
+	}
+
+	// One classifier per cluster.
+	for k := 0; k < cfg.K; k++ {
+		var data []nn.Sample
+		for i, u := range users {
+			if top.Assign[i] != k {
+				continue
+			}
+			data = append(data, p.SamplesFor(u)...)
+		}
+		m, err := p.trainClusterModel(k, data)
+		if err != nil {
+			return nil, err
+		}
+		p.Models[k] = m
+	}
+	return p, nil
+}
+
+func (p *Pipeline) trainClusterModel(k int, data []nn.Sample) (*nn.Model, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: cluster %d has no training data", k)
+	}
+	mcfg := p.Cfg.Model
+	mcfg.Seed = p.Cfg.Seed*1009 + int64(k)
+	m := nn.NewModel(mcfg)
+	tcfg := p.Cfg.Train
+	tcfg.Seed = p.Cfg.Seed*2003 + int64(k)
+	if _, err := nn.Train(m, data, tcfg); err != nil {
+		return nil, fmt.Errorf("core: training cluster %d: %w", k, err)
+	}
+	return m, nil
+}
+
+// SamplesFor converts a user's labelled feature maps into classifier
+// inputs: baseline-corrected (unless disabled) and z-normalised with the
+// training population's statistics.
+func (p *Pipeline) SamplesFor(u *wemac.UserMaps) []nn.Sample {
+	out := make([]nn.Sample, len(u.Maps))
+	for i, lm := range u.Maps {
+		out[i] = nn.Sample{X: p.Apply(lm.Map), Y: int(lm.Label)}
+	}
+	return out
+}
+
+// Apply converts one raw feature map into the classifier input
+// representation. It satisfies the edge monitor's Normalizer interface, so
+// deployments transform streaming maps identically to training.
+func (p *Pipeline) Apply(m *tensorT) *tensorT {
+	return p.Norm.Apply(correctMap(m, p.Cfg))
+}
+
+// correctMap applies the configured per-map baseline correction.
+func correctMap(m *tensorT, cfg Config) *tensorT {
+	if cfg.DisableBaselineCorrect {
+		return m
+	}
+	return features.BaselineCorrect(m)
+}
+
+// Assignment is the cold-start result for a new user.
+type Assignment struct {
+	// Cluster is the selected cluster index.
+	Cluster int
+	// Scores holds the per-cluster mean distances to internal centroids
+	// (lower is closer); Scores[Cluster] is the minimum.
+	Scores []float64
+	// FracUsed records how much of the user's unlabeled data was used.
+	FracUsed float64
+}
+
+// Assign performs unsupervised cold-start cluster assignment using the
+// first frac of the new user's *unlabeled* feature maps (the paper uses
+// 10 %).
+func (p *Pipeline) Assign(u *wemac.UserMaps, frac float64) Assignment {
+	s := p.Std.Apply(u.Summary(frac))
+	best, scores := p.Hier.Assign(s)
+	return Assignment{Cluster: best, Scores: scores, FracUsed: frac}
+}
+
+// Margin returns the relative score gap between the selected cluster and
+// the runner-up: (second − best) / best. Small margins mean the user sits
+// between clusters and an ensemble of the two checkpoints may serve them
+// better than committing to one.
+func (a Assignment) Margin() float64 {
+	if len(a.Scores) < 2 {
+		return 0
+	}
+	best := a.Scores[a.Cluster]
+	second := -1.0
+	for k, s := range a.Scores {
+		if k == a.Cluster {
+			continue
+		}
+		if second < 0 || s < second {
+			second = s
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return (second - best) / best
+}
+
+// ModelFor returns the pre-trained checkpoint of a cluster.
+func (p *Pipeline) ModelFor(k int) *nn.Model { return p.Models[k] }
+
+// EnsembleFor returns a soft-voting ensemble of the cluster checkpoints
+// weighted by inverse assignment distance — the low-confidence cold-start
+// fallback. With temperature → 0 it reduces to the single assigned model.
+func (p *Pipeline) EnsembleFor(a Assignment) (*nn.Ensemble, error) {
+	weights := make([]float64, len(p.Models))
+	best := a.Scores[a.Cluster]
+	if best <= 0 {
+		best = 1e-9
+	}
+	for k, s := range a.Scores {
+		// Inverse-distance weights, sharpened so the assigned cluster
+		// dominates unless the margin is genuinely small.
+		r := best / s
+		weights[k] = r * r * r
+	}
+	return nn.NewEnsemble(p.Models, weights)
+}
+
+// FineTune personalises the cluster-k checkpoint with the user's labelled
+// samples, returning a new model (the stored checkpoint is untouched).
+// When configured, each sample is expanded with noise-jittered copies so
+// the optimizer sees enough variation to generalise from a handful of maps.
+func (p *Pipeline) FineTune(k int, data []nn.Sample) (*nn.Model, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: no fine-tuning data")
+	}
+	m := p.Models[k].Clone()
+	ft := p.Cfg.FineTune
+	ft.Seed = p.Cfg.Seed*3001 + int64(k)
+	train := p.augmentFT(data, ft.Seed)
+	if _, err := nn.Train(m, train, ft); err != nil {
+		return nil, fmt.Errorf("core: fine-tuning cluster %d: %w", k, err)
+	}
+	if b := p.Cfg.FTBlend; b > 0 {
+		orig := p.Models[k].Params()
+		tuned := m.Params()
+		for i := range tuned {
+			for j := range tuned[i].W.Data {
+				tuned[i].W.Data[j] = b*orig[i].W.Data[j] + (1-b)*tuned[i].W.Data[j]
+			}
+		}
+	}
+	return m, nil
+}
+
+// AugmentFT exposes the fine-tuning augmentation for callers that run
+// their own training loop (e.g. the on-device fine-tuning of Table II),
+// so every fine-tuning path sees the same expanded sample set.
+func (p *Pipeline) AugmentFT(data []nn.Sample) []nn.Sample {
+	return p.augmentFT(data, p.Cfg.Seed*3001)
+}
+
+// augmentFT expands the labelled samples with FTAugment jittered copies
+// each. Inputs are already z-scored, so the noise scale is directly in
+// feature standard deviations.
+func (p *Pipeline) augmentFT(data []nn.Sample, seed int64) []nn.Sample {
+	if p.Cfg.FTAugment <= 0 || p.Cfg.FTAugmentNoise <= 0 {
+		return data
+	}
+	rng := rand.New(rand.NewSource(seed*17 + 3))
+	out := make([]nn.Sample, 0, len(data)*(1+p.Cfg.FTAugment))
+	out = append(out, data...)
+	for _, s := range data {
+		for c := 0; c < p.Cfg.FTAugment; c++ {
+			x := s.X.Clone()
+			for i := range x.Data {
+				x.Data[i] += rng.NormFloat64() * p.Cfg.FTAugmentNoise
+			}
+			out = append(out, nn.Sample{X: x, Y: s.Y})
+		}
+	}
+	return out
+}
+
+// ClusterSizes returns how many training users landed in each cluster.
+func (p *Pipeline) ClusterSizes() []int {
+	sizes := make([]int, p.Cfg.K)
+	for _, c := range p.UserCluster {
+		sizes[c]++
+	}
+	return sizes
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/wemac"
+)
+
+// tinyCLEARConfig keeps training cheap: 4-window maps, narrow model,
+// few epochs.
+func tinyCLEARConfig() Config {
+	ecfg := features.ExtractorConfig{WindowSec: 8, Windows: 4}
+	mcfg := nn.ModelConfig{
+		InH: features.TotalFeatureCount, InW: ecfg.Windows,
+		Conv1: 2, Conv2: 4,
+		K1H: 5, K1W: 3, K2H: 3, K2W: 3, Pool1: 4, Pool2: 3,
+		LSTMHidden: 12, Dropout: 0.1, Classes: 2, Seed: 1,
+	}
+	tcfg := nn.TrainConfig{Epochs: 6, BatchSize: 16, LR: 3e-3, GradClip: 5, ValFrac: 0.15, Patience: 4, Seed: 1}
+	ft := nn.TrainConfig{Epochs: 5, BatchSize: 8, LR: 1e-3, GradClip: 5, Seed: 1}
+	return Config{
+		K: 4, SubK: 2, Extractor: ecfg, Model: mcfg, Train: tcfg, FineTune: ft,
+		RefineRounds: 3, RefineSampleFrac: 0.8, Seed: 1,
+	}
+}
+
+// tinyUsers generates and extracts a small population once per test run.
+func tinyUsers(t *testing.T) []*wemac.UserMaps {
+	t.Helper()
+	ds := wemac.Generate(wemac.Config{
+		ArchetypeSizes:     []int{4, 4, 3, 3},
+		TrialsPerVolunteer: 6,
+		TrialSec:           30,
+		Seed:               21,
+	})
+	users, err := wemac.ExtractAll(ds, features.ExtractorConfig{WindowSec: 8, Windows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return users
+}
+
+func TestTrainPipeline(t *testing.T) {
+	users := tinyUsers(t)
+	p, err := Train(users, tinyCLEARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Models) != 4 {
+		t.Fatalf("%d models", len(p.Models))
+	}
+	sizes := p.ClusterSizes()
+	total := 0
+	for _, s := range sizes {
+		if s == 0 {
+			t.Errorf("empty cluster: sizes %v", sizes)
+		}
+		total += s
+	}
+	if total != len(users) {
+		t.Errorf("cluster sizes %v don't sum to %d", sizes, len(users))
+	}
+	if len(p.TrainUserIDs) != len(users) {
+		t.Errorf("TrainUserIDs %d", len(p.TrainUserIDs))
+	}
+}
+
+// TestClusteringRecoversArchetypes is the load-bearing structural check:
+// the unsupervised global clustering on feature summaries must essentially
+// recover the generator's latent archetypes.
+func TestClusteringRecoversArchetypes(t *testing.T) {
+	users := tinyUsers(t)
+	p, err := Train(users, tinyCLEARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster purity: for each learned cluster, the dominant archetype
+	// fraction averaged over users should be high.
+	byCluster := map[int][]int{}
+	for i, c := range p.UserCluster {
+		byCluster[c] = append(byCluster[c], users[i].Archetype)
+	}
+	pure, total := 0, 0
+	for _, archs := range byCluster {
+		counts := map[int]int{}
+		for _, a := range archs {
+			counts[a]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		pure += best
+		total += len(archs)
+	}
+	purity := float64(pure) / float64(total)
+	if purity < 0.8 {
+		t.Errorf("cluster purity %.2f, want ≥0.8 (clusters %v)", purity, byCluster)
+	}
+}
+
+func TestAssignNewUserMatchesArchetypePeers(t *testing.T) {
+	users := tinyUsers(t)
+	// Hold the last user out.
+	holdout := users[len(users)-1]
+	train := users[:len(users)-1]
+	p, err := Train(train, tinyCLEARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Assign(holdout, 0.5)
+	if a.Cluster < 0 || a.Cluster >= 4 {
+		t.Fatalf("assignment %d out of range", a.Cluster)
+	}
+	if len(a.Scores) != 4 {
+		t.Fatalf("scores %v", a.Scores)
+	}
+	for k, s := range a.Scores {
+		if s < a.Scores[a.Cluster] {
+			t.Errorf("cluster %d score %g below selected %g", k, s, a.Scores[a.Cluster])
+		}
+	}
+	// The assigned cluster should contain mostly the holdout's archetype
+	// peers.
+	match := 0
+	members := 0
+	for i, c := range p.UserCluster {
+		if c != a.Cluster {
+			continue
+		}
+		members++
+		if train[i].Archetype == holdout.Archetype {
+			match++
+		}
+	}
+	if members == 0 {
+		t.Fatal("assigned cluster has no members")
+	}
+	if float64(match)/float64(members) < 0.5 {
+		t.Errorf("assigned cluster only %d/%d archetype peers", match, members)
+	}
+}
+
+func TestSamplesForNormalised(t *testing.T) {
+	users := tinyUsers(t)
+	p, err := Train(users, tinyCLEARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.SamplesFor(users[0])
+	if len(s) != len(users[0].Maps) {
+		t.Fatalf("samples %d", len(s))
+	}
+	for _, smp := range s {
+		if smp.X.Dim(0) != features.TotalFeatureCount {
+			t.Fatalf("sample shape %v", smp.X.Shape)
+		}
+		if smp.X.AbsMax() > 50 {
+			t.Errorf("normalised sample has extreme value %g", smp.X.AbsMax())
+		}
+	}
+}
+
+func TestFineTuneReturnsNewModel(t *testing.T) {
+	users := tinyUsers(t)
+	holdout := users[len(users)-1]
+	p, err := Train(users[:len(users)-1], tinyCLEARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Assign(holdout, 0.1)
+	data := p.SamplesFor(holdout)
+	ft, err := p.FineTune(a.Cluster, data[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft == p.Models[a.Cluster] {
+		t.Fatal("FineTune must not return the stored checkpoint")
+	}
+	// The stored checkpoint must be unchanged.
+	orig := p.Models[a.Cluster]
+	diff := false
+	op, fp := orig.Params(), ft.Params()
+	for i := range op {
+		for j := range op[i].W.Data {
+			if op[i].W.Data[j] != fp[i].W.Data[j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("fine-tuning changed nothing")
+	}
+	if _, err := p.FineTune(a.Cluster, nil); err == nil {
+		t.Error("want error for empty fine-tune data")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	users := tinyUsers(t)
+	cfg := tinyCLEARConfig()
+	cfg.K = 100
+	if _, err := Train(users, cfg); err == nil {
+		t.Error("want error for K > users")
+	}
+}
+
+func TestPipelineSaveLoadRoundTrip(t *testing.T) {
+	users := tinyUsers(t)
+	holdout := users[len(users)-1]
+	p, err := Train(users[:len(users)-1], tinyCLEARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same assignment and identical model outputs.
+	pa, qa := p.Assign(holdout, 0.5), q.Assign(holdout, 0.5)
+	if pa.Cluster != qa.Cluster {
+		t.Errorf("assignment changed after reload: %d vs %d", pa.Cluster, qa.Cluster)
+	}
+	data := p.SamplesFor(holdout)
+	for k := range p.Models {
+		accP := nn.Accuracy(p.Models[k], data)
+		accQ := nn.Accuracy(q.Models[k], data)
+		if accP != accQ {
+			t.Errorf("cluster %d accuracy changed after reload: %g vs %g", k, accP, accQ)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage stream not a pipeline"))); err == nil {
+		t.Error("want error for garbage")
+	}
+}
+
+func TestDefaultAndPaperConfigs(t *testing.T) {
+	d := DefaultConfig()
+	if d.K != 4 || d.SubK < 1 {
+		t.Error("default config wrong")
+	}
+	pc := PaperConfig()
+	if pc.Model.Conv1 <= d.Model.Conv1 {
+		t.Error("paper profile should be wider than fast profile")
+	}
+}
+
+func TestAugmentFT(t *testing.T) {
+	users := tinyUsers(t)
+	cfg := tinyCLEARConfig()
+	cfg.FTAugment = 3
+	cfg.FTAugmentNoise = 0.2
+	p, err := Train(users[:len(users)-1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.SamplesFor(users[len(users)-1])[:4]
+	aug := p.augmentFT(data, 1)
+	if len(aug) != 4*(1+3) {
+		t.Fatalf("augmented %d samples, want 16", len(aug))
+	}
+	// Originals preserved verbatim at the front.
+	for i := range data {
+		for j := range data[i].X.Data {
+			if aug[i].X.Data[j] != data[i].X.Data[j] {
+				t.Fatal("augmentation corrupted originals")
+			}
+		}
+	}
+	// Copies are jittered but labelled identically.
+	if aug[4].Y != data[0].Y {
+		t.Error("augmented label wrong")
+	}
+	same := true
+	for j := range aug[4].X.Data {
+		if aug[4].X.Data[j] != data[0].X.Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("augmented copy identical to original")
+	}
+	// Augmentation off → identity.
+	cfg2 := cfg
+	cfg2.FTAugment = 0
+	p.Cfg = cfg2
+	if got := p.augmentFT(data, 1); len(got) != len(data) {
+		t.Error("disabled augmentation must be identity")
+	}
+}
+
+func TestFTBlendInterpolates(t *testing.T) {
+	users := tinyUsers(t)
+	cfg := tinyCLEARConfig()
+	cfg.FTBlend = 1.0 // blend fully back to the original: FT must be a no-op
+	p, err := Train(users[:len(users)-1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.SamplesFor(users[len(users)-1])[:4]
+	a := p.Assign(users[len(users)-1], 0.1)
+	ft, err := p.FineTune(a.Cluster, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, fp := p.Models[a.Cluster].Params(), ft.Params()
+	for i := range op {
+		for j := range op[i].W.Data {
+			if op[i].W.Data[j] != fp[i].W.Data[j] {
+				t.Fatal("FTBlend=1 must return the original weights")
+			}
+		}
+	}
+}
+
+func TestBaselineCorrectToggle(t *testing.T) {
+	users := tinyUsers(t)
+	on := tinyCLEARConfig()
+	off := tinyCLEARConfig()
+	off.DisableBaselineCorrect = true
+	pOn, err := Train(users[:len(users)-1], on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOff, err := Train(users[:len(users)-1], off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := users[len(users)-1]
+	sOn := pOn.SamplesFor(u)
+	sOff := pOff.SamplesFor(u)
+	// With correction, every sample's first window is exactly 0 after
+	// normalisation only if the normaliser mean is 0 there — instead check
+	// the raw transform: corrected maps differ from uncorrected ones.
+	diff := false
+	for j := range sOn[0].X.Data {
+		if sOn[0].X.Data[j] != sOff[0].X.Data[j] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("baseline-correct toggle had no effect")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/features"
+	"repro/internal/nn"
+)
+
+// Pipeline checkpoint format (little-endian):
+//
+//	magic   uint32 0x50524C43 ("CLRP")
+//	hdrLen  uint32, hdr JSON (config, normalizer, standardizer, hierarchy,
+//	        user assignments)
+//	K model checkpoints in nn checkpoint format, cluster order.
+
+const pipelineMagic uint32 = 0x50524C43
+
+// ErrBadPipeline is returned for malformed pipeline checkpoints.
+var ErrBadPipeline = errors.New("core: bad pipeline checkpoint")
+
+// storeHeader is the JSON-serialisable part of a pipeline.
+type storeHeader struct {
+	Cfg          Config        `json:"cfg"`
+	NormMean     []float64     `json:"norm_mean"`
+	NormStd      []float64     `json:"norm_std"`
+	StdMean      []float64     `json:"std_mean"`
+	StdStd       []float64     `json:"std_std"`
+	TopK         int           `json:"top_k"`
+	TopCentroids [][]float64   `json:"top_centroids"`
+	TopAssign    []int         `json:"top_assign"`
+	Sub          [][][]float64 `json:"sub"`
+	UserCluster  []int         `json:"user_cluster"`
+	TrainUserIDs []int         `json:"train_user_ids"`
+}
+
+// Save serialises the pipeline (clustering structure + all cluster
+// checkpoints) to w.
+func (p *Pipeline) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := storeHeader{
+		Cfg:          p.Cfg,
+		NormMean:     p.Norm.Mean,
+		NormStd:      p.Norm.Std,
+		StdMean:      p.Std.Mean,
+		StdStd:       p.Std.Std,
+		TopK:         p.Hier.Top.K,
+		TopCentroids: p.Hier.Top.Centroids,
+		TopAssign:    p.Hier.Top.Assign,
+		Sub:          p.Hier.Sub,
+		UserCluster:  p.UserCluster,
+		TrainUserIDs: p.TrainUserIDs,
+	}
+	js, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, pipelineMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(js))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(js); err != nil {
+		return err
+	}
+	for k, m := range p.Models {
+		if m == nil {
+			return fmt.Errorf("core: cluster %d has no model", k)
+		}
+		if err := m.Save(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a pipeline checkpoint written by Save.
+func Load(r io.Reader) (*Pipeline, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != pipelineMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadPipeline, magic)
+	}
+	var hdrLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdrLen); err != nil {
+		return nil, err
+	}
+	if hdrLen > 64<<20 {
+		return nil, fmt.Errorf("%w: implausible header size %d", ErrBadPipeline, hdrLen)
+	}
+	js := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, js); err != nil {
+		return nil, err
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(js, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPipeline, err)
+	}
+	if hdr.TopK < 1 || len(hdr.TopCentroids) != hdr.TopK || len(hdr.Sub) != hdr.TopK {
+		return nil, fmt.Errorf("%w: inconsistent clustering structure", ErrBadPipeline)
+	}
+	p := &Pipeline{
+		Cfg:  hdr.Cfg,
+		Norm: &features.Normalizer{Mean: hdr.NormMean, Std: hdr.NormStd},
+		Std:  &cluster.Standardizer{Mean: hdr.StdMean, Std: hdr.StdStd},
+		Hier: &cluster.Hierarchy{
+			Top: &cluster.Result{K: hdr.TopK, Centroids: hdr.TopCentroids, Assign: hdr.TopAssign},
+			Sub: hdr.Sub,
+		},
+		UserCluster:  hdr.UserCluster,
+		TrainUserIDs: hdr.TrainUserIDs,
+	}
+	for k := 0; k < hdr.TopK; k++ {
+		m, err := nn.Load(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cluster %d model: %v", ErrBadPipeline, k, err)
+		}
+		p.Models = append(p.Models, m)
+	}
+	return p, nil
+}

@@ -1,0 +1,103 @@
+// Package dsp implements the signal-processing substrate used by the
+// physiological feature extractor: an iterative radix-2 FFT, Welch power
+// spectral density estimation, band-power integration, simple IIR/FIR
+// filtering, detrending, resampling and peak detection (heart beats in BVP,
+// skin-conductance responses in GSR).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place decimation-in-time radix-2 FFT of x and returns
+// it. len(x) must be a power of two (and non-zero).
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+	return x
+}
+
+// IFFT computes the inverse FFT of x in place and returns it.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	inv := 1 / float64(n)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * complex(inv, 0)
+	}
+	return x
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// RealFFT computes the FFT of a real signal, zero-padded to the next power
+// of two, and returns the complex spectrum (full length).
+func RealFFT(x []float64) []complex128 {
+	n := NextPow2(len(x))
+	c := make([]complex128, n)
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// Magnitudes returns |x[i]| for each element.
+func Magnitudes(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// HannWindow returns the length-n Hann window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}

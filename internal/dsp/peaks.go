@@ -1,0 +1,126 @@
+package dsp
+
+import "sort"
+
+// Peak describes a local maximum found by FindPeaks.
+type Peak struct {
+	// Index is the sample index of the peak.
+	Index int
+	// Height is the sample value at the peak.
+	Height float64
+	// Prominence is the height of the peak above the higher of the two
+	// minima separating it from taller neighbours.
+	Prominence float64
+}
+
+// FindPeaks locates local maxima of x that are at least minHeight tall,
+// at least minDist samples apart, and have prominence ≥ minProminence.
+// Peaks are returned in index order. When two candidate peaks are closer
+// than minDist the taller one wins.
+func FindPeaks(x []float64, minHeight, minProminence float64, minDist int) []Peak {
+	if minDist < 1 {
+		minDist = 1
+	}
+	var cands []Peak
+	for i := 1; i < len(x)-1; i++ {
+		if x[i] < minHeight {
+			continue
+		}
+		// Strictly greater than the left neighbour; plateaus resolve to the
+		// first sample of the plateau that is followed by a drop.
+		if x[i] <= x[i-1] {
+			continue
+		}
+		j := i
+		for j < len(x)-1 && x[j+1] == x[i] {
+			j++
+		}
+		if j == len(x)-1 || x[j+1] > x[i] {
+			i = j
+			continue
+		}
+		p := prominence(x, i)
+		if p >= minProminence {
+			cands = append(cands, Peak{Index: i, Height: x[i], Prominence: p})
+		}
+		i = j
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// Enforce minimum distance, preferring taller peaks.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cands[order[a]].Height > cands[order[b]].Height })
+	kept := make([]bool, len(cands))
+	taken := []int{}
+	for _, ci := range order {
+		ok := true
+		for _, ti := range taken {
+			d := cands[ci].Index - cands[ti].Index
+			if d < 0 {
+				d = -d
+			}
+			if d < minDist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept[ci] = true
+			taken = append(taken, ci)
+		}
+	}
+	var out []Peak
+	for i, k := range kept {
+		if k {
+			out = append(out, cands[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
+}
+
+// prominence computes the topographic prominence of the peak at index i.
+func prominence(x []float64, i int) float64 {
+	h := x[i]
+	// Walk left until a taller sample or the boundary; track the minimum.
+	leftMin := h
+	for j := i - 1; j >= 0; j-- {
+		if x[j] > h {
+			break
+		}
+		if x[j] < leftMin {
+			leftMin = x[j]
+		}
+	}
+	rightMin := h
+	for j := i + 1; j < len(x); j++ {
+		if x[j] > h {
+			break
+		}
+		if x[j] < rightMin {
+			rightMin = x[j]
+		}
+	}
+	base := leftMin
+	if rightMin > base {
+		base = rightMin
+	}
+	return h - base
+}
+
+// Intervals returns the successive differences of peak indices converted to
+// seconds at sample rate fs. Used for inter-beat intervals.
+func Intervals(peaks []Peak, fs float64) []float64 {
+	if len(peaks) < 2 {
+		return nil
+	}
+	out := make([]float64, len(peaks)-1)
+	for i := 1; i < len(peaks); i++ {
+		out[i-1] = float64(peaks[i].Index-peaks[i-1].Index) / fs
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Resample preserves endpoints and stays within input bounds.
+func TestQuickResampleBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		m := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			lo = math.Min(lo, x[i])
+			hi = math.Max(hi, x[i])
+		}
+		y := Resample(x, m)
+		if len(y) != m {
+			return false
+		}
+		if y[0] != x[0] || math.Abs(y[m-1]-x[n-1]) > 1e-9 {
+			return false
+		}
+		for _, v := range y {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false // linear interpolation cannot overshoot
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: biquad filters are BIBO stable for the designed coefficients —
+// the impulse response decays.
+func TestBiquadImpulseDecays(t *testing.T) {
+	for _, q := range []Biquad{
+		LowpassBiquad(5, 100),
+		LowpassBiquad(40, 100),
+		HighpassBiquad(0.5, 100),
+		HighpassBiquad(30, 100),
+	} {
+		impulse := make([]float64, 512)
+		impulse[0] = 1
+		y := q.Filter(impulse)
+		head := 0.0
+		for _, v := range y[:64] {
+			head += math.Abs(v)
+		}
+		tail := 0.0
+		for _, v := range y[448:] {
+			tail += math.Abs(v)
+		}
+		if tail > head*1e-3 {
+			t.Errorf("biquad %+v: impulse response does not decay (head %g, tail %g)", q, head, tail)
+		}
+	}
+}
+
+// Property: moving average is bounded by the input range and preserves a
+// constant signal exactly.
+func TestQuickMovingAverageBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		w := 1 + rng.Intn(12)
+		x := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			lo = math.Min(lo, x[i])
+			hi = math.Max(hi, x[i])
+		}
+		y := MovingAverage(x, w)
+		for _, v := range y {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = 7
+		}
+		for _, v := range MovingAverage(c, w) {
+			if math.Abs(v-7) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: detrending twice equals detrending once (projection).
+func TestQuickDetrendIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() + 0.3*float64(i)
+		}
+		once := Detrend(x)
+		twice := Detrend(once)
+		for i := range once {
+			if math.Abs(once[i]-twice[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: band powers over a partition sum to the total power.
+func TestBandPowerAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	psd := Welch(x, 64, 256)
+	full := psd.BandPower(0, 32)
+	parts := psd.BandPower(0, 4) + psd.BandPower(4, 12) + psd.BandPower(12, 32)
+	if math.Abs(full-parts) > 1e-9*(1+full) {
+		t.Errorf("band powers not additive: %g vs %g", parts, full)
+	}
+}
+
+// Property: peak indices returned by FindPeaks are genuinely local maxima
+// (accounting for plateaus).
+func TestQuickPeaksAreLocalMaxima(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for _, p := range FindPeaks(x, -10, 0, 1) {
+			if p.Index <= 0 || p.Index >= n-1 {
+				return false
+			}
+			if x[p.Index] <= x[p.Index-1] {
+				return false
+			}
+			// To the right a plateau may extend; the first drop must come
+			// before any rise above the peak value.
+			j := p.Index
+			for j < n-1 && x[j+1] == x[p.Index] {
+				j++
+			}
+			if j < n-1 && x[j+1] > x[p.Index] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

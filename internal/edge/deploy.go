@@ -1,0 +1,75 @@
+package edge
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Deployment is a model loaded onto a simulated device.
+type Deployment struct {
+	Device Device
+	// Model is the device-precision copy (weights fake-quantised,
+	// activation quantisers inserted). The source checkpoint is untouched.
+	Model *nn.Model
+}
+
+// Deploy converts a trained checkpoint to device precision with dynamic
+// activation scaling (an idealisation; prefer DeployCalibrated when
+// representative inputs are available).
+func Deploy(m *nn.Model, d Device) *Deployment {
+	return &Deployment{Device: d, Model: quant.DeployModel(m, d.Precision)}
+}
+
+// DeployCalibrated converts a trained checkpoint to device precision and,
+// for int8 devices, freezes the activation-quantiser scales from the
+// calibration inputs (post-training static quantisation, as the Coral
+// toolchain performs at model conversion).
+func DeployCalibrated(m *nn.Model, d Device, calib []*tensor.Tensor) *Deployment {
+	dep := Deploy(m, d)
+	if len(calib) > 0 {
+		quant.Calibrate(dep.Model, calib)
+	}
+	return dep
+}
+
+// Predict runs one on-device inference.
+func (dep *Deployment) Predict(x *nn.Sample) int { return dep.Model.Predict(x.X) }
+
+// Accuracy evaluates the deployed model on data.
+func (dep *Deployment) Accuracy(data []nn.Sample) float64 {
+	return nn.Accuracy(dep.Model, data)
+}
+
+// FineTune re-trains the deployed model on-device with the user's labelled
+// samples. Weights are re-quantised to device precision after every epoch
+// (the accelerator can only store device-precision weights), which is what
+// degrades fine-tuning quality on the int8 TPU relative to the GPU, as in
+// Table II.
+func (dep *Deployment) FineTune(data []nn.Sample, cfg nn.TrainConfig) (*nn.TrainResult, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("edge: no fine-tuning data")
+	}
+	p := dep.Device.Precision
+	prev := cfg.EpochEnd
+	cfg.EpochEnd = func(epoch int, m *nn.Model) {
+		quant.RequantizeWeights(m, p)
+		if prev != nil {
+			prev(epoch, m)
+		}
+	}
+	res, err := nn.Train(dep.Model, data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	quant.RequantizeWeights(dep.Model, p)
+	return res, nil
+}
+
+// Cost reports the simulated Table II time/power block for this deployment
+// fine-tuning ftSamples samples over ftEpochs epochs.
+func (dep *Deployment) Cost(inShape []int, ftSamples, ftEpochs int) CostReport {
+	return dep.Device.Cost(dep.Model, inShape, ftSamples, ftEpochs)
+}

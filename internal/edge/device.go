@@ -1,0 +1,138 @@
+// Package edge simulates the paper's three execution platforms — the GPU
+// training baseline, the Coral Edge TPU Dev Board (8-bit) and the Raspberry
+// Pi + Intel Movidius NCS2 (fp16) — as substitutes for the physical
+// hardware (see DESIGN.md). Each device is a numeric precision plus an
+// analytic latency/power model driven by the deployed model's actual
+// multiply-accumulate counts, so Table II's time and power rows respond to
+// architecture changes the way the hardware would.
+package edge
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// Device describes one execution platform.
+type Device struct {
+	// Name identifies the platform in reports.
+	Name string
+	// Precision is the arithmetic the platform executes.
+	Precision quant.Precision
+	// MACsPerSec is the effective sustained multiply-accumulate throughput
+	// for this model class (far below peak silicon numbers: small models on
+	// these runtimes are overhead-dominated, which the paper's latencies
+	// reflect).
+	MACsPerSec float64
+	// InferOverheadS is the fixed per-inference cost (interpreter dispatch,
+	// USB transfer on the NCS2, tensor (de)quantisation).
+	InferOverheadS float64
+	// EpochOverheadS is the fixed per-epoch cost of on-device re-training
+	// (data pipeline, weight IO, graph rebuild).
+	EpochOverheadS float64
+	// IdleW is the platform's quiescent power ("Baseline" row in Table II).
+	IdleW float64
+	// TrainDeltaW and TestDeltaW are the additional active power draws
+	// during re-training and inference.
+	TrainDeltaW float64
+	TestDeltaW  float64
+}
+
+// GPU returns the cloud/workstation baseline platform. It computes in
+// native precision; its cost constants represent a desktop-class card and
+// are reported for completeness (the paper leaves these cells blank).
+func GPU() Device {
+	return Device{
+		Name:           "GPU",
+		Precision:      quant.FP64,
+		MACsPerSec:     2e9,
+		InferOverheadS: 0.002,
+		EpochOverheadS: 0.05,
+		IdleW:          18,
+		TrainDeltaW:    95,
+		TestDeltaW:     45,
+	}
+}
+
+// CoralTPU returns the Coral Edge TPU Dev Board model: int8 arithmetic,
+// fast accelerator, low power. Constants are calibrated so the paper-size
+// CNN-LSTM lands near Table II's measurements (≈47 ms inference, ≈32 s
+// re-training, 1.28/1.64/1.82 W idle/test/train).
+func CoralTPU() Device {
+	return Device{
+		Name:           "Coral TPU",
+		Precision:      quant.INT8,
+		MACsPerSec:     1.5e8,
+		InferOverheadS: 0.040,
+		EpochOverheadS: 2.1,
+		IdleW:          1.28,
+		TrainDeltaW:    0.54,
+		TestDeltaW:     0.36,
+	}
+}
+
+// PiNCS2 returns the Raspberry Pi + Intel Movidius NCS2 model: fp16
+// arithmetic over a USB-attached accelerator, slower and hungrier.
+// Calibrated to Table II (≈240 ms inference, ≈79 s re-training,
+// 2.76/3.43/3.78 W idle/test/train).
+func PiNCS2() Device {
+	return Device{
+		Name:           "Pi + NCS2",
+		Precision:      quant.FP16,
+		MACsPerSec:     2.5e7,
+		InferOverheadS: 0.200,
+		EpochOverheadS: 5.0,
+		IdleW:          2.76,
+		TrainDeltaW:    1.02,
+		TestDeltaW:     0.67,
+	}
+}
+
+// Devices returns the three platforms in the order Table II reports them.
+func Devices() []Device { return []Device{GPU(), CoralTPU(), PiNCS2()} }
+
+// CostReport is the simulated Table II bottom block for one device.
+type CostReport struct {
+	Device string
+	// RetrainS is the mean time consumption (MTC) of on-device fine-tuning
+	// to convergence, in seconds.
+	RetrainS float64
+	// TestS is the MTC of one inference (feature map in → class out), in
+	// seconds.
+	TestS float64
+	// MPCRetrainW / MPCTestW / MPCIdleW are the mean power consumptions.
+	MPCRetrainW float64
+	MPCTestW    float64
+	MPCIdleW    float64
+	// RetrainEnergyJ and TestEnergyJ are the corresponding energies.
+	RetrainEnergyJ float64
+	TestEnergyJ    float64
+}
+
+// Cost evaluates the analytic latency/power model for fine-tuning
+// ftSamples samples over ftEpochs epochs and for single-sample inference,
+// given the deployed model and its input shape.
+func (d Device) Cost(m *nn.Model, inShape []int, ftSamples, ftEpochs int) CostReport {
+	macs := float64(m.TotalFLOPs(inShape))
+	// One training step ≈ forward + backward ≈ 3× forward MACs.
+	trainMACs := 3 * macs * float64(ftSamples) * float64(ftEpochs)
+	retrain := trainMACs/d.MACsPerSec + float64(ftEpochs)*d.EpochOverheadS
+	test := macs/d.MACsPerSec + d.InferOverheadS
+	r := CostReport{
+		Device:      d.Name,
+		RetrainS:    retrain,
+		TestS:       test,
+		MPCRetrainW: d.IdleW + d.TrainDeltaW,
+		MPCTestW:    d.IdleW + d.TestDeltaW,
+		MPCIdleW:    d.IdleW,
+	}
+	r.RetrainEnergyJ = r.RetrainS * r.MPCRetrainW
+	r.TestEnergyJ = r.TestS * r.MPCTestW
+	return r
+}
+
+// String renders the device for logs.
+func (d Device) String() string {
+	return fmt.Sprintf("%s(%v, %.3g MAC/s)", d.Name, d.Precision, d.MACsPerSec)
+}

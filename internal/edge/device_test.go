@@ -1,0 +1,51 @@
+package edge
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+)
+
+// Property: cost is monotone in fine-tuning work (samples × epochs).
+func TestQuickCostMonotone(t *testing.T) {
+	m := nn.NewCNNLSTM(nn.FastModelConfig(8))
+	in := []int{123, 8}
+	f := func(seedA, seedB uint8) bool {
+		s1, e1 := int(seedA%20)+1, int(seedB%10)+1
+		s2, e2 := s1*2, e1+3
+		for _, d := range Devices() {
+			c1 := d.Cost(m, in, s1, e1)
+			c2 := d.Cost(m, in, s2, e2)
+			if c2.RetrainS <= c1.RetrainS {
+				return false
+			}
+			if c1.TestS != c2.TestS { // inference cost is per-sample, FT-independent
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostZeroFineTune(t *testing.T) {
+	m := nn.NewCNNLSTM(nn.FastModelConfig(8))
+	c := CoralTPU().Cost(m, []int{123, 8}, 0, 0)
+	if c.RetrainS != 0 {
+		t.Errorf("zero fine-tuning should cost zero retrain time, got %g", c.RetrainS)
+	}
+	if c.TestS <= 0 {
+		t.Error("inference must still cost time")
+	}
+}
+
+func TestPowerHierarchy(t *testing.T) {
+	for _, d := range Devices() {
+		if !(d.IdleW < d.IdleW+d.TestDeltaW && d.IdleW+d.TestDeltaW < d.IdleW+d.TrainDeltaW) {
+			t.Errorf("%s: power states not ordered idle < test < train", d.Name)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package edge
+
+import (
+	"fmt"
+	"math"
+)
+
+// DutyCycle describes a continuous-monitoring deployment: how often the
+// device wakes to classify a new feature-map window, and how often it
+// re-personalises. This models the paper's motivating application (the
+// Bindi wearable, which monitors continuously for fear responses).
+type DutyCycle struct {
+	// InferencesPerHour is how many windows are classified per hour.
+	InferencesPerHour float64
+	// RetrainsPerDay is how many fine-tuning sessions run per day.
+	RetrainsPerDay float64
+	// RetrainSamples and RetrainEpochs size each fine-tuning session.
+	RetrainSamples int
+	RetrainEpochs  int
+}
+
+// DefaultDutyCycle matches one classification per minute with a nightly
+// re-personalisation, a plausible wearable configuration.
+func DefaultDutyCycle() DutyCycle {
+	return DutyCycle{InferencesPerHour: 60, RetrainsPerDay: 1, RetrainSamples: 8, RetrainEpochs: 10}
+}
+
+// EnergyReport is the daily energy budget of a deployment.
+type EnergyReport struct {
+	Device string
+	// ActiveSecPerDay is the total compute-active time per day.
+	ActiveSecPerDay float64
+	// IdleSecPerDay is the remainder of the day.
+	IdleSecPerDay float64
+	// EnergyJPerDay is the total daily energy (active + idle).
+	EnergyJPerDay float64
+	// InferenceJ and RetrainJ break the active energy down.
+	InferenceJ float64
+	RetrainJ   float64
+	// BatteryHours estimates runtime on the given battery.
+	BatteryHours float64
+}
+
+// EnergyBudget evaluates the daily energy cost of running the deployment's
+// model under the given duty cycle, and the resulting runtime on a battery
+// of batteryWh watt-hours. Wearables in the paper's application class carry
+// 1–4 Wh cells.
+func (dep *Deployment) EnergyBudget(inShape []int, dc DutyCycle, batteryWh float64) EnergyReport {
+	d := dep.Device
+	cost := d.Cost(dep.Model, inShape, dc.RetrainSamples, dc.RetrainEpochs)
+
+	inferSec := cost.TestS * dc.InferencesPerHour * 24
+	retrainSec := cost.RetrainS * dc.RetrainsPerDay
+	activeSec := inferSec + retrainSec
+	daySec := 24 * 3600.0
+	idleSec := math.Max(0, daySec-activeSec)
+
+	inferJ := inferSec * cost.MPCTestW
+	retrainJ := retrainSec * cost.MPCRetrainW
+	idleJ := idleSec * d.IdleW
+	total := inferJ + retrainJ + idleJ
+
+	rep := EnergyReport{
+		Device:          d.Name,
+		ActiveSecPerDay: activeSec,
+		IdleSecPerDay:   idleSec,
+		EnergyJPerDay:   total,
+		InferenceJ:      inferJ,
+		RetrainJ:        retrainJ,
+	}
+	if total > 0 && batteryWh > 0 {
+		rep.BatteryHours = batteryWh * 3600 / (total / 24)
+	}
+	return rep
+}
+
+// String renders the report compactly.
+func (r EnergyReport) String() string {
+	return fmt.Sprintf("%s: %.0f J/day (infer %.0f J, retrain %.0f J), active %.0fs/day, battery %.1f h",
+		r.Device, r.EnergyJPerDay, r.InferenceJ, r.RetrainJ, r.ActiveSecPerDay, r.BatteryHours)
+}

@@ -1,0 +1,107 @@
+package edge
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/tensor"
+)
+
+// Monitor turns a deployment into a continuous fear monitor: raw signal
+// chunks stream in, feature maps are extracted over a sliding horizon, and
+// an exponentially smoothed fear probability with hysteresis drives an
+// alarm — the end-to-end loop the paper's motivating application (a
+// wearable that detects fear episodes in real time) runs on-device.
+type Monitor struct {
+	dep  *Deployment
+	norm Normalizer
+	ecfg features.ExtractorConfig
+
+	// Smoothing and hysteresis parameters.
+	Alpha   float64 // EWMA factor for the fear probability (0..1]
+	OnThr   float64 // alarm turns on when smoothed prob rises above this
+	OffThr  float64 // alarm turns off when it falls below this
+	prob    float64
+	alarmed bool
+	nSeen   int
+}
+
+// Normalizer matches features.Normalizer's Apply without importing the
+// concrete type, so monitors work with any map normalisation.
+type Normalizer interface {
+	Apply(m *tensor.Tensor) *tensor.Tensor
+}
+
+// NewMonitor wraps a deployment for streaming use.
+func NewMonitor(dep *Deployment, norm Normalizer, ecfg features.ExtractorConfig) *Monitor {
+	return &Monitor{
+		dep: dep, norm: norm, ecfg: ecfg,
+		Alpha: 0.4, OnThr: 0.7, OffThr: 0.4,
+	}
+}
+
+// Event is the monitor's output for one processed recording horizon.
+type Event struct {
+	// Index counts processed horizons.
+	Index int
+	// RawProb is the classifier's fear probability for this horizon.
+	RawProb float64
+	// SmoothProb is the hysteresis input (EWMA of RawProb).
+	SmoothProb float64
+	// Alarm reports the hysteresis state after this horizon.
+	Alarm bool
+	// Changed reports whether this horizon toggled the alarm.
+	Changed bool
+}
+
+// Process classifies one recording horizon and updates the alarm state.
+func (m *Monitor) Process(rec *features.Recording) (Event, error) {
+	fm, err := features.ExtractMap(rec, m.ecfg)
+	if err != nil {
+		return Event{}, fmt.Errorf("edge: monitor extraction: %w", err)
+	}
+	x := fm
+	if m.norm != nil {
+		x = m.norm.Apply(fm)
+	}
+	probs := m.dep.Model.Probabilities(x)
+	raw := 0.0
+	if len(probs) > 1 {
+		raw = probs[1]
+	}
+	if m.nSeen == 0 {
+		m.prob = raw
+	} else {
+		m.prob = m.Alpha*raw + (1-m.Alpha)*m.prob
+	}
+	m.nSeen++
+
+	changed := false
+	if !m.alarmed && m.prob >= m.OnThr {
+		m.alarmed = true
+		changed = true
+	} else if m.alarmed && m.prob <= m.OffThr {
+		m.alarmed = false
+		changed = true
+	}
+	return Event{
+		Index:      m.nSeen - 1,
+		RawProb:    raw,
+		SmoothProb: m.prob,
+		Alarm:      m.alarmed,
+		Changed:    changed,
+	}, nil
+}
+
+// Alarmed reports the current alarm state.
+func (m *Monitor) Alarmed() bool { return m.alarmed }
+
+// Reset clears the smoothing and alarm state.
+func (m *Monitor) Reset() {
+	m.prob = 0
+	m.alarmed = false
+	m.nSeen = 0
+}
+
+// The concrete features.Normalizer satisfies Normalizer.
+var _ Normalizer = (*features.Normalizer)(nil)

@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/wemac"
+)
+
+// ArchResult is one architecture's CL-validation performance.
+type ArchResult struct {
+	Arch   nn.Arch
+	CL     Agg
+	Params int
+	MACs   int64
+}
+
+// RunArchAblation reruns the CL validation (global clustering +
+// intra-cluster LOSO) once per architecture, quantifying the paper's Fig. 2
+// design claim that the CNN-LSTM "effectively integrates the feature maps'
+// global and sequential information" versus its CNN-only and LSTM-only
+// ablations.
+func RunArchAblation(users []*wemac.UserMaps, cfg core.Config, archs []nn.Arch) ([]ArchResult, error) {
+	cfg = cfg.WithDefaults()
+	var out []ArchResult
+	for _, arch := range archs {
+		acfg := cfg
+		acfg.Model.Arch = arch
+		res, err := RunCL(users, acfg)
+		if err != nil {
+			return nil, err
+		}
+		mcfg := acfg.Model
+		m := nn.NewModel(mcfg)
+		in := []int{mcfg.InH, mcfg.InW}
+		out = append(out, ArchResult{
+			Arch:   arch,
+			CL:     res.CL,
+			Params: m.NumParams(),
+			MACs:   m.TotalFLOPs(in),
+		})
+	}
+	return out, nil
+}
+
+// ClusteringResult is one clustering algorithm's downstream performance.
+type ClusteringResult struct {
+	Name string
+	CL   Agg
+	RT   Agg
+	// Purity is the mean dominant-archetype fraction of the clusters
+	// (generator ground truth).
+	Purity float64
+	Sizes  []int
+}
+
+// ClusterAssigner produces a K-partition of user summaries; the k-means
+// path and alternative algorithms plug in here.
+type ClusterAssigner func(points [][]float64, k int, seed int64) ([]int, error)
+
+// RunClusteringAblation reruns intra-cluster LOSO with the partitions of
+// each supplied clustering algorithm, isolating how much of CLEAR's gain
+// comes from the specific clustering method versus any reasonable
+// partition.
+func RunClusteringAblation(users []*wemac.UserMaps, cfg core.Config, algos map[string]ClusterAssigner) ([]ClusteringResult, error) {
+	cfg = cfg.WithDefaults()
+	summaries := make([][]float64, len(users))
+	for i, u := range users {
+		summaries[i] = u.Summary(1.0)
+	}
+	std := cluster.FitStandardizer(summaries)
+	zs := std.ApplyAll(summaries)
+
+	var out []ClusteringResult
+	for name, algo := range algos {
+		assign, err := algo(zs, cfg.K, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cl, rt, err := intraClusterLOSO(users, assign, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ClusteringResult{
+			Name:   name,
+			CL:     cl,
+			RT:     rt,
+			Purity: partitionPurity(users, assign, cfg.K),
+			Sizes:  partitionSizes(assign, cfg.K),
+		})
+	}
+	return out, nil
+}
+
+// intraClusterLOSO runs the CL-validation protocol on a fixed partition.
+func intraClusterLOSO(users []*wemac.UserMaps, assign []int, cfg core.Config) (cl, rt Agg, err error) {
+	var clFolds, rtFolds []Metrics
+	k := cfg.K
+	for c := 0; c < k; c++ {
+		var members []int
+		for i, a := range assign {
+			if a == c {
+				members = append(members, i)
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		for fi, testIdx := range members {
+			var train []*wemac.UserMaps
+			for _, mi := range members {
+				if mi != testIdx {
+					train = append(train, users[mi])
+				}
+			}
+			m, norm, err := trainOne(train, cfg, cfg.Seed*509+int64(c)*43+int64(fi))
+			if err != nil {
+				return Agg{}, Agg{}, err
+			}
+			met, err := EvaluateModel(m, norm.samples(users[testIdx]))
+			if err != nil {
+				return Agg{}, Agg{}, err
+			}
+			clFolds = append(clFolds, met)
+
+			var outData []nn.Sample
+			for i, a := range assign {
+				if a != c {
+					outData = append(outData, norm.samples(users[i])...)
+				}
+			}
+			if len(outData) > 0 {
+				rmet, err := EvaluateModel(m, outData)
+				if err != nil {
+					return Agg{}, Agg{}, err
+				}
+				rtFolds = append(rtFolds, rmet)
+			}
+		}
+	}
+	return Aggregate(clFolds), Aggregate(rtFolds), nil
+}
+
+func partitionPurity(users []*wemac.UserMaps, assign []int, k int) float64 {
+	pure, total := 0, 0
+	for c := 0; c < k; c++ {
+		counts := map[int]int{}
+		n := 0
+		for i, a := range assign {
+			if a == c {
+				counts[users[i].Archetype]++
+				n++
+			}
+		}
+		best := 0
+		for _, v := range counts {
+			if v > best {
+				best = v
+			}
+		}
+		pure += best
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(pure) / float64(total)
+}
+
+func partitionSizes(assign []int, k int) []int {
+	sizes := make([]int, k)
+	for _, a := range assign {
+		if a >= 0 && a < k {
+			sizes[a]++
+		}
+	}
+	return sizes
+}

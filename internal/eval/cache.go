@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/wemac"
+)
+
+// A LOSO run is the expensive artefact shared by Table I's CLEAR rows and
+// all of Table II (44 pipelines × 4 models each). SaveRun/LoadRun let the
+// cmd binaries compute it once and reuse it. The population itself is not
+// stored: it regenerates deterministically from its seed, and LoadRun
+// verifies identity via the fold count and user IDs.
+
+const runMagic uint32 = 0x4E555243 // "CRUN"
+
+// ErrBadRun is returned for malformed run caches.
+var ErrBadRun = errors.New("eval: bad LOSO run cache")
+
+type runHeader struct {
+	Cfg     core.Config `json:"cfg"`
+	CAFrac  float64     `json:"ca_frac"`
+	UserIDs []int       `json:"user_ids"`
+	Folds   []runFold   `json:"folds"`
+}
+
+type runFold struct {
+	UserIdx        int       `json:"user_idx"`
+	Cluster        int       `json:"cluster"`
+	Scores         []float64 `json:"scores"`
+	FracUsed       float64   `json:"frac_used"`
+	ArchetypeMatch bool      `json:"archetype_match"`
+}
+
+// SaveRun serialises the run (header + every fold's pipeline).
+func SaveRun(w io.Writer, run *LOSORun) error {
+	bw := bufio.NewWriter(w)
+	hdr := runHeader{Cfg: run.Cfg, CAFrac: run.CAFrac}
+	for _, u := range run.Users {
+		hdr.UserIDs = append(hdr.UserIDs, u.ID)
+	}
+	for _, f := range run.Folds {
+		hdr.Folds = append(hdr.Folds, runFold{
+			UserIdx:        f.UserIdx,
+			Cluster:        f.Assignment.Cluster,
+			Scores:         f.Assignment.Scores,
+			FracUsed:       f.Assignment.FracUsed,
+			ArchetypeMatch: f.ArchetypeMatch,
+		})
+	}
+	js, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, runMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(js))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(js); err != nil {
+		return err
+	}
+	for _, f := range run.Folds {
+		if err := f.Pipeline.Save(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadRun reads a run cache and re-attaches it to the (identical)
+// population the caller regenerated.
+func LoadRun(r io.Reader, users []*wemac.UserMaps) (*LOSORun, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != runMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadRun, magic)
+	}
+	var hdrLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdrLen); err != nil {
+		return nil, err
+	}
+	if hdrLen > 64<<20 {
+		return nil, fmt.Errorf("%w: implausible header size", ErrBadRun)
+	}
+	js := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, js); err != nil {
+		return nil, err
+	}
+	var hdr runHeader
+	if err := json.Unmarshal(js, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRun, err)
+	}
+	if len(hdr.UserIDs) != len(users) {
+		return nil, fmt.Errorf("%w: cache has %d users, population has %d",
+			ErrBadRun, len(hdr.UserIDs), len(users))
+	}
+	for i, id := range hdr.UserIDs {
+		if users[i].ID != id {
+			return nil, fmt.Errorf("%w: user %d has ID %d, cache expects %d",
+				ErrBadRun, i, users[i].ID, id)
+		}
+	}
+	run := &LOSORun{Users: users, Cfg: hdr.Cfg, CAFrac: hdr.CAFrac}
+	for _, f := range hdr.Folds {
+		p, err := core.Load(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: fold %d pipeline: %v", ErrBadRun, f.UserIdx, err)
+		}
+		run.Folds = append(run.Folds, LOSOFold{
+			UserIdx:  f.UserIdx,
+			Pipeline: p,
+			Assignment: core.Assignment{
+				Cluster: f.Cluster, Scores: f.Scores, FracUsed: f.FracUsed,
+			},
+			ArchetypeMatch: f.ArchetypeMatch,
+		})
+	}
+	return run, nil
+}

@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSaveLoadRunRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	users, cfg := integSetup(t)
+	run, err := RunLOSO(users[:6], cfg, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveRun(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRun(bytes.NewReader(buf.Bytes()), users[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Folds) != len(run.Folds) {
+		t.Fatalf("folds %d vs %d", len(loaded.Folds), len(run.Folds))
+	}
+	// Evaluations from the reloaded run must match exactly.
+	a, err := EvaluateCLEAR(run, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateCLEAR(loaded, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.WithoutFT.MeanAcc-b.WithoutFT.MeanAcc) > 1e-9 {
+		t.Errorf("w/o FT accuracy changed after reload: %.4f vs %.4f",
+			a.WithoutFT.MeanAcc, b.WithoutFT.MeanAcc)
+	}
+	if math.Abs(a.WithFT.MeanAcc-b.WithFT.MeanAcc) > 1e-9 {
+		t.Errorf("FT accuracy changed after reload: %.4f vs %.4f",
+			a.WithFT.MeanAcc, b.WithFT.MeanAcc)
+	}
+
+	// Mismatched population must be rejected.
+	if _, err := LoadRun(bytes.NewReader(buf.Bytes()), users[:5]); err == nil {
+		t.Error("want error for population size mismatch")
+	}
+	if _, err := LoadRun(bytes.NewReader(buf.Bytes()), users[1:7]); err == nil {
+		t.Error("want error for user ID mismatch")
+	}
+	if _, err := LoadRun(bytes.NewReader([]byte("junk")), users[:6]); err == nil {
+		t.Error("want error for garbage stream")
+	}
+}

@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/wemac"
+)
+
+// LOSOFold is one iteration of the full CLEAR LOSO protocol: volunteer V_x
+// held out, a pipeline trained on everyone else, V_x cold-start assigned.
+type LOSOFold struct {
+	// UserIdx indexes the held-out volunteer in the population slice.
+	UserIdx int
+	// Pipeline was trained without the held-out volunteer.
+	Pipeline *core.Pipeline
+	// Assignment is the unsupervised cold-start result for the volunteer.
+	Assignment core.Assignment
+	// ArchetypeMatch reports whether the assigned cluster's dominant
+	// ground-truth archetype equals the volunteer's archetype (generator
+	// ground truth; a diagnostic the paper cannot compute on real data).
+	ArchetypeMatch bool
+}
+
+// LOSORun is the full set of folds. Both the Table I CLEAR rows and all of
+// Table II consume one run, so the expensive training happens once.
+type LOSORun struct {
+	Users  []*wemac.UserMaps
+	Cfg    core.Config
+	CAFrac float64
+	Folds  []LOSOFold
+}
+
+// RunLOSO trains one pipeline per held-out volunteer (the paper's CLEAR
+// validation protocol) and cold-start assigns each volunteer with caFrac of
+// their unlabeled data (the paper uses 0.1). Progress, if non-nil, is
+// called after each fold.
+func RunLOSO(users []*wemac.UserMaps, cfg core.Config, caFrac float64, progress func(done, total int)) (*LOSORun, error) {
+	cfg = cfg.WithDefaults()
+	if len(users) < cfg.K+1 {
+		return nil, fmt.Errorf("eval: %d users too few for K=%d LOSO", len(users), cfg.K)
+	}
+	run := &LOSORun{Users: users, Cfg: cfg, CAFrac: caFrac}
+	for i := range users {
+		train := withoutIndex(users, i)
+		foldCfg := cfg
+		foldCfg.Seed = cfg.Seed*7919 + int64(i)
+		p, err := core.Train(train, foldCfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fold %d: %w", i, err)
+		}
+		a := p.Assign(users[i], caFrac)
+		run.Folds = append(run.Folds, LOSOFold{
+			UserIdx:        i,
+			Pipeline:       p,
+			Assignment:     a,
+			ArchetypeMatch: dominantArchetype(p, train, a.Cluster) == users[i].Archetype,
+		})
+		if progress != nil {
+			progress(i+1, len(users))
+		}
+	}
+	return run, nil
+}
+
+// ClusterOnly exposes the clustering-only pipeline construction for
+// assignment ablations (no model training).
+func ClusterOnly(users []*wemac.UserMaps, cfg core.Config) (*core.Pipeline, error) {
+	return core.ClusterOnly(users, cfg.WithDefaults())
+}
+
+// DominantArchetype returns the most common ground-truth archetype among
+// the training users assigned to cluster k.
+func DominantArchetype(p *core.Pipeline, train []*wemac.UserMaps, k int) int {
+	return dominantArchetype(p, train, k)
+}
+
+// dominantArchetype returns the most common ground-truth archetype among
+// the training users assigned to cluster k.
+func dominantArchetype(p *core.Pipeline, train []*wemac.UserMaps, k int) int {
+	counts := map[int]int{}
+	for i, c := range p.UserCluster {
+		if c == k {
+			counts[train[i].Archetype]++
+		}
+	}
+	best, bestArch := -1, -1
+	for a, c := range counts {
+		if c > best {
+			best, bestArch = c, a
+		}
+	}
+	return bestArch
+}
+
+// CLEARResult carries the three CLEAR rows of Table I.
+type CLEARResult struct {
+	// WithoutFT is "CLEAR w/o FT": the assigned cluster model on the
+	// held-out volunteer's full data.
+	WithoutFT Agg
+	// RT is "RT CLEAR": the *other* clusters' models on the held-out
+	// volunteer (averaged per fold).
+	RT Agg
+	// WithFT is "CLEAR w FT": the assigned model fine-tuned on ftFrac of
+	// the volunteer's labelled maps, tested on the remainder.
+	WithFT Agg
+	// AssignmentAccuracy is the fraction of folds whose cold-start cluster
+	// matched the volunteer's ground-truth archetype.
+	AssignmentAccuracy float64
+}
+
+// EvaluateCLEAR computes the Table I CLEAR rows from a LOSO run. ftFrac is
+// the labelled fraction used for fine-tuning (the paper uses 0.2).
+func EvaluateCLEAR(run *LOSORun, ftFrac float64) (CLEARResult, error) {
+	var woFolds, rtFolds, ftFolds []Metrics
+	matches := 0
+	for _, fold := range run.Folds {
+		u := run.Users[fold.UserIdx]
+		p := fold.Pipeline
+		data := p.SamplesFor(u)
+		if fold.ArchetypeMatch {
+			matches++
+		}
+
+		// CLEAR w/o FT.
+		m := p.ModelFor(fold.Assignment.Cluster)
+		met, err := EvaluateModel(m, data)
+		if err != nil {
+			return CLEARResult{}, err
+		}
+		woFolds = append(woFolds, met)
+
+		// RT CLEAR: mean over the other clusters' models.
+		var rts []Metrics
+		for k := range p.Models {
+			if k == fold.Assignment.Cluster {
+				continue
+			}
+			rmet, err := EvaluateModel(p.ModelFor(k), data)
+			if err != nil {
+				return CLEARResult{}, err
+			}
+			rts = append(rts, rmet)
+		}
+		if len(rts) > 0 {
+			rtFolds = append(rtFolds, meanMetrics(rts))
+		}
+
+		// CLEAR w FT.
+		ftTrain, ftTest := SplitForFineTune(data, ftFrac)
+		if len(ftTrain) == 0 || len(ftTest) == 0 {
+			continue
+		}
+		ftModel, err := p.FineTune(fold.Assignment.Cluster, ftTrain)
+		if err != nil {
+			return CLEARResult{}, err
+		}
+		fmet, err := EvaluateModel(ftModel, ftTest)
+		if err != nil {
+			return CLEARResult{}, err
+		}
+		ftFolds = append(ftFolds, fmet)
+	}
+	res := CLEARResult{
+		WithoutFT: Aggregate(woFolds),
+		RT:        Aggregate(rtFolds),
+		WithFT:    Aggregate(ftFolds),
+	}
+	if len(run.Folds) > 0 {
+		res.AssignmentAccuracy = float64(matches) / float64(len(run.Folds))
+	}
+	return res, nil
+}
+
+// SplitForFineTune takes the leading frac of samples per class for
+// fine-tuning (label-stratified, preserving order so the "first sessions"
+// interpretation holds) and returns the rest as the test set.
+func SplitForFineTune(data []nn.Sample, frac float64) (ft, test []nn.Sample) {
+	perClass := map[int]int{}
+	for _, s := range data {
+		perClass[s.Y]++
+	}
+	want := map[int]int{}
+	for y, n := range perClass {
+		w := int(frac*float64(n) + 0.5)
+		if w < 1 && n > 1 {
+			w = 1
+		}
+		if w >= n {
+			w = n - 1
+		}
+		if w < 0 {
+			w = 0
+		}
+		want[y] = w
+	}
+	taken := map[int]int{}
+	for _, s := range data {
+		if taken[s.Y] < want[s.Y] {
+			ft = append(ft, s)
+			taken[s.Y]++
+		} else {
+			test = append(test, s)
+		}
+	}
+	return ft, test
+}
+
+// meanMetrics averages a set of metrics into one (equal weights).
+func meanMetrics(ms []Metrics) Metrics {
+	var acc, f1 float64
+	n := 0
+	for _, m := range ms {
+		acc += m.Accuracy
+		f1 += m.F1
+		n += m.N
+	}
+	k := float64(len(ms))
+	return Metrics{Accuracy: acc / k, F1: f1 / k, N: n}
+}

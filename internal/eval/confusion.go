@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/nn"
+)
+
+// Confusion is a binary confusion matrix for the fear-detection task
+// (positive class = fear).
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// ConfusionOf tallies a model's predictions over data.
+func ConfusionOf(m *nn.Model, data []nn.Sample) Confusion {
+	var c Confusion
+	for _, s := range data {
+		p := m.Predict(s.X)
+		switch {
+		case p == 1 && s.Y == 1:
+			c.TP++
+		case p == 1 && s.Y == 0:
+			c.FP++
+		case p == 0 && s.Y == 1:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Total returns the number of tallied samples.
+func (c Confusion) Total() int { return c.TP + c.FP + c.FN + c.TN }
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// Precision returns TP/(TP+FP) (0 when undefined).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), the fear-detection sensitivity.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Specificity returns TN/(TN+FP).
+func (c Confusion) Specificity() float64 {
+	if c.TN+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TN) / float64(c.TN+c.FP)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// BalancedAccuracy returns the mean of recall and specificity — the metric
+// of choice when fear episodes are rare in deployment.
+func (c Confusion) BalancedAccuracy() float64 {
+	return (c.Recall() + c.Specificity()) / 2
+}
+
+// MCC returns the Matthews correlation coefficient (0 when undefined).
+func (c Confusion) MCC() float64 {
+	tp, fp, fn, tn := float64(c.TP), float64(c.FP), float64(c.FN), float64(c.TN)
+	den := (tp + fp) * (tp + fn) * (tn + fp) * (tn + fn)
+	if den == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / math.Sqrt(den)
+}
+
+// Add accumulates another confusion matrix into c.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+	c.TN += o.TN
+}
+
+// String renders the matrix and derived rates.
+func (c Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "            pred fear  pred non-fear\n")
+	fmt.Fprintf(&b, "fear        %9d  %13d\n", c.TP, c.FN)
+	fmt.Fprintf(&b, "non-fear    %9d  %13d\n", c.FP, c.TN)
+	fmt.Fprintf(&b, "acc %.3f  prec %.3f  rec %.3f  spec %.3f  f1 %.3f  bacc %.3f  mcc %.3f",
+		c.Accuracy(), c.Precision(), c.Recall(), c.Specificity(), c.F1(), c.BalancedAccuracy(), c.MCC())
+	return b.String()
+}

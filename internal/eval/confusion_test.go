@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionKnownValues(t *testing.T) {
+	c := Confusion{TP: 40, FP: 10, FN: 20, TN: 30}
+	if c.Total() != 100 {
+		t.Errorf("total %d", c.Total())
+	}
+	if got := c.Accuracy(); got != 0.7 {
+		t.Errorf("accuracy %g", got)
+	}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("precision %g", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall %g", got)
+	}
+	if got := c.Specificity(); got != 0.75 {
+		t.Errorf("specificity %g", got)
+	}
+	wantF1 := 2 * 0.8 * (2.0 / 3) / (0.8 + 2.0/3)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("f1 %g want %g", got, wantF1)
+	}
+	if got := c.BalancedAccuracy(); math.Abs(got-(2.0/3+0.75)/2) > 1e-12 {
+		t.Errorf("bacc %g", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 ||
+		c.Specificity() != 0 || c.F1() != 0 || c.MCC() != 0 {
+		t.Error("empty confusion must yield zeros")
+	}
+}
+
+func TestConfusionMCCRange(t *testing.T) {
+	perfect := Confusion{TP: 50, TN: 50}
+	if math.Abs(perfect.MCC()-1) > 1e-12 {
+		t.Errorf("perfect MCC %g", perfect.MCC())
+	}
+	inverted := Confusion{FP: 50, FN: 50}
+	if math.Abs(inverted.MCC()+1) > 1e-12 {
+		t.Errorf("inverted MCC %g", inverted.MCC())
+	}
+}
+
+func TestConfusionAddAndString(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	b := Confusion{TP: 10, FP: 20, FN: 30, TN: 40}
+	a.Add(b)
+	if a.TP != 11 || a.TN != 44 {
+		t.Errorf("%+v", a)
+	}
+	s := a.String()
+	if !strings.Contains(s, "pred fear") || !strings.Contains(s, "mcc") {
+		t.Errorf("String missing fields: %q", s)
+	}
+}
+
+// Property: confusion-derived accuracy/F1 agree with BinaryMetrics on the
+// same predictions.
+func TestQuickConfusionMatchesBinaryMetrics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newRand(seed)
+		n := 2 + rng.Intn(60)
+		yTrue := make([]int, n)
+		yPred := make([]int, n)
+		for i := range yTrue {
+			yTrue[i] = rng.Intn(2)
+			yPred[i] = rng.Intn(2)
+		}
+		var c Confusion
+		for i := range yTrue {
+			switch {
+			case yPred[i] == 1 && yTrue[i] == 1:
+				c.TP++
+			case yPred[i] == 1 && yTrue[i] == 0:
+				c.FP++
+			case yPred[i] == 0 && yTrue[i] == 1:
+				c.FN++
+			default:
+				c.TN++
+			}
+		}
+		m, err := BinaryMetrics(yTrue, yPred)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Accuracy-c.Accuracy()) < 1e-12 &&
+			math.Abs(m.F1-c.F1()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

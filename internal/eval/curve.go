@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/wemac"
+)
+
+// CurvePoint is one point of a cluster-size learning curve.
+type CurvePoint struct {
+	// TrainUsers is the number of users the model was trained on.
+	TrainUsers int
+	Agg        Agg
+}
+
+// RunLearningCurve measures how intra-cluster accuracy grows with the
+// number of users available to a cluster model — the effect behind the
+// paper's unequal 17/13/7/7 clusters (larger clusters give their members
+// better models). Users should share one archetype/cluster; for each n in
+// sizes, nRepeats random n-user subsets are trained and evaluated on a
+// held-out member (LOSO-style).
+func RunLearningCurve(users []*wemac.UserMaps, cfg core.Config, sizes []int, nRepeats int, seed int64) ([]CurvePoint, error) {
+	cfg = cfg.WithDefaults()
+	if len(users) < 3 {
+		return nil, fmt.Errorf("eval: learning curve needs ≥3 users, got %d", len(users))
+	}
+	if nRepeats < 1 {
+		nRepeats = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []CurvePoint
+	for _, n := range sizes {
+		if n < 2 || n >= len(users) {
+			return nil, fmt.Errorf("eval: curve size %d invalid for %d users", n, len(users))
+		}
+		var folds []Metrics
+		for r := 0; r < nRepeats; r++ {
+			perm := rng.Perm(len(users))
+			test := users[perm[0]]
+			var train []*wemac.UserMaps
+			for _, i := range perm[1 : n+1] {
+				train = append(train, users[i])
+			}
+			m, norm, err := trainOne(train, cfg, seed*607+int64(n)*31+int64(r))
+			if err != nil {
+				return nil, err
+			}
+			met, err := EvaluateModel(m, norm.samples(test))
+			if err != nil {
+				return nil, err
+			}
+			folds = append(folds, met)
+		}
+		out = append(out, CurvePoint{TrainUsers: n, Agg: Aggregate(folds)})
+	}
+	return out, nil
+}

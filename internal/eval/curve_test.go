@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/wemac"
+)
+
+// usersOfArchetype filters a population by ground-truth archetype.
+func usersOfArchetype(users []*wemac.UserMaps, arch int) []*wemac.UserMaps {
+	var out []*wemac.UserMaps
+	for _, u := range users {
+		if u.Archetype == arch {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func TestRunLearningCurveErrors(t *testing.T) {
+	users, cfg := integSetup(t)
+	if _, err := RunLearningCurve(users[:2], cfg, []int{2}, 1, 1); err == nil {
+		t.Error("want error for too few users")
+	}
+	if _, err := RunLearningCurve(users, cfg, []int{1}, 1, 1); err == nil {
+		t.Error("want error for size 1")
+	}
+	if _, err := RunLearningCurve(users, cfg, []int{len(users)}, 1, 1); err == nil {
+		t.Error("want error for size ≥ population")
+	}
+}
+
+func TestRunLearningCurveGrows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	users, cfg := integSetup(t)
+	pureUsers := usersOfArchetype(users, 0)
+	if len(pureUsers) < 4 {
+		t.Skip("not enough archetype-0 users in the fixture")
+	}
+	curve, err := RunLearningCurve(pureUsers, cfg, []int{2, len(pureUsers) - 1}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	if curve[0].Agg.Folds != 3 || curve[1].Agg.Folds != 3 {
+		t.Errorf("fold counts %d/%d, want 3", curve[0].Agg.Folds, curve[1].Agg.Folds)
+	}
+	// More users should not hurt badly (soft check: within 15 points or
+	// improving — tiny fixtures are noisy).
+	if curve[1].Agg.MeanAcc < curve[0].Agg.MeanAcc-15 {
+		t.Errorf("accuracy collapsed with more users: %.1f → %.1f",
+			curve[0].Agg.MeanAcc, curve[1].Agg.MeanAcc)
+	}
+}

@@ -1,0 +1,125 @@
+// Package eval implements the paper's evaluation protocol: binary
+// accuracy/F1 metrics with per-fold standard deviations, Leave-One-Subject-
+// Out (LOSO) drivers for every Table I scenario (General model, CL
+// validation, RT CL, CLEAR w/o FT, RT CLEAR, CLEAR w FT) and the Table II
+// cloud-edge deployment experiments.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Metrics holds binary classification quality for one evaluation.
+type Metrics struct {
+	Accuracy float64
+	F1       float64 // F1 of the positive (fear) class
+	N        int     // number of evaluated samples
+}
+
+// BinaryMetrics computes accuracy and positive-class F1. Slices must be the
+// same length; label 1 is the positive class.
+func BinaryMetrics(yTrue, yPred []int) (Metrics, error) {
+	if len(yTrue) != len(yPred) {
+		return Metrics{}, fmt.Errorf("eval: %d labels vs %d predictions", len(yTrue), len(yPred))
+	}
+	if len(yTrue) == 0 {
+		return Metrics{}, fmt.Errorf("eval: empty evaluation")
+	}
+	var tp, fp, fn, correct int
+	for i, y := range yTrue {
+		p := yPred[i]
+		if p == y {
+			correct++
+		}
+		switch {
+		case p == 1 && y == 1:
+			tp++
+		case p == 1 && y == 0:
+			fp++
+		case p == 0 && y == 1:
+			fn++
+		}
+	}
+	m := Metrics{Accuracy: float64(correct) / float64(len(yTrue)), N: len(yTrue)}
+	if 2*tp+fp+fn > 0 {
+		m.F1 = 2 * float64(tp) / float64(2*tp+fp+fn)
+	}
+	return m, nil
+}
+
+// EvaluateModel runs the model over data and computes metrics.
+func EvaluateModel(m *nn.Model, data []nn.Sample) (Metrics, error) {
+	if len(data) == 0 {
+		return Metrics{}, fmt.Errorf("eval: no data")
+	}
+	yTrue := make([]int, len(data))
+	yPred := make([]int, len(data))
+	for i, s := range data {
+		yTrue[i] = s.Y
+		yPred[i] = m.Predict(s.X)
+	}
+	return BinaryMetrics(yTrue, yPred)
+}
+
+// Agg is a cross-fold aggregate: mean ± std of accuracy and F1, as the
+// paper's tables report (percentages).
+type Agg struct {
+	MeanAcc float64
+	StdAcc  float64
+	MeanF1  float64
+	StdF1   float64
+	Folds   int
+}
+
+// Aggregate combines per-fold metrics. Values are scaled to percent.
+func Aggregate(ms []Metrics) Agg {
+	if len(ms) == 0 {
+		return Agg{}
+	}
+	var acc, f1 []float64
+	for _, m := range ms {
+		acc = append(acc, m.Accuracy*100)
+		f1 = append(f1, m.F1*100)
+	}
+	return Agg{
+		MeanAcc: mean(acc), StdAcc: std(acc),
+		MeanF1: mean(f1), StdF1: std(f1),
+		Folds: len(ms),
+	}
+}
+
+// String renders the aggregate like a Table I row.
+func (a Agg) String() string {
+	return fmt.Sprintf("acc %.2f±%.2f  f1 %.2f±%.2f  (%d folds)",
+		a.MeanAcc, a.StdAcc, a.MeanF1, a.StdF1, a.Folds)
+}
+
+func mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+func std(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := mean(x)
+	ss := 0.0
+	for _, v := range x {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}
+
+// newRand builds a deterministic RNG (test helper shared across files).
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

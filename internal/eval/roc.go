@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// ROCPoint is one operating point of a classifier's ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // sensitivity at this threshold
+	FPR       float64 // 1 − specificity
+}
+
+// ROC computes the ROC curve of fear-probability scores against binary
+// labels (1 = fear). Points are ordered from the strictest threshold to the
+// laxest, so the curve runs from (0,0) to (1,1).
+func ROC(scores []float64, labels []int) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: %d scores vs %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("eval: empty ROC input")
+	}
+	pos, neg := 0, 0
+	for _, y := range labels {
+		if y == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("eval: ROC needs both classes (pos=%d neg=%d)", pos, neg)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var out []ROCPoint
+	tp, fp := 0, 0
+	out = append(out, ROCPoint{Threshold: scores[idx[0]] + 1, TPR: 0, FPR: 0})
+	i := 0
+	for i < len(idx) {
+		// Process ties together so the curve is well-defined.
+		thr := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == thr {
+			if labels[idx[i]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, ROCPoint{
+			Threshold: thr,
+			TPR:       float64(tp) / float64(pos),
+			FPR:       float64(fp) / float64(neg),
+		})
+	}
+	return out, nil
+}
+
+// AUC integrates a ROC curve with the trapezoid rule.
+func AUC(curve []ROCPoint) float64 {
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// ModelAUC scores every sample with the model's fear probability and
+// returns the ROC AUC.
+func ModelAUC(m *nn.Model, data []nn.Sample) (float64, error) {
+	scores := make([]float64, len(data))
+	labels := make([]int, len(data))
+	for i, s := range data {
+		p := m.Probabilities(s.X)
+		if len(p) > 1 {
+			scores[i] = p[1]
+		}
+		labels[i] = s.Y
+	}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	return AUC(curve), nil
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2, 0.1}
+	labels := []int{1, 1, 1, 0, 0}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("perfect AUC %g", auc)
+	}
+	// Curve ends at (1,1).
+	last := curve[len(curve)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("curve end %+v", last)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []int{1, 1, 0, 0}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); math.Abs(auc) > 1e-12 {
+		t.Errorf("inverted AUC %g, want 0", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	rng := newRand(7)
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("random AUC %g, want ≈0.5", auc)
+	}
+}
+
+func TestROCTiesHandled(t *testing.T) {
+	// All scores identical: a single diagonal step; AUC must be 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, 0, 1, 0}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC %g", auc)
+	}
+	if len(curve) != 2 {
+		t.Errorf("tied curve has %d points, want 2", len(curve))
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []int{1, 0}); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	if _, err := ROC(nil, nil); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := ROC([]float64{0.5, 0.6}, []int{1, 1}); err == nil {
+		t.Error("want error for single-class labels")
+	}
+}
+
+// Property: AUC is invariant under any strictly monotone transform of the
+// scores, and lies in [0, 1].
+func TestQuickAUCMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newRand(seed)
+		n := 4 + rng.Intn(60)
+		scores := make([]float64, n)
+		trans := make([]float64, n)
+		labels := make([]int, n)
+		hasPos, hasNeg := false, false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			trans[i] = math.Exp(scores[i]) // strictly monotone
+			labels[i] = rng.Intn(2)
+			if labels[i] == 1 {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		c1, err1 := ROC(scores, labels)
+		c2, err2 := ROC(trans, labels)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		a1, a2 := AUC(c1), AUC(c2)
+		if a1 < -1e-12 || a1 > 1+1e-12 {
+			return false
+		}
+		return math.Abs(a1-a2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

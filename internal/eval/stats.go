@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a two-sided confidence interval for the mean of
+// per-fold values by nonparametric bootstrap. level is e.g. 0.95;
+// resamples is typically 1000–10000.
+func BootstrapCI(values []float64, level float64, resamples int, seed int64) (lo, hi float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	if len(values) == 1 {
+		return values[0], values[0]
+	}
+	if resamples < 100 {
+		resamples = 100
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for r := range means {
+		s := 0.0
+		for i := 0; i < len(values); i++ {
+			s += values[rng.Intn(len(values))]
+		}
+		means[r] = s / float64(len(values))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return means[loIdx], means[hiIdx]
+}
+
+// PairedPermutationTest returns the two-sided p-value for the hypothesis
+// that paired per-fold samples a and b share a mean, by sign-flipping the
+// per-fold differences. This is the right test for comparing two Table I
+// rows that were evaluated on the same LOSO folds (e.g. CLEAR w FT vs
+// w/o FT).
+func PairedPermutationTest(a, b []float64, permutations int, seed int64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 1
+	}
+	if permutations < 100 {
+		permutations = 100
+	}
+	diffs := make([]float64, n)
+	obs := 0.0
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+		obs += diffs[i]
+	}
+	obs = math.Abs(obs / float64(n))
+	rng := rand.New(rand.NewSource(seed))
+	extreme := 0
+	for p := 0; p < permutations; p++ {
+		s := 0.0
+		for _, d := range diffs {
+			if rng.Intn(2) == 0 {
+				s += d
+			} else {
+				s -= d
+			}
+		}
+		if math.Abs(s/float64(n)) >= obs-1e-15 {
+			extreme++
+		}
+	}
+	return float64(extreme+1) / float64(permutations+1)
+}
+
+// FoldAccuracies extracts the per-fold accuracy values (in percent) from a
+// metrics slice, for use with the statistics helpers above.
+func FoldAccuracies(ms []Metrics) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = m.Accuracy * 100
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 40)
+	for i := range values {
+		values[i] = 80 + rng.NormFloat64()*4
+	}
+	lo, hi := BootstrapCI(values, 0.95, 2000, 1)
+	if !(lo < 80.5 && hi > 79.5) {
+		t.Errorf("CI [%.2f, %.2f] implausible for mean≈80", lo, hi)
+	}
+	if hi-lo <= 0 {
+		t.Errorf("empty interval [%.2f, %.2f]", lo, hi)
+	}
+	if hi-lo > 6 {
+		t.Errorf("interval [%.2f, %.2f] too wide for n=40, σ=4", lo, hi)
+	}
+}
+
+func TestBootstrapCIEdgeCases(t *testing.T) {
+	if lo, hi := BootstrapCI(nil, 0.95, 100, 1); lo != 0 || hi != 0 {
+		t.Error("empty input should give zero interval")
+	}
+	if lo, hi := BootstrapCI([]float64{42}, 0.95, 100, 1); lo != 42 || hi != 42 {
+		t.Error("single value should give point interval")
+	}
+	// Bad level falls back to 0.95 without panicking.
+	lo, hi := BootstrapCI([]float64{1, 2, 3}, 2.0, 100, 1)
+	if lo > hi {
+		t.Error("inverted interval")
+	}
+}
+
+func TestBootstrapCIWidthShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	small := make([]float64, 10)
+	large := make([]float64, 200)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	lo1, hi1 := BootstrapCI(small, 0.95, 2000, 3)
+	lo2, hi2 := BootstrapCI(large, 0.95, 2000, 3)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("larger sample CI (%.3f) should be narrower than smaller (%.3f)",
+			hi2-lo2, hi1-lo1)
+	}
+}
+
+func TestPairedPermutationDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 30
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := 75 + rng.NormFloat64()*5
+		a[i] = base + 6 // consistent +6 point improvement
+		b[i] = base
+	}
+	p := PairedPermutationTest(a, b, 2000, 4)
+	if p > 0.01 {
+		t.Errorf("p = %.4f for a consistent 6-point effect, want <0.01", p)
+	}
+}
+
+func TestPairedPermutationNullIsUniformish(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	p := PairedPermutationTest(a, b, 2000, 5)
+	if p < 0.001 {
+		t.Errorf("p = %.4f under the null, suspiciously small", p)
+	}
+}
+
+func TestPairedPermutationEdgeCases(t *testing.T) {
+	if p := PairedPermutationTest(nil, nil, 100, 1); p != 1 {
+		t.Errorf("empty input p = %g, want 1", p)
+	}
+	if p := PairedPermutationTest([]float64{1}, []float64{1, 2}, 100, 1); p != 1 {
+		t.Errorf("mismatched input p = %g, want 1", p)
+	}
+}
+
+func TestFoldAccuracies(t *testing.T) {
+	ms := []Metrics{{Accuracy: 0.5}, {Accuracy: 0.75}}
+	accs := FoldAccuracies(ms)
+	if len(accs) != 2 || accs[0] != 50 || accs[1] != 75 {
+		t.Errorf("%v", accs)
+	}
+}

@@ -1,0 +1,206 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/wemac"
+)
+
+// trainOne fits a fresh classifier on the pooled samples of the given
+// users, normalising with their statistics only (LOSO hygiene).
+func trainOne(users []*wemac.UserMaps, cfg core.Config, seed int64) (*nn.Model, *pipelineNorm, error) {
+	norm := fitNorm(users, cfg)
+	var data []nn.Sample
+	for _, u := range users {
+		data = append(data, norm.samples(u)...)
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("eval: no training data")
+	}
+	mcfg := cfg.Model
+	mcfg.Seed = seed
+	m := nn.NewModel(mcfg)
+	tcfg := cfg.Train
+	tcfg.Seed = seed
+	if _, err := nn.Train(m, data, tcfg); err != nil {
+		return nil, nil, err
+	}
+	return m, norm, nil
+}
+
+// RunGeneralModel reproduces the paper's "General Model" row: groupSize
+// users are drawn at random (11 in the paper, matching the mean cluster
+// size), a single population model is LOSO-trained within the group without
+// any clustering, and per-fold metrics are aggregated.
+func RunGeneralModel(users []*wemac.UserMaps, cfg core.Config, groupSize int, seed int64) (Agg, error) {
+	cfg = cfg.WithDefaults()
+	if groupSize < 2 || groupSize > len(users) {
+		return Agg{}, fmt.Errorf("eval: group size %d invalid for %d users", groupSize, len(users))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(users))
+	group := make([]*wemac.UserMaps, groupSize)
+	for i := 0; i < groupSize; i++ {
+		group[i] = users[perm[i]]
+	}
+	var folds []Metrics
+	for i := range group {
+		train := withoutIndex(group, i)
+		m, norm, err := trainOne(train, cfg, seed*101+int64(i))
+		if err != nil {
+			return Agg{}, err
+		}
+		met, err := EvaluateModel(m, norm.samples(group[i]))
+		if err != nil {
+			return Agg{}, err
+		}
+		folds = append(folds, met)
+	}
+	return Aggregate(folds), nil
+}
+
+// CLResult carries both halves of the paper's CL validation block.
+type CLResult struct {
+	// CL is intra-cluster LOSO performance ("CL validation").
+	CL Agg
+	// RT is the robustness test: each fold's model evaluated on the users
+	// of *other* clusters ("RT CL").
+	RT Agg
+	// Sizes are the global-clustering cluster sizes.
+	Sizes []int
+	// PerCluster breaks the CL row down by cluster (index-aligned with
+	// Sizes; clusters with fewer than two members have zero folds).
+	PerCluster []Agg
+}
+
+// RunCL reproduces the "Clustering and Learning validation" block: global
+// clustering over the whole population, intra-cluster LOSO for each
+// cluster, and the RT cross-cluster evaluation.
+func RunCL(users []*wemac.UserMaps, cfg core.Config) (CLResult, error) {
+	cfg = cfg.WithDefaults()
+	assign, _, err := clusterUsers(users, cfg)
+	if err != nil {
+		return CLResult{}, err
+	}
+	sizes := make([]int, cfg.K)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	var clFolds, rtFolds []Metrics
+	perCluster := make([]Agg, cfg.K)
+	for k := 0; k < cfg.K; k++ {
+		var members []int
+		for i, c := range assign {
+			if c == k {
+				members = append(members, i)
+			}
+		}
+		if len(members) < 2 {
+			continue // intra-cluster LOSO needs at least 2 members
+		}
+		var kFolds []Metrics
+		for fi, testIdx := range members {
+			var train []*wemac.UserMaps
+			for _, mi := range members {
+				if mi != testIdx {
+					train = append(train, users[mi])
+				}
+			}
+			m, norm, err := trainOne(train, cfg, cfg.Seed*307+int64(k)*41+int64(fi))
+			if err != nil {
+				return CLResult{}, err
+			}
+			met, err := EvaluateModel(m, norm.samples(users[testIdx]))
+			if err != nil {
+				return CLResult{}, err
+			}
+			clFolds = append(clFolds, met)
+			kFolds = append(kFolds, met)
+
+			// RT: the same fold model on every user outside cluster k.
+			var outData []nn.Sample
+			for i, c := range assign {
+				if c != k {
+					outData = append(outData, norm.samples(users[i])...)
+				}
+			}
+			if len(outData) > 0 {
+				rtMet, err := EvaluateModel(m, outData)
+				if err != nil {
+					return CLResult{}, err
+				}
+				rtFolds = append(rtFolds, rtMet)
+			}
+		}
+		perCluster[k] = Aggregate(kFolds)
+	}
+	return CLResult{CL: Aggregate(clFolds), RT: Aggregate(rtFolds), Sizes: sizes, PerCluster: perCluster}, nil
+}
+
+// clusterUsers runs the pipeline's global clustering step alone (summaries
+// → standardise → k-means++ → refine) and returns assignments and the
+// standardizer.
+func clusterUsers(users []*wemac.UserMaps, cfg core.Config) ([]int, *cluster.Standardizer, error) {
+	summaries := make([][]float64, len(users))
+	for i, u := range users {
+		summaries[i] = u.Summary(1.0)
+	}
+	std := cluster.FitStandardizer(summaries)
+	zs := std.ApplyAll(summaries)
+	copts := cfg.Cluster
+	copts.Seed = cfg.Seed*31 + 7
+	top, err := cluster.KMeans(zs, cfg.K, copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	top = cluster.Refine(zs, top, cfg.RefineRounds, cfg.RefineSampleFrac, cfg.Seed*31+11)
+	return top.Assign, std, nil
+}
+
+func withoutIndex(users []*wemac.UserMaps, i int) []*wemac.UserMaps {
+	out := make([]*wemac.UserMaps, 0, len(users)-1)
+	out = append(out, users[:i]...)
+	return append(out, users[i+1:]...)
+}
+
+// pipelineNorm is a feature transform bound to a training population:
+// optional stimulus-locked baseline correction followed by z-scoring with
+// the training users' statistics.
+type pipelineNorm struct {
+	n       *features.Normalizer
+	correct bool
+}
+
+// fitNorm fits feature normalisation on the given users' maps only, in the
+// representation the classifier will consume.
+func fitNorm(users []*wemac.UserMaps, cfg core.Config) *pipelineNorm {
+	correct := !cfg.DisableBaselineCorrect
+	var maps []*tensor.Tensor
+	for _, u := range users {
+		for _, m := range u.AllMaps() {
+			if correct {
+				m = features.BaselineCorrect(m)
+			}
+			maps = append(maps, m)
+		}
+	}
+	return &pipelineNorm{n: features.FitNormalizer(maps), correct: correct}
+}
+
+func (p *pipelineNorm) samples(u *wemac.UserMaps) []nn.Sample {
+	out := make([]nn.Sample, len(u.Maps))
+	for i, lm := range u.Maps {
+		m := lm.Map
+		if p.correct {
+			m = features.BaselineCorrect(m)
+		}
+		out[i] = nn.Sample{X: p.n.Apply(m), Y: int(lm.Label)}
+	}
+	return out
+}

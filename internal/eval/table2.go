@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"repro/internal/edge"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// calibrationSet builds the post-training quantisation calibration inputs
+// for one fold: feature maps from the fold's *training* users (the held-out
+// volunteer's data must not inform the conversion), in the classifier input
+// representation.
+func calibrationSet(run *LOSORun, fold LOSOFold, n int) []*tensor.Tensor {
+	p := fold.Pipeline
+	var out []*tensor.Tensor
+	for i, u := range run.Users {
+		if i == fold.UserIdx {
+			continue
+		}
+		for _, s := range p.SamplesFor(u) {
+			out = append(out, s.X)
+			if len(out) >= n {
+				return out
+			}
+			break // one map per user spreads coverage across users
+		}
+	}
+	return out
+}
+
+// DeviceResult is one platform's block of Table II.
+type DeviceResult struct {
+	Device string
+	// NoFT is the deployed (device-precision) accuracy of the assigned
+	// cluster checkpoint without fine-tuning (Table II upper).
+	NoFT Agg
+	// RT is the robustness test at device precision: the other clusters'
+	// models on the held-out volunteer.
+	RT Agg
+	// FT is the accuracy after on-device fine-tuning (Table II lower).
+	FT Agg
+	// Cost is the simulated MTC/MPC block.
+	Cost edge.CostReport
+}
+
+// Table2 is the full edge validation.
+type Table2 struct {
+	Results []DeviceResult
+}
+
+// RunTable2 deploys every LOSO fold's assigned checkpoint to each device,
+// evaluates without fine-tuning, fine-tunes on-device with ftFrac of the
+// volunteer's labelled data, re-evaluates, and reports the analytic
+// time/power model. The GPU entry is the in-precision baseline.
+func RunTable2(run *LOSORun, devices []edge.Device, ftFrac float64) (*Table2, error) {
+	out := &Table2{}
+	for _, dev := range devices {
+		var noFT, rt, ft []Metrics
+		var ftSamples, ftEpochs int
+		for _, fold := range run.Folds {
+			u := run.Users[fold.UserIdx]
+			p := fold.Pipeline
+			data := p.SamplesFor(u)
+			calib := calibrationSet(run, fold, 16)
+
+			dep := edge.DeployCalibrated(p.ModelFor(fold.Assignment.Cluster), dev, calib)
+			met, err := EvaluateModel(dep.Model, data)
+			if err != nil {
+				return nil, err
+			}
+			noFT = append(noFT, met)
+
+			// RT at device precision.
+			var rts []Metrics
+			for k := range p.Models {
+				if k == fold.Assignment.Cluster {
+					continue
+				}
+				rdep := edge.DeployCalibrated(p.ModelFor(k), dev, calib)
+				rmet, err := EvaluateModel(rdep.Model, data)
+				if err != nil {
+					return nil, err
+				}
+				rts = append(rts, rmet)
+			}
+			if len(rts) > 0 {
+				rt = append(rt, meanMetrics(rts))
+			}
+
+			// On-device fine-tuning.
+			ftTrain, ftTest := SplitForFineTune(data, ftFrac)
+			if len(ftTrain) == 0 || len(ftTest) == 0 {
+				continue
+			}
+			ftCfg := run.Cfg.FineTune
+			ftCfg.Seed = run.Cfg.Seed*4007 + int64(fold.UserIdx)
+			res, err := dep.FineTune(p.AugmentFT(ftTrain), ftCfg)
+			if err != nil {
+				return nil, err
+			}
+			fmet, err := EvaluateModel(dep.Model, ftTest)
+			if err != nil {
+				return nil, err
+			}
+			ft = append(ft, fmet)
+			ftSamples = len(ftTrain)
+			ftEpochs = res.Epochs
+		}
+		inShape := []int{run.Cfg.Model.InH, run.Cfg.Model.InW}
+		var costModel *nn.Model
+		if len(run.Folds) > 0 {
+			costModel = run.Folds[0].Pipeline.ModelFor(0)
+		}
+		dr := DeviceResult{
+			Device: dev.Name,
+			NoFT:   Aggregate(noFT),
+			RT:     Aggregate(rt),
+			FT:     Aggregate(ft),
+		}
+		if costModel != nil {
+			if ftEpochs == 0 {
+				ftEpochs = run.Cfg.FineTune.Epochs
+			}
+			dr.Cost = dev.Cost(costModel, inShape, ftSamples, ftEpochs)
+		}
+		out.Results = append(out.Results, dr)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBaselineCorrectKnown(t *testing.T) {
+	m := tensor.FromSlice([]float64{
+		10, 12, 15, // row 0
+		-3, -3, -1, // row 1
+	}, 2, 3)
+	c := BaselineCorrect(m)
+	want := []float64{0, 2, 5, 0, 0, 2}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("corrected %v, want %v", c.Data, want)
+		}
+	}
+	// Input untouched.
+	if m.At(0, 0) != 10 {
+		t.Error("BaselineCorrect mutated its input")
+	}
+}
+
+func TestBaselineCorrectRemovesOffsets(t *testing.T) {
+	// Two maps that differ only by per-row offsets become identical.
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.Randn(rng, 1, 4, 6)
+	b := a.Clone()
+	for i := 0; i < 4; i++ {
+		off := rng.NormFloat64() * 10
+		for j := 0; j < 6; j++ {
+			b.Set(b.At(i, j)+off, i, j)
+		}
+	}
+	ca, cb := BaselineCorrect(a), BaselineCorrect(b)
+	for i := range ca.Data {
+		if d := ca.Data[i] - cb.Data[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatal("offset maps should correct to (numerically) identical maps")
+		}
+	}
+}
+
+func TestBaselineCorrectFirstColumnZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := tensor.Randn(rng, 1, 123, 8)
+	c := BaselineCorrect(m)
+	for i := 0; i < 123; i++ {
+		if c.At(i, 0) != 0 {
+			t.Fatalf("row %d first window %g, want 0", i, c.At(i, 0))
+		}
+	}
+}
+
+func TestBaselineCorrectIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := tensor.Randn(rng, 1, 5, 4)
+	once := BaselineCorrect(m)
+	twice := BaselineCorrect(once)
+	for i := range once.Data {
+		if once.Data[i] != twice.Data[i] {
+			t.Fatal("BaselineCorrect must be idempotent")
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package features
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// BVPFeatureCount is the number of features ExtractBVP produces (84, per
+// the paper's feature split: 84 BVP + 34 GSR + 5 SKT = 123).
+const BVPFeatureCount = 84
+
+// bvpFeatureNames lists the BVP features in output order.
+var bvpFeatureNames = []string{
+	// --- raw-signal statistics (17) ---
+	"bvp_mean", "bvp_std", "bvp_min", "bvp_max", "bvp_range",
+	"bvp_skew", "bvp_kurt", "bvp_rms", "bvp_median", "bvp_iqr",
+	"bvp_mad", "bvp_zcr", "bvp_energy", "bvp_linelen",
+	"bvp_hjorth_activity", "bvp_hjorth_mobility", "bvp_hjorth_complexity",
+	// --- first derivative (5) ---
+	"bvp_d1_meanabs", "bvp_d1_std", "bvp_d1_max", "bvp_d1_skew", "bvp_d1_kurt",
+	// --- second derivative (3) ---
+	"bvp_d2_meanabs", "bvp_d2_std", "bvp_d2_max",
+	// --- HRV time domain (16) ---
+	"hr_mean", "hr_std", "hr_min", "hr_max",
+	"nn_mean", "nn_sdnn", "nn_rmssd", "nn_sdsd",
+	"nn_pnn20", "nn_pnn50", "nn_cv", "nn_median",
+	"nn_iqr", "nn_min", "nn_max", "nn_range",
+	// --- HRV frequency domain (9) ---
+	"hrv_vlf", "hrv_lf", "hrv_hf", "hrv_lfhf",
+	"hrv_lfnu", "hrv_hfnu", "hrv_total", "hrv_lf_peak", "hrv_hf_peak",
+	// --- Poincaré (4) ---
+	"poincare_sd1", "poincare_sd2", "poincare_ratio", "poincare_area",
+	// --- NN entropy (2) ---
+	"nn_sampen", "nn_apen",
+	// --- BVP spectrum (12) ---
+	"bvp_pow_0.5_1.5", "bvp_pow_1.5_2.5", "bvp_pow_2.5_3.5", "bvp_pow_3.5_5",
+	"bvp_rel_0.5_1.5", "bvp_rel_1.5_2.5", "bvp_rel_2.5_3.5", "bvp_rel_3.5_5",
+	"bvp_spec_entropy", "bvp_spec_peak", "bvp_spec_centroid", "bvp_spec_spread",
+	// --- pulse morphology (7) ---
+	"pulse_rate", "pulse_amp_mean", "pulse_amp_std",
+	"pulse_prom_mean", "pulse_prom_std", "pulse_crest", "pulse_rise_slope",
+	// --- autocorrelation (3) ---
+	"bvp_ac_lag1", "bvp_ac_beat", "bvp_ac_firstmin",
+	// --- percentiles + extras (6) ---
+	"bvp_p5", "bvp_p25", "bvp_p75", "bvp_p95", "bvp_sampen", "bvp_higuchi",
+}
+
+// ExtractBVP computes the 84 BVP features from one window of blood volume
+// pulse samples at sample rate fs Hz. Degenerate windows (too short, flat)
+// produce well-defined zeros rather than NaNs.
+func ExtractBVP(x []float64, fs float64) []float64 {
+	out := make([]float64, 0, BVPFeatureCount)
+	push := func(vals ...float64) {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			out = append(out, v)
+		}
+	}
+
+	// Raw-signal statistics.
+	act, mob, comp := Hjorth(x)
+	push(Mean(x), Std(x), Min(x), Max(x), Range(x),
+		Skewness(x), Kurtosis(x), RMS(x), Median(x), IQR(x),
+		MAD(x), ZeroCrossingRate(x), energy(x), LineLength(x),
+		act, mob, comp)
+
+	// Derivatives.
+	d1 := diff(x)
+	d2 := diff(d1)
+	push(meanAbs(d1), Std(d1), Max(absAll(d1)), Skewness(d1), Kurtosis(d1))
+	push(meanAbs(d2), Std(d2), Max(absAll(d2)))
+
+	// Beat detection → NN intervals (seconds). Detection runs on the
+	// cardiac band (0.7–3.5 Hz ≈ 42–210 bpm) so baseline wander, sensor
+	// noise and the dicrotic bump cannot masquerade as beats.
+	det := dsp.Detrend(x)
+	var peaks []dsp.Peak
+	if len(x) > 8 && fs > 8 {
+		beatSig := dsp.Bandpass(det, 0.7, 3.5, fs)
+		minDist := int(fs * 0.35) // refractory ≈ max 170 bpm
+		peaks = dsp.FindPeaks(beatSig, 0, 1.0*Std(beatSig), minDist)
+	}
+	nn := dsp.Intervals(peaks, fs)
+
+	// HRV time domain.
+	var hr []float64
+	for _, ibi := range nn {
+		if ibi > 0 {
+			hr = append(hr, 60/ibi)
+		}
+	}
+	push(Mean(hr), Std(hr), Min(hr), Max(hr))
+	push(Mean(nn), Std(nn), rmssd(nn), Std(diff(nn)),
+		pnnx(nn, 0.020), pnnx(nn, 0.050), cv(nn), Median(nn),
+		IQR(nn), Min(nn), Max(nn), Range(nn))
+
+	// HRV frequency domain from the resampled NN tachogram at 4 Hz.
+	vlf, lf, hf, lfhf, lfnu, hfnu, totp, lfPeak, hfPeak := hrvSpectral(nn)
+	push(vlf, lf, hf, lfhf, lfnu, hfnu, totp, lfPeak, hfPeak)
+
+	// Poincaré.
+	sd1, sd2 := Poincare(nn)
+	ratio, area := 0.0, math.Pi*sd1*sd2
+	if sd2 > 0 {
+		ratio = sd1 / sd2
+	}
+	push(sd1, sd2, ratio, area)
+
+	// NN entropy.
+	rTol := 0.2 * Std(nn)
+	push(SampleEntropy(nn, 2, rTol), ApproximateEntropy(nn, 2, rTol))
+
+	// BVP spectrum.
+	psd := dsp.Welch(det, fs, 256)
+	bands := [][2]float64{{0.5, 1.5}, {1.5, 2.5}, {2.5, 3.5}, {3.5, 5}}
+	tot := psd.BandPower(0.5, 5)
+	var abs [4]float64
+	for i, b := range bands {
+		abs[i] = psd.BandPower(b[0], b[1])
+	}
+	push(abs[0], abs[1], abs[2], abs[3])
+	for _, a := range abs {
+		if tot > 0 {
+			push(a / tot)
+		} else {
+			push(0)
+		}
+	}
+	cen, spread := spectralMoments(psd, 0.5, 5)
+	push(psd.SpectralEntropy(0.5, 5), psd.PeakFrequency(0.5, 5), cen, spread)
+
+	// Pulse morphology.
+	winSec := float64(len(x)) / fs
+	pulseRate := 0.0
+	if winSec > 0 {
+		pulseRate = float64(len(peaks)) / winSec * 60
+	}
+	var amps, proms []float64
+	for _, p := range peaks {
+		amps = append(amps, p.Height)
+		proms = append(proms, p.Prominence)
+	}
+	push(pulseRate, Mean(amps), Std(amps), Mean(proms), Std(proms),
+		CrestFactor(det), riseSlope(det, peaks))
+
+	// Autocorrelation.
+	beatLag := 0
+	if m := Mean(nn); m > 0 {
+		beatLag = int(m * fs)
+	}
+	push(Autocorrelation(det, 1), Autocorrelation(det, beatLag), firstACMinimum(det, int(fs)))
+
+	// Percentiles + complexity of the raw window (downsampled for cost).
+	small := dsp.Resample(det, 128)
+	push(Percentile(x, 5), Percentile(x, 25), Percentile(x, 75), Percentile(x, 95),
+		SampleEntropy(small, 2, 0.2*Std(small)), HiguchiFD(small, 8))
+
+	if len(out) != BVPFeatureCount {
+		panic("features: ExtractBVP produced wrong count")
+	}
+	return out
+}
+
+// BVPFeatureNames returns the BVP feature names in extraction order.
+func BVPFeatureNames() []string { return append([]string(nil), bvpFeatureNames...) }
+
+func energy(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func meanAbs(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s / float64(len(x))
+}
+
+func absAll(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Abs(v)
+	}
+	return out
+}
+
+func rmssd(nn []float64) float64 {
+	d := diff(nn)
+	if len(d) == 0 {
+		return 0
+	}
+	return RMS(d)
+}
+
+func pnnx(nn []float64, thresh float64) float64 {
+	d := diff(nn)
+	if len(d) == 0 {
+		return 0
+	}
+	count := 0
+	for _, v := range d {
+		if math.Abs(v) > thresh {
+			count++
+		}
+	}
+	return float64(count) / float64(len(d))
+}
+
+func cv(x []float64) float64 {
+	m := Mean(x)
+	if m == 0 {
+		return 0
+	}
+	return Std(x) / m
+}
+
+// hrvSpectral resamples the NN tachogram to 4 Hz and integrates the
+// conventional VLF/LF/HF bands.
+func hrvSpectral(nn []float64) (vlf, lf, hf, lfhf, lfnu, hfnu, total, lfPeak, hfPeak float64) {
+	if len(nn) < 4 {
+		return
+	}
+	const fsTach = 4.0
+	dur := 0.0
+	for _, v := range nn {
+		dur += v
+	}
+	n := int(dur * fsTach)
+	if n < 16 {
+		n = 16
+	}
+	tach := dsp.Resample(nn, n)
+	psd := dsp.Welch(dsp.Detrend(tach), fsTach, 64)
+	vlf = psd.BandPower(0.003, 0.04)
+	lf = psd.BandPower(0.04, 0.15)
+	hf = psd.BandPower(0.15, 0.4)
+	total = vlf + lf + hf
+	if hf > 0 {
+		lfhf = lf / hf
+	}
+	if lf+hf > 0 {
+		lfnu = lf / (lf + hf)
+		hfnu = hf / (lf + hf)
+	}
+	lfPeak = psd.PeakFrequency(0.04, 0.15)
+	hfPeak = psd.PeakFrequency(0.15, 0.4)
+	return
+}
+
+// spectralMoments returns the spectral centroid and spread within [lo, hi].
+func spectralMoments(psd dsp.PSD, lo, hi float64) (centroid, spread float64) {
+	var wsum, psum float64
+	for i, f := range psd.Freqs {
+		if f < lo || f > hi {
+			continue
+		}
+		wsum += f * psd.Power[i]
+		psum += psd.Power[i]
+	}
+	if psum == 0 {
+		return 0, 0
+	}
+	centroid = wsum / psum
+	var vsum float64
+	for i, f := range psd.Freqs {
+		if f < lo || f > hi {
+			continue
+		}
+		vsum += (f - centroid) * (f - centroid) * psd.Power[i]
+	}
+	spread = math.Sqrt(vsum / psum)
+	return centroid, spread
+}
+
+// riseSlope returns the mean upward slope into detected peaks over a short
+// pre-peak horizon.
+func riseSlope(x []float64, peaks []dsp.Peak) float64 {
+	if len(peaks) == 0 {
+		return 0
+	}
+	const horizon = 5
+	s := 0.0
+	n := 0
+	for _, p := range peaks {
+		j := p.Index - horizon
+		if j < 0 {
+			continue
+		}
+		s += (x[p.Index] - x[j]) / horizon
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// firstACMinimum returns the lag (in samples, as float) of the first local
+// minimum of the autocorrelation within maxLag, or 0 if none.
+func firstACMinimum(x []float64, maxLag int) float64 {
+	if maxLag > len(x)-1 {
+		maxLag = len(x) - 1
+	}
+	prev := Autocorrelation(x, 0)
+	for lag := 1; lag <= maxLag; lag++ {
+		cur := Autocorrelation(x, lag)
+		if cur > prev {
+			return float64(lag - 1)
+		}
+		prev = cur
+	}
+	return 0
+}

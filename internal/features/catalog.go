@@ -1,0 +1,179 @@
+package features
+
+import "strings"
+
+// Modality identifies the sensor a feature derives from.
+type Modality string
+
+// Modalities.
+const (
+	ModalityBVP Modality = "BVP"
+	ModalityGSR Modality = "GSR"
+	ModalitySKT Modality = "SKT"
+)
+
+// Domain classifies how a feature is computed, following the paper's
+// "time domain, frequency domain and non-linear" taxonomy plus the
+// morphology group beat/SCR detection enables.
+type Domain string
+
+// Domains.
+const (
+	DomainTime       Domain = "time"
+	DomainFrequency  Domain = "frequency"
+	DomainNonlinear  Domain = "non-linear"
+	DomainMorphology Domain = "morphology"
+)
+
+// FeatureInfo documents one of the 123 extracted features.
+type FeatureInfo struct {
+	// Index is the feature-map row.
+	Index int
+	// Name matches FeatureNames()[Index].
+	Name     string
+	Modality Modality
+	Domain   Domain
+	// Description states what the feature measures.
+	Description string
+}
+
+// Catalog returns documentation for all 123 features in extraction order.
+// The catalog is generated from the name lists, so it can never drift out
+// of sync with the extractor; descriptions come from the table below.
+func Catalog() []FeatureInfo {
+	names := FeatureNames()
+	out := make([]FeatureInfo, len(names))
+	for i, n := range names {
+		info := FeatureInfo{Index: i, Name: n}
+		switch {
+		case i < BVPFeatureCount:
+			info.Modality = ModalityBVP
+		case i < BVPFeatureCount+GSRFeatureCount:
+			info.Modality = ModalityGSR
+		default:
+			info.Modality = ModalitySKT
+		}
+		info.Domain = domainOf(n)
+		info.Description = describe(n)
+		out[i] = info
+	}
+	return out
+}
+
+// domainOf classifies a feature name into its computation domain.
+func domainOf(name string) Domain {
+	switch {
+	case strings.Contains(name, "sampen"), strings.Contains(name, "apen"),
+		strings.Contains(name, "higuchi"), strings.HasPrefix(name, "poincare"),
+		strings.Contains(name, "hjorth"):
+		return DomainNonlinear
+	case strings.Contains(name, "pow"), strings.Contains(name, "spec"),
+		strings.Contains(name, "rel_"), strings.HasPrefix(name, "hrv_"):
+		return DomainFrequency
+	case strings.HasPrefix(name, "pulse_"), strings.HasPrefix(name, "scr_"):
+		return DomainMorphology
+	default:
+		return DomainTime
+	}
+}
+
+// descriptions holds human explanations for feature name stems.
+var descriptions = map[string]string{
+	"bvp_mean": "mean of the blood volume pulse signal",
+	"bvp_std":  "standard deviation of the BVP signal",
+	"bvp_min":  "minimum BVP sample", "bvp_max": "maximum BVP sample",
+	"bvp_range":  "peak-to-peak BVP range",
+	"bvp_skew":   "skewness of the BVP amplitude distribution",
+	"bvp_kurt":   "excess kurtosis of the BVP amplitude distribution",
+	"bvp_rms":    "root mean square of the BVP signal",
+	"bvp_median": "median BVP sample", "bvp_iqr": "interquartile range of BVP",
+	"bvp_mad":    "median absolute deviation of BVP",
+	"bvp_zcr":    "zero-crossing rate of the mean-removed BVP",
+	"bvp_energy": "total signal energy", "bvp_linelen": "mean absolute successive difference",
+	"bvp_hjorth_activity":   "Hjorth activity (variance)",
+	"bvp_hjorth_mobility":   "Hjorth mobility (dominant-frequency proxy)",
+	"bvp_hjorth_complexity": "Hjorth complexity (bandwidth proxy)",
+	"bvp_d1_meanabs":        "mean |first derivative|", "bvp_d1_std": "std of first derivative",
+	"bvp_d1_max": "max |first derivative|", "bvp_d1_skew": "skewness of first derivative",
+	"bvp_d1_kurt":    "kurtosis of first derivative",
+	"bvp_d2_meanabs": "mean |second derivative|", "bvp_d2_std": "std of second derivative",
+	"bvp_d2_max": "max |second derivative|",
+	"hr_mean":    "mean heart rate from detected beats (bpm)",
+	"hr_std":     "heart-rate variability across beats (bpm)",
+	"hr_min":     "minimum instantaneous heart rate", "hr_max": "maximum instantaneous heart rate",
+	"nn_mean": "mean inter-beat (NN) interval", "nn_sdnn": "SDNN: std of NN intervals",
+	"nn_rmssd":  "RMSSD: RMS of successive NN differences",
+	"nn_sdsd":   "SDSD: std of successive NN differences",
+	"nn_pnn20":  "fraction of successive NN differences > 20 ms",
+	"nn_pnn50":  "fraction of successive NN differences > 50 ms",
+	"nn_cv":     "coefficient of variation of NN intervals",
+	"nn_median": "median NN interval", "nn_iqr": "IQR of NN intervals",
+	"nn_min": "shortest NN interval", "nn_max": "longest NN interval",
+	"nn_range": "NN interval range",
+	"hrv_vlf":  "very-low-frequency HRV power (0.003–0.04 Hz)",
+	"hrv_lf":   "low-frequency HRV power (0.04–0.15 Hz)",
+	"hrv_hf":   "high-frequency HRV power (0.15–0.4 Hz)",
+	"hrv_lfhf": "sympathovagal balance LF/HF",
+	"hrv_lfnu": "normalised LF power", "hrv_hfnu": "normalised HF power",
+	"hrv_total":   "total HRV spectral power",
+	"hrv_lf_peak": "peak frequency in the LF band", "hrv_hf_peak": "peak frequency in the HF band",
+	"poincare_sd1":   "Poincaré SD1 (short-term HRV)",
+	"poincare_sd2":   "Poincaré SD2 (long-term HRV)",
+	"poincare_ratio": "SD1/SD2 ratio", "poincare_area": "Poincaré ellipse area",
+	"nn_sampen": "sample entropy of NN intervals", "nn_apen": "approximate entropy of NN intervals",
+	"bvp_spec_entropy":  "spectral entropy of the cardiac band",
+	"bvp_spec_peak":     "dominant frequency of the cardiac band",
+	"bvp_spec_centroid": "spectral centroid", "bvp_spec_spread": "spectral spread",
+	"pulse_rate":     "detected pulse rate (per minute)",
+	"pulse_amp_mean": "mean systolic peak amplitude", "pulse_amp_std": "std of peak amplitudes",
+	"pulse_prom_mean": "mean peak prominence", "pulse_prom_std": "std of peak prominences",
+	"pulse_crest":      "crest factor of the pulse waveform",
+	"pulse_rise_slope": "mean upstroke slope into systolic peaks",
+	"bvp_ac_lag1":      "autocorrelation at lag 1",
+	"bvp_ac_beat":      "autocorrelation at one beat period",
+	"bvp_ac_firstmin":  "lag of the first autocorrelation minimum",
+	"bvp_p5":           "5th percentile", "bvp_p25": "25th percentile",
+	"bvp_p75": "75th percentile", "bvp_p95": "95th percentile",
+	"bvp_sampen":     "sample entropy of the BVP waveform",
+	"bvp_higuchi":    "Higuchi fractal dimension of the BVP waveform",
+	"gsr_tonic_mean": "mean tonic skin conductance level",
+	"gsr_tonic_std":  "std of the tonic level", "gsr_tonic_min": "minimum tonic level",
+	"gsr_tonic_max": "maximum tonic level", "gsr_tonic_range": "tonic level range",
+	"gsr_tonic_slope": "tonic drift per second", "gsr_tonic_median": "median tonic level",
+	"scr_count": "number of skin conductance responses",
+	"scr_rate":  "SCR rate per minute", "scr_amp_mean": "mean SCR amplitude",
+	"scr_amp_max": "largest SCR amplitude", "scr_amp_std": "std of SCR amplitudes",
+	"scr_prom_mean":  "mean SCR prominence",
+	"scr_rise_slope": "mean SCR rise slope", "scr_amp_sum": "summed SCR amplitudes",
+	"gsr_d1_mean":    "mean first derivative of skin conductance",
+	"gsr_d1_meanabs": "mean |first derivative|", "gsr_d1_std": "std of the first derivative",
+	"gsr_d1_max": "max first derivative", "gsr_d1_min": "min first derivative",
+	"gsr_d1_pospct": "fraction of rising samples",
+	"gsr_skew":      "skewness of skin conductance", "gsr_kurt": "kurtosis of skin conductance",
+	"gsr_rms": "RMS of skin conductance", "gsr_iqr": "IQR of skin conductance",
+	"gsr_mad": "MAD of skin conductance", "gsr_zcr": "zero-crossing rate of the phasic component",
+	"gsr_spec_entropy": "spectral entropy of the phasic component",
+	"gsr_spec_peak":    "dominant phasic frequency",
+	"gsr_sampen":       "sample entropy of the phasic component",
+	"skt_mean":         "mean skin temperature", "skt_std": "std of skin temperature",
+	"skt_slope": "temperature drift per second",
+	"skt_min":   "minimum temperature", "skt_max": "maximum temperature",
+}
+
+// describe resolves a feature description, synthesising one for band-power
+// names like "bvp_pow_0.5_1.5".
+func describe(name string) string {
+	if d, ok := descriptions[name]; ok {
+		return d
+	}
+	switch {
+	case strings.HasPrefix(name, "bvp_pow_"):
+		return "absolute BVP band power " + strings.TrimPrefix(name, "bvp_pow_") + " Hz"
+	case strings.HasPrefix(name, "bvp_rel_"):
+		return "relative BVP band power " + strings.TrimPrefix(name, "bvp_rel_") + " Hz"
+	case strings.HasPrefix(name, "gsr_pow_"):
+		return "phasic GSR band power " + strings.TrimPrefix(name, "gsr_pow_") + " Hz"
+	default:
+		return "physiological feature " + name
+	}
+}

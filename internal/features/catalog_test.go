@@ -1,0 +1,79 @@
+package features
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogCoversAllFeatures(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != TotalFeatureCount {
+		t.Fatalf("catalog has %d entries, want %d", len(cat), TotalFeatureCount)
+	}
+	names := FeatureNames()
+	for i, info := range cat {
+		if info.Index != i {
+			t.Errorf("entry %d has index %d", i, info.Index)
+		}
+		if info.Name != names[i] {
+			t.Errorf("entry %d name %q != %q", i, info.Name, names[i])
+		}
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+		if strings.HasPrefix(info.Description, "physiological feature ") {
+			t.Errorf("%s: missing curated description", info.Name)
+		}
+	}
+}
+
+func TestCatalogModalityCounts(t *testing.T) {
+	counts := map[Modality]int{}
+	for _, info := range Catalog() {
+		counts[info.Modality]++
+	}
+	if counts[ModalityBVP] != BVPFeatureCount {
+		t.Errorf("BVP count %d", counts[ModalityBVP])
+	}
+	if counts[ModalityGSR] != GSRFeatureCount {
+		t.Errorf("GSR count %d", counts[ModalityGSR])
+	}
+	if counts[ModalitySKT] != SKTFeatureCount {
+		t.Errorf("SKT count %d", counts[ModalitySKT])
+	}
+}
+
+func TestCatalogDomainsSane(t *testing.T) {
+	byDomain := map[Domain]int{}
+	for _, info := range Catalog() {
+		byDomain[info.Domain]++
+	}
+	// The paper's taxonomy: time, frequency and non-linear features all
+	// present, plus the morphology group from beat/SCR detection.
+	for _, d := range []Domain{DomainTime, DomainFrequency, DomainNonlinear, DomainMorphology} {
+		if byDomain[d] == 0 {
+			t.Errorf("domain %s has no features", d)
+		}
+	}
+	// Spot checks.
+	cat := Catalog()
+	idx := map[string]FeatureInfo{}
+	for _, info := range cat {
+		idx[info.Name] = info
+	}
+	if idx["hrv_lf"].Domain != DomainFrequency {
+		t.Error("hrv_lf should be frequency-domain")
+	}
+	if idx["nn_sampen"].Domain != DomainNonlinear {
+		t.Error("nn_sampen should be non-linear")
+	}
+	if idx["scr_count"].Domain != DomainMorphology {
+		t.Error("scr_count should be morphology")
+	}
+	if idx["skt_mean"].Domain != DomainTime {
+		t.Error("skt_mean should be time-domain")
+	}
+	if idx["skt_mean"].Modality != ModalitySKT {
+		t.Error("skt_mean should be SKT")
+	}
+}

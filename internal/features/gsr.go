@@ -1,0 +1,113 @@
+package features
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// GSRFeatureCount is the number of features ExtractGSR produces (34).
+const GSRFeatureCount = 34
+
+var gsrFeatureNames = []string{
+	// --- tonic component (7) ---
+	"gsr_tonic_mean", "gsr_tonic_std", "gsr_tonic_min", "gsr_tonic_max",
+	"gsr_tonic_range", "gsr_tonic_slope", "gsr_tonic_median",
+	// --- phasic component / SCRs (8) ---
+	"scr_count", "scr_rate", "scr_amp_mean", "scr_amp_max",
+	"scr_amp_std", "scr_prom_mean", "scr_rise_slope", "scr_amp_sum",
+	// --- derivative (6) ---
+	"gsr_d1_mean", "gsr_d1_meanabs", "gsr_d1_std", "gsr_d1_max",
+	"gsr_d1_min", "gsr_d1_pospct",
+	// --- raw statistics (6) ---
+	"gsr_skew", "gsr_kurt", "gsr_rms", "gsr_iqr", "gsr_mad", "gsr_zcr",
+	// --- spectrum (6) ---
+	"gsr_pow_0_0.1", "gsr_pow_0.1_0.2", "gsr_pow_0.2_0.4", "gsr_pow_0.4_1",
+	"gsr_spec_entropy", "gsr_spec_peak",
+	// --- complexity (1) ---
+	"gsr_sampen",
+}
+
+// ExtractGSR computes the 34 GSR features from one window of skin
+// conductance samples at sample rate fs Hz.
+func ExtractGSR(x []float64, fs float64) []float64 {
+	out := make([]float64, 0, GSRFeatureCount)
+	push := func(vals ...float64) {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			out = append(out, v)
+		}
+	}
+
+	// Tonic: slow component via moving average (≈4 s window).
+	tonicWin := int(4 * fs)
+	tonic := dsp.MovingAverage(x, tonicWin)
+	push(Mean(tonic), Std(tonic), Min(tonic), Max(tonic),
+		Range(tonic), Slope(tonic)*fs, Median(tonic))
+
+	// Phasic: residual after tonic removal; SCRs are its peaks.
+	phasic := make([]float64, len(x))
+	for i := range x {
+		phasic[i] = x[i] - tonic[i]
+	}
+	prom := 0.5 * Std(phasic)
+	minDist := int(fs) // SCRs ≥ 1 s apart
+	peaks := dsp.FindPeaks(phasic, 0, prom, minDist)
+	winSec := float64(len(x)) / fs
+	var amps, proms []float64
+	for _, p := range peaks {
+		amps = append(amps, p.Height)
+		proms = append(proms, p.Prominence)
+	}
+	rate := 0.0
+	if winSec > 0 {
+		rate = float64(len(peaks)) / winSec * 60
+	}
+	push(float64(len(peaks)), rate, Mean(amps), Max(amps),
+		Std(amps), Mean(proms), riseSlope(phasic, peaks), sum(amps))
+
+	// Derivative.
+	d1 := diff(x)
+	pos := 0
+	for _, v := range d1 {
+		if v > 0 {
+			pos++
+		}
+	}
+	posPct := 0.0
+	if len(d1) > 0 {
+		posPct = float64(pos) / float64(len(d1))
+	}
+	push(Mean(d1), meanAbs(d1), Std(d1), Max(d1), Min(d1), posPct)
+
+	// Raw statistics.
+	push(Skewness(x), Kurtosis(x), RMS(x), IQR(x), MAD(x), ZeroCrossingRate(phasic))
+
+	// Spectrum of the phasic component.
+	psd := dsp.Welch(phasic, fs, 64)
+	push(psd.BandPower(0.01, 0.1), psd.BandPower(0.1, 0.2),
+		psd.BandPower(0.2, 0.4), psd.BandPower(0.4, 1.0),
+		psd.SpectralEntropy(0.01, 1.0), psd.PeakFrequency(0.01, 1.0))
+
+	// Complexity (downsampled for cost).
+	small := dsp.Resample(phasic, 64)
+	push(SampleEntropy(small, 2, 0.2*Std(small)))
+
+	if len(out) != GSRFeatureCount {
+		panic("features: ExtractGSR produced wrong count")
+	}
+	return out
+}
+
+// GSRFeatureNames returns the GSR feature names in extraction order.
+func GSRFeatureNames() []string { return append([]string(nil), gsrFeatureNames...) }
+
+func sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

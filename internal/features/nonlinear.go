@@ -1,0 +1,139 @@
+package features
+
+import "math"
+
+// SampleEntropy computes SampEn(m, r) of x: the negative log of the
+// conditional probability that sequences matching for m points (within
+// tolerance r, Chebyshev distance) also match for m+1 points. Returns 0 for
+// degenerate inputs, and caps the result to avoid ±Inf when no m+1 matches
+// exist.
+func SampleEntropy(x []float64, m int, r float64) float64 {
+	n := len(x)
+	if n <= m+1 || r <= 0 {
+		return 0
+	}
+	countM, countM1 := 0, 0
+	for i := 0; i < n-m; i++ {
+		for j := i + 1; j < n-m; j++ {
+			match := true
+			for k := 0; k < m; k++ {
+				if math.Abs(x[i+k]-x[j+k]) > r {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			countM++
+			if math.Abs(x[i+m]-x[j+m]) <= r {
+				countM1++
+			}
+		}
+	}
+	if countM == 0 {
+		return 0
+	}
+	if countM1 == 0 {
+		// Conventional cap: maximal entropy estimate for the template count.
+		return math.Log(float64(countM)) + math.Log(2)
+	}
+	return -math.Log(float64(countM1) / float64(countM))
+}
+
+// ApproximateEntropy computes ApEn(m, r) of x (Pincus). Returns 0 for
+// degenerate inputs.
+func ApproximateEntropy(x []float64, m int, r float64) float64 {
+	n := len(x)
+	if n <= m+1 || r <= 0 {
+		return 0
+	}
+	phi := func(m int) float64 {
+		count := n - m + 1
+		sum := 0.0
+		for i := 0; i < count; i++ {
+			matches := 0
+			for j := 0; j < count; j++ {
+				ok := true
+				for k := 0; k < m; k++ {
+					if math.Abs(x[i+k]-x[j+k]) > r {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					matches++
+				}
+			}
+			sum += math.Log(float64(matches) / float64(count))
+		}
+		return sum / float64(count)
+	}
+	return phi(m) - phi(m+1)
+}
+
+// Poincare returns the SD1 (short-term) and SD2 (long-term) descriptors of
+// the Poincaré plot of successive values of x (typically inter-beat
+// intervals).
+func Poincare(x []float64) (sd1, sd2 float64) {
+	if len(x) < 2 {
+		return 0, 0
+	}
+	var d, s []float64
+	for i := 1; i < len(x); i++ {
+		d = append(d, (x[i]-x[i-1])/math.Sqrt2)
+		s = append(s, (x[i]+x[i-1])/math.Sqrt2)
+	}
+	return Std(d), Std(s)
+}
+
+// HiguchiFD estimates the Higuchi fractal dimension of x with maximum delay
+// kMax. Returns 0 for degenerate inputs. Values near 1 indicate smooth
+// curves; near 2, space-filling noise.
+func HiguchiFD(x []float64, kMax int) float64 {
+	n := len(x)
+	if n < 10 || kMax < 2 {
+		return 0
+	}
+	var logk, logl []float64
+	for k := 1; k <= kMax; k++ {
+		lk := 0.0
+		used := 0
+		for m := 0; m < k; m++ {
+			steps := (n - 1 - m) / k
+			if steps < 1 {
+				continue
+			}
+			length := 0.0
+			for i := 1; i <= steps; i++ {
+				length += math.Abs(x[m+i*k] - x[m+(i-1)*k])
+			}
+			norm := float64(n-1) / (float64(steps) * float64(k))
+			lk += length * norm / float64(k)
+			used++
+		}
+		if used == 0 {
+			continue
+		}
+		lk /= float64(used)
+		if lk <= 0 {
+			continue
+		}
+		logk = append(logk, math.Log(1/float64(k)))
+		logl = append(logl, math.Log(lk))
+	}
+	if len(logk) < 2 {
+		return 0
+	}
+	// Least-squares slope of log L(k) vs log 1/k.
+	mk, ml := Mean(logk), Mean(logl)
+	var num, den float64
+	for i := range logk {
+		num += (logk[i] - mk) * (logl[i] - ml)
+		den += (logk[i] - mk) * (logk[i] - mk)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,29 @@
+package features
+
+import "math"
+
+// SKTFeatureCount is the number of features ExtractSKT produces (5).
+const SKTFeatureCount = 5
+
+var sktFeatureNames = []string{
+	"skt_mean", "skt_std", "skt_slope", "skt_min", "skt_max",
+}
+
+// ExtractSKT computes the 5 skin-temperature features from one window of
+// samples at sample rate fs Hz: mean, standard deviation, per-second linear
+// slope, minimum and maximum.
+func ExtractSKT(x []float64, fs float64) []float64 {
+	out := []float64{Mean(x), Std(x), Slope(x) * fs, Min(x), Max(x)}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out[i] = 0
+		}
+	}
+	if len(out) != SKTFeatureCount {
+		panic("features: ExtractSKT produced wrong count")
+	}
+	return out
+}
+
+// SKTFeatureNames returns the SKT feature names in extraction order.
+func SKTFeatureNames() []string { return append([]string(nil), sktFeatureNames...) }

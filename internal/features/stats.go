@@ -1,0 +1,275 @@
+// Package features implements the 123-feature physiological extractor the
+// CLEAR paper builds its 2-D feature maps from: 84 features from blood
+// volume pulse (BVP), 34 from galvanic skin response (GSR) and 5 from skin
+// temperature (SKT), computed per time window and stacked into an F×W map
+// (Sun et al., the paper's reference [18]).
+package features
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// Variance returns the population variance of x.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	ss := 0.0
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(len(x))
+}
+
+// Skewness returns the sample skewness of x (0 if degenerate).
+func Skewness(x []float64) float64 {
+	if len(x) < 3 {
+		return 0
+	}
+	m, s := Mean(x), Std(x)
+	if s == 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, v := range x {
+		d := (v - m) / s
+		acc += d * d * d
+	}
+	return acc / float64(len(x))
+}
+
+// Kurtosis returns the excess kurtosis of x (0 for a normal distribution,
+// 0 if degenerate).
+func Kurtosis(x []float64) float64 {
+	if len(x) < 4 {
+		return 0
+	}
+	m, s := Mean(x), Std(x)
+	if s == 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, v := range x {
+		d := (v - m) / s
+		acc += d * d * d * d
+	}
+	return acc/float64(len(x)) - 3
+}
+
+// RMS returns the root mean square of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, v := range x {
+		ss += v * v
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}
+
+// Percentile returns the p-th percentile (0..100) of x using linear
+// interpolation between order statistics.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Median returns the 50th percentile of x.
+func Median(x []float64) float64 { return Percentile(x, 50) }
+
+// IQR returns the interquartile range of x.
+func IQR(x []float64) float64 { return Percentile(x, 75) - Percentile(x, 25) }
+
+// MAD returns the median absolute deviation of x.
+func MAD(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Median(x)
+	dev := make([]float64, len(x))
+	for i, v := range x {
+		dev[i] = math.Abs(v - m)
+	}
+	return Median(dev)
+}
+
+// Min returns the minimum of x (0 for empty input).
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of x (0 for empty input).
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Range returns Max(x) - Min(x).
+func Range(x []float64) float64 { return Max(x) - Min(x) }
+
+// ZeroCrossingRate returns the fraction of successive sample pairs of the
+// mean-removed signal that change sign.
+func ZeroCrossingRate(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	count := 0
+	for i := 1; i < len(x); i++ {
+		if (x[i]-m)*(x[i-1]-m) < 0 {
+			count++
+		}
+	}
+	return float64(count) / float64(len(x)-1)
+}
+
+// LineLength returns the mean absolute successive difference of x.
+func LineLength(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	s := 0.0
+	for i := 1; i < len(x); i++ {
+		s += math.Abs(x[i] - x[i-1])
+	}
+	return s / float64(len(x)-1)
+}
+
+// Slope returns the least-squares linear slope of x per sample.
+func Slope(x []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	var st, sy, stt, sty float64
+	for i, v := range x {
+		t := float64(i)
+		st += t
+		sy += v
+		stt += t * t
+		sty += t * v
+	}
+	fn := float64(n)
+	den := fn*stt - st*st
+	if den == 0 {
+		return 0
+	}
+	return (fn*sty - st*sy) / den
+}
+
+// Hjorth returns the Hjorth activity, mobility and complexity parameters
+// of x.
+func Hjorth(x []float64) (activity, mobility, complexity float64) {
+	activity = Variance(x)
+	if len(x) < 3 || activity == 0 {
+		return activity, 0, 0
+	}
+	d1 := diff(x)
+	d2 := diff(d1)
+	v1 := Variance(d1)
+	v2 := Variance(d2)
+	mobility = math.Sqrt(v1 / activity)
+	if v1 > 0 {
+		complexity = math.Sqrt(v2/v1) / mobility
+	}
+	return activity, mobility, complexity
+}
+
+func diff(x []float64) []float64 {
+	if len(x) < 2 {
+		return nil
+	}
+	out := make([]float64, len(x)-1)
+	for i := range out {
+		out[i] = x[i+1] - x[i]
+	}
+	return out
+}
+
+// Autocorrelation returns the normalised autocorrelation of x at the given
+// lag (1 at lag 0; 0 if degenerate or lag out of range).
+func Autocorrelation(x []float64, lag int) float64 {
+	n := len(x)
+	if lag < 0 || lag >= n {
+		return 0
+	}
+	m := Mean(x)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		den += (x[i] - m) * (x[i] - m)
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (x[i] - m) * (x[i+lag] - m)
+	}
+	return num / den
+}
+
+// CrestFactor returns peak amplitude over RMS (0 if silent).
+func CrestFactor(x []float64) float64 {
+	r := RMS(x)
+	if r == 0 {
+		return 0
+	}
+	peak := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	return peak / r
+}

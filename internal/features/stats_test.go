@@ -1,0 +1,296 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(x) != 5 {
+		t.Errorf("Mean = %g, want 5", Mean(x))
+	}
+	if Variance(x) != 4 {
+		t.Errorf("Variance = %g, want 4", Variance(x))
+	}
+	if Std(x) != 2 {
+		t.Errorf("Std = %g, want 2", Std(x))
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestSkewnessKurtosis(t *testing.T) {
+	// Symmetric data → zero skew.
+	sym := []float64{-2, -1, 0, 1, 2}
+	if math.Abs(Skewness(sym)) > 1e-12 {
+		t.Errorf("symmetric skew = %g", Skewness(sym))
+	}
+	// Right-skewed data → positive skew.
+	skewed := []float64{1, 1, 1, 1, 10}
+	if Skewness(skewed) <= 0 {
+		t.Errorf("right-skewed skew = %g, want >0", Skewness(skewed))
+	}
+	// Gaussian sample → excess kurtosis near 0.
+	rng := rand.New(rand.NewSource(1))
+	g := make([]float64, 20000)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	if k := Kurtosis(g); math.Abs(k) > 0.2 {
+		t.Errorf("gaussian kurtosis = %g, want ≈0", k)
+	}
+	// Constant data → 0, not NaN.
+	if Skewness([]float64{3, 3, 3, 3}) != 0 || Kurtosis([]float64{3, 3, 3, 3, 3}) != 0 {
+		t.Error("degenerate input should yield 0")
+	}
+}
+
+func TestPercentileMedianIQR(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if Median(x) != 3 {
+		t.Errorf("Median = %g", Median(x))
+	}
+	if Percentile(x, 0) != 1 || Percentile(x, 100) != 5 {
+		t.Error("extreme percentiles wrong")
+	}
+	if Percentile(x, 25) != 2 || Percentile(x, 75) != 4 {
+		t.Errorf("quartiles %g, %g", Percentile(x, 25), Percentile(x, 75))
+	}
+	if IQR(x) != 2 {
+		t.Errorf("IQR = %g", IQR(x))
+	}
+	// Percentile must not mutate the input.
+	y := []float64{3, 1, 2}
+	Median(y)
+	if y[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMAD(t *testing.T) {
+	x := []float64{1, 1, 2, 2, 4, 6, 9}
+	if MAD(x) != 1 {
+		t.Errorf("MAD = %g, want 1", MAD(x))
+	}
+}
+
+func TestMinMaxRange(t *testing.T) {
+	x := []float64{3, -1, 4}
+	if Min(x) != -1 || Max(x) != 4 || Range(x) != 5 {
+		t.Error("Min/Max/Range wrong")
+	}
+}
+
+func TestZeroCrossingRate(t *testing.T) {
+	// Alternating signal crosses at every step.
+	x := []float64{1, -1, 1, -1, 1}
+	if got := ZeroCrossingRate(x); got != 1 {
+		t.Errorf("ZCR = %g, want 1", got)
+	}
+	// Monotone signal crosses its mean exactly once.
+	y := []float64{1, 2, 3, 4}
+	if got := ZeroCrossingRate(y); got != 1.0/3 {
+		t.Errorf("ZCR = %g, want 1/3", got)
+	}
+}
+
+func TestLineLengthAndSlope(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	if LineLength(x) != 1 {
+		t.Errorf("LineLength = %g", LineLength(x))
+	}
+	if math.Abs(Slope(x)-1) > 1e-12 {
+		t.Errorf("Slope = %g, want 1", Slope(x))
+	}
+	if Slope([]float64{5}) != 0 {
+		t.Error("Slope of singleton should be 0")
+	}
+}
+
+func TestHjorth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	slow := make([]float64, 1000)
+	fast := make([]float64, 1000)
+	for i := range slow {
+		slow[i] = math.Sin(2 * math.Pi * float64(i) / 200)
+		fast[i] = rng.NormFloat64()
+	}
+	_, mSlow, _ := Hjorth(slow)
+	_, mFast, _ := Hjorth(fast)
+	if mSlow >= mFast {
+		t.Errorf("mobility: slow %g should be below fast %g", mSlow, mFast)
+	}
+	a, m, c := Hjorth([]float64{1, 1, 1, 1})
+	if a != 0 || m != 0 || c != 0 {
+		t.Error("Hjorth of constant should be zeros")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 10)
+	}
+	if got := Autocorrelation(x, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("AC lag0 = %g", got)
+	}
+	if got := Autocorrelation(x, 10); got < 0.7 {
+		t.Errorf("AC at period = %g, want high", got)
+	}
+	if got := Autocorrelation(x, 5); got > -0.7 {
+		t.Errorf("AC at half period = %g, want very negative", got)
+	}
+	if Autocorrelation(x, -1) != 0 || Autocorrelation(x, 1000) != 0 {
+		t.Error("out-of-range lag should yield 0")
+	}
+}
+
+func TestCrestFactor(t *testing.T) {
+	// Constant |1| signal → crest factor 1.
+	if got := CrestFactor([]float64{1, -1, 1, -1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("crest = %g, want 1", got)
+	}
+	// Spiky signal → crest factor > 2.
+	spiky := make([]float64, 100)
+	spiky[50] = 10
+	if got := CrestFactor(spiky); got < 2 {
+		t.Errorf("spiky crest = %g, want >2", got)
+	}
+	if CrestFactor([]float64{0, 0}) != 0 {
+		t.Error("silent crest should be 0")
+	}
+}
+
+// Property: Mean is translation-equivariant and Std translation-invariant.
+func TestQuickMeanStdTranslation(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 1
+		}
+		shift = math.Mod(shift, 1e6)
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			y[i] = x[i] + shift
+		}
+		scale := 1 + math.Abs(shift)
+		return math.Abs(Mean(y)-Mean(x)-shift) < 1e-9*scale &&
+			math.Abs(Std(y)-Std(x)) < 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(x, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleEntropyOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	regular := make([]float64, 200)
+	noisy := make([]float64, 200)
+	for i := range regular {
+		regular[i] = math.Sin(2 * math.Pi * float64(i) / 20)
+		noisy[i] = rng.NormFloat64()
+	}
+	se1 := SampleEntropy(regular, 2, 0.2*Std(regular))
+	se2 := SampleEntropy(noisy, 2, 0.2*Std(noisy))
+	if se1 >= se2 {
+		t.Errorf("SampEn regular %g should be below noise %g", se1, se2)
+	}
+	if SampleEntropy([]float64{1, 2}, 2, 0.1) != 0 {
+		t.Error("short input should yield 0")
+	}
+	if SampleEntropy(regular, 2, 0) != 0 {
+		t.Error("r=0 should yield 0")
+	}
+}
+
+func TestApproximateEntropyOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	regular := make([]float64, 150)
+	noisy := make([]float64, 150)
+	for i := range regular {
+		regular[i] = math.Sin(2 * math.Pi * float64(i) / 15)
+		noisy[i] = rng.NormFloat64()
+	}
+	a1 := ApproximateEntropy(regular, 2, 0.2*Std(regular))
+	a2 := ApproximateEntropy(noisy, 2, 0.2*Std(noisy))
+	if a1 >= a2 {
+		t.Errorf("ApEn regular %g should be below noise %g", a1, a2)
+	}
+}
+
+func TestPoincare(t *testing.T) {
+	// Constant series: both SDs zero.
+	sd1, sd2 := Poincare([]float64{1, 1, 1, 1})
+	if sd1 != 0 || sd2 != 0 {
+		t.Errorf("constant Poincaré = %g, %g", sd1, sd2)
+	}
+	// Alternating series: successive differences large → SD1 >> SD2.
+	sd1, sd2 = Poincare([]float64{1, 2, 1, 2, 1, 2, 1, 2})
+	if sd1 <= sd2 {
+		t.Errorf("alternating: SD1 %g should exceed SD2 %g", sd1, sd2)
+	}
+	// Slow drift: SD2 >> SD1.
+	drift := make([]float64, 50)
+	for i := range drift {
+		drift[i] = float64(i)
+	}
+	sd1, sd2 = Poincare(drift)
+	if sd2 <= sd1 {
+		t.Errorf("drift: SD2 %g should exceed SD1 %g", sd2, sd1)
+	}
+	if s1, s2 := Poincare([]float64{1}); s1 != 0 || s2 != 0 {
+		t.Error("single element should be zeros")
+	}
+}
+
+func TestHiguchiFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	line := make([]float64, 300)
+	noise := make([]float64, 300)
+	for i := range line {
+		line[i] = float64(i) * 0.01
+		noise[i] = rng.NormFloat64()
+	}
+	fdLine := HiguchiFD(line, 8)
+	fdNoise := HiguchiFD(noise, 8)
+	if math.Abs(fdLine-1) > 0.1 {
+		t.Errorf("line FD = %g, want ≈1", fdLine)
+	}
+	if fdNoise < 1.7 {
+		t.Errorf("noise FD = %g, want ≈2", fdNoise)
+	}
+	if HiguchiFD([]float64{1, 2}, 8) != 0 {
+		t.Error("short input should yield 0")
+	}
+}

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arch selects the classifier architecture. The paper's Fig. 2 model is
+// ArchCNNLSTM; the other two are the ablations that motivate it ("the
+// CNN-LSTM architecture can effectively integrate feature maps' global and
+// sequential information"): a pure CNN that sees the same map but no
+// recurrence, and a pure LSTM that consumes raw feature columns with no
+// convolutional feature mixing.
+type Arch string
+
+// Architecture names. The zero value resolves to ArchCNNLSTM.
+const (
+	ArchCNNLSTM  Arch = "cnn-lstm"
+	ArchCNNOnly  Arch = "cnn"
+	ArchLSTMOnly Arch = "lstm"
+	ArchCNNGRU   Arch = "cnn-gru"
+)
+
+// NewModel constructs the architecture selected by cfg.Arch. NewCNNLSTM
+// remains the Fig. 2 entry point; checkpoints reconstruct through here.
+func NewModel(cfg ModelConfig) *Model {
+	switch cfg.Arch {
+	case "", ArchCNNLSTM:
+		return NewCNNLSTM(cfg)
+	case ArchCNNOnly:
+		return newCNNOnly(cfg)
+	case ArchLSTMOnly:
+		return newLSTMOnly(cfg)
+	case ArchCNNGRU:
+		return newCNNGRU(cfg)
+	default:
+		panic(fmt.Sprintf("nn: unknown architecture %q", cfg.Arch))
+	}
+}
+
+// newCNNOnly keeps the two convolutional blocks of Fig. 2 but replaces the
+// LSTM with global average pooling over the window axis and a dense head:
+// same receptive field, no sequential modelling.
+func newCNNOnly(cfg ModelConfig) *Model {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h1 := cfg.InH / cfg.Pool1
+	h2 := h1 / cfg.Pool2
+	layers := []Layer{
+		NewReshapeTo3D(),
+		NewConv2D(rng, 1, cfg.Conv1, cfg.K1H, cfg.K1W, cfg.K1H/2, cfg.K1W/2),
+		NewReLU(),
+		NewMaxPool2D(cfg.Pool1, 1),
+		NewConv2D(rng, cfg.Conv1, cfg.Conv2, cfg.K2H, cfg.K2W, cfg.K2H/2, cfg.K2W/2),
+		NewReLU(),
+		NewMaxPool2D(cfg.Pool2, 1),
+		NewGlobalAvgPoolW(),
+		NewDropout(rng, cfg.Dropout),
+		NewDense(rng, cfg.Conv2*h2, cfg.Classes),
+	}
+	return &Model{Layers: layers, Config: cfg}
+}
+
+// newLSTMOnly feeds the raw feature-map columns (one 123-vector per
+// window) straight into the LSTM: sequential modelling with no learned
+// spatial features.
+func newLSTMOnly(cfg ModelConfig) *Model {
+	cfg.fillDefaults()
+	if cfg.InH < 1 || cfg.InW < 1 || cfg.LSTMHidden < 1 {
+		panic(fmt.Sprintf("nn: invalid LSTM-only config %dx%d hidden %d", cfg.InH, cfg.InW, cfg.LSTMHidden))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	layers := []Layer{
+		NewReshapeTo3D(),
+		NewSeqReshape(), // (1, F, W) → (W, F)
+		NewLSTM(rng, cfg.InH, cfg.LSTMHidden),
+		NewDropout(rng, cfg.Dropout),
+		NewDense(rng, cfg.LSTMHidden, cfg.Classes),
+	}
+	return &Model{Layers: layers, Config: cfg}
+}
+
+// newCNNGRU is the Fig. 2 stack with the LSTM swapped for a GRU of the
+// same hidden width — the recurrent-cell ablation.
+func newCNNGRU(cfg ModelConfig) *Model {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h1 := cfg.InH / cfg.Pool1
+	h2 := h1 / cfg.Pool2
+	layers := []Layer{
+		NewReshapeTo3D(),
+		NewConv2D(rng, 1, cfg.Conv1, cfg.K1H, cfg.K1W, cfg.K1H/2, cfg.K1W/2),
+		NewReLU(),
+		NewMaxPool2D(cfg.Pool1, 1),
+		NewConv2D(rng, cfg.Conv1, cfg.Conv2, cfg.K2H, cfg.K2W, cfg.K2H/2, cfg.K2W/2),
+		NewReLU(),
+		NewMaxPool2D(cfg.Pool2, 1),
+		NewSeqReshape(),
+		NewGRU(rng, cfg.Conv2*h2, cfg.LSTMHidden),
+		NewDropout(rng, cfg.Dropout),
+		NewDense(rng, cfg.LSTMHidden, cfg.Classes),
+	}
+	return &Model{Layers: layers, Config: cfg}
+}
+
+// GlobalAvgPoolW averages a (C, H, W) volume over its window axis W,
+// producing a (C, H, 1)-shaped summary flattened to length C·H.
+type GlobalAvgPoolW struct {
+	inShape []int
+}
+
+// NewGlobalAvgPoolW builds the pooling layer.
+func NewGlobalAvgPoolW() *GlobalAvgPoolW { return &GlobalAvgPoolW{} }
+
+// Name implements Layer.
+func (g *GlobalAvgPoolW) Name() string { return "GlobalAvgPoolW" }
+
+// Params implements Layer.
+func (g *GlobalAvgPoolW) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (g *GlobalAvgPoolW) OutShape(in []int) []int { return []int{in[0] * in[1]} }
+
+// FLOPs implements Layer.
+func (g *GlobalAvgPoolW) FLOPs(in []int) int64 {
+	return int64(in[0]) * int64(in[1]) * int64(in[2])
+}
+
+// Forward implements Layer.
+func (g *GlobalAvgPoolW) Forward(x *tensorT, train bool) *tensorT {
+	ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	g.inShape = append([]int(nil), x.Shape...)
+	out := newTensor(ch * h)
+	inv := 1 / float64(w)
+	for cc := 0; cc < ch; cc++ {
+		for i := 0; i < h; i++ {
+			s := 0.0
+			for j := 0; j < w; j++ {
+				s += x.Data[(cc*h+i)*w+j]
+			}
+			out.Data[cc*h+i] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPoolW) Backward(grad *tensorT) *tensorT {
+	ch, h, w := g.inShape[0], g.inShape[1], g.inShape[2]
+	dx := newTensor(ch, h, w)
+	inv := 1 / float64(w)
+	for cc := 0; cc < ch; cc++ {
+		for i := 0; i < h; i++ {
+			gv := grad.Data[cc*h+i] * inv
+			for j := 0; j < w; j++ {
+				dx.Data[(cc*h+i)*w+j] = gv
+			}
+		}
+	}
+	return dx
+}

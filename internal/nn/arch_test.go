@@ -1,0 +1,328 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func archConfig(arch Arch) ModelConfig {
+	cfg := tinyConfig()
+	cfg.Arch = arch
+	return cfg
+}
+
+func TestNewModelDispatch(t *testing.T) {
+	for _, arch := range []Arch{"", ArchCNNLSTM, ArchCNNOnly, ArchLSTMOnly} {
+		m := NewModel(archConfig(arch))
+		rng := rand.New(rand.NewSource(1))
+		out := m.Forward(tensor.Randn(rng, 1, 24, 5), false)
+		if out.Size() != 2 {
+			t.Errorf("arch %q output size %d", arch, out.Size())
+		}
+	}
+}
+
+func TestNewModelUnknownArchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := archConfig("transformer")
+	NewModel(cfg)
+}
+
+func TestArchGradChecks(t *testing.T) {
+	for _, arch := range []Arch{ArchCNNOnly, ArchLSTMOnly} {
+		m := NewModel(archConfig(arch))
+		rng := rand.New(rand.NewSource(2))
+		x := tensor.Randn(rng, 1, 24, 5)
+		reports, err := GradCheck(m, x, 1, 1e-5, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reports {
+			if r.MaxRelError > 2e-4 {
+				t.Errorf("%s %s: gradient error %g", arch, r.Param, r.MaxRelError)
+			}
+		}
+		rel, err := GradCheckInput(m, x, 0, 1e-5, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel > 2e-4 {
+			t.Errorf("%s input gradient error %g", arch, rel)
+		}
+	}
+}
+
+func TestArchCheckpointRoundTrip(t *testing.T) {
+	for _, arch := range []Arch{ArchCNNOnly, ArchLSTMOnly} {
+		m := NewModel(archConfig(arch))
+		rng := rand.New(rand.NewSource(3))
+		x := tensor.Randn(rng, 1, 24, 5)
+		want := m.Forward(x, false)
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.Config.Arch != arch {
+			t.Errorf("arch lost in checkpoint: %q", m2.Config.Arch)
+		}
+		got := m2.Forward(x, false)
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%s output changed after reload", arch)
+			}
+		}
+	}
+}
+
+func TestArchCloneRespectsArch(t *testing.T) {
+	m := NewModel(archConfig(ArchCNNOnly))
+	c := m.Clone()
+	if c.Config.Arch != ArchCNNOnly {
+		t.Fatal("clone lost arch")
+	}
+	if len(c.Layers) != len(m.Layers) {
+		t.Fatal("clone layer count differs")
+	}
+}
+
+func TestArchLearnToy(t *testing.T) {
+	// Both ablation architectures must still learn the separable toy task
+	// (they are weaker, not broken).
+	for _, arch := range []Arch{ArchCNNOnly, ArchLSTMOnly} {
+		cfg := archConfig(arch)
+		m := NewModel(cfg)
+		train, test := trainToy(t, cfg, 80, 9)
+		if _, err := Train(m, train, TrainConfig{
+			Epochs: 25, BatchSize: 8, LR: 3e-3, GradClip: 5, Seed: 9,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if acc := Accuracy(m, test); acc < 0.8 {
+			t.Errorf("%s toy accuracy %.2f", arch, acc)
+		}
+	}
+}
+
+func TestGlobalAvgPoolW(t *testing.T) {
+	g := NewGlobalAvgPoolW()
+	x := tensor.FromSlice([]float64{
+		1, 2, 3, // c0 h0
+		4, 5, 6, // c0 h1
+		10, 20, 30, // c1 h0
+		40, 50, 60, // c1 h1
+	}, 2, 2, 3)
+	out := g.Forward(x, false)
+	want := []float64{2, 5, 20, 50}
+	for i, v := range want {
+		if math.Abs(out.Data[i]-v) > 1e-12 {
+			t.Fatalf("avg pool out %v, want %v", out.Data, want)
+		}
+	}
+	if got := g.OutShape([]int{2, 2, 3}); got[0] != 4 {
+		t.Errorf("OutShape %v", got)
+	}
+	// Backward spreads gradient evenly.
+	back := g.Backward(tensor.FromSlice([]float64{3, 0, 0, 0}, 4))
+	if back.At(0, 0, 0) != 1 || back.At(0, 0, 2) != 1 || back.At(0, 1, 0) != 0 {
+		t.Errorf("avg pool backward %v", back.Data)
+	}
+}
+
+// referenceLSTMForward is a deliberately simple, obviously-correct LSTM
+// used to cross-check the optimised layer's forward pass.
+func referenceLSTMForward(l *LSTM, x *tensor.Tensor) []float64 {
+	T, H, In := x.Dim(0), l.Hidden, l.In
+	wx, wh, b := l.wx.W, l.wh.W, l.b.W
+	h := make([]float64, H)
+	c := make([]float64, H)
+	for t := 0; t < T; t++ {
+		newH := make([]float64, H)
+		newC := make([]float64, H)
+		for u := 0; u < H; u++ {
+			gate := func(g int) float64 {
+				row := g*H + u
+				s := b.Data[row]
+				for i := 0; i < In; i++ {
+					s += wx.At(row, i) * x.At(t, i)
+				}
+				for i := 0; i < H; i++ {
+					s += wh.At(row, i) * h[i]
+				}
+				return s
+			}
+			i := 1 / (1 + math.Exp(-gate(0)))
+			f := 1 / (1 + math.Exp(-gate(1)))
+			g := math.Tanh(gate(2))
+			o := 1 / (1 + math.Exp(-gate(3)))
+			newC[u] = f*c[u] + i*g
+			newH[u] = o * math.Tanh(newC[u])
+		}
+		h, c = newH, newC
+	}
+	return h
+}
+
+func TestLSTMMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewLSTM(rng, 7, 5)
+	x := tensor.Randn(rng, 1, 6, 7)
+	got := l.Forward(x, false)
+	want := referenceLSTMForward(l, x)
+	for i := range want {
+		if math.Abs(got.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("LSTM[%d] = %g, reference %g", i, got.Data[i], want[i])
+		}
+	}
+}
+
+// referenceConvForward cross-checks Conv2D against naive direct convolution
+// including padding.
+func referenceConvForward(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	inC, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh := h + 2*c.PadH - c.KH + 1
+	ow := w + 2*c.PadW - c.KW + 1
+	out := tensor.New(c.OutC, oh, ow)
+	at := func(ic, i, j int) float64 {
+		i -= c.PadH
+		j -= c.PadW
+		if i < 0 || i >= h || j < 0 || j >= w {
+			return 0
+		}
+		return x.At(ic, i, j)
+	}
+	for oc := 0; oc < c.OutC; oc++ {
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				s := c.b.W.Data[oc]
+				for ic := 0; ic < inC; ic++ {
+					for ki := 0; ki < c.KH; ki++ {
+						for kj := 0; kj < c.KW; kj++ {
+							s += at(ic, i+ki, j+kj) * c.w.W.At(oc, ic, ki, kj)
+						}
+					}
+				}
+				out.Set(s, oc, i, j)
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, pad := range [][2]int{{0, 0}, {1, 1}, {2, 1}} {
+		c := NewConv2D(rng, 2, 3, 3, 3, pad[0], pad[1])
+		x := tensor.Randn(rng, 1, 2, 7, 6)
+		got := c.Forward(x, false)
+		want := referenceConvForward(c, x)
+		if !got.SameShape(want) {
+			t.Fatalf("pad %v: shape %v vs %v", pad, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+				t.Fatalf("pad %v: conv[%d] = %g, reference %g", pad, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestGRUGradCheck(t *testing.T) {
+	m := NewModel(archConfig(ArchCNNGRU))
+	rng := rand.New(rand.NewSource(51))
+	x := tensor.Randn(rng, 1, 24, 5)
+	reports, err := GradCheck(m, x, 1, 1e-5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.MaxRelError > 2e-4 {
+			t.Errorf("gru %s: gradient error %g", r.Param, r.MaxRelError)
+		}
+	}
+	rel, err := GradCheckInput(m, x, 0, 1e-5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel > 2e-4 {
+		t.Errorf("gru input gradient error %g", rel)
+	}
+}
+
+func TestGRUFewerParamsThanLSTM(t *testing.T) {
+	lstm := NewModel(archConfig(ArchCNNLSTM))
+	gru := NewModel(archConfig(ArchCNNGRU))
+	if gru.NumParams() >= lstm.NumParams() {
+		t.Errorf("GRU params %d should be below LSTM %d", gru.NumParams(), lstm.NumParams())
+	}
+}
+
+func TestGRULearnsToy(t *testing.T) {
+	cfg := archConfig(ArchCNNGRU)
+	m := NewModel(cfg)
+	train, test := trainToy(t, cfg, 80, 52)
+	if _, err := Train(m, train, TrainConfig{
+		Epochs: 25, BatchSize: 8, LR: 3e-3, GradClip: 5, Seed: 52,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, test); acc < 0.85 {
+		t.Errorf("GRU toy accuracy %.2f", acc)
+	}
+}
+
+// referenceGRUForward cross-checks the GRU forward pass.
+func referenceGRUForward(g *GRU, x *tensor.Tensor) []float64 {
+	T, H, In := x.Dim(0), g.Hidden, g.In
+	h := make([]float64, H)
+	for t := 0; t < T; t++ {
+		newH := make([]float64, H)
+		for u := 0; u < H; u++ {
+			pre := func(gi int) (withX, withH float64) {
+				row := gi*H + u
+				sx := g.b.W.Data[row]
+				for i := 0; i < In; i++ {
+					sx += g.wx.W.At(row, i) * x.At(t, i)
+				}
+				sh := 0.0
+				for i := 0; i < H; i++ {
+					sh += g.wh.W.At(row, i) * h[i]
+				}
+				return sx, sh
+			}
+			rx, rh := pre(0)
+			zx, zh := pre(1)
+			nx, nh := pre(2)
+			r := 1 / (1 + math.Exp(-(rx + rh)))
+			z := 1 / (1 + math.Exp(-(zx + zh)))
+			n := math.Tanh(nx + r*nh)
+			newH[u] = (1-z)*n + z*h[u]
+		}
+		h = newH
+	}
+	return h
+}
+
+func TestGRUMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := NewGRU(rng, 7, 5)
+	x := tensor.Randn(rng, 1, 6, 7)
+	got := g.Forward(x, false)
+	want := referenceGRUForward(g, x)
+	for i := range want {
+		if math.Abs(got.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("GRU[%d] = %g, reference %g", i, got.Data[i], want[i])
+		}
+	}
+}

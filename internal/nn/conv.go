@@ -1,0 +1,228 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (C, H, W) inputs with stride 1 and
+// explicit zero padding. Weights have shape (OutC, InC, KH, KW).
+type Conv2D struct {
+	InC, OutC  int
+	KH, KW     int
+	PadH, PadW int
+
+	w, b *Param
+
+	// cached forward state
+	inPadded *tensor.Tensor
+	inShape  []int
+}
+
+// NewConv2D builds a convolution with He initialisation.
+func NewConv2D(rng *rand.Rand, inC, outC, kh, kw, padH, padW int) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, KH: kh, KW: kw, PadH: padH, PadW: padW}
+	w := tensor.New(outC, inC, kh, kw)
+	heInit(rng, w, inC*kh*kw)
+	c.w = &Param{Name: "conv.w", W: w, Grad: tensor.New(outC, inC, kh, kw)}
+	c.b = &Param{Name: "conv.b", W: tensor.New(outC), Grad: tensor.New(outC)}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d→%d,%dx%d)", c.InC, c.OutC, c.KH, c.KW)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	h := in[1] + 2*c.PadH - c.KH + 1
+	w := in[2] + 2*c.PadW - c.KW + 1
+	return []int{c.OutC, h, w}
+}
+
+// FLOPs implements Layer.
+func (c *Conv2D) FLOPs(in []int) int64 {
+	out := c.OutShape(in)
+	return int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(c.InC*c.KH*c.KW)
+}
+
+func (c *Conv2D) pad(x *tensor.Tensor) *tensor.Tensor {
+	if c.PadH == 0 && c.PadW == 0 {
+		return x
+	}
+	ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(ch, h+2*c.PadH, w+2*c.PadW)
+	for cc := 0; cc < ch; cc++ {
+		for i := 0; i < h; i++ {
+			srcOff := (cc*h + i) * w
+			dstOff := (cc*(h+2*c.PadH)+i+c.PadH)*(w+2*c.PadW) + c.PadW
+			copy(out.Data[dstOff:dstOff+w], x.Data[srcOff:srcOff+w])
+		}
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(0) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D input shape %v, want (%d,H,W)", x.Shape, c.InC))
+	}
+	c.inShape = append([]int(nil), x.Shape...)
+	xp := c.pad(x)
+	c.inPadded = xp
+	ph, pw := xp.Dim(1), xp.Dim(2)
+	oh := ph - c.KH + 1
+	ow := pw - c.KW + 1
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: Conv2D kernel %dx%d too large for padded input %dx%d", c.KH, c.KW, ph, pw))
+	}
+	out := tensor.New(c.OutC, oh, ow)
+	wd := c.w.W.Data
+	xd := xp.Data
+	od := out.Data
+	bd := c.b.W.Data
+	for oc := 0; oc < c.OutC; oc++ {
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				sum := bd[oc]
+				for ic := 0; ic < c.InC; ic++ {
+					for ki := 0; ki < c.KH; ki++ {
+						xrow := (ic*ph+i+ki)*pw + j
+						wrow := ((oc*c.InC+ic)*c.KH + ki) * c.KW
+						for kj := 0; kj < c.KW; kj++ {
+							sum += xd[xrow+kj] * wd[wrow+kj]
+						}
+					}
+				}
+				od[(oc*oh+i)*ow+j] = sum
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	xp := c.inPadded
+	ph, pw := xp.Dim(1), xp.Dim(2)
+	oh, ow := grad.Dim(1), grad.Dim(2)
+	gd := grad.Data
+	xd := xp.Data
+	wd := c.w.W.Data
+	gw := c.w.Grad.Data
+	gb := c.b.Grad.Data
+	dxp := tensor.New(c.InC, ph, pw)
+	dxd := dxp.Data
+	for oc := 0; oc < c.OutC; oc++ {
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				g := gd[(oc*oh+i)*ow+j]
+				if g == 0 {
+					continue
+				}
+				gb[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for ki := 0; ki < c.KH; ki++ {
+						xrow := (ic*ph+i+ki)*pw + j
+						wrow := ((oc*c.InC+ic)*c.KH + ki) * c.KW
+						for kj := 0; kj < c.KW; kj++ {
+							gw[wrow+kj] += g * xd[xrow+kj]
+							dxd[xrow+kj] += g * wd[wrow+kj]
+						}
+					}
+				}
+			}
+		}
+	}
+	// Strip padding.
+	if c.PadH == 0 && c.PadW == 0 {
+		return dxp
+	}
+	h, w := c.inShape[1], c.inShape[2]
+	dx := tensor.New(c.InC, h, w)
+	for ic := 0; ic < c.InC; ic++ {
+		for i := 0; i < h; i++ {
+			srcOff := (ic*ph+i+c.PadH)*pw + c.PadW
+			dstOff := (ic*h + i) * w
+			copy(dx.Data[dstOff:dstOff+w], dxd[srcOff:srcOff+w])
+		}
+	}
+	return dx
+}
+
+// MaxPool2D pools (C, H, W) inputs with a KH×KW window and matching stride.
+// Ragged edges are truncated (floor division), as in most frameworks'
+// default.
+type MaxPool2D struct {
+	KH, KW int
+
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2D builds a max-pooling layer.
+func NewMaxPool2D(kh, kw int) *MaxPool2D { return &MaxPool2D{KH: kh, KW: kw} }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(%dx%d)", p.KH, p.KW) }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(in []int) []int {
+	return []int{in[0], in[1] / p.KH, in[2] / p.KW}
+}
+
+// FLOPs implements Layer.
+func (p *MaxPool2D) FLOPs(in []int) int64 {
+	out := p.OutShape(in)
+	return int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(p.KH*p.KW)
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := h/p.KH, w/p.KW
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: MaxPool2D %dx%d too large for input %v", p.KH, p.KW, x.Shape))
+	}
+	p.inShape = append([]int(nil), x.Shape...)
+	out := tensor.New(ch, oh, ow)
+	p.argmax = make([]int, out.Size())
+	for cc := 0; cc < ch; cc++ {
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				best := -1
+				bestV := 0.0
+				for ki := 0; ki < p.KH; ki++ {
+					for kj := 0; kj < p.KW; kj++ {
+						idx := (cc*h+i*p.KH+ki)*w + j*p.KW + kj
+						if best == -1 || x.Data[idx] > bestV {
+							best, bestV = idx, x.Data[idx]
+						}
+					}
+				}
+				oidx := (cc*oh+i)*ow + j
+				out.Data[oidx] = bestV
+				p.argmax[oidx] = best
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	for oidx, src := range p.argmax {
+		dx.Data[src] += grad.Data[oidx]
+	}
+	return dx
+}

@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer on flat vectors: y = Wx + b with W of
+// shape (Out, In).
+type Dense struct {
+	In, Out int
+
+	w, b *Param
+	inX  *tensor.Tensor
+}
+
+// NewDense builds a dense layer with He initialisation.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{In: in, Out: out}
+	w := tensor.New(out, in)
+	heInit(rng, w, in)
+	d.w = &Param{Name: "dense.w", W: w, Grad: tensor.New(out, in)}
+	d.b = &Param{Name: "dense.b", W: tensor.New(out), Grad: tensor.New(out)}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) []int { return []int{d.Out} }
+
+// FLOPs implements Layer.
+func (d *Dense) FLOPs(in []int) int64 { return int64(d.In) * int64(d.Out) }
+
+// Forward implements Layer. Inputs of any rank are flattened.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Size() != d.In {
+		panic(fmt.Sprintf("nn: Dense input size %d, want %d", x.Size(), d.In))
+	}
+	flat := x.Reshape(d.In)
+	d.inX = flat
+	out := tensor.New(d.Out)
+	wd := d.w.W.Data
+	for o := 0; o < d.Out; o++ {
+		s := d.b.W.Data[o]
+		row := wd[o*d.In : (o+1)*d.In]
+		for i, v := range flat.Data {
+			s += row[i] * v
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gw := d.w.Grad.Data
+	wd := d.w.W.Data
+	dx := tensor.New(d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		d.b.Grad.Data[o] += g
+		if g == 0 {
+			continue
+		}
+		row := wd[o*d.In : (o+1)*d.In]
+		grow := gw[o*d.In : (o+1)*d.In]
+		for i, v := range d.inX.Data {
+			grow[i] += g * v
+			dx.Data[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (r *ReLU) FLOPs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	r.mask = make([]bool, x.Size())
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, m := range r.mask {
+		if m {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// Dropout zeroes activations with probability Rate during training and
+// rescales survivors by 1/(1−Rate) (inverted dropout). Inference is a
+// pass-through.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	keep []bool
+}
+
+// NewDropout builds a dropout layer with its own RNG stream.
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(rng.Int63()))}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.Rate) }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (d *Dropout) FLOPs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate <= 0 {
+		d.keep = nil
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	d.keep = make([]bool, x.Size())
+	scale := 1 / (1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.Rate {
+			out.Data[i] = v * scale
+			d.keep[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.keep == nil {
+		return grad
+	}
+	dx := tensor.New(grad.Shape...)
+	scale := 1 / (1 - d.Rate)
+	for i, k := range d.keep {
+		if k {
+			dx.Data[i] = grad.Data[i] * scale
+		}
+	}
+	return dx
+}
+
+// SeqReshape converts a (C, H, W) activation volume into the (W, C·H)
+// sequence the LSTM consumes: each of the W time steps (the feature-map
+// windows) becomes one input vector of the channel×height features.
+type SeqReshape struct {
+	inShape []int
+}
+
+// NewSeqReshape builds the reshaping layer.
+func NewSeqReshape() *SeqReshape { return &SeqReshape{} }
+
+// Name implements Layer.
+func (s *SeqReshape) Name() string { return "SeqReshape" }
+
+// Params implements Layer.
+func (s *SeqReshape) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *SeqReshape) OutShape(in []int) []int { return []int{in[2], in[0] * in[1]} }
+
+// FLOPs implements Layer.
+func (s *SeqReshape) FLOPs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (s *SeqReshape) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	s.inShape = append([]int(nil), x.Shape...)
+	out := tensor.New(w, ch*h)
+	for cc := 0; cc < ch; cc++ {
+		for i := 0; i < h; i++ {
+			for j := 0; j < w; j++ {
+				out.Data[j*(ch*h)+cc*h+i] = x.Data[(cc*h+i)*w+j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *SeqReshape) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	ch, h, w := s.inShape[0], s.inShape[1], s.inShape[2]
+	dx := tensor.New(ch, h, w)
+	for cc := 0; cc < ch; cc++ {
+		for i := 0; i < h; i++ {
+			for j := 0; j < w; j++ {
+				dx.Data[(cc*h+i)*w+j] = grad.Data[j*(ch*h)+cc*h+i]
+			}
+		}
+	}
+	return dx
+}

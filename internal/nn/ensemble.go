@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Ensemble combines several models by averaging their softmax outputs
+// (soft voting), optionally with non-uniform weights. CLEAR uses it for
+// low-confidence cold starts: when a new user sits between two clusters,
+// blending the two cluster checkpoints beats committing to either.
+type Ensemble struct {
+	Models  []*Model
+	Weights []float64 // normalised at construction; nil = uniform
+}
+
+// NewEnsemble builds a soft-voting ensemble. weights may be nil (uniform);
+// otherwise it must match models in length, with non-negative entries
+// summing to a positive value.
+func NewEnsemble(models []*Model, weights []float64) (*Ensemble, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("nn: empty ensemble")
+	}
+	if weights == nil {
+		weights = make([]float64, len(models))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(models) {
+		return nil, fmt.Errorf("nn: %d weights for %d models", len(weights), len(models))
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("nn: negative ensemble weight %g", w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("nn: ensemble weights sum to %g", sum)
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	return &Ensemble{Models: models, Weights: norm}, nil
+}
+
+// Probabilities returns the weighted average class distribution.
+func (e *Ensemble) Probabilities(x *tensor.Tensor) []float64 {
+	var acc []float64
+	for i, m := range e.Models {
+		p := m.Probabilities(x)
+		if acc == nil {
+			acc = make([]float64, len(p))
+		}
+		for c, v := range p {
+			acc[c] += e.Weights[i] * v
+		}
+	}
+	return acc
+}
+
+// Predict returns the argmax class of the averaged distribution.
+func (e *Ensemble) Predict(x *tensor.Tensor) int {
+	p := e.Probabilities(x)
+	best, bi := p[0], 0
+	for c, v := range p[1:] {
+		if v > best {
+			best, bi = v, c+1
+		}
+	}
+	return bi
+}
+
+// EnsembleAccuracy evaluates the ensemble on labelled samples.
+func EnsembleAccuracy(e *Ensemble, data []Sample) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range data {
+		if e.Predict(s.X) == s.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(data))
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestEnsembleErrors(t *testing.T) {
+	if _, err := NewEnsemble(nil, nil); err == nil {
+		t.Error("want error for empty ensemble")
+	}
+	m := NewCNNLSTM(tinyConfig())
+	if _, err := NewEnsemble([]*Model{m}, []float64{1, 2}); err == nil {
+		t.Error("want error for weight count mismatch")
+	}
+	if _, err := NewEnsemble([]*Model{m}, []float64{-1}); err == nil {
+		t.Error("want error for negative weight")
+	}
+	if _, err := NewEnsemble([]*Model{m}, []float64{0}); err == nil {
+		t.Error("want error for zero-sum weights")
+	}
+}
+
+func TestEnsembleSingleModelIdentity(t *testing.T) {
+	m := NewCNNLSTM(tinyConfig())
+	e, err := NewEnsemble([]*Model{m}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	x := tensor.Randn(rng, 1, 24, 5)
+	pm := m.Probabilities(x)
+	pe := e.Probabilities(x)
+	for i := range pm {
+		if math.Abs(pm[i]-pe[i]) > 1e-12 {
+			t.Fatal("single-model ensemble must match the model")
+		}
+	}
+	if e.Predict(x) != m.Predict(x) {
+		t.Fatal("prediction mismatch")
+	}
+}
+
+func TestEnsembleWeightsNormalised(t *testing.T) {
+	cfg := tinyConfig()
+	m1 := NewCNNLSTM(cfg)
+	cfg2 := cfg
+	cfg2.Seed = 99
+	m2 := NewCNNLSTM(cfg2)
+	e, err := NewEnsemble([]*Model{m1, m2}, []float64{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Weights[0]-0.25) > 1e-12 || math.Abs(e.Weights[1]-0.75) > 1e-12 {
+		t.Errorf("weights %v", e.Weights)
+	}
+	rng := rand.New(rand.NewSource(62))
+	x := tensor.Randn(rng, 1, 24, 5)
+	p := e.Probabilities(x)
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ensemble probabilities sum to %g", sum)
+	}
+}
+
+func TestEnsembleDominantWeightFollowsModel(t *testing.T) {
+	cfg := tinyConfig()
+	m1 := NewCNNLSTM(cfg)
+	cfg2 := cfg
+	cfg2.Seed = 77
+	m2 := NewCNNLSTM(cfg2)
+	rng := rand.New(rand.NewSource(63))
+	// Find an input where the two disagree.
+	var x *tensor.Tensor
+	for i := 0; i < 200; i++ {
+		cand := tensor.Randn(rng, 1, 24, 5)
+		if m1.Predict(cand) != m2.Predict(cand) {
+			x = cand
+			break
+		}
+	}
+	if x == nil {
+		t.Skip("no disagreement point found")
+	}
+	heavy1, _ := NewEnsemble([]*Model{m1, m2}, []float64{1000, 1})
+	heavy2, _ := NewEnsemble([]*Model{m1, m2}, []float64{1, 1000})
+	if heavy1.Predict(x) != m1.Predict(x) {
+		t.Error("weight-dominated ensemble should follow model 1")
+	}
+	if heavy2.Predict(x) != m2.Predict(x) {
+		t.Error("weight-dominated ensemble should follow model 2")
+	}
+}
+
+func TestEnsembleAccuracy(t *testing.T) {
+	m := NewCNNLSTM(tinyConfig())
+	e, _ := NewEnsemble([]*Model{m}, nil)
+	if EnsembleAccuracy(e, nil) != 0 {
+		t.Error("empty data accuracy should be 0")
+	}
+	rng := rand.New(rand.NewSource(64))
+	data := []Sample{{X: tensor.Randn(rng, 1, 24, 5), Y: 0}}
+	acc := EnsembleAccuracy(e, data)
+	if acc != 0 && acc != 1 {
+		t.Errorf("accuracy %g", acc)
+	}
+}

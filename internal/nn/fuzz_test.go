@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad hardens the checkpoint loader: arbitrary bytes must produce an
+// error or a consistent model, never a panic or runaway allocation.
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	m := NewCNNLSTM(ModelConfig{
+		InH: 16, InW: 4, Conv1: 1, Conv2: 2,
+		K1H: 3, K1W: 3, K2H: 3, K2W: 3, Pool1: 2, Pool2: 2,
+		LSTMHidden: 4, Classes: 2, Seed: 1,
+	})
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:8])
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[10] ^= 0xFF // inside the config JSON
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully loaded model must be usable.
+		if loaded.NumParams() <= 0 {
+			t.Fatal("loaded model has no parameters")
+		}
+		x := newTensor(loaded.Config.InH, loaded.Config.InW)
+		out := loaded.Forward(x, false)
+		if out.Size() != loaded.Config.Classes {
+			t.Fatalf("loaded model produced %d logits, config says %d",
+				out.Size(), loaded.Config.Classes)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GradCheckReport summarises a finite-difference check of one parameter.
+type GradCheckReport struct {
+	Param       string
+	MaxRelError float64
+	Checked     int
+}
+
+// GradCheck verifies analytic gradients against central finite differences
+// for a model and one labelled sample. It checks every parameter element
+// when the parameter has ≤ maxPerParam elements, otherwise a strided
+// subset. Dropout must be disabled (rate 0) for the check to be exact.
+func GradCheck(m *Model, x *tensor.Tensor, label int, eps float64, maxPerParam int) ([]GradCheckReport, error) {
+	if eps <= 0 {
+		eps = 1e-5
+	}
+	if maxPerParam <= 0 {
+		maxPerParam = 64
+	}
+	// Analytic gradients.
+	m.ZeroGrad()
+	logits := m.Forward(x, true)
+	_, grad := CrossEntropy(logits, label)
+	m.Backward(grad)
+
+	lossAt := func() float64 {
+		l := m.Forward(x, true)
+		loss, _ := CrossEntropy(l, label)
+		return loss
+	}
+
+	var reports []GradCheckReport
+	for _, p := range m.Params() {
+		stride := 1
+		if p.W.Size() > maxPerParam {
+			stride = p.W.Size() / maxPerParam
+		}
+		rep := GradCheckReport{Param: p.Name}
+		for i := 0; i < p.W.Size(); i += stride {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := lossAt()
+			p.W.Data[i] = orig - eps
+			lm := lossAt()
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			ana := p.Grad.Data[i]
+			denom := math.Max(1e-8, math.Abs(num)+math.Abs(ana))
+			rel := math.Abs(num-ana) / denom
+			if rel > rep.MaxRelError {
+				rep.MaxRelError = rel
+			}
+			rep.Checked++
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// GradCheckInput verifies the gradient with respect to the *input* tensor,
+// exercising every layer's Backward input path.
+func GradCheckInput(m *Model, x *tensor.Tensor, label int, eps float64, maxElems int) (float64, error) {
+	if eps <= 0 {
+		eps = 1e-5
+	}
+	if maxElems <= 0 {
+		maxElems = 64
+	}
+	m.ZeroGrad()
+	logits := m.Forward(x, true)
+	_, grad := CrossEntropy(logits, label)
+	dx := m.Backward(grad)
+	if dx.Size() != x.Size() {
+		return 0, fmt.Errorf("nn: input gradient size %d, want %d", dx.Size(), x.Size())
+	}
+	stride := 1
+	if x.Size() > maxElems {
+		stride = x.Size() / maxElems
+	}
+	maxRel := 0.0
+	for i := 0; i < x.Size(); i += stride {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := lossOf(m, x, label)
+		x.Data[i] = orig - eps
+		lm := lossOf(m, x, label)
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		ana := dx.Data[i]
+		denom := math.Max(1e-8, math.Abs(num)+math.Abs(ana))
+		if rel := math.Abs(num-ana) / denom; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel, nil
+}
+
+func lossOf(m *Model, x *tensor.Tensor, label int) float64 {
+	logits := m.Forward(x, true)
+	loss, _ := CrossEntropy(logits, label)
+	return loss
+}

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// GRU is a single-layer gated recurrent unit over a (T, In) sequence,
+// returning the final hidden state. It is the lighter alternative to the
+// LSTM in the Fig. 2 head (ArchCNNGRU in the architecture study): three
+// gates instead of four and no cell state, so ~25 % fewer recurrent
+// parameters at the same hidden width.
+//
+// Gate layout within the stacked weights is [reset, update, candidate]
+// (r, z, n), each a Hidden-row block:
+//
+//	r_t = σ(Wr x_t + Ur h_{t-1} + br)
+//	z_t = σ(Wz x_t + Uz h_{t-1} + bz)
+//	n_t = tanh(Wn x_t + r_t ⊙ (Un h_{t-1}) + bn)
+//	h_t = (1−z_t) ⊙ n_t + z_t ⊙ h_{t-1}
+type GRU struct {
+	In, Hidden int
+
+	wx, wh, b *Param
+
+	// cached forward state for BPTT
+	xs         *tensor.Tensor // (T, In)
+	hs         *tensor.Tensor // (T+1, Hidden)
+	gr, gz, gn *tensor.Tensor // gate activations per step (T, Hidden)
+	uh         *tensor.Tensor // Un·h_{t-1} pre-product per step (T, Hidden)
+}
+
+// NewGRU builds a GRU with Xavier-initialised weights and a positive
+// update-gate bias (biasing towards carrying state early in training).
+func NewGRU(rng *rand.Rand, in, hidden int) *GRU {
+	g := &GRU{In: in, Hidden: hidden}
+	wx := tensor.New(3*hidden, in)
+	xavierInit(rng, wx, in, hidden)
+	wh := tensor.New(3*hidden, hidden)
+	xavierInit(rng, wh, hidden, hidden)
+	b := tensor.New(3 * hidden)
+	for i := hidden; i < 2*hidden; i++ {
+		b.Data[i] = 1 // update gate bias
+	}
+	g.wx = &Param{Name: "gru.wx", W: wx, Grad: tensor.New(3*hidden, in)}
+	g.wh = &Param{Name: "gru.wh", W: wh, Grad: tensor.New(3*hidden, hidden)}
+	g.b = &Param{Name: "gru.b", W: b, Grad: tensor.New(3 * hidden)}
+	return g
+}
+
+// Name implements Layer.
+func (g *GRU) Name() string { return fmt.Sprintf("GRU(%d→%d)", g.In, g.Hidden) }
+
+// Params implements Layer.
+func (g *GRU) Params() []*Param { return []*Param{g.wx, g.wh, g.b} }
+
+// OutShape implements Layer.
+func (g *GRU) OutShape(in []int) []int { return []int{g.Hidden} }
+
+// FLOPs implements Layer.
+func (g *GRU) FLOPs(in []int) int64 {
+	t := int64(in[0])
+	return t * 3 * int64(g.Hidden) * int64(g.In+g.Hidden)
+}
+
+// Forward implements Layer. x must be (T, In); the output is h_T.
+func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != g.In {
+		panic(fmt.Sprintf("nn: GRU input shape %v, want (T,%d)", x.Shape, g.In))
+	}
+	T := x.Dim(0)
+	H := g.Hidden
+	g.xs = x
+	g.hs = tensor.New(T+1, H)
+	g.gr = tensor.New(T, H)
+	g.gz = tensor.New(T, H)
+	g.gn = tensor.New(T, H)
+	g.uh = tensor.New(T, H)
+
+	wx, wh, b := g.wx.W.Data, g.wh.W.Data, g.b.W.Data
+	for t := 0; t < T; t++ {
+		xt := x.Data[t*g.In : (t+1)*g.In]
+		hPrev := g.hs.Data[t*H : (t+1)*H]
+		hCur := g.hs.Data[(t+1)*H : (t+2)*H]
+		for u := 0; u < H; u++ {
+			pre := func(gi int, withH bool) float64 {
+				row := gi*H + u
+				s := b[row]
+				wxRow := wx[row*g.In : (row+1)*g.In]
+				for i, v := range xt {
+					s += wxRow[i] * v
+				}
+				if withH {
+					whRow := wh[row*H : (row+1)*H]
+					for i, v := range hPrev {
+						s += whRow[i] * v
+					}
+				}
+				return s
+			}
+			r := sigmoid(pre(0, true))
+			z := sigmoid(pre(1, true))
+			// Candidate uses r ⊙ (Un h_{t-1}): compute Un h separately.
+			row := 2*H + u
+			uhv := 0.0
+			whRow := wh[row*H : (row+1)*H]
+			for i, v := range hPrev {
+				uhv += whRow[i] * v
+			}
+			nPre := b[row]
+			wxRow := wx[row*g.In : (row+1)*g.In]
+			for i, v := range xt {
+				nPre += wxRow[i] * v
+			}
+			n := math.Tanh(nPre + r*uhv)
+			hCur[u] = (1-z)*n + z*hPrev[u]
+			g.gr.Data[t*H+u] = r
+			g.gz.Data[t*H+u] = z
+			g.gn.Data[t*H+u] = n
+			g.uh.Data[t*H+u] = uhv
+		}
+	}
+	out := tensor.New(H)
+	copy(out.Data, g.hs.Data[T*H:(T+1)*H])
+	return out
+}
+
+// Backward implements Layer. grad is dL/dh_T; returns dL/dx of shape
+// (T, In).
+func (g *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	T := g.xs.Dim(0)
+	H := g.Hidden
+	dx := tensor.New(T, g.In)
+	dh := make([]float64, H)
+	copy(dh, grad.Data)
+
+	wx, wh := g.wx.W.Data, g.wh.W.Data
+	gwx, gwh, gb := g.wx.Grad.Data, g.wh.Grad.Data, g.b.Grad.Data
+
+	dhPrev := make([]float64, H)
+	for t := T - 1; t >= 0; t-- {
+		xt := g.xs.Data[t*g.In : (t+1)*g.In]
+		hPrev := g.hs.Data[t*H : (t+1)*H]
+		for u := range dhPrev {
+			dhPrev[u] = 0
+		}
+		for u := 0; u < H; u++ {
+			r := g.gr.Data[t*H+u]
+			z := g.gz.Data[t*H+u]
+			n := g.gn.Data[t*H+u]
+			uhv := g.uh.Data[t*H+u]
+			dhu := dh[u]
+			if dhu == 0 {
+				continue
+			}
+			// h = (1−z)n + z h_prev
+			dz := dhu * (hPrev[u] - n) * z * (1 - z)
+			dn := dhu * (1 - z) * (1 - n*n) // gradient at the tanh pre-activation
+			dhPrev[u] += dhu * z
+			// n pre-activation = Wn x + bn + r·uh
+			dr := dn * uhv * r * (1 - r)
+			duh := dn * r
+
+			// Accumulate for the three gate rows.
+			type gateGrad struct {
+				row  int
+				dpre float64
+			}
+			gates := [3]gateGrad{
+				{0*H + u, dr},
+				{1*H + u, dz},
+				{2*H + u, dn},
+			}
+			for gi, gg := range gates {
+				if gg.dpre == 0 {
+					continue
+				}
+				gb[gg.row] += gg.dpre
+				wxRow := wx[gg.row*g.In : (gg.row+1)*g.In]
+				gwxRow := gwx[gg.row*g.In : (gg.row+1)*g.In]
+				dxRow := dx.Data[t*g.In : (t+1)*g.In]
+				for k, v := range xt {
+					gwxRow[k] += gg.dpre * v
+					dxRow[k] += gg.dpre * wxRow[k]
+				}
+				if gi < 2 {
+					// r and z see Ur/Uz · h_prev directly.
+					whRow := wh[gg.row*H : (gg.row+1)*H]
+					gwhRow := gwh[gg.row*H : (gg.row+1)*H]
+					for k, v := range hPrev {
+						gwhRow[k] += gg.dpre * v
+						dhPrev[k] += gg.dpre * whRow[k]
+					}
+				}
+			}
+			// Candidate recurrent path: uh = Un · h_prev, scaled by r.
+			row := 2*H + u
+			whRow := wh[row*H : (row+1)*H]
+			gwhRow := gwh[row*H : (row+1)*H]
+			for k, v := range hPrev {
+				gwhRow[k] += duh * v
+				dhPrev[k] += duh * whRow[k]
+			}
+		}
+		copy(dh, dhPrev)
+	}
+	return dx
+}

@@ -1,0 +1,42 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Softmax returns the softmax distribution of logits, computed stably.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	m := logits[0]
+	for _, v := range logits[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - m)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropy computes softmax cross-entropy loss for one sample and the
+// gradient with respect to the logits: probs − onehot(label).
+func CrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	probs := Softmax(logits.Data)
+	const eps = 1e-12
+	loss = -math.Log(probs[label] + eps)
+	grad = tensor.New(logits.Shape...)
+	copy(grad.Data, probs)
+	grad.Data[label] -= 1
+	return loss, grad
+}

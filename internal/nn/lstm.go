@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory over a (T, In) sequence,
+// returning the final hidden state h_T as a length-Hidden vector (the
+// configuration the paper's Fig. 2 classifier uses before its dense head).
+//
+// Gate layout within the stacked weight matrices is [input, forget, cell,
+// output] (i, f, g, o), each a Hidden-row block. The forget-gate bias is
+// initialised to 1, the standard trick that stabilises early training.
+type LSTM struct {
+	In, Hidden int
+
+	wx, wh, b *Param
+
+	// cached forward state for BPTT
+	xs              *tensor.Tensor // (T, In)
+	hs, cs          *tensor.Tensor // (T+1, Hidden), index 0 is the zero state
+	gi, gf, gg, gog *tensor.Tensor // gate activations per step (T, Hidden)
+}
+
+// NewLSTM builds an LSTM with Xavier-initialised weights.
+func NewLSTM(rng *rand.Rand, in, hidden int) *LSTM {
+	l := &LSTM{In: in, Hidden: hidden}
+	wx := tensor.New(4*hidden, in)
+	xavierInit(rng, wx, in, hidden)
+	wh := tensor.New(4*hidden, hidden)
+	xavierInit(rng, wh, hidden, hidden)
+	b := tensor.New(4 * hidden)
+	for i := hidden; i < 2*hidden; i++ {
+		b.Data[i] = 1 // forget gate bias
+	}
+	l.wx = &Param{Name: "lstm.wx", W: wx, Grad: tensor.New(4*hidden, in)}
+	l.wh = &Param{Name: "lstm.wh", W: wh, Grad: tensor.New(4*hidden, hidden)}
+	l.b = &Param{Name: "lstm.b", W: b, Grad: tensor.New(4 * hidden)}
+	return l
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return fmt.Sprintf("LSTM(%d→%d)", l.In, l.Hidden) }
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
+
+// OutShape implements Layer.
+func (l *LSTM) OutShape(in []int) []int { return []int{l.Hidden} }
+
+// FLOPs implements Layer.
+func (l *LSTM) FLOPs(in []int) int64 {
+	t := int64(in[0])
+	return t * 4 * int64(l.Hidden) * int64(l.In+l.Hidden)
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward implements Layer. x must be (T, In); the output is h_T.
+func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: LSTM input shape %v, want (T,%d)", x.Shape, l.In))
+	}
+	T := x.Dim(0)
+	H := l.Hidden
+	l.xs = x
+	l.hs = tensor.New(T+1, H)
+	l.cs = tensor.New(T+1, H)
+	l.gi = tensor.New(T, H)
+	l.gf = tensor.New(T, H)
+	l.gg = tensor.New(T, H)
+	l.gog = tensor.New(T, H)
+
+	wx, wh, b := l.wx.W.Data, l.wh.W.Data, l.b.W.Data
+	for t := 0; t < T; t++ {
+		xt := x.Data[t*l.In : (t+1)*l.In]
+		hPrev := l.hs.Data[t*H : (t+1)*H]
+		cPrev := l.cs.Data[t*H : (t+1)*H]
+		hCur := l.hs.Data[(t+1)*H : (t+2)*H]
+		cCur := l.cs.Data[(t+1)*H : (t+2)*H]
+		for u := 0; u < H; u++ {
+			// Pre-activations for the four gates of unit u.
+			var z [4]float64
+			for g := 0; g < 4; g++ {
+				row := g*H + u
+				s := b[row]
+				wxRow := wx[row*l.In : (row+1)*l.In]
+				for i, v := range xt {
+					s += wxRow[i] * v
+				}
+				whRow := wh[row*H : (row+1)*H]
+				for i, v := range hPrev {
+					s += whRow[i] * v
+				}
+				z[g] = s
+			}
+			i := sigmoid(z[0])
+			f := sigmoid(z[1])
+			g := math.Tanh(z[2])
+			o := sigmoid(z[3])
+			c := f*cPrev[u] + i*g
+			cCur[u] = c
+			hCur[u] = o * math.Tanh(c)
+			l.gi.Data[t*H+u] = i
+			l.gf.Data[t*H+u] = f
+			l.gg.Data[t*H+u] = g
+			l.gog.Data[t*H+u] = o
+		}
+	}
+	out := tensor.New(H)
+	copy(out.Data, l.hs.Data[T*H:(T+1)*H])
+	return out
+}
+
+// Backward implements Layer. grad is dL/dh_T; the return value is dL/dx of
+// shape (T, In).
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	T := l.xs.Dim(0)
+	H := l.Hidden
+	dx := tensor.New(T, l.In)
+	dh := make([]float64, H) // dL/dh_t flowing backwards
+	dc := make([]float64, H) // dL/dc_t flowing backwards
+	copy(dh, grad.Data)
+
+	wx, wh := l.wx.W.Data, l.wh.W.Data
+	gwx, gwh, gb := l.wx.Grad.Data, l.wh.Grad.Data, l.b.Grad.Data
+
+	dhPrev := make([]float64, H)
+	dcPrev := make([]float64, H)
+	for t := T - 1; t >= 0; t-- {
+		xt := l.xs.Data[t*l.In : (t+1)*l.In]
+		hPrev := l.hs.Data[t*H : (t+1)*H]
+		cPrev := l.cs.Data[t*H : (t+1)*H]
+		cCur := l.cs.Data[(t+1)*H : (t+2)*H]
+		for u := range dhPrev {
+			dhPrev[u] = 0
+			dcPrev[u] = 0
+		}
+		for u := 0; u < H; u++ {
+			i := l.gi.Data[t*H+u]
+			f := l.gf.Data[t*H+u]
+			g := l.gg.Data[t*H+u]
+			o := l.gog.Data[t*H+u]
+			tc := math.Tanh(cCur[u])
+			dcTot := dc[u] + dh[u]*o*(1-tc*tc)
+			dzi := dcTot * g * i * (1 - i)
+			dzf := dcTot * cPrev[u] * f * (1 - f)
+			dzg := dcTot * i * (1 - g*g)
+			dzo := dh[u] * tc * o * (1 - o)
+			dcPrev[u] += dcTot * f
+
+			dz := [4]float64{dzi, dzf, dzg, dzo}
+			for gi, dzv := range dz {
+				if dzv == 0 {
+					continue
+				}
+				row := gi*H + u
+				gb[row] += dzv
+				wxRow := wx[row*l.In : (row+1)*l.In]
+				gwxRow := gwx[row*l.In : (row+1)*l.In]
+				dxRow := dx.Data[t*l.In : (t+1)*l.In]
+				for k, v := range xt {
+					gwxRow[k] += dzv * v
+					dxRow[k] += dzv * wxRow[k]
+				}
+				whRow := wh[row*H : (row+1)*H]
+				gwhRow := gwh[row*H : (row+1)*H]
+				for k, v := range hPrev {
+					gwhRow[k] += dzv * v
+					dhPrev[k] += dzv * whRow[k]
+				}
+			}
+		}
+		copy(dh, dhPrev)
+		copy(dc, dcPrev)
+	}
+	return dx
+}

@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// tensorT keeps the layer signatures below readable.
+type tensorT = tensor.Tensor
+
+// newTensor forwards to tensor.New for layers defined in this package.
+func newTensor(shape ...int) *tensorT { return tensor.New(shape...) }
+
+// ModelConfig describes the Fig. 2 CNN-LSTM architecture: two convolutional
+// blocks (conv + ReLU + height-wise max-pool) feeding an LSTM over the
+// feature-map windows, a dropout layer and a dense softmax head.
+type ModelConfig struct {
+	// InH and InW are the feature-map dimensions (F×W; 123×W in the paper).
+	InH, InW int
+	// Conv1 and Conv2 are the channel counts of the two convolutions.
+	Conv1, Conv2 int
+	// K1H/K1W and K2H/K2W are the kernel sizes (height × width).
+	K1H, K1W int
+	K2H, K2W int
+	// Pool1 and Pool2 are the height-wise pooling factors.
+	Pool1, Pool2 int
+	// LSTMHidden is the LSTM state size.
+	LSTMHidden int
+	// Dropout is the dropout rate before the dense head.
+	Dropout float64
+	// Classes is the output class count (2: fear / non-fear).
+	Classes int
+	// Seed initialises the weights deterministically.
+	Seed int64
+	// Arch selects the architecture (default ArchCNNLSTM, the Fig. 2
+	// model); ArchCNNOnly and ArchLSTMOnly are its ablations.
+	Arch Arch `json:"arch,omitempty"`
+}
+
+// PaperModelConfig is the full-size architecture for F=123 feature maps.
+func PaperModelConfig(inW int) ModelConfig {
+	return ModelConfig{
+		InH: 123, InW: inW,
+		Conv1: 8, Conv2: 16,
+		K1H: 5, K1W: 3, K2H: 3, K2W: 3,
+		Pool1: 3, Pool2: 3,
+		LSTMHidden: 48,
+		Dropout:    0.3,
+		Classes:    2,
+		Seed:       1,
+	}
+}
+
+// FastModelConfig is a reduced-width profile running the identical code
+// path; used by tests, benches and the default experiment harness.
+func FastModelConfig(inW int) ModelConfig {
+	return ModelConfig{
+		InH: 123, InW: inW,
+		Conv1: 4, Conv2: 8,
+		K1H: 5, K1W: 3, K2H: 3, K2W: 3,
+		Pool1: 4, Pool2: 3,
+		LSTMHidden: 24,
+		Dropout:    0.2,
+		Classes:    2,
+		Seed:       1,
+	}
+}
+
+func (c *ModelConfig) fillDefaults() {
+	if c.Classes == 0 {
+		c.Classes = 2
+	}
+	if c.K1H == 0 {
+		c.K1H, c.K1W = 5, 3
+	}
+	if c.K2H == 0 {
+		c.K2H, c.K2W = 3, 3
+	}
+	if c.Pool1 == 0 {
+		c.Pool1 = 3
+	}
+	if c.Pool2 == 0 {
+		c.Pool2 = 3
+	}
+}
+
+// Validate reports configuration errors before construction.
+func (c ModelConfig) Validate() error {
+	c.fillDefaults()
+	if c.InH < c.K1H || c.InW < 1 {
+		return fmt.Errorf("nn: input %dx%d too small for conv1 kernel %dx%d", c.InH, c.InW, c.K1H, c.K1W)
+	}
+	h := c.InH / c.Pool1
+	if h < c.K2H {
+		return fmt.Errorf("nn: height %d after pool1 too small for conv2 kernel %d", h, c.K2H)
+	}
+	if h/c.Pool2 < 1 {
+		return fmt.Errorf("nn: height collapses to zero after pool2")
+	}
+	if c.Conv1 < 1 || c.Conv2 < 1 || c.LSTMHidden < 1 {
+		return fmt.Errorf("nn: channel/hidden sizes must be positive")
+	}
+	return nil
+}
+
+// NewCNNLSTM constructs the Fig. 2 architecture. Input tensors are F×W
+// feature maps (rank 2); the model reshapes them to (1, F, W) internally
+// via the leading ReshapeTo3D layer. Width is preserved through "same"
+// padding so the LSTM always sees the full window sequence.
+func NewCNNLSTM(cfg ModelConfig) *Model {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var layers []Layer
+	layers = append(layers, NewReshapeTo3D())
+	// Conv block 1: same-pad both dims, pool height only.
+	layers = append(layers,
+		NewConv2D(rng, 1, cfg.Conv1, cfg.K1H, cfg.K1W, cfg.K1H/2, cfg.K1W/2),
+		NewReLU(),
+		NewMaxPool2D(cfg.Pool1, 1),
+	)
+	// Conv block 2.
+	layers = append(layers,
+		NewConv2D(rng, cfg.Conv1, cfg.Conv2, cfg.K2H, cfg.K2W, cfg.K2H/2, cfg.K2W/2),
+		NewReLU(),
+		NewMaxPool2D(cfg.Pool2, 1),
+	)
+	// LSTM over the W windows.
+	h1 := cfg.InH / cfg.Pool1
+	h2 := h1 / cfg.Pool2
+	layers = append(layers,
+		NewSeqReshape(),
+		NewLSTM(rng, cfg.Conv2*h2, cfg.LSTMHidden),
+		NewDropout(rng, cfg.Dropout),
+		NewDense(rng, cfg.LSTMHidden, cfg.Classes),
+	)
+	return &Model{Layers: layers, Config: cfg}
+}
+
+// ReshapeTo3D lifts a rank-2 (H, W) feature map to a single-channel
+// (1, H, W) volume.
+type ReshapeTo3D struct {
+	was2D bool
+}
+
+// NewReshapeTo3D builds the lifting layer.
+func NewReshapeTo3D() *ReshapeTo3D { return &ReshapeTo3D{} }
+
+// Name implements Layer.
+func (r *ReshapeTo3D) Name() string { return "Reshape3D" }
+
+// Params implements Layer.
+func (r *ReshapeTo3D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReshapeTo3D) OutShape(in []int) []int {
+	if len(in) == 2 {
+		return []int{1, in[0], in[1]}
+	}
+	return append([]int(nil), in...)
+}
+
+// FLOPs implements Layer.
+func (r *ReshapeTo3D) FLOPs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (r *ReshapeTo3D) Forward(x *tensorT, train bool) *tensorT {
+	if x.Rank() == 2 {
+		r.was2D = true
+		return x.Reshape(1, x.Dim(0), x.Dim(1))
+	}
+	r.was2D = false
+	return x
+}
+
+// Backward implements Layer.
+func (r *ReshapeTo3D) Backward(grad *tensorT) *tensorT {
+	if r.was2D {
+		return grad.Reshape(grad.Dim(1), grad.Dim(2))
+	}
+	return grad
+}

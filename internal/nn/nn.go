@@ -1,0 +1,216 @@
+// Package nn is a from-scratch neural-network framework sufficient to train
+// the paper's CNN-LSTM emotion classifier (Fig. 2): Conv2D, MaxPool2D, an
+// LSTM with full back-propagation through time, Dense, ReLU and Dropout
+// layers, softmax cross-entropy loss, SGD/momentum and Adam optimizers, a
+// training loop with best-checkpoint tracking, finite-difference gradient
+// checking, and binary checkpoint serialisation.
+//
+// The framework processes one sample at a time (the datasets in this
+// reproduction are small); minibatch gradients are accumulated across
+// samples before each optimizer step.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is one learnable tensor with its accumulated gradient.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module. Forward caches whatever Backward needs;
+// layers are therefore stateful and a single layer instance must not be
+// shared across concurrent samples.
+type Layer interface {
+	// Forward computes the layer output. train enables behaviours such as
+	// dropout that differ between training and inference.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/d(output) and returns dL/d(input), accumulating
+	// parameter gradients along the way.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's learnable parameters (nil if none).
+	Params() []*Param
+	// Name returns a short identifier used in summaries and checkpoints.
+	Name() string
+	// OutShape computes the output shape for a given input shape.
+	OutShape(in []int) []int
+	// FLOPs estimates multiply-accumulate operations for one forward pass
+	// with the given input shape (used by the edge cost model).
+	FLOPs(in []int) int64
+}
+
+// Model is a sequential stack of layers ending in class logits.
+type Model struct {
+	Layers []Layer
+	// Config records how the model was constructed, for checkpointing.
+	Config ModelConfig
+}
+
+// Forward runs all layers.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through all layers.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all learnable parameters.
+func (m *Model) Params() []*Param {
+	var out []*Param
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears every parameter gradient.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar weights.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.W.Size()
+	}
+	return n
+}
+
+// Predict returns the argmax class for input x.
+func (m *Model) Predict(x *tensor.Tensor) int {
+	return m.Forward(x, false).ArgMax()
+}
+
+// Probabilities returns the softmax class distribution for input x.
+func (m *Model) Probabilities(x *tensor.Tensor) []float64 {
+	logits := m.Forward(x, false)
+	return Softmax(logits.Data)
+}
+
+// CloneWeightsTo copies m's weights into dst, which must have an identical
+// architecture.
+func (m *Model) CloneWeightsTo(dst *Model) error {
+	sp, dp := m.Params(), dst.Params()
+	if len(sp) != len(dp) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(sp), len(dp))
+	}
+	for i := range sp {
+		if !sp[i].W.SameShape(dp[i].W) {
+			return fmt.Errorf("nn: parameter %q shape mismatch %v vs %v",
+				sp[i].Name, sp[i].W.Shape, dp[i].W.Shape)
+		}
+		copy(dp[i].W.Data, sp[i].W.Data)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the model (fresh layer state, copied
+// weights).
+func (m *Model) Clone() *Model {
+	c := NewModel(m.Config)
+	if err := m.CloneWeightsTo(c); err != nil {
+		panic("nn: Clone of self failed: " + err.Error())
+	}
+	return c
+}
+
+// Snapshot captures the current weights as flat copies.
+func (m *Model) Snapshot() []*tensor.Tensor {
+	ps := m.Params()
+	out := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.W.Clone()
+	}
+	return out
+}
+
+// Restore loads a Snapshot back into the model.
+func (m *Model) Restore(snap []*tensor.Tensor) error {
+	ps := m.Params()
+	if len(snap) != len(ps) {
+		return fmt.Errorf("nn: snapshot has %d tensors, model has %d", len(snap), len(ps))
+	}
+	for i, p := range ps {
+		if !p.W.SameShape(snap[i]) {
+			return fmt.Errorf("nn: snapshot tensor %d shape mismatch", i)
+		}
+		copy(p.W.Data, snap[i].Data)
+	}
+	return nil
+}
+
+// Summary renders a per-layer table of output shapes, parameter counts and
+// MAC estimates for the given input shape (the Fig. 2 walkthrough).
+func (m *Model) Summary(in []int) string {
+	s := fmt.Sprintf("%-16s %-14s %10s %12s\n", "layer", "output", "params", "MACs")
+	shape := in
+	var totP int
+	var totF int64
+	for _, l := range m.Layers {
+		f := l.FLOPs(shape)
+		shape = l.OutShape(shape)
+		np := 0
+		for _, p := range l.Params() {
+			np += p.W.Size()
+		}
+		totP += np
+		totF += f
+		s += fmt.Sprintf("%-16s %-14s %10d %12d\n", l.Name(), fmt.Sprint(shape), np, f)
+	}
+	s += fmt.Sprintf("%-16s %-14s %10d %12d\n", "total", "", totP, totF)
+	return s
+}
+
+// TotalFLOPs estimates the MACs of one forward pass for input shape in.
+func (m *Model) TotalFLOPs(in []int) int64 {
+	var tot int64
+	shape := in
+	for _, l := range m.Layers {
+		tot += l.FLOPs(shape)
+		shape = l.OutShape(shape)
+	}
+	return tot
+}
+
+// heInit fills t with He-normal initialisation for fanIn inputs.
+func heInit(rng *rand.Rand, t *tensor.Tensor, fanIn int) {
+	std := 0.0
+	if fanIn > 0 {
+		std = math.Sqrt(2 / float64(fanIn))
+	}
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// xavierInit fills t with Glorot-normal initialisation.
+func xavierInit(rng *rand.Rand, t *tensor.Tensor, fanIn, fanOut int) {
+	std := 0.0
+	if fanIn+fanOut > 0 {
+		std = math.Sqrt(2 / float64(fanIn+fanOut))
+	}
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer applies accumulated gradients to parameters.
+type Optimizer interface {
+	// Step updates every parameter from its Grad (already averaged over the
+	// minibatch by the caller) and leaves Grad untouched.
+	Step(params []*Param)
+	// SetLR changes the learning rate (used by epoch-level schedules).
+	SetLR(lr float64)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// decoupled weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: map[*Param]*tensor.Tensor{}}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.LR = lr }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.WeightDecay > 0 {
+			p.W.ScaleInPlace(1 - s.LR*s.WeightDecay)
+		}
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.W.Shape...)
+				s.velocity[p] = v
+			}
+			for i := range v.Data {
+				v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
+				p.W.Data[i] += v.Data[i]
+			}
+		} else {
+			p.W.AddScaledInPlace(-s.LR, p.Grad)
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with decoupled weight decay.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+// NewAdam builds an Adam optimizer with standard betas.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: map[*Param]*tensor.Tensor{}, v: map[*Param]*tensor.Tensor{}}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.LR = lr }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.W.Shape...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.W.Shape...)
+		}
+		v := a.v[p]
+		if a.WeightDecay > 0 {
+			p.W.ScaleInPlace(1 - a.LR*a.WeightDecay)
+		}
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm. Returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var ss float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			ss += g * g
+		}
+	}
+	norm := math.Sqrt(ss)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLRScheduleConstant(t *testing.T) {
+	f, err := lrSchedule(TrainConfig{Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 10; e++ {
+		if f(e) != 1 {
+			t.Fatalf("constant schedule at %d = %g", e, f(e))
+		}
+	}
+}
+
+func TestLRScheduleCosine(t *testing.T) {
+	f, err := lrSchedule(TrainConfig{Epochs: 11, LRSchedule: "cosine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f(0)-1) > 1e-12 {
+		t.Errorf("cosine start %g", f(0))
+	}
+	if math.Abs(f(10)) > 1e-12 {
+		t.Errorf("cosine end %g", f(10))
+	}
+	if math.Abs(f(5)-0.5) > 1e-12 {
+		t.Errorf("cosine middle %g", f(5))
+	}
+	// Monotone decreasing.
+	prev := 2.0
+	for e := 0; e < 11; e++ {
+		if f(e) > prev+1e-12 {
+			t.Fatalf("cosine increased at %d", e)
+		}
+		prev = f(e)
+	}
+	// Single-epoch degenerate case.
+	f1, _ := lrSchedule(TrainConfig{Epochs: 1, LRSchedule: "cosine"})
+	if f1(0) != 1 {
+		t.Error("single-epoch cosine should be 1")
+	}
+}
+
+func TestLRScheduleStep(t *testing.T) {
+	f, err := lrSchedule(TrainConfig{Epochs: 30, LRSchedule: "step", StepEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(0) != 1 || f(9) != 1 {
+		t.Error("step before first boundary should be 1")
+	}
+	if f(10) != 0.5 || f(19) != 0.5 {
+		t.Error("step after first boundary should be 0.5")
+	}
+	if f(20) != 0.25 {
+		t.Error("step after second boundary should be 0.25")
+	}
+	// Default period.
+	fd, _ := lrSchedule(TrainConfig{Epochs: 30, LRSchedule: "step"})
+	if fd(10) != 0.5 {
+		t.Error("default StepEvery should be 10")
+	}
+}
+
+func TestLRScheduleUnknown(t *testing.T) {
+	if _, err := lrSchedule(TrainConfig{LRSchedule: "linear-warmup"}); err == nil {
+		t.Fatal("want error for unknown schedule")
+	}
+	m := NewCNNLSTM(tinyConfig())
+	if _, err := Train(m, []Sample{{X: newTensor(24, 5), Y: 0}},
+		TrainConfig{Epochs: 1, LRSchedule: "nope"}); err == nil {
+		t.Fatal("Train must surface bad schedule")
+	}
+}
+
+func TestTrainWithCosineStillLearns(t *testing.T) {
+	cfg := tinyConfig()
+	m := NewCNNLSTM(cfg)
+	train, test := trainToy(t, cfg, 80, 41)
+	if _, err := Train(m, train, TrainConfig{
+		Epochs: 25, BatchSize: 8, LR: 5e-3, LRSchedule: "cosine",
+		GradClip: 5, Seed: 41,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, test); acc < 0.85 {
+		t.Errorf("cosine-schedule accuracy %.2f", acc)
+	}
+}
+
+func TestOptimizerSetLR(t *testing.T) {
+	s := NewSGD(0.1, 0, 0)
+	s.SetLR(0.05)
+	if s.LR != 0.05 {
+		t.Error("SGD SetLR failed")
+	}
+	a := NewAdam(0.1, 0)
+	a.SetLR(0.02)
+	if a.LR != 0.02 {
+		t.Error("Adam SetLR failed")
+	}
+}

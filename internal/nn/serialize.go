@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Checkpoint format (little-endian):
+//
+//	magic    uint32 0x4B43_4C43 ("CLCK")
+//	cfgLen   uint32
+//	cfg      cfgLen bytes of JSON ModelConfig
+//	nParams  uint32
+//	for each parameter: nameLen uint32, name bytes, tensor (tensor format)
+
+const ckptMagic uint32 = 0x4B434C43
+
+// ErrBadCheckpoint is returned for malformed checkpoint streams.
+var ErrBadCheckpoint = errors.New("nn: bad checkpoint format")
+
+// Save writes the model architecture and weights to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cfg, err := json.Marshal(m.Config)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ckptMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(cfg))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(cfg); err != nil {
+		return err
+	}
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		if _, err := p.W.WriteTo(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a checkpoint written by Save and reconstructs the model.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadCheckpoint, magic)
+	}
+	var cfgLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &cfgLen); err != nil {
+		return nil, err
+	}
+	if cfgLen > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible config size %d", ErrBadCheckpoint, cfgLen)
+	}
+	cfgBytes := make([]byte, cfgLen)
+	if _, err := io.ReadFull(br, cfgBytes); err != nil {
+		return nil, err
+	}
+	var cfg ModelConfig
+	if err := json.Unmarshal(cfgBytes, &cfg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	m := NewModel(cfg)
+	var nParams uint32
+	if err := binary.Read(br, binary.LittleEndian, &nParams); err != nil {
+		return nil, err
+	}
+	params := m.Params()
+	if int(nParams) != len(params) {
+		return nil, fmt.Errorf("%w: %d parameters, model expects %d", ErrBadCheckpoint, nParams, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 1024 {
+			return nil, fmt.Errorf("%w: implausible name length %d", ErrBadCheckpoint, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		var t tensor.Tensor
+		if _, err := t.ReadFrom(br); err != nil {
+			return nil, err
+		}
+		if !t.SameShape(p.W) {
+			return nil, fmt.Errorf("%w: parameter %q shape %v, want %v",
+				ErrBadCheckpoint, string(name), t.Shape, p.W.Shape)
+		}
+		copy(p.W.Data, t.Data)
+	}
+	return m, nil
+}

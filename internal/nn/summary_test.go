@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummaryAllArchitectures(t *testing.T) {
+	for _, arch := range []Arch{ArchCNNLSTM, ArchCNNGRU, ArchCNNOnly, ArchLSTMOnly} {
+		cfg := archConfig(arch)
+		m := NewModel(cfg)
+		s := m.Summary([]int{cfg.InH, cfg.InW})
+		if !strings.Contains(s, "total") {
+			t.Errorf("%s: summary missing total row", arch)
+		}
+		lines := strings.Count(s, "\n")
+		if lines < len(m.Layers)+1 {
+			t.Errorf("%s: summary has %d lines for %d layers", arch, lines, len(m.Layers))
+		}
+		if m.TotalFLOPs([]int{cfg.InH, cfg.InW}) <= 0 {
+			t.Errorf("%s: non-positive FLOPs", arch)
+		}
+	}
+}
+
+func TestOutShapeChainsMatchForward(t *testing.T) {
+	// Every layer's OutShape must agree with the tensor its Forward
+	// actually produces.
+	for _, arch := range []Arch{ArchCNNLSTM, ArchCNNGRU, ArchCNNOnly, ArchLSTMOnly} {
+		cfg := archConfig(arch)
+		m := NewModel(cfg)
+		x := newTensor(cfg.InH, cfg.InW)
+		shape := []int{cfg.InH, cfg.InW}
+		for li, l := range m.Layers {
+			want := l.OutShape(shape)
+			x = l.Forward(x, false)
+			if len(x.Shape) != len(want) {
+				t.Fatalf("%s layer %d (%s): rank %v vs declared %v", arch, li, l.Name(), x.Shape, want)
+			}
+			for d := range want {
+				if x.Shape[d] != want[d] {
+					t.Fatalf("%s layer %d (%s): shape %v vs declared %v", arch, li, l.Name(), x.Shape, want)
+				}
+			}
+			shape = want
+		}
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	m := NewCNNLSTM(tinyConfig())
+	x := newTensor(24, 5)
+	for i := range x.Data {
+		x.Data[i] = float64(i%7) - 3
+	}
+	p := m.Probabilities(x)
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += v
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+}

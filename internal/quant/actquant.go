@@ -1,0 +1,144 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ActQuant is a layer that fake-quantises activations flowing through it,
+// modelling a device that computes in reduced precision rather than merely
+// storing weights in it. Backward uses the straight-through estimator
+// (gradients pass unchanged), the standard choice for quantisation-aware
+// training.
+//
+// For INT8, the quantiser has two modes. By default the scale is dynamic
+// (recomputed per tensor) — an idealisation. After Calibrate, the scale is
+// frozen from the calibration data's activation range, and activations
+// outside it saturate, as on real int8 accelerators whose scales are fixed
+// at conversion time. Frozen scales are what reproduce the Coral TPU's
+// accuracy drop in Table II.
+type ActQuant struct {
+	P Precision
+	// Scale, when positive, is the frozen int8 step size. Zero means
+	// dynamic scaling.
+	Scale float64
+
+	calibrating bool
+	maxima      []float64 // per-forward absmax during calibration
+}
+
+// NewActQuant builds an activation quantiser.
+func NewActQuant(p Precision) *ActQuant { return &ActQuant{P: p} }
+
+// Name implements nn.Layer.
+func (a *ActQuant) Name() string { return fmt.Sprintf("ActQuant(%v)", a.P) }
+
+// Params implements nn.Layer.
+func (a *ActQuant) Params() []*nn.Param { return nil }
+
+// OutShape implements nn.Layer.
+func (a *ActQuant) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements nn.Layer.
+func (a *ActQuant) FLOPs(in []int) int64 { return 0 }
+
+// Forward implements nn.Layer.
+func (a *ActQuant) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if a.P == FP64 {
+		return x
+	}
+	if a.P == INT8 {
+		if a.calibrating {
+			a.maxima = append(a.maxima, x.AbsMax())
+			return x
+		}
+		if a.Scale > 0 {
+			out := x.Clone()
+			for i, v := range out.Data {
+				q := math.RoundToEven(v / a.Scale)
+				if q > 127 {
+					q = 127
+				}
+				if q < -128 {
+					q = -128
+				}
+				out.Data[i] = q * a.Scale
+			}
+			return out
+		}
+	}
+	return FakeQuant(x.Clone(), a.P)
+}
+
+// Backward implements nn.Layer (straight-through estimator).
+func (a *ActQuant) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// DeployModel returns a copy of m prepared for a device of the given
+// precision: weights fake-quantised and an activation quantiser inserted
+// after every computational layer. FP64 returns a plain clone.
+func DeployModel(m *nn.Model, p Precision) *nn.Model {
+	c := m.Clone()
+	if p == FP64 {
+		return c
+	}
+	QuantizeModelWeights(c, p)
+	var layers []nn.Layer
+	for _, l := range c.Layers {
+		layers = append(layers, l)
+		if len(l.Params()) > 0 { // quantise after every parametric layer
+			layers = append(layers, NewActQuant(p))
+		}
+	}
+	c.Layers = layers
+	return c
+}
+
+// RequantizeWeights re-applies weight quantisation, used after each
+// fine-tuning step on a quantised device so weights stay representable.
+func RequantizeWeights(m *nn.Model, p Precision) {
+	if p == FP64 {
+		return
+	}
+	QuantizeModelWeights(m, p)
+}
+
+// Calibrate freezes every ActQuant scale in the deployed model from the
+// activation ranges observed on the calibration inputs (post-training
+// static quantisation). Scales use percentile range selection — the
+// standard converter practice (outliers are sacrificed to keep resolution
+// for the bulk of the distribution), which is precisely what makes strong
+// physiological responses saturate on-device and costs the int8 platform
+// accuracy in Table II. Returns the number of quantisers calibrated.
+func Calibrate(m *nn.Model, calib []*tensor.Tensor) int {
+	const rangePercentile = 80 // keep resolution for the central mass
+	var qs []*ActQuant
+	for _, l := range m.Layers {
+		if aq, ok := l.(*ActQuant); ok && aq.P == INT8 {
+			aq.calibrating = true
+			aq.maxima = nil
+			qs = append(qs, aq)
+		}
+	}
+	if len(qs) == 0 {
+		return 0
+	}
+	for _, x := range calib {
+		m.Forward(x, false)
+	}
+	for _, aq := range qs {
+		aq.calibrating = false
+		if len(aq.maxima) > 0 {
+			sort.Float64s(aq.maxima)
+			idx := int(float64(len(aq.maxima)-1) * rangePercentile / 100)
+			if r := aq.maxima[idx]; r > 0 {
+				aq.Scale = r / 127
+			}
+		}
+		aq.maxima = nil
+	}
+	return len(qs)
+}

@@ -1,0 +1,199 @@
+// Package quant implements the numeric-precision machinery of the edge
+// deployment experiments: IEEE binary16 (fp16) rounding as executed by the
+// Intel NCS2, symmetric per-tensor int8 quantisation as executed by the
+// Coral Edge TPU, fake-quantisation of model weights and activations, and a
+// straight-through activation quantiser layer enabling on-device
+// fine-tuning under reduced precision.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Precision enumerates the numeric formats of the paper's three platforms.
+type Precision int
+
+// Precision values. FP64 is the native (GPU baseline) format of this
+// reproduction; FP16 models the NCS2; INT8 models the Edge TPU.
+const (
+	FP64 Precision = iota
+	FP16
+	INT8
+)
+
+func (p Precision) String() string {
+	switch p {
+	case FP64:
+		return "fp64"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// RoundFP16 rounds x to the nearest IEEE binary16 value (round-to-nearest-
+// even) and returns it as float64. Overflow saturates to ±Inf as the
+// hardware does; subnormals are preserved.
+func RoundFP16(x float64) float64 {
+	return float64(Float16ToFloat32(Float32ToFloat16(float32(x))))
+}
+
+// Float32ToFloat16 converts f to its IEEE binary16 bit pattern with
+// round-to-nearest-even.
+func Float32ToFloat16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16((b >> 16) & 0x8000)
+	exp := int32((b>>23)&0xFF) - 127 + 15
+	mant := b & 0x7FFFFF
+
+	switch {
+	case exp >= 0x1F: // overflow or Inf/NaN
+		if (b>>23)&0xFF == 0xFF && mant != 0 {
+			return sign | 0x7E00 // NaN
+		}
+		return sign | 0x7C00 // Inf
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		// Subnormal: shift mantissa (with implicit leading 1) right.
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := mant + half
+		// Round-to-nearest-even on ties.
+		if mant&(half|(half-1)) == half {
+			rounded = mant + half - 1 + (mant>>shift)&1
+		}
+		return sign | uint16(rounded>>shift)
+	default:
+		// Normal: round the 23-bit mantissa to 10 bits.
+		rounded := mant + 0x0FFF + ((mant >> 13) & 1)
+		if rounded&0x800000 != 0 {
+			rounded = 0
+			exp++
+			if exp >= 0x1F {
+				return sign | 0x7C00
+			}
+		}
+		return sign | uint16(exp<<10) | uint16(rounded>>13)
+	}
+}
+
+// Float16ToFloat32 expands an IEEE binary16 bit pattern to float32.
+func Float16ToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	mant := uint32(h & 0x3FF)
+	switch {
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalise.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case exp == 0x1F:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7F800000)
+		}
+		return math.Float32frombits(sign | 0x7FC00000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// QuantizeInt8 symmetrically quantises data with scale = absmax/127.
+// A zero tensor gets scale 1 so dequantisation is exact.
+func QuantizeInt8(data []float64) (q []int8, scale float64) {
+	absMax := 0.0
+	for _, v := range data {
+		if a := math.Abs(v); a > absMax {
+			absMax = a
+		}
+	}
+	scale = absMax / 127
+	if scale == 0 {
+		scale = 1
+	}
+	q = make([]int8, len(data))
+	for i, v := range data {
+		r := math.RoundToEven(v / scale)
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		q[i] = int8(r)
+	}
+	return q, scale
+}
+
+// DequantizeInt8 reverses QuantizeInt8.
+func DequantizeInt8(q []int8, scale float64) []float64 {
+	out := make([]float64, len(q))
+	for i, v := range q {
+		out[i] = float64(v) * scale
+	}
+	return out
+}
+
+// FakeQuant rounds every element of t through the given precision in place
+// and returns t. FP64 is the identity.
+func FakeQuant(t *tensor.Tensor, p Precision) *tensor.Tensor {
+	switch p {
+	case FP64:
+		return t
+	case FP16:
+		for i, v := range t.Data {
+			t.Data[i] = RoundFP16(v)
+		}
+		return t
+	case INT8:
+		q, scale := QuantizeInt8(t.Data)
+		for i, v := range q {
+			t.Data[i] = float64(v) * scale
+		}
+		return t
+	default:
+		panic(fmt.Sprintf("quant: unknown precision %v", p))
+	}
+}
+
+// QuantizeModelWeights fake-quantises every parameter of m in place,
+// reproducing the precision loss of deploying a float checkpoint to the
+// device. Returns m.
+func QuantizeModelWeights(m *nn.Model, p Precision) *nn.Model {
+	for _, param := range m.Params() {
+		FakeQuant(param.W, p)
+	}
+	return m
+}
+
+// MeanQuantError returns the mean absolute element error introduced by
+// fake-quantising t at precision p (t is not modified).
+func MeanQuantError(t *tensor.Tensor, p Precision) float64 {
+	if t.Size() == 0 {
+		return 0
+	}
+	c := t.Clone()
+	FakeQuant(c, p)
+	s := 0.0
+	for i, v := range t.Data {
+		s += math.Abs(v - c.Data[i])
+	}
+	return s / float64(t.Size())
+}

@@ -1,0 +1,275 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestFP16KnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0:       0,
+		1:       1,
+		-1:      -1,
+		2:       2,
+		0.5:     0.5,
+		65504:   65504,          // max finite fp16
+		1.0 / 3: 0.333251953125, // nearest fp16 to 1/3
+	}
+	for in, want := range cases {
+		if got := RoundFP16(in); got != want {
+			t.Errorf("RoundFP16(%g) = %.13g, want %.13g", in, got, want)
+		}
+	}
+}
+
+func TestFP16Overflow(t *testing.T) {
+	if !math.IsInf(RoundFP16(1e6), 1) {
+		t.Error("1e6 should overflow fp16 to +Inf")
+	}
+	if !math.IsInf(RoundFP16(-1e6), -1) {
+		t.Error("-1e6 should overflow fp16 to -Inf")
+	}
+}
+
+func TestFP16Subnormal(t *testing.T) {
+	// Smallest positive fp16 subnormal is 2^-24 ≈ 5.96e-8.
+	sub := math.Pow(2, -24)
+	if got := RoundFP16(sub); got != sub {
+		t.Errorf("subnormal %g rounded to %g", sub, got)
+	}
+	if got := RoundFP16(math.Pow(2, -30)); got != 0 {
+		t.Errorf("tiny value should underflow to 0, got %g", got)
+	}
+}
+
+func TestFP16NaN(t *testing.T) {
+	if !math.IsNaN(RoundFP16(math.NaN())) {
+		t.Error("NaN should round to NaN")
+	}
+}
+
+// Property: RoundFP16 is idempotent and monotone error-bounded (relative
+// error ≤ 2^-11 for normal range).
+func TestQuickFP16Properties(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		// Clamp into the fp16 normal range.
+		x = math.Mod(x, 60000)
+		r := RoundFP16(x)
+		if RoundFP16(r) != r {
+			return false // not idempotent
+		}
+		if math.Abs(x) >= math.Pow(2, -14) && !math.IsInf(r, 0) {
+			if math.Abs(r-x) > math.Abs(x)*math.Pow(2, -11)+1e-30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt8RoundTrip(t *testing.T) {
+	data := []float64{-1, -0.5, 0, 0.25, 1}
+	q, scale := QuantizeInt8(data)
+	if q[4] != 127 || q[0] != -127 {
+		t.Errorf("q = %v", q)
+	}
+	d := DequantizeInt8(q, scale)
+	for i, v := range data {
+		if math.Abs(d[i]-v) > scale {
+			t.Errorf("dequant[%d] = %g, want ≈%g", i, d[i], v)
+		}
+	}
+}
+
+func TestInt8ZeroTensor(t *testing.T) {
+	q, scale := QuantizeInt8([]float64{0, 0, 0})
+	if scale != 1 {
+		t.Errorf("zero scale %g", scale)
+	}
+	d := DequantizeInt8(q, scale)
+	for _, v := range d {
+		if v != 0 {
+			t.Error("zero tensor must round-trip to zero")
+		}
+	}
+}
+
+// Property: int8 quantisation error is bounded by scale/2 per element.
+func TestQuickInt8ErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 10
+		}
+		q, scale := QuantizeInt8(data)
+		d := DequantizeInt8(q, scale)
+		for i := range data {
+			if math.Abs(d[i]-data[i]) > scale/2+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFakeQuantPrecisionOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 1000)
+	errNone := MeanQuantError(x, FP64)
+	errFP16 := MeanQuantError(x, FP16)
+	errINT8 := MeanQuantError(x, INT8)
+	if errNone != 0 {
+		t.Errorf("FP64 error %g", errNone)
+	}
+	if !(errINT8 > errFP16) {
+		t.Errorf("int8 error %g should exceed fp16 error %g", errINT8, errFP16)
+	}
+	if errFP16 <= 0 {
+		t.Errorf("fp16 error %g should be positive", errFP16)
+	}
+}
+
+func TestFakeQuantInPlace(t *testing.T) {
+	x := tensor.FromSlice([]float64{1.0 / 3}, 1)
+	FakeQuant(x, FP16)
+	if x.Data[0] == 1.0/3 {
+		t.Error("FakeQuant must modify in place")
+	}
+}
+
+func TestPrecisionString(t *testing.T) {
+	if FP64.String() != "fp64" || FP16.String() != "fp16" || INT8.String() != "int8" {
+		t.Error("Precision strings wrong")
+	}
+}
+
+func tinyModel() *nn.Model {
+	return nn.NewCNNLSTM(nn.ModelConfig{
+		InH: 24, InW: 5, Conv1: 2, Conv2: 3,
+		K1H: 3, K1W: 3, K2H: 3, K2W: 3, Pool1: 2, Pool2: 2,
+		LSTMHidden: 6, Classes: 2, Seed: 3,
+	})
+}
+
+func TestQuantizeModelWeights(t *testing.T) {
+	m := tinyModel()
+	orig := m.Snapshot()
+	QuantizeModelWeights(m, INT8)
+	changed := false
+	for i, p := range m.Params() {
+		for j := range p.W.Data {
+			if p.W.Data[j] != orig[i].Data[j] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("int8 weight quantisation changed nothing")
+	}
+}
+
+func TestDeployModelOutputsDiffer(t *testing.T) {
+	m := tinyModel()
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.Randn(rng, 1, 24, 5)
+
+	fp64 := DeployModel(m, FP64)
+	fp16 := DeployModel(m, FP16)
+	int8m := DeployModel(m, INT8)
+
+	a := m.Forward(x, false)
+	b := fp64.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("FP64 deployment must be exact")
+		}
+	}
+	c := fp16.Forward(x, false)
+	d := int8m.Forward(x, false)
+	d16 := math.Abs(c.Data[0]-a.Data[0]) + math.Abs(c.Data[1]-a.Data[1])
+	d8 := math.Abs(d.Data[0]-a.Data[0]) + math.Abs(d.Data[1]-a.Data[1])
+	if d8 <= d16 {
+		t.Errorf("int8 logit error %g should exceed fp16 %g", d8, d16)
+	}
+	// Deployment must not mutate the source model.
+	a2 := m.Forward(x, false)
+	if a2.Data[0] != a.Data[0] {
+		t.Error("DeployModel mutated the source model")
+	}
+}
+
+func TestDeployModelInsertsActQuant(t *testing.T) {
+	m := tinyModel()
+	dep := DeployModel(m, INT8)
+	count := 0
+	for _, l := range dep.Layers {
+		if _, ok := l.(*ActQuant); ok {
+			count++
+		}
+	}
+	// conv1, conv2, lstm, dense → 4 parametric layers.
+	if count != 4 {
+		t.Errorf("inserted %d ActQuant layers, want 4", count)
+	}
+	if len(DeployModel(m, FP64).Layers) != len(m.Layers) {
+		t.Error("FP64 deployment must not insert layers")
+	}
+}
+
+func TestActQuantStraightThrough(t *testing.T) {
+	a := NewActQuant(INT8)
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.Randn(rng, 1, 10)
+	a.Forward(x, true)
+	g := tensor.Randn(rng, 1, 10)
+	back := a.Backward(g)
+	for i := range g.Data {
+		if back.Data[i] != g.Data[i] {
+			t.Fatal("ActQuant backward must be identity (straight-through)")
+		}
+	}
+}
+
+func TestDeployedModelTrainable(t *testing.T) {
+	// Fine-tuning through ActQuant layers must not panic and must change
+	// the weights.
+	m := tinyModel()
+	dep := DeployModel(m, INT8)
+	rng := rand.New(rand.NewSource(5))
+	var data []nn.Sample
+	for i := 0; i < 8; i++ {
+		data = append(data, nn.Sample{X: tensor.Randn(rng, 1, 24, 5), Y: i % 2})
+	}
+	before := dep.Snapshot()
+	if _, err := nn.Train(dep, data, nn.TrainConfig{Epochs: 2, BatchSize: 4, LR: 1e-2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	RequantizeWeights(dep, INT8)
+	changed := false
+	for i, p := range dep.Params() {
+		for j := range p.W.Data {
+			if p.W.Data[j] != before[i].Data[j] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("fine-tuning a deployed model changed nothing")
+	}
+}

@@ -1,0 +1,45 @@
+package tensor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom hardens the tensor deserialiser against corrupt or
+// adversarial streams: it must either return an error or a well-formed
+// tensor — never panic or over-allocate.
+func FuzzReadFrom(f *testing.F) {
+	// Seed with a valid stream and a few mutations.
+	var buf bytes.Buffer
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if _, err := x.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x53, 0x4E, 0x54}) // magic only
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	corrupt := append([]byte(nil), valid...)
+	corrupt[5] = 0xFF // implausible rank
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var y Tensor
+		if _, err := y.ReadFrom(bytes.NewReader(data)); err != nil {
+			return // errors are fine; panics are not
+		}
+		// On success the tensor must be self-consistent.
+		n := 1
+		for _, d := range y.Shape {
+			if d < 0 {
+				t.Fatalf("negative dimension %v", y.Shape)
+			}
+			n *= d
+		}
+		if n != len(y.Data) {
+			t.Fatalf("shape %v size %d != data %d", y.Shape, n, len(y.Data))
+		}
+	})
+}

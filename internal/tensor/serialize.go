@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary format (little-endian):
+//
+//	magic   uint32  0x544E5352 ("RSNT")
+//	rank    uint32
+//	shape   rank × uint32
+//	data    size × float64 bits
+//
+// The format is intentionally minimal: checkpoints store a sequence of named
+// tensors on top of this (see internal/nn).
+
+const magic uint32 = 0x544E5352
+
+// ErrBadFormat is returned when the stream does not contain a tensor in the
+// expected binary format.
+var ErrBadFormat = errors.New("tensor: bad serialisation format")
+
+// maxSerializedElems bounds how large a tensor ReadFrom will allocate,
+// protecting against corrupt or adversarial streams.
+const maxSerializedElems = 1 << 28 // 2 GiB of float64
+
+// WriteTo writes t to w in the package binary format.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.Shape))); err != nil {
+		return n, err
+	}
+	for _, d := range t.Shape {
+		if err := write(uint32(d)); err != nil {
+			return n, err
+		}
+	}
+	var buf [8]byte
+	for _, v := range t.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return n, err
+		}
+		n += 8
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom reads a tensor in the package binary format, replacing t's shape
+// and data.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	var n int64
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return n, err
+	}
+	n += 4
+	if m != magic {
+		return n, fmt.Errorf("%w: bad magic %#x", ErrBadFormat, m)
+	}
+	var rank uint32
+	if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+		return n, err
+	}
+	n += 4
+	if rank > 16 {
+		return n, fmt.Errorf("%w: implausible rank %d", ErrBadFormat, rank)
+	}
+	shape := make([]int, rank)
+	size := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return n, err
+		}
+		n += 4
+		shape[i] = int(d)
+		size *= int(d)
+		if size > maxSerializedElems {
+			return n, fmt.Errorf("%w: tensor too large (%v)", ErrBadFormat, shape[:i+1])
+		}
+	}
+	data := make([]float64, size)
+	var buf [8]byte
+	for i := range data {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return n, err
+		}
+		n += 8
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	t.Shape = shape
+	t.Data = data
+	return n, nil
+}

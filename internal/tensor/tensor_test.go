@@ -1,0 +1,419 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size() = %d, want 24", x.Size())
+	}
+	if x.Rank() != 3 {
+		t.Fatalf("Rank() = %d, want 3", x.Rank())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %g, want 1", got)
+	}
+	if got := x.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %g, want 6", got)
+	}
+	x.Set(42, 1, 0)
+	if got := x.At(1, 0); got != 42 {
+		t.Errorf("after Set, At(1,0) = %g, want 42", got)
+	}
+}
+
+func TestFromSliceSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched size")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	_ = x.At(2, 0)
+}
+
+func TestReshape(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Errorf("reshaped At(2,1) = %g, want 6", y.At(2, 1))
+	}
+	// Shared storage.
+	y.Set(-1, 0, 0)
+	if x.At(0, 0) != -1 {
+		t.Error("Reshape must share storage")
+	}
+	// Inferred dimension.
+	z := x.Reshape(-1, 2)
+	if z.Dim(0) != 3 {
+		t.Errorf("inferred dim = %d, want 3", z.Dim(0))
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad reshape")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	if got := a.Add(b).Data; got[3] != 44 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a).Data; got[0] != 9 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b).Data; got[2] != 90 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Scale(2).Data; got[1] != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+	c := a.Clone()
+	c.AddScaledInPlace(0.5, b)
+	if c.Data[0] != 6 {
+		t.Errorf("AddScaledInPlace = %v", c.Data)
+	}
+	if a.Data[0] != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{-1, 3, 2, -4}, 4)
+	if x.Sum() != 0 {
+		t.Errorf("Sum = %g", x.Sum())
+	}
+	if x.Mean() != 0 {
+		t.Errorf("Mean = %g", x.Mean())
+	}
+	if x.Min() != -4 || x.Max() != 3 {
+		t.Errorf("Min/Max = %g/%g", x.Min(), x.Max())
+	}
+	if x.AbsMax() != 4 {
+		t.Errorf("AbsMax = %g", x.AbsMax())
+	}
+	if x.ArgMax() != 1 {
+		t.Errorf("ArgMax = %d", x.ArgMax())
+	}
+	want := math.Sqrt((1 + 9 + 4 + 16) / 4.0)
+	if !almostEqual(x.Std(), want, 1e-12) {
+		t.Errorf("Std = %g, want %g", x.Std(), want)
+	}
+	if !almostEqual(x.Norm2(), math.Sqrt(30), 1e-12) {
+		t.Errorf("Norm2 = %g", x.Norm2())
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := a.MatMul(b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul[%d] = %g, want %g", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	a, b := New(2, 3), New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inner-dim mismatch")
+		}
+	}()
+	a.MatMul(b)
+}
+
+// naiveMatMul is a reference j-inner implementation to cross-check the
+// cache-friendly one.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := Randn(rng, 1, m, k)
+		b := Randn(rng, 1, k, n)
+		got, want := a.MatMul(b), naiveMatMul(a, b)
+		for i := range want.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-12) {
+				t.Fatalf("trial %d: MatMul[%d] = %g, want %g", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulAccInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(rng, 1, 3, 4)
+	b := Randn(rng, 1, 4, 5)
+	dst := Randn(rng, 1, 3, 5)
+	want := dst.Add(a.MatMul(b))
+	a.MatMulAccInto(dst, b)
+	for i := range want.Data {
+		if !almostEqual(dst.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("MatMulAccInto[%d] = %g, want %g", i, dst.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.T2()
+	if b.Dim(0) != 3 || b.Dim(1) != 2 {
+		t.Fatalf("T2 shape = %v", b.Shape)
+	}
+	if b.At(2, 0) != 3 || b.At(0, 1) != 4 {
+		t.Errorf("T2 values wrong: %v", b.Data)
+	}
+}
+
+func TestMatVecAndRow(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	v := FromSlice([]float64{1, 0, -1}, 3)
+	got := a.MatVec(v)
+	if got.Data[0] != -2 || got.Data[1] != -2 {
+		t.Errorf("MatVec = %v", got.Data)
+	}
+	r := a.Row(1)
+	if r.Data[0] != 4 || r.Size() != 3 {
+		t.Errorf("Row = %v", r.Data)
+	}
+	r.Data[0] = 99
+	if a.At(1, 0) != 99 {
+		t.Error("Row must share storage")
+	}
+}
+
+func TestAddRowVectorAndSumRows(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	bias := FromSlice([]float64{10, 20, 30}, 3)
+	a.AddRowVectorInPlace(bias)
+	if a.At(0, 0) != 11 || a.At(1, 2) != 36 {
+		t.Errorf("AddRowVectorInPlace = %v", a.Data)
+	}
+	s := a.SumRows()
+	if s.Data[0] != 11+14 || s.Data[2] != 33+36 {
+		t.Errorf("SumRows = %v", s.Data)
+	}
+}
+
+func TestOuter(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{3, 4, 5}, 3)
+	o := Outer(a, b)
+	if o.At(1, 2) != 10 || o.At(0, 0) != 3 {
+		t.Errorf("Outer = %v", o.Data)
+	}
+	dst := New(2, 3)
+	OuterAccInto(dst, a, b)
+	OuterAccInto(dst, a, b)
+	if dst.At(1, 1) != 16 {
+		t.Errorf("OuterAccInto = %v", dst.Data)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range [][]int{{}, {1}, {5}, {2, 3}, {3, 4, 5}} {
+		x := Randn(rng, 2, shape...)
+		var buf bytes.Buffer
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo(%v): %v", shape, err)
+		}
+		var y Tensor
+		if _, err := y.ReadFrom(&buf); err != nil {
+			t.Fatalf("ReadFrom(%v): %v", shape, err)
+		}
+		if !x.SameShape(&y) {
+			t.Fatalf("round-trip shape %v != %v", x.Shape, y.Shape)
+		}
+		for i := range x.Data {
+			if x.Data[i] != y.Data[i] {
+				t.Fatalf("round-trip data[%d] %g != %g", i, x.Data[i], y.Data[i])
+			}
+		}
+	}
+}
+
+func TestSerializeBadMagic(t *testing.T) {
+	var y Tensor
+	if _, err := y.ReadFrom(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestRandnStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 2, 10000)
+	if math.Abs(x.Mean()) > 0.1 {
+		t.Errorf("Randn mean = %g, want ≈0", x.Mean())
+	}
+	if math.Abs(x.Std()-2) > 0.1 {
+		t.Errorf("Randn std = %g, want ≈2", x.Std())
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := RandUniform(rng, -1, 3, 1000)
+	if x.Min() < -1 || x.Max() >= 3 {
+		t.Errorf("RandUniform out of range: [%g, %g]", x.Min(), x.Max())
+	}
+}
+
+// Property: (A+B)+C == A+(B+C) within floating tolerance, and A+B == B+A.
+func TestQuickAddProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 1
+			}
+			// Keep magnitudes sane so associativity holds to tolerance.
+			raw[i] = math.Mod(raw[i], 1e6)
+		}
+		n := len(raw)
+		a := FromSlice(append([]float64(nil), raw...), n)
+		b := a.Scale(0.5)
+		c := a.Scale(-0.25)
+		l := a.Add(b).Add(c)
+		r := a.Add(b.Add(c))
+		comm1, comm2 := a.Add(b), b.Add(a)
+		for i := 0; i < n; i++ {
+			if !almostEqual(l.Data[i], r.Data[i], 1e-6*(1+math.Abs(l.Data[i]))) {
+				return false
+			}
+			if comm1.Data[i] != comm2.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatMul distributes over addition: A@(B+C) == A@B + A@C.
+func TestQuickMatMulDistributive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		m, k, n := 1+local.Intn(6), 1+local.Intn(6), 1+local.Intn(6)
+		a := Randn(local, 1, m, k)
+		b := Randn(local, 1, k, n)
+		c := Randn(local, 1, k, n)
+		l := a.MatMul(b.Add(c))
+		r := a.MatMul(b).Add(a.MatMul(c))
+		for i := range l.Data {
+			if !almostEqual(l.Data[i], r.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transpose is an involution and (AB)^T == B^T A^T.
+func TestQuickTransposeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		m, k, n := 1+local.Intn(6), 1+local.Intn(6), 1+local.Intn(6)
+		a := Randn(local, 1, m, k)
+		b := Randn(local, 1, k, n)
+		aa := a.T2().T2()
+		for i := range a.Data {
+			if a.Data[i] != aa.Data[i] {
+				return false
+			}
+		}
+		l := a.MatMul(b).T2()
+		r := b.T2().MatMul(a.T2())
+		for i := range l.Data {
+			if !almostEqual(l.Data[i], r.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	small := New(2, 2)
+	big := New(100)
+	if small.String() == "" || big.String() == "" {
+		t.Error("String() returned empty")
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := Randn(rng, 1, 64, 64)
+	y := Randn(rng, 1, 64, 64)
+	dst := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MatMulInto(dst, y)
+	}
+}

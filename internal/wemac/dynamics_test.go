@@ -1,0 +1,116 @@
+package wemac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the response envelope starts at the baseline operating point
+// and approaches the peak monotonically after onset.
+func TestQuickDynamicsMonotoneEnvelope(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Archetypes()[rng.Intn(4)]
+		u := sampleUserParams(rng)
+		j := sampleTrialJitter(rng)
+		d := resolveDynamics(rng, a, u, j, true, 1.0)
+
+		// Before onset: exactly the baseline.
+		c0 := d.at(0)
+		if c0 != d.base {
+			return false
+		}
+		// GSR approaches the peak monotonically (envelope is monotone).
+		prev := d.at(d.onsetSec).gsrTonic
+		dir := d.peak.gsrTonic - d.base.gsrTonic
+		for tt := d.onsetSec + 1; tt < d.onsetSec+60; tt += 2 {
+			cur := d.at(tt).gsrTonic
+			if dir >= 0 && cur < prev-1e-12 {
+				return false
+			}
+			if dir < 0 && cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		// Far past onset the operating point converges to the peak.
+		far := d.at(d.onsetSec + 100*d.tauSec)
+		return math.Abs(far.gsrTonic-d.peak.gsrTonic) < 1e-6*(1+math.Abs(d.peak.gsrTonic))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: non-fear trials have identical base and peak (no response).
+func TestQuickDynamicsNonFearFlat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Archetypes()[rng.Intn(4)]
+		u := sampleUserParams(rng)
+		j := sampleTrialJitter(rng)
+		d := resolveDynamics(rng, a, u, j, false, 1.0)
+		return d.base == d.peak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generated signals are always finite and within physiological
+// sanity bounds.
+func TestSignalsSane(t *testing.T) {
+	ds := Generate(Config{
+		ArchetypeSizes:     []int{2, 2, 2, 2},
+		TrialsPerVolunteer: 4,
+		TrialSec:           25,
+		Seed:               91,
+	})
+	for _, v := range ds.Volunteers {
+		for ti, tr := range v.Trials {
+			for _, s := range tr.Rec.BVP {
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					t.Fatalf("user %d trial %d: non-finite BVP", v.ID, ti)
+				}
+			}
+			for _, s := range tr.Rec.GSR {
+				if s < 0.05-1e-12 {
+					t.Fatalf("user %d trial %d: GSR %g below floor", v.ID, ti, s)
+				}
+				if s > 50 {
+					t.Fatalf("user %d trial %d: GSR %g implausible", v.ID, ti, s)
+				}
+			}
+			for _, s := range tr.Rec.SKT {
+				if s < 25 || s > 45 {
+					t.Fatalf("user %d trial %d: SKT %g outside physiologic range", v.ID, ti, s)
+				}
+			}
+		}
+	}
+}
+
+// Property: efficacy scales the response — a strong induction moves the
+// peak further from baseline than a weak one.
+func TestEfficacyScalesResponse(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	a := Archetypes()[0]
+	u := sampleUserParams(rng)
+	j := sampleTrialJitter(rng)
+	weakRng := rand.New(rand.NewSource(93))
+	strongRng := rand.New(rand.NewSource(93))
+	weak := resolveDynamics(weakRng, a, u, j, true, 0.1)
+	strong := resolveDynamics(strongRng, a, u, j, true, 1.0)
+	dWeak := math.Abs(weak.peak.gsrTonic - weak.base.gsrTonic)
+	dStrong := math.Abs(strong.peak.gsrTonic - strong.base.gsrTonic)
+	if dStrong <= dWeak {
+		t.Errorf("strong induction ΔGSR %g should exceed weak %g", dStrong, dWeak)
+	}
+	hWeak := math.Abs(weak.peak.hrBPM - weak.base.hrBPM)
+	hStrong := math.Abs(strong.peak.hrBPM - strong.base.hrBPM)
+	if hStrong <= hWeak {
+		t.Errorf("strong induction ΔHR %g should exceed weak %g", hStrong, hWeak)
+	}
+}

@@ -1,0 +1,212 @@
+package wemac
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/features"
+)
+
+// Sample rates for the three synthetic channels. The real WEMAC wearable
+// samples BVP at 200 Hz; 64 Hz preserves all morphology the extractor uses
+// while keeping generation cheap.
+const (
+	BVPFs = 64.0
+	GSRFs = 8.0
+	SKTFs = 4.0
+)
+
+// trialCondition is a physiological operating point.
+type trialCondition struct {
+	hrBPM    float64 // mean heart rate
+	hrvStd   float64 // IBI jitter (s)
+	pulseAmp float64
+	gsrTonic float64
+	scrRate  float64 // per minute
+	sktLevel float64
+	sktDrift float64 // °C/min
+	noise    float64
+}
+
+// lerp interpolates between two operating points.
+func lerp(a, b trialCondition, w float64) trialCondition {
+	mix := func(x, y float64) float64 { return x + w*(y-x) }
+	return trialCondition{
+		hrBPM:    mix(a.hrBPM, b.hrBPM),
+		hrvStd:   mix(a.hrvStd, b.hrvStd),
+		pulseAmp: mix(a.pulseAmp, b.pulseAmp),
+		gsrTonic: mix(a.gsrTonic, b.gsrTonic),
+		scrRate:  mix(a.scrRate, b.scrRate),
+		sktLevel: mix(a.sktLevel, b.sktLevel),
+		sktDrift: mix(a.sktDrift, b.sktDrift),
+		noise:    mix(a.noise, b.noise),
+	}
+}
+
+// trialDynamics describes one trial's time course: the baseline operating
+// point, the (possibly identical) full-response operating point, and the
+// response envelope rising from 0 to 1 after stimulus onset. Emotion
+// induction is not instantaneous — the physiological response ramps up over
+// several seconds — and this within-trial dynamic is what makes feature
+// maps informative *relative to the user's own baseline*, the
+// baseline-free signal that transfers across response archetypes.
+type trialDynamics struct {
+	base, peak trialCondition
+	onsetSec   float64 // envelope is 0 before this
+	tauSec     float64 // exponential rise time constant
+}
+
+// at returns the operating point at time t.
+func (d *trialDynamics) at(t float64) trialCondition {
+	if t <= d.onsetSec {
+		return d.base
+	}
+	w := 1 - math.Exp(-(t-d.onsetSec)/d.tauSec)
+	return lerp(d.base, d.peak, w)
+}
+
+// resolveDynamics combines archetype baseline, user idiosyncrasy, per-trial
+// non-stationarity and the (possibly zero) fear response into a trial time
+// course.
+func resolveDynamics(rng *rand.Rand, a Archetype, u UserParams, j trialJitter, fear bool, efficacy float64) trialDynamics {
+	base := trialCondition{
+		hrBPM:    clamp(a.RestHR+u.DHR+j.dHR, 40, 180),
+		hrvStd:   a.HRVStd,
+		pulseAmp: a.PulseAmp * j.ampScale,
+		gsrTonic: math.Max(0.2, a.GSRTonic+u.DGSR+j.dGSR),
+		scrRate:  a.SCRRate * j.scrScale,
+		sktLevel: a.SKTLevel + u.DSKT + j.dSKT,
+		sktDrift: a.SKTDrift,
+		noise:    a.RespNoise * u.NoiseGain,
+	}
+	d := trialDynamics{
+		base:     base,
+		peak:     base,
+		onsetSec: 4 + 6*rng.Float64(),
+		tauSec:   5 + 7*rng.Float64(),
+	}
+	if fear {
+		g := u.ResponseGain * efficacy
+		cardio := g * u.ChannelBias
+		eda := g / u.ChannelBias
+		p := base
+		p.hrBPM = clamp(p.hrBPM+a.FearDHR*cardio, 40, 180)
+		p.hrvStd = math.Max(0.004, p.hrvStd+a.FearDHRV*cardio)
+		p.pulseAmp = math.Max(0.15, p.pulseAmp+(a.FearDAmp+u.IdioDAmp)*cardio)
+		p.gsrTonic = math.Max(0.2, p.gsrTonic+(a.FearDGSR+u.IdioDGSR)*eda)
+		p.scrRate *= 1 + (a.FearSCRMult-1)*eda
+		p.sktDrift += a.FearDSKT * g
+		d.peak = p
+	}
+	return d
+}
+
+// synthBVP renders a BVP pulse train under time-varying dynamics:
+// Gaussian-bump systolic peaks with a smaller dicrotic bump, beat-to-beat
+// interval jitter, baseline wander and measurement noise.
+func synthBVP(rng *rand.Rand, d *trialDynamics, durSec float64) []float64 {
+	n := int(durSec * BVPFs)
+	x := make([]float64, n)
+	// Generate beat onset times with the instantaneous heart rate.
+	t := 0.0
+	type beat struct{ at, amp float64 }
+	var beats []beat
+	for t < durSec+1.5 {
+		c := d.at(t)
+		beats = append(beats, beat{at: t, amp: c.pulseAmp * (1 + 0.05*rng.NormFloat64())})
+		ibi := 60/c.hrBPM + rng.NormFloat64()*c.hrvStd
+		if ibi < 0.3 {
+			ibi = 0.3
+		}
+		t += ibi
+	}
+	// Render each beat: systolic peak + dicrotic notch bump.
+	for _, b := range beats {
+		lo := int((b.at - 0.1) * BVPFs)
+		hi := int((b.at + 0.65) * BVPFs)
+		for i := lo; i <= hi; i++ {
+			if i < 0 || i >= n {
+				continue
+			}
+			dt := float64(i)/BVPFs - b.at
+			x[i] += b.amp * math.Exp(-dt*dt/(2*0.05*0.05))
+			dd := dt - 0.28
+			x[i] += 0.35 * b.amp * math.Exp(-dd*dd/(2*0.07*0.07))
+		}
+	}
+	// Respiratory baseline wander (~0.25 Hz) and noise.
+	respF := 0.2 + 0.1*rng.Float64()
+	phase := rng.Float64() * 2 * math.Pi
+	noise := d.base.noise
+	for i := range x {
+		ti := float64(i) / BVPFs
+		x[i] += 0.08 * math.Sin(2*math.Pi*respF*ti+phase)
+		x[i] += noise * rng.NormFloat64()
+	}
+	return x
+}
+
+// synthGSR renders skin conductance under time-varying dynamics: a tonic
+// level tracking the trial time course plus SCR events with fast rise and
+// slow exponential decay.
+func synthGSR(rng *rand.Rand, d *trialDynamics, durSec float64) []float64 {
+	n := int(durSec * GSRFs)
+	x := make([]float64, n)
+	walk := 0.0
+	for i := range x {
+		ti := float64(i) / GSRFs
+		walk += 0.002 * rng.NormFloat64() // tonic random walk
+		x[i] = d.at(ti).gsrTonic + walk
+	}
+	// SCR events as an inhomogeneous Poisson process.
+	for i := 0; i < n; i++ {
+		ti := float64(i) / GSRFs
+		perSample := d.at(ti).scrRate / 60 / GSRFs
+		if rng.Float64() >= perSample {
+			continue
+		}
+		amp := 0.25 + 0.35*rng.Float64()
+		rise := 1.0 + 0.5*rng.Float64()  // seconds
+		decay := 3.0 + 2.0*rng.Float64() // seconds
+		for j := i; j < n && j < i+int(20*GSRFs); j++ {
+			dt := float64(j-i) / GSRFs
+			x[j] += amp * (1 - math.Exp(-dt/rise)) * math.Exp(-dt/decay)
+		}
+	}
+	noise := d.base.noise
+	for i := range x {
+		x[i] += 0.01 * noise / 0.05 * rng.NormFloat64()
+		if x[i] < 0.05 {
+			x[i] = 0.05
+		}
+	}
+	return x
+}
+
+// synthSKT renders skin temperature under time-varying dynamics: baseline +
+// integrated drift + very slow vasomotor oscillation + sensor noise.
+func synthSKT(rng *rand.Rand, d *trialDynamics, durSec float64) []float64 {
+	n := int(durSec * SKTFs)
+	x := make([]float64, n)
+	vf := 0.01 + 0.01*rng.Float64() // vasomotor frequency, Hz
+	phase := rng.Float64() * 2 * math.Pi
+	noise := d.base.noise
+	level := d.base.sktLevel
+	for i := range x {
+		ti := float64(i) / SKTFs
+		level += d.at(ti).sktDrift / 60 / SKTFs
+		x[i] = level +
+			0.05*math.Sin(2*math.Pi*vf*ti+phase) +
+			0.01*noise/0.05*rng.NormFloat64()
+	}
+	return x
+}
+
+// synthRecording renders all three channels for one trial.
+func synthRecording(rng *rand.Rand, d *trialDynamics, durSec float64) *features.Recording {
+	return &features.Recording{
+		BVP: synthBVP(rng, d, durSec), BVPFs: BVPFs,
+		GSR: synthGSR(rng, d, durSec), GSRFs: GSRFs,
+		SKT: synthSKT(rng, d, durSec), SKTFs: SKTFs,
+	}
+}

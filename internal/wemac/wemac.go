@@ -1,0 +1,252 @@
+package wemac
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/features"
+	"repro/internal/tensor"
+)
+
+// Label is the binary emotion class of a trial.
+type Label int
+
+// The fear-detection task is binary, as in the paper's Table I.
+const (
+	NonFear Label = 0
+	Fear    Label = 1
+)
+
+func (l Label) String() string {
+	if l == Fear {
+		return "fear"
+	}
+	return "non-fear"
+}
+
+// Trial is one stimulus presentation: a label and the recorded signals.
+type Trial struct {
+	Label Label
+	// Efficacy records how strongly the stimulus induced the target emotion
+	// (generator ground truth; not visible to models).
+	Efficacy float64
+	Rec      *features.Recording
+}
+
+// Volunteer is one synthetic participant.
+type Volunteer struct {
+	ID        int
+	Archetype int // ground-truth latent group (not visible to models)
+	Params    UserParams
+	Trials    []Trial
+}
+
+// Config controls dataset generation.
+type Config struct {
+	// ArchetypeSizes gives the number of volunteers per archetype.
+	// Defaults to the paper's 17/13/7/7.
+	ArchetypeSizes []int
+	// TrialsPerVolunteer is the number of stimulus presentations each
+	// volunteer watches (default 18, yielding ≈800 feature maps for the
+	// default population).
+	TrialsPerVolunteer int
+	// TrialSec is the recording length per stimulus (default 60 s).
+	TrialSec float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		ArchetypeSizes:     DefaultArchetypeSizes(),
+		TrialsPerVolunteer: 18,
+		TrialSec:           60,
+		Seed:               1,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.ArchetypeSizes) == 0 {
+		c.ArchetypeSizes = DefaultArchetypeSizes()
+	}
+	if c.TrialsPerVolunteer == 0 {
+		c.TrialsPerVolunteer = 18
+	}
+	if c.TrialSec == 0 {
+		c.TrialSec = 60
+	}
+}
+
+// Dataset is a generated synthetic population.
+type Dataset struct {
+	Config     Config
+	Volunteers []*Volunteer
+}
+
+// N returns the number of volunteers.
+func (d *Dataset) N() int { return len(d.Volunteers) }
+
+// Generate builds a deterministic synthetic dataset. Volunteers are
+// interleaved across archetypes (so ID order carries no group information)
+// and each volunteer's signals derive from an independent sub-seeded RNG,
+// making per-volunteer content stable under population changes.
+func Generate(cfg Config) *Dataset {
+	cfg.fillDefaults()
+	archs := Archetypes()
+	if len(cfg.ArchetypeSizes) > len(archs) {
+		panic(fmt.Sprintf("wemac: %d archetype sizes but only %d archetypes defined",
+			len(cfg.ArchetypeSizes), len(archs)))
+	}
+	// Build the interleaved archetype assignment sequence.
+	remaining := append([]int(nil), cfg.ArchetypeSizes...)
+	var order []int
+	for {
+		progress := false
+		for a, r := range remaining {
+			if r > 0 {
+				order = append(order, a)
+				remaining[a]--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	ds := &Dataset{Config: cfg}
+	type job struct {
+		id, arch int
+	}
+	jobs := make([]job, len(order))
+	for i, a := range order {
+		jobs[i] = job{id: i, arch: a}
+	}
+	vols := make([]*Volunteer, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			vols[j.id] = generateVolunteer(cfg, j.id, j.arch)
+		}(j)
+	}
+	wg.Wait()
+	ds.Volunteers = vols
+	return ds
+}
+
+func generateVolunteer(cfg Config, id, arch int) *Volunteer {
+	// Stable per-volunteer stream: mix the dataset seed with the ID.
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(id)*7919))
+	a := Archetypes()[arch]
+	v := &Volunteer{ID: id, Archetype: arch, Params: sampleUserParams(rng)}
+	for t := 0; t < cfg.TrialsPerVolunteer; t++ {
+		fear := t%2 == 1 // balanced classes, alternating
+		eff := 1.0
+		if fear {
+			eff = inductionEfficacy(rng)
+		}
+		dyn := resolveDynamics(rng, a, v.Params, sampleTrialJitter(rng), fear, eff)
+		label := NonFear
+		if fear {
+			label = Fear
+		}
+		v.Trials = append(v.Trials, Trial{
+			Label:    label,
+			Efficacy: eff,
+			Rec:      synthRecording(rng, &dyn, cfg.TrialSec),
+		})
+	}
+	return v
+}
+
+// LabeledMap pairs a feature map with its trial label.
+type LabeledMap struct {
+	Map   *tensor.Tensor // F×W feature map
+	Label Label
+}
+
+// UserMaps holds the extracted feature maps for one volunteer.
+type UserMaps struct {
+	ID        int
+	Archetype int
+	Maps      []LabeledMap
+}
+
+// Summary returns the volunteer's unlabeled per-feature mean vector over the
+// first frac of their maps (frac in (0,1]; the paper's cold-start assignment
+// uses 10 %, i.e. frac = 0.1, with at least one map).
+func (u *UserMaps) Summary(frac float64) []float64 {
+	n := int(frac*float64(len(u.Maps)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(u.Maps) {
+		n = len(u.Maps)
+	}
+	ms := make([]*tensor.Tensor, n)
+	for i := 0; i < n; i++ {
+		ms[i] = u.Maps[i].Map
+	}
+	return features.Summary(ms)
+}
+
+// AllMaps returns just the tensors of u's maps.
+func (u *UserMaps) AllMaps() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(u.Maps))
+	for i, lm := range u.Maps {
+		out[i] = lm.Map
+	}
+	return out
+}
+
+// ExtractAll converts every trial of every volunteer into a feature map,
+// in parallel. The result preserves volunteer order; within a volunteer,
+// maps follow trial order.
+func ExtractAll(ds *Dataset, ecfg features.ExtractorConfig) ([]*UserMaps, error) {
+	out := make([]*UserMaps, ds.N())
+	errs := make([]error, ds.N())
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, v := range ds.Volunteers {
+		wg.Add(1)
+		go func(i int, v *Volunteer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			um := &UserMaps{ID: v.ID, Archetype: v.Archetype}
+			for _, tr := range v.Trials {
+				m, err := features.ExtractMap(tr.Rec, ecfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("volunteer %d: %w", v.ID, err)
+					return
+				}
+				um.Maps = append(um.Maps, LabeledMap{Map: m, Label: tr.Label})
+			}
+			out[i] = um
+		}(i, v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TotalMaps counts feature maps across all users.
+func TotalMaps(users []*UserMaps) int {
+	n := 0
+	for _, u := range users {
+		n += len(u.Maps)
+	}
+	return n
+}
