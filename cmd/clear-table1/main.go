@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	clear-table1 [-profile fast|paper] [-seed N] [-scale F] [-ftsweep] [-v]
+//	clear-table1 [-profile fast|paper] [-seed N] [-scale F] [-ftsweep] [-obs addr] [-v]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/wemac"
 )
 
@@ -32,9 +33,19 @@ func main() {
 		ftEpochs = flag.Int("ftepochs", 0, "override fine-tuning epochs")
 		cache    = flag.String("cache", "", "LOSO run cache path shared with clear-table2 (load if present, save after computing)")
 		mdOut    = flag.String("md", "", "also write the table as markdown to this path")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/spans on this address (e.g. :9090)")
 		verbose  = flag.Bool("v", false, "print per-fold progress")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clear-table1:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability server on http://%s (/metrics, /debug/pprof, /debug/spans)\n", addr)
+	}
 
 	cfg, dcfg, err := buildConfigs(*profile, *seed, *scale)
 	if err != nil {
@@ -67,11 +78,15 @@ func main() {
 		groupSize = 2
 	}
 	fmt.Printf("[1/3] General model (%d random users, intra-group LOSO)...\n", groupSize)
+	genSpan := obs.StartSpan("table1.general_model")
 	gen, err := eval.RunGeneralModel(users, cfg, groupSize, *seed)
+	genSpan.End()
 	die(err)
 
 	fmt.Println("[2/3] CL validation (global clustering + intra-cluster LOSO + RT)...")
+	clSpan := obs.StartSpan("table1.cl_validation")
 	cl, err := eval.RunCL(users, cfg)
+	clSpan.End()
 	die(err)
 	fmt.Printf("      cluster sizes: %v\n", cl.Sizes)
 	for k, pc := range cl.PerCluster {
@@ -85,8 +100,10 @@ func main() {
 	if *verbose {
 		progress = func(done, total int) { fmt.Printf("      fold %d/%d\n", done, total) }
 	}
+	clearSpan := obs.StartSpan("table1.clear_validation")
 	run := cachedLOSO(users, cfg, *caFrac, *cache, progress)
 	clear, err := eval.EvaluateCLEAR(run, *ftFrac)
+	clearSpan.End()
 	die(err)
 
 	fmt.Printf("\nTABLE I — WEMAC fear / non-fear (paper values in brackets)\n")
@@ -141,6 +158,13 @@ func main() {
 			fmt.Printf("%-8.2f %10.2f %10.2f\n", frac, res.WithFT.MeanAcc, res.WithFT.MeanF1)
 		}
 	}
+
+	// MTC-style breakdown: where the wall-clock went, per pipeline stage
+	// (see README "Observability" for how this maps to the paper's Table 2).
+	fmt.Println("\nOBSERVABILITY — span tree (wall-clock per stage)")
+	fmt.Println(obs.SpanTree())
+	fmt.Println("\nOBSERVABILITY — metrics snapshot")
+	fmt.Println(obs.MetricsDump())
 }
 
 // cachedLOSO loads the LOSO run cache if present, otherwise computes the

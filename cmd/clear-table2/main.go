@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	clear-table2 [-profile fast|paper] [-seed N] [-scale F] [-cache run.bin]
+//	clear-table2 [-profile fast|paper] [-seed N] [-scale F] [-cache run.bin] [-obs addr]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/edge"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/wemac"
 )
 
@@ -33,9 +34,16 @@ func main() {
 		caFrac  = flag.Float64("ca", 0.10, "unlabeled data fraction for cold-start assignment")
 		ftFrac  = flag.Float64("ft", 0.20, "labelled data fraction for on-device fine-tuning")
 		cache   = flag.String("cache", "", "path to LOSO run cache (load if present, save after computing)")
+		obsAddr = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/spans on this address (e.g. :9090)")
 		verbose = flag.Bool("v", false, "print per-fold progress")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		die(err)
+		fmt.Printf("observability server on http://%s (/metrics, /debug/pprof, /debug/spans)\n", addr)
+	}
 
 	var cfg core.Config
 	switch *profile {
@@ -69,7 +77,9 @@ func main() {
 	run := loadOrRun(users, cfg, *caFrac, *cache, *verbose)
 
 	fmt.Println("deploying to edge platforms and fine-tuning on-device...")
+	depSpan := obs.StartSpan("table2.deploy_finetune")
 	t2, err := eval.RunTable2(run, edge.Devices(), *ftFrac)
+	depSpan.End()
 	die(err)
 
 	paperUpper := map[string][4]float64{
@@ -121,6 +131,12 @@ func main() {
 	fmt.Printf("\npaper (lower block): FT acc 86.34/79.40/84.49; MTC retrain -/32.48/78.52 s;\n")
 	fmt.Printf("MTC test -/47.31/239.70 ms; MPC retrain -/1.82/3.78 W; test -/1.64/3.43 W; idle -/1.28/2.76 W\n")
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Second))
+
+	// MTC-style breakdown of the run itself (see README "Observability").
+	fmt.Println("\nOBSERVABILITY — span tree (wall-clock per stage)")
+	fmt.Println(obs.SpanTree())
+	fmt.Println("\nOBSERVABILITY — metrics snapshot")
+	fmt.Println(obs.MetricsDump())
 }
 
 // loadOrRun loads the LOSO run cache if present, otherwise computes the run

@@ -7,10 +7,11 @@
 // prints the smoothed fear probability, the alarm transitions, and the
 // daily energy budget of this duty cycle.
 //
-// Run with: go run ./examples/monitor
+// Run with: go run ./examples/monitor [-obs addr]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
@@ -18,10 +19,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/edge"
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/wemac"
 )
 
 func main() {
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/spans on this address (e.g. :9090)")
+	flag.Parse()
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability server on http://%s\n", addr)
+	}
 	ds := wemac.Generate(wemac.Config{
 		ArchetypeSizes:     []int{5, 4, 3, 3},
 		TrialsPerVolunteer: 10,
@@ -83,6 +94,17 @@ func main() {
 		}
 	}
 
+	// Per-horizon telemetry the monitor fed into the obs registry while
+	// streaming — the MTC-style view of this deployment (README
+	// "Observability" maps these to the paper's Table 2 metrics).
+	lat := obs.GetHistogram("edge.monitor.latency_us", nil)
+	fmt.Printf("\nper-horizon inference latency (wall-clock): p50 %.0f µs  p95 %.0f µs  max %.0f µs over %d horizons\n",
+		lat.Quantile(0.50), lat.Quantile(0.95), lat.Max(), lat.Count())
+	fmt.Printf("alarm transitions: %d\n", obs.GetCounter("edge.monitor.alarm_transitions").Value())
+	fmt.Printf("modelled on-device cost: %.1f ms/horizon, cumulative %.2f J on %s\n",
+		obs.GetGauge("edge.monitor.device_infer_s").Value()*1000,
+		obs.GetGauge("edge.monitor.energy_j").Value(), dep.Device.Name)
+
 	fmt.Println("\ndaily energy budget of this duty cycle (one window per minute,")
 	fmt.Println("one nightly re-personalisation, 2 Wh wearable battery):")
 	for _, dev := range edge.Devices() {
@@ -90,4 +112,9 @@ func main() {
 		rep := d.EnergyBudget([]int{cfg.Model.InH, cfg.Model.InW}, edge.DefaultDutyCycle(), 2.0)
 		fmt.Println("  " + strings.ReplaceAll(rep.String(), "\n", " "))
 	}
+
+	fmt.Println("\nOBSERVABILITY — span tree (wall-clock per stage)")
+	fmt.Println(obs.SpanTree())
+	fmt.Println("\nOBSERVABILITY — metrics snapshot")
+	fmt.Println(obs.MetricsDump())
 }

@@ -10,6 +10,18 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/obs"
+)
+
+// Clustering telemetry: how many k-means runs/restarts happened, how many
+// Lloyd iterations each restart needed to converge, and the inertia of the
+// last winning run.
+var (
+	mKMeansRuns     = obs.GetCounter("cluster.kmeans.runs")
+	mKMeansRestarts = obs.GetCounter("cluster.kmeans.restarts")
+	hKMeansIters    = obs.GetHistogram("cluster.kmeans.iters", obs.ExpBuckets(1, 2, 10))
+	gKMeansInertia  = obs.GetGauge("cluster.kmeans.inertia")
 )
 
 // Options configures KMeans.
@@ -40,6 +52,9 @@ type Result struct {
 	Assign []int
 	// Inertia is the total squared distance of points to their centroids.
 	Inertia float64
+	// Iters is the number of Lloyd iterations the winning restart ran
+	// before converging (or hitting MaxIter).
+	Iters int
 }
 
 // Sizes returns the number of points in each cluster.
@@ -69,14 +84,22 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 		return nil, err
 	}
 	opts.fillDefaults()
+	sp := obs.StartSpan("cluster.kmeans")
+	defer sp.End()
+	mKMeansRuns.Inc()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var best *Result
 	for r := 0; r < opts.Restarts; r++ {
+		rsp := obs.StartSpan("kmeans.restart")
 		res := lloyd(points, k, rng, opts.MaxIter)
+		rsp.End()
+		mKMeansRestarts.Inc()
+		hKMeansIters.Observe(float64(res.Iters))
 		if best == nil || res.Inertia < best.Inertia {
 			best = res
 		}
 	}
+	gKMeansInertia.Set(best.Inertia)
 	return best, nil
 }
 
@@ -103,6 +126,7 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, maxIter int) *Result {
 	for i := range assign {
 		assign[i] = -1
 	}
+	iters := 0
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		for i, p := range points {
@@ -113,11 +137,12 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, maxIter int) *Result {
 			}
 		}
 		recomputeCentroids(points, assign, centroids, rng)
+		iters = iter + 1
 		if !changed && iter > 0 {
 			break
 		}
 	}
-	return &Result{K: k, Centroids: centroids, Assign: assign, Inertia: inertia(points, assign, centroids)}
+	return &Result{K: k, Centroids: centroids, Assign: assign, Inertia: inertia(points, assign, centroids), Iters: iters}
 }
 
 // seedPlusPlus picks initial centroids with the k-means++ D² weighting.
@@ -245,6 +270,8 @@ func Refine(points [][]float64, res *Result, rounds int, sampleFrac float64, see
 	if sampleFrac <= 0 || sampleFrac > 1 {
 		sampleFrac = 0.8
 	}
+	sp := obs.StartSpan("cluster.refine")
+	defer sp.End()
 	rng := rand.New(rand.NewSource(seed))
 	cur := &Result{K: res.K, Centroids: make([][]float64, res.K), Assign: append([]int(nil), res.Assign...)}
 	for i, c := range res.Centroids {

@@ -17,8 +17,16 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/features"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/wemac"
+)
+
+// Pipeline-stage telemetry: fit/assign/fine-tune counts.
+var (
+	mCoreFits      = obs.GetCounter("core.fits")
+	mCoreAssigns   = obs.GetCounter("core.assigns")
+	mCoreFineTunes = obs.GetCounter("core.finetunes")
 )
 
 // tensorT shortens signatures below.
@@ -174,8 +182,12 @@ func build(users []*wemac.UserMaps, cfg Config, trainModels bool) (*Pipeline, er
 	if len(users) < cfg.K {
 		return nil, fmt.Errorf("core: %d users < K=%d clusters", len(users), cfg.K)
 	}
+	sp := obs.StartSpan("core.fit")
+	defer sp.End()
+	mCoreFits.Inc()
 
 	// Per-user unlabeled summaries → standardised clustering space.
+	csp := obs.StartSpan("core.cluster")
 	summaries := make([][]float64, len(users))
 	for i, u := range users {
 		summaries[i] = u.Summary(1.0)
@@ -187,16 +199,19 @@ func build(users []*wemac.UserMaps, cfg Config, trainModels bool) (*Pipeline, er
 	copts.Seed = cfg.Seed*31 + 7
 	top, err := cluster.KMeans(zs, cfg.K, copts)
 	if err != nil {
+		csp.End()
 		return nil, fmt.Errorf("core: global clustering: %w", err)
 	}
 	top = cluster.Refine(zs, top, cfg.RefineRounds, cfg.RefineSampleFrac, cfg.Seed*31+11)
 	hier, err := cluster.BuildHierarchy(zs, top, cfg.SubK, copts)
+	csp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: hierarchy: %w", err)
 	}
 
 	// Normalisation statistics come from training users only, computed on
 	// the same representation the classifier consumes.
+	nsp := obs.StartSpan("core.normalize")
 	var allMaps []*tensorT
 	for _, u := range users {
 		for _, m := range u.AllMaps() {
@@ -204,6 +219,7 @@ func build(users []*wemac.UserMaps, cfg Config, trainModels bool) (*Pipeline, er
 		}
 	}
 	norm := features.FitNormalizer(allMaps)
+	nsp.End()
 
 	p := &Pipeline{
 		Cfg: cfg, Norm: norm, Std: std, Hier: hier,
@@ -227,7 +243,9 @@ func build(users []*wemac.UserMaps, cfg Config, trainModels bool) (*Pipeline, er
 			}
 			data = append(data, p.SamplesFor(u)...)
 		}
+		tsp := obs.StartSpan("core.train_cluster")
 		m, err := p.trainClusterModel(k, data)
+		tsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -292,6 +310,9 @@ type Assignment struct {
 // first frac of the new user's *unlabeled* feature maps (the paper uses
 // 10 %).
 func (p *Pipeline) Assign(u *wemac.UserMaps, frac float64) Assignment {
+	sp := obs.StartSpan("core.assign")
+	defer sp.End()
+	mCoreAssigns.Inc()
 	s := p.Std.Apply(u.Summary(frac))
 	best, scores := p.Hier.Assign(s)
 	return Assignment{Cluster: best, Scores: scores, FracUsed: frac}
@@ -350,6 +371,9 @@ func (p *Pipeline) FineTune(k int, data []nn.Sample) (*nn.Model, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: no fine-tuning data")
 	}
+	sp := obs.StartSpan("core.finetune")
+	defer sp.End()
+	mCoreFineTunes.Inc()
 	m := p.Models[k].Clone()
 	ft := p.Cfg.FineTune
 	ft.Seed = p.Cfg.Seed*3001 + int64(k)

@@ -2,9 +2,23 @@ package edge
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/tensor"
+)
+
+// Streaming telemetry. Latency is the wall-clock cost of one Process call
+// (extraction + normalisation + inference) in microseconds; energy is the
+// cumulative modelled on-device energy (J) of the horizons processed so
+// far, i.e. the running MPC·MTC integral of the paper's Table II.
+var (
+	hMonLatencyUS   = obs.GetHistogram("edge.monitor.latency_us", obs.ExpBuckets(1, 2, 24))
+	mMonHorizons    = obs.GetCounter("edge.monitor.horizons")
+	mMonTransitions = obs.GetCounter("edge.monitor.alarm_transitions")
+	gMonEnergyJ     = obs.GetGauge("edge.monitor.energy_j")
+	gMonDeviceS     = obs.GetGauge("edge.monitor.device_infer_s")
 )
 
 // Monitor turns a deployment into a continuous fear monitor: raw signal
@@ -24,6 +38,10 @@ type Monitor struct {
 	prob    float64
 	alarmed bool
 	nSeen   int
+
+	// inferJ is the modelled per-horizon energy on this deployment's
+	// device (TestS × MPCTestW), accumulated into the energy gauge.
+	inferJ float64
 }
 
 // Normalizer matches features.Normalizer's Apply without importing the
@@ -34,9 +52,12 @@ type Normalizer interface {
 
 // NewMonitor wraps a deployment for streaming use.
 func NewMonitor(dep *Deployment, norm Normalizer, ecfg features.ExtractorConfig) *Monitor {
+	cost := dep.Cost([]int{features.TotalFeatureCount, ecfg.Windows}, 1, 1)
+	gMonDeviceS.Set(cost.TestS)
 	return &Monitor{
 		dep: dep, norm: norm, ecfg: ecfg,
 		Alpha: 0.4, OnThr: 0.7, OffThr: 0.4,
+		inferJ: cost.TestEnergyJ,
 	}
 }
 
@@ -56,6 +77,7 @@ type Event struct {
 
 // Process classifies one recording horizon and updates the alarm state.
 func (m *Monitor) Process(rec *features.Recording) (Event, error) {
+	start := time.Now()
 	fm, err := features.ExtractMap(rec, m.ecfg)
 	if err != nil {
 		return Event{}, fmt.Errorf("edge: monitor extraction: %w", err)
@@ -84,6 +106,12 @@ func (m *Monitor) Process(rec *features.Recording) (Event, error) {
 		m.alarmed = false
 		changed = true
 	}
+	hMonLatencyUS.Observe(float64(time.Since(start).Microseconds()))
+	mMonHorizons.Inc()
+	if changed {
+		mMonTransitions.Inc()
+	}
+	gMonEnergyJ.Add(m.inferJ)
 	return Event{
 		Index:      m.nSeen - 1,
 		RawProb:    raw,

@@ -1,0 +1,51 @@
+package edge
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMonitorTelemetry checks the registry accounting the monitor feeds:
+// one latency observation per horizon, a transition count matching the
+// Changed events, and a monotonically growing modelled-energy gauge.
+func TestMonitorTelemetry(t *testing.T) {
+	dep, norm, ecfg := monitorFixture(t)
+	mon := NewMonitor(dep, norm, ecfg)
+	rng := rand.New(rand.NewSource(26))
+
+	horizons0 := mMonHorizons.Value()
+	latCount0 := hMonLatencyUS.Count()
+	trans0 := mMonTransitions.Value()
+	energy0 := gMonEnergyJ.Value()
+
+	transitions := 0
+	const n = 10
+	for i := 0; i < n; i++ {
+		ev, err := mon.Process(synthMonitorRec(rng, i >= 3 && i < 7, 18))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Changed {
+			transitions++
+		}
+	}
+
+	if got := mMonHorizons.Value() - horizons0; got != n {
+		t.Errorf("horizon counter += %d, want %d", got, n)
+	}
+	if got := hMonLatencyUS.Count() - latCount0; got != n {
+		t.Errorf("latency histogram += %d observations, want %d", got, n)
+	}
+	if got := mMonTransitions.Value() - trans0; got != int64(transitions) {
+		t.Errorf("transition counter += %d, want %d", got, transitions)
+	}
+	if got := gMonEnergyJ.Value() - energy0; got <= 0 {
+		t.Errorf("energy gauge += %g J, want > 0", got)
+	}
+	if hMonLatencyUS.Quantile(0.95) < hMonLatencyUS.Quantile(0.50) {
+		t.Error("p95 latency below p50")
+	}
+	if gMonDeviceS.Value() <= 0 {
+		t.Error("modelled per-inference time gauge not set")
+	}
+}

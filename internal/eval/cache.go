@@ -9,7 +9,17 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wemac"
+)
+
+// Cache accounting: a hit is a LoadRun that produced a usable run, a miss
+// is any failed load (bad magic, truncated stream, population mismatch) —
+// the cases that force the caller to recompute the LOSO run.
+var (
+	mCacheHits   = obs.GetCounter("eval.cache.hits")
+	mCacheMisses = obs.GetCounter("eval.cache.misses")
+	mCacheSaves  = obs.GetCounter("eval.cache.saves")
 )
 
 // A LOSO run is the expensive artefact shared by Table I's CLEAR rows and
@@ -72,12 +82,28 @@ func SaveRun(w io.Writer, run *LOSORun) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	mCacheSaves.Inc()
+	return nil
 }
 
 // LoadRun reads a run cache and re-attaches it to the (identical)
-// population the caller regenerated.
-func LoadRun(r io.Reader, users []*wemac.UserMaps) (*LOSORun, error) {
+// population the caller regenerated. Successful loads count as cache hits
+// in the obs registry, failed loads as misses.
+func LoadRun(r io.Reader, users []*wemac.UserMaps) (run *LOSORun, err error) {
+	defer func() {
+		if err != nil {
+			mCacheMisses.Inc()
+		} else {
+			mCacheHits.Inc()
+		}
+	}()
+	return loadRun(r, users)
+}
+
+func loadRun(r io.Reader, users []*wemac.UserMaps) (*LOSORun, error) {
 	br := bufio.NewReader(r)
 	var magic uint32
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {

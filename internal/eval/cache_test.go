@@ -6,6 +6,24 @@ import (
 	"testing"
 )
 
+// TestCacheMissCounter checks miss accounting without the expensive LOSO
+// setup: every malformed load must count exactly one miss and no hit.
+func TestCacheMissCounter(t *testing.T) {
+	hits, misses := mCacheHits.Value(), mCacheMisses.Value()
+	if _, err := LoadRun(bytes.NewReader([]byte("garbage")), nil); err == nil {
+		t.Fatal("want error for garbage stream")
+	}
+	if _, err := LoadRun(bytes.NewReader(nil), nil); err == nil {
+		t.Fatal("want error for empty stream")
+	}
+	if got := mCacheMisses.Value() - misses; got != 2 {
+		t.Errorf("misses += %d, want 2", got)
+	}
+	if got := mCacheHits.Value() - hits; got != 0 {
+		t.Errorf("hits += %d, want 0", got)
+	}
+}
+
 func TestSaveLoadRunRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test")
@@ -16,6 +34,7 @@ func TestSaveLoadRunRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
+	hits, misses, saves := mCacheHits.Value(), mCacheMisses.Value(), mCacheSaves.Value()
 	if err := SaveRun(&buf, run); err != nil {
 		t.Fatal(err)
 	}
@@ -25,6 +44,12 @@ func TestSaveLoadRunRoundTrip(t *testing.T) {
 	}
 	if len(loaded.Folds) != len(run.Folds) {
 		t.Fatalf("folds %d vs %d", len(loaded.Folds), len(run.Folds))
+	}
+	if got := mCacheSaves.Value() - saves; got != 1 {
+		t.Errorf("saves += %d, want 1", got)
+	}
+	if got := mCacheHits.Value() - hits; got != 1 {
+		t.Errorf("hits += %d, want 1", got)
 	}
 	// Evaluations from the reloaded run must match exactly.
 	a, err := EvaluateCLEAR(run, 0.2)
@@ -44,7 +69,7 @@ func TestSaveLoadRunRoundTrip(t *testing.T) {
 			a.WithFT.MeanAcc, b.WithFT.MeanAcc)
 	}
 
-	// Mismatched population must be rejected.
+	// Mismatched population must be rejected — and counted as misses.
 	if _, err := LoadRun(bytes.NewReader(buf.Bytes()), users[:5]); err == nil {
 		t.Error("want error for population size mismatch")
 	}
@@ -53,5 +78,8 @@ func TestSaveLoadRunRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadRun(bytes.NewReader([]byte("junk")), users[:6]); err == nil {
 		t.Error("want error for garbage stream")
+	}
+	if got := mCacheMisses.Value() - misses; got != 3 {
+		t.Errorf("misses += %d, want 3", got)
 	}
 }

@@ -5,7 +5,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/wemac"
+)
+
+// LOSO progress telemetry: folds completed so far (a live progress counter
+// for /metrics during a long run) and the configured total.
+var (
+	mLOSOFolds  = obs.GetCounter("eval.loso.folds_done")
+	gLOSOTotal  = obs.GetGauge("eval.loso.folds_total")
+	mEvalClears = obs.GetCounter("eval.clear.evaluations")
 )
 
 // LOSOFold is one iteration of the full CLEAR LOSO protocol: volunteer V_x
@@ -42,12 +51,17 @@ func RunLOSO(users []*wemac.UserMaps, cfg core.Config, caFrac float64, progress 
 		return nil, fmt.Errorf("eval: %d users too few for K=%d LOSO", len(users), cfg.K)
 	}
 	run := &LOSORun{Users: users, Cfg: cfg, CAFrac: caFrac}
+	sp := obs.StartSpan("eval.loso")
+	defer sp.End()
+	gLOSOTotal.Set(float64(len(users)))
 	for i := range users {
+		fsp := obs.StartSpan("loso.fold")
 		train := withoutIndex(users, i)
 		foldCfg := cfg
 		foldCfg.Seed = cfg.Seed*7919 + int64(i)
 		p, err := core.Train(train, foldCfg)
 		if err != nil {
+			fsp.End()
 			return nil, fmt.Errorf("eval: fold %d: %w", i, err)
 		}
 		a := p.Assign(users[i], caFrac)
@@ -57,6 +71,8 @@ func RunLOSO(users []*wemac.UserMaps, cfg core.Config, caFrac float64, progress 
 			Assignment:     a,
 			ArchetypeMatch: dominantArchetype(p, train, a.Cluster) == users[i].Archetype,
 		})
+		fsp.End()
+		mLOSOFolds.Inc()
 		if progress != nil {
 			progress(i+1, len(users))
 		}
@@ -113,6 +129,9 @@ type CLEARResult struct {
 // EvaluateCLEAR computes the Table I CLEAR rows from a LOSO run. ftFrac is
 // the labelled fraction used for fine-tuning (the paper uses 0.2).
 func EvaluateCLEAR(run *LOSORun, ftFrac float64) (CLEARResult, error) {
+	sp := obs.StartSpan("eval.clear")
+	defer sp.End()
+	mEvalClears.Inc()
 	var woFolds, rtFolds, ftFolds []Metrics
 	matches := 0
 	for _, fold := range run.Folds {

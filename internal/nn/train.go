@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -13,6 +14,42 @@ type Sample struct {
 	X *tensor.Tensor
 	Y int
 }
+
+// Logger receives training progress lines. Library consumers plug their
+// own implementation via TrainConfig.Logger to capture logs; when unset,
+// output goes to stdout if Verbose is true and nowhere otherwise.
+type Logger interface {
+	Logf(format string, args ...any)
+}
+
+// stdoutLogger preserves the historical Verbose behaviour.
+type stdoutLogger struct{}
+
+func (stdoutLogger) Logf(format string, args ...any) { fmt.Printf(format, args...) }
+
+// EpochStats is the per-epoch training telemetry passed to
+// TrainConfig.OnEpoch and published as gauges in the obs registry.
+type EpochStats struct {
+	// Epoch is the 0-based epoch index; Epochs is the configured total.
+	Epoch, Epochs int
+	// Loss is the mean training loss of this epoch.
+	Loss float64
+	// LR is the learning rate the optimizer used this epoch.
+	LR float64
+	// ValAcc and ValLoss are valid only when HasVal is true.
+	ValAcc, ValLoss float64
+	HasVal          bool
+}
+
+// Training telemetry published to the process-global registry; the last
+// written value wins, so these read as "most recent epoch anywhere".
+var (
+	mTrainEpochs = obs.GetCounter("nn.train.epochs")
+	mTrainRuns   = obs.GetCounter("nn.train.runs")
+	gTrainLoss   = obs.GetGauge("nn.train.loss")
+	gTrainValAcc = obs.GetGauge("nn.train.val_acc")
+	gTrainLR     = obs.GetGauge("nn.train.lr")
+)
 
 // TrainConfig controls Train.
 type TrainConfig struct {
@@ -50,6 +87,14 @@ type TrainConfig struct {
 	Seed int64
 	// Silent suppresses progress output (the default; set Verbose instead).
 	Verbose bool
+	// Logger, when non-nil, receives all progress lines (and implies
+	// Verbose). Excluded from checkpoints (not serialisable).
+	Logger Logger `json:"-"`
+	// OnEpoch, when non-nil, runs after every epoch with that epoch's
+	// telemetry (loss, LR, validation metrics). It fires after EpochEnd so
+	// it observes any weight post-processing (e.g. edge re-quantisation).
+	// Excluded from checkpoints (not serialisable).
+	OnEpoch func(EpochStats) `json:"-"`
 	// EpochEnd, when non-nil, runs after every epoch's optimizer steps and
 	// before validation. The edge simulator uses it to re-quantise weights
 	// so on-device fine-tuning stays representable in device precision.
@@ -131,6 +176,16 @@ func Train(m *Model, data []Sample, cfg TrainConfig) (*TrainResult, error) {
 		trainable[name] = true
 	}
 
+	logf := func(string, ...any) {}
+	if cfg.Logger != nil {
+		logf = cfg.Logger.Logf
+	} else if cfg.Verbose {
+		logf = stdoutLogger{}.Logf
+	}
+	sp := obs.StartSpan("nn.train")
+	defer sp.End()
+	mTrainRuns.Inc()
+
 	res := &TrainResult{}
 	var bestSnap []*tensor.Tensor
 	bestValLoss := math.Inf(1)
@@ -141,7 +196,8 @@ func Train(m *Model, data []Sample, cfg TrainConfig) (*TrainResult, error) {
 	}
 	params := m.Params()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		opt.SetLR(cfg.LR * schedule(epoch))
+		lr := cfg.LR * schedule(epoch)
+		opt.SetLR(lr)
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss := 0.0
 		for start := 0; start < len(idx); start += cfg.BatchSize {
@@ -180,12 +236,18 @@ func Train(m *Model, data []Sample, cfg TrainConfig) (*TrainResult, error) {
 			cfg.EpochEnd(epoch, m)
 		}
 
+		stats := EpochStats{Epoch: epoch, Epochs: cfg.Epochs, Loss: res.FinalLoss, LR: lr}
+		mTrainEpochs.Inc()
+		gTrainLoss.Set(res.FinalLoss)
+		gTrainLR.Set(lr)
+
+		earlyStop := false
 		if len(val) > 0 {
 			acc := Accuracy(m, val)
 			valLoss := MeanLoss(m, val)
-			if cfg.Verbose {
-				fmt.Printf("epoch %d: loss %.4f valacc %.3f valloss %.4f\n", epoch, res.FinalLoss, acc, valLoss)
-			}
+			stats.HasVal, stats.ValAcc, stats.ValLoss = true, acc, valLoss
+			gTrainValAcc.Set(acc)
+			logf("epoch %d: loss %.4f valacc %.3f valloss %.4f\n", epoch, res.FinalLoss, acc, valLoss)
 			// Ties on accuracy are broken by lower validation loss so a
 			// saturated early epoch does not freeze the checkpoint.
 			if acc > res.BestValAcc || (acc == res.BestValAcc && valLoss < bestValLoss) {
@@ -197,11 +259,17 @@ func Train(m *Model, data []Sample, cfg TrainConfig) (*TrainResult, error) {
 				stale++
 				if cfg.Patience > 0 && stale >= cfg.Patience {
 					res.UsedEarlyStop = true
-					break
+					earlyStop = true
 				}
 			}
-		} else if cfg.Verbose {
-			fmt.Printf("epoch %d: loss %.4f\n", epoch, res.FinalLoss)
+		} else {
+			logf("epoch %d: loss %.4f\n", epoch, res.FinalLoss)
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(stats)
+		}
+		if earlyStop {
+			break
 		}
 	}
 	if bestSnap != nil {

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+)
+
+// BenchmarkCounterInc is the inference-path budget check: one counter
+// increment must cost well under 1 µs and zero allocations.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench.hits")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncParallel measures the contended case (8 goroutines
+// hammering one counter), the worst the edge monitor can produce.
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench.hits")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkGaugeAdd covers the cumulative-energy path.
+func BenchmarkGaugeAdd(b *testing.B) {
+	g := NewRegistry().Gauge("bench.energy")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(0.001)
+	}
+}
+
+// BenchmarkHistogramObserve covers the per-horizon latency path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench.lat", ExpBuckets(1, 2, 24))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+// BenchmarkRegistryLookup measures the cost of a by-name handle lookup —
+// call sites should hoist handles, but a lookup per event must still be
+// cheap and allocation-free.
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("bench.lookup")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench.lookup").Inc()
+	}
+}
+
+// BenchmarkSpanStartEnd measures one span open/close pair (coarse-grained
+// stages only; not used on per-inference paths).
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Start("bench.span").End()
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve starts a background HTTP server exposing the process's
+// observability surface:
+//
+//	/metrics      plain-text dump of the default registry
+//	/debug/vars   expvar JSON (includes the "clear" registry snapshot)
+//	/debug/pprof  the standard Go profiler endpoints
+//	/debug/spans  the current span tree (live; open spans show elapsed)
+//
+// It returns the bound address (useful with ":0") once the listener is
+// up; the server itself runs until the process exits. Binaries enable it
+// behind a -obs flag so profiling a slow LOSO run is one flag away.
+func Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	go func() { _ = http.Serve(ln, Handler()) }()
+	return ln.Addr(), nil
+}
+
+// Handler returns the observability HTTP handler used by Serve, so
+// long-running servers can mount it on their own mux instead.
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, MetricsDump()+"\n")
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, SpanTree()+"\n")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

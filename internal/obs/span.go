@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of the pipeline. Spans nest: a span started
+// while another is open becomes its child, so a full run produces a trace
+// tree (fit > cluster > kmeans.restart) that Render collapses into an
+// indented per-stage timing summary.
+type Span struct {
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	parent   *Span
+	children []*Span
+	t        *Tracer
+}
+
+// Tracer owns one trace tree. Start/End are mutex-guarded and safe to call
+// from multiple goroutines, but parent attribution follows call order: the
+// instrumented pipeline stages are sequential, which is what makes a
+// ctx-free API sufficient. Concurrent hot paths use the metrics registry
+// instead of spans.
+type Tracer struct {
+	mu   sync.Mutex
+	root *Span
+	cur  *Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	t := &Tracer{}
+	t.reset()
+	return t
+}
+
+func (t *Tracer) reset() {
+	t.root = &Span{name: "root", start: time.Now()}
+	t.cur = t.root
+}
+
+// Start opens a span as a child of the innermost open span.
+func (t *Tracer) Start(name string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{name: name, start: time.Now(), parent: t.cur, t: t}
+	t.cur.children = append(t.cur.children, s)
+	t.cur = s
+	return s
+}
+
+// End closes the span, recording its wall-clock duration. Ending a span
+// whose children are still open closes them too (their durations are
+// capped at the parent's end), so a forgotten End deep in a helper cannot
+// corrupt the tree. End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	now := time.Now()
+	// If s is on the open chain, implicitly end every open descendant and
+	// pop the cursor to s's parent.
+	for c := s.t.cur; c != nil && c != s.t.root; c = c.parent {
+		if c != s {
+			continue
+		}
+		for d := s.t.cur; d != s; d = d.parent {
+			if !d.ended {
+				d.dur = now.Sub(d.start)
+				d.ended = true
+			}
+		}
+		s.t.cur = s.parent
+		break
+	}
+	s.dur = now.Sub(s.start)
+	s.ended = true
+}
+
+// elapsed returns the span's duration, using the current time for spans
+// still open (so Render mid-run shows live figures).
+func (s *Span) elapsed(now time.Time) time.Duration {
+	if s.ended {
+		return s.dur
+	}
+	return now.Sub(s.start)
+}
+
+// spanGroup is a set of same-named siblings collapsed into one rendered
+// line (e.g. kmeans.restart[8]).
+type spanGroup struct {
+	name  string
+	spans []*Span
+}
+
+// groupByName collapses spans by name, preserving first-appearance order.
+func groupByName(spans []*Span) []spanGroup {
+	var out []spanGroup
+	idx := map[string]int{}
+	for _, s := range spans {
+		if i, ok := idx[s.name]; ok {
+			out[i].spans = append(out[i].spans, s)
+			continue
+		}
+		idx[s.name] = len(out)
+		out = append(out, spanGroup{name: s.name, spans: []*Span{s}})
+	}
+	return out
+}
+
+// Render returns the trace tree as indented text. Same-named siblings are
+// merged into one line with a repetition count, total, and mean duration;
+// their children are merged recursively, so 44 LOSO folds render as one
+// `loso.fold[44]` subtree instead of 44 copies.
+func (t *Tracer) Render() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.root.children) == 0 {
+		return "(no spans recorded)"
+	}
+	var b strings.Builder
+	renderGroups(&b, groupByName(t.root.children), 0, time.Now())
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func renderGroups(b *strings.Builder, groups []spanGroup, depth int, now time.Time) {
+	for _, g := range groups {
+		var total time.Duration
+		running := false
+		var kids []*Span
+		for _, s := range g.spans {
+			total += s.elapsed(now)
+			running = running || !s.ended
+			kids = append(kids, s.children...)
+		}
+		label := g.name
+		if n := len(g.spans); n > 1 {
+			label = fmt.Sprintf("%s[%d]", g.name, n)
+		}
+		line := fmt.Sprintf("%s%s", strings.Repeat("  ", depth), label)
+		b.WriteString(fmt.Sprintf("%-44s %10s", line, fmtDur(total)))
+		if n := len(g.spans); n > 1 {
+			b.WriteString(fmt.Sprintf("  (avg %s)", fmtDur(total/time.Duration(n))))
+		}
+		if running {
+			b.WriteString("  (running)")
+		}
+		b.WriteString("\n")
+		renderGroups(b, groupByName(kids), depth+1, now)
+	}
+}
+
+// fmtDur rounds a duration to a scale-appropriate precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}
+
+// defTracer is the process-global tracer the instrumented packages share.
+var defTracer = NewTracer()
+
+// StartSpan opens a span on the default tracer.
+func StartSpan(name string) *Span { return defTracer.Start(name) }
+
+// SpanTree renders the default tracer's trace tree.
+func SpanTree() string { return defTracer.Render() }
+
+// ResetSpans discards the default tracer's trace tree (tests and repeated
+// in-process runs).
+func ResetSpans() {
+	defTracer.mu.Lock()
+	defer defTracer.mu.Unlock()
+	defTracer.reset()
+}
