@@ -1,0 +1,384 @@
+// Command clear-loadgen replays synthetic WEMAC users against a running
+// clear-serve instance in closed loop: every simulated user walks the
+// whole lifecycle — enrol, stream the unlabeled cold-start budget, get
+// assigned, upload labels, wait out the asynchronous fine-tune, then
+// stream the remaining windows as a monitored session. It reports
+// throughput, client-side latency quantiles, shed rate, and (because the
+// generator knows each user's ground-truth archetype) cold-start
+// assignment accuracy.
+//
+// Usage:
+//
+//	clear-loadgen [-addr http://localhost:8080] [-users 32] [-concurrency 32]
+//	              [-trials 10] [-trialsec 45] [-seed 99] [-ftfrac 0.2]
+//	              [-raw] [-keep]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/wemac"
+)
+
+// JSON mirrors of the serve API types (the loadgen speaks only HTTP, as a
+// real client would).
+type createReq struct {
+	UserID          int     `json:"user_id"`
+	ExpectedWindows int     `json:"expected_windows"`
+	AssignFrac      float64 `json:"assign_frac,omitempty"`
+}
+type createResp struct {
+	ID       string `json:"id"`
+	AssignAt int    `json:"assign_at"`
+}
+type windowResp struct {
+	State        string    `json:"state"`
+	Cluster      *int      `json:"cluster,omitempty"`
+	Probs        []float64 `json:"probs,omitempty"`
+	Personalized bool      `json:"personalized"`
+	BatchSize    int       `json:"batch_size"`
+}
+type statusResp struct {
+	State        string `json:"state"`
+	Personalized bool   `json:"personalized"`
+}
+type statsResp struct {
+	ClusterArchetypes []int `json:"cluster_archetypes"`
+	Shed              int64 `json:"shed"`
+}
+
+// userResult is one simulated user's outcome.
+type userResult struct {
+	ok           bool
+	err          error
+	cluster      int
+	archetype    int
+	personalized bool
+	lifecycleS   float64
+	correct      int // monitored windows predicted correctly
+	monitored    int
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "clear-serve base URL")
+		users    = flag.Int("users", 32, "simulated users")
+		conc     = flag.Int("concurrency", 32, "concurrent sessions")
+		trials   = flag.Int("trials", 10, "windows per user")
+		trialSec = flag.Float64("trialsec", 45, "recording seconds per window")
+		seed     = flag.Int64("seed", 99, "generator seed (keep distinct from the server's)")
+		ftFrac   = flag.Float64("ftfrac", 0.2, "labelled fraction uploaded for fine-tuning")
+		raw      = flag.Bool("raw", false, "send raw signal recordings instead of precomputed maps")
+		keep     = flag.Bool("keep", false, "leave sessions open instead of closing them")
+		windows  = flag.Int("mapwindows", 8, "feature-map windows (must match the server profile)")
+		winSec   = flag.Float64("mapwinsec", 8, "feature window seconds (must match the server profile)")
+	)
+	flag.Parse()
+
+	// Spread users across the four archetypes so assignment accuracy is
+	// measurable for every cluster.
+	sizes := make([]int, 4)
+	for i := 0; i < *users; i++ {
+		sizes[i%4]++
+	}
+	fmt.Printf("generating %d synthetic users (%v, %d trials × %.0fs)...\n",
+		*users, sizes, *trials, *trialSec)
+	ds := wemac.Generate(wemac.Config{
+		ArchetypeSizes:     sizes,
+		TrialsPerVolunteer: *trials,
+		TrialSec:           *trialSec,
+		Seed:               *seed,
+	})
+	ecfg := features.ExtractorConfig{WindowSec: *winSec, Windows: *windows}
+	var maps []*wemac.UserMaps
+	if !*raw {
+		var err error
+		maps, err = wemac.ExtractAll(ds, ecfg)
+		die(err)
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	var (
+		latMu     sync.Mutex
+		latencies []float64 // ms, per window POST
+		sheds     int64
+	)
+	observe := func(d time.Duration, shed int) {
+		latMu.Lock()
+		latencies = append(latencies, float64(d.Microseconds())/1000)
+		sheds += int64(shed)
+		latMu.Unlock()
+	}
+
+	start := time.Now()
+	results := make([]userResult, *users)
+	sem := make(chan struct{}, *conc)
+	var wg sync.WaitGroup
+	for i, v := range ds.Volunteers {
+		wg.Add(1)
+		go func(i int, v *wemac.Volunteer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var um *wemac.UserMaps
+			if maps != nil {
+				um = maps[i]
+			}
+			results[i] = runUser(client, *addr, v, um, *ftFrac, *keep, observe)
+		}(i, v)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Cluster → dominant archetype, for assignment scoring.
+	var stats statsResp
+	if err := getJSON(client, *addr+"/v1/stats", &stats); err != nil {
+		die(err)
+	}
+
+	completed, assignedRight, personalized := 0, 0, 0
+	correct, monitored := 0, 0
+	var lifecycleSum float64
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "user failed: %v\n", r.err)
+			continue
+		}
+		completed++
+		lifecycleSum += r.lifecycleS
+		if r.personalized {
+			personalized++
+		}
+		if r.cluster >= 0 && r.cluster < len(stats.ClusterArchetypes) &&
+			stats.ClusterArchetypes[r.cluster] == r.archetype {
+			assignedRight++
+		}
+		correct += r.correct
+		monitored += r.monitored
+	}
+
+	latMu.Lock()
+	sort.Float64s(latencies)
+	latMu.Unlock()
+	nw := len(latencies)
+	fmt.Printf("\n── loadgen report ──\n")
+	fmt.Printf("users            %d/%d lifecycles completed (%.1f sessions/sec)\n",
+		completed, *users, float64(completed)/elapsed.Seconds())
+	fmt.Printf("windows          %d posted in %v (%.1f windows/sec)\n",
+		nw, elapsed.Round(time.Millisecond), float64(nw)/elapsed.Seconds())
+	if nw > 0 {
+		fmt.Printf("window latency   p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+			quantile(latencies, 0.50), quantile(latencies, 0.95),
+			quantile(latencies, 0.99), latencies[nw-1])
+	}
+	fmt.Printf("mean lifecycle   %.2fs (enrol → assign → finetune → monitor)\n",
+		lifecycleSum/math.Max(1, float64(completed)))
+	fmt.Printf("personalized     %d/%d sessions\n", personalized, completed)
+	if completed > 0 {
+		fmt.Printf("assignment acc   %.0f%% (cold-start cluster matches ground-truth archetype)\n",
+			100*float64(assignedRight)/float64(completed))
+	}
+	if monitored > 0 {
+		fmt.Printf("monitor acc      %.1f%% over %d classified windows\n",
+			100*float64(correct)/float64(monitored), monitored)
+	}
+	fmt.Printf("sheds (client)   %d retried;  server shed counter %d\n", sheds, stats.Shed)
+	if completed < *users {
+		os.Exit(1)
+	}
+}
+
+// runUser drives one full lifecycle.
+func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.UserMaps,
+	ftFrac float64, keep bool, observe func(time.Duration, int)) userResult {
+
+	res := userResult{cluster: -1, archetype: v.Archetype}
+	total := len(v.Trials)
+	var cr createResp
+	if err := postJSON(client, addr+"/v1/sessions",
+		createReq{UserID: v.ID, ExpectedWindows: total}, &cr); err != nil {
+		res.err = fmt.Errorf("create: %w", err)
+		return res
+	}
+	base := addr + "/v1/sessions/" + cr.ID
+	lifecycleStart := time.Now()
+
+	// Labels cover the first ftFrac of post-assignment windows.
+	ftN := int(ftFrac*float64(total) + 0.5)
+	labels := map[int]int{}
+
+	for t := 0; t < total; t++ {
+		payload := windowPayload(v, um, t)
+		var wr windowResp
+		start := time.Now()
+		shed, err := postRetry(client, base+"/windows", payload, &wr)
+		observe(time.Since(start), shed)
+		if err != nil {
+			res.err = fmt.Errorf("window %d: %w", t, err)
+			return res
+		}
+		if wr.Cluster != nil {
+			res.cluster = *wr.Cluster
+		}
+		if len(wr.Probs) > 1 {
+			res.monitored++
+			pred := 0
+			if wr.Probs[1] > wr.Probs[0] {
+				pred = 1
+			}
+			if pred == int(v.Trials[t].Label) {
+				res.correct++
+			}
+		}
+		res.personalized = res.personalized || wr.Personalized
+
+		// Right after assignment, upload the labelled budget and wait for
+		// the personalised checkpoint before streaming on.
+		if t == cr.AssignAt-1 && ftN > 0 {
+			for j := t + 1 - ftN; j <= t; j++ {
+				if j >= 0 {
+					labels[j] = int(v.Trials[j].Label)
+				}
+			}
+			var lr statusResp
+			if _, err := postRetry(client, base+"/labels",
+				map[string]any{"labels": labels}, &lr); err != nil {
+				res.err = fmt.Errorf("labels: %w", err)
+				return res
+			}
+			if err := waitMonitoring(client, base); err != nil {
+				res.err = err
+				return res
+			}
+		}
+	}
+	res.lifecycleS = time.Since(lifecycleStart).Seconds()
+	res.ok = true
+	if !keep {
+		req, _ := http.NewRequest(http.MethodDelete, base, nil)
+		if resp, err := client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+	return res
+}
+
+// windowPayload builds the window body: a precomputed map when available,
+// raw signals otherwise.
+func windowPayload(v *wemac.Volunteer, um *wemac.UserMaps, t int) map[string]any {
+	if um != nil {
+		m := um.Maps[t].Map
+		return map[string]any{"map": map[string]any{
+			"rows": m.Dim(0), "cols": m.Dim(1), "data": m.Data,
+		}}
+	}
+	rec := v.Trials[t].Rec
+	return map[string]any{"recording": map[string]any{
+		"bvp": rec.BVP, "bvp_fs": rec.BVPFs,
+		"gsr": rec.GSR, "gsr_fs": rec.GSRFs,
+		"skt": rec.SKT, "skt_fs": rec.SKTFs,
+	}}
+}
+
+// waitMonitoring polls the session until the fine-tune lands.
+func waitMonitoring(client *http.Client, base string) error {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		var st statusResp
+		if err := getJSON(client, base, &st); err != nil {
+			return fmt.Errorf("status: %w", err)
+		}
+		if st.State == "monitoring" || st.Personalized {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("fine-tune did not complete within 5m")
+}
+
+// postRetry POSTs with bounded retry on 429, returning how many times the
+// request was shed.
+func postRetry(client *http.Client, url string, body any, out any) (int, error) {
+	shed := 0
+	for {
+		err := postJSON(client, url, body, out)
+		if err == nil {
+			return shed, nil
+		}
+		if he, ok := err.(*httpError); ok && he.code == http.StatusTooManyRequests && shed < 50 {
+			shed++
+			time.Sleep(time.Duration(10+5*shed) * time.Millisecond)
+			continue
+		}
+		return shed, err
+	}
+}
+
+type httpError struct {
+	code int
+	body string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("http %d: %s", e.code, e.body) }
+
+func postJSON(client *http.Client, url string, body, out any) error {
+	js, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(js))
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
+func decodeJSON(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return &httpError{code: resp.StatusCode, body: string(bytes.TrimSpace(raw))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// quantile reads a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,178 @@
+// Command clear-serve runs the CLEAR cold-start serving layer as an HTTP
+// server: it trains (or loads) a pipeline, then serves the full edge
+// lifecycle — enrol, cold-start assignment, asynchronous personalisation,
+// continuous monitoring — to concurrent clients. Pair it with
+// cmd/clear-loadgen for a closed-loop throughput/latency run.
+//
+// Usage:
+//
+//	clear-serve [-addr :8080] [-profile fast|paper] [-seed N] [-scale F]
+//	            [-pipeline ckpt] [-save ckpt] [-device gpu|coral|pi]
+//	            [-maxsessions N] [-batch N] [-maxdelay D] [-cachesize N]
+//	            [-ftworkers N] [-assignfrac F]
+//
+// The observability surface (/metrics, /debug/pprof, /debug/vars,
+// /debug/spans) shares the API mux — no separate -obs port needed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/wemac"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		profile     = flag.String("profile", "fast", "experiment profile: fast or paper")
+		seed        = flag.Int64("seed", 1, "master seed for data and training")
+		scale       = flag.Float64("scale", 1.0, "training population scale factor")
+		pipePath    = flag.String("pipeline", "", "load a pipeline checkpoint instead of training")
+		savePath    = flag.String("save", "", "save the trained pipeline checkpoint here")
+		device      = flag.String("device", "gpu", "session execution platform: gpu, coral, or pi")
+		maxSessions = flag.Int("maxsessions", 1024, "live session cap")
+		maxBatch    = flag.Int("batch", 16, "executor max minibatch size")
+		maxDelay    = flag.Duration("maxdelay", 2*time.Millisecond, "executor max coalescing delay")
+		cacheSize   = flag.Int("cachesize", 64, "fine-tuned checkpoint LRU capacity")
+		ftWorkers   = flag.Int("ftworkers", 2, "fine-tune worker pool size")
+		assignFrac  = flag.Float64("assignfrac", 0.10, "default unlabeled cold-start budget")
+	)
+	flag.Parse()
+
+	dev, err := deviceByName(*device)
+	die(err)
+
+	var pipe *core.Pipeline
+	var arch []int
+	if *pipePath != "" {
+		sp := obs.StartSpan("serve.load_pipeline")
+		f, err := os.Open(*pipePath)
+		die(err)
+		pipe, err = core.Load(f)
+		f.Close()
+		sp.End()
+		die(err)
+		fmt.Printf("loaded pipeline from %s (K=%d, %d training users)\n",
+			*pipePath, pipe.Cfg.K, len(pipe.TrainUserIDs))
+	} else {
+		pipe, arch = trainPipeline(*profile, *seed, *scale)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		die(err)
+		die(pipe.Save(f))
+		die(f.Close())
+		fmt.Printf("saved pipeline checkpoint to %s\n", *savePath)
+	}
+
+	srv, err := serve.New(pipe, serve.Config{
+		MaxSessions:     *maxSessions,
+		AssignFrac:      *assignFrac,
+		Device:          dev,
+		MaxBatch:        *maxBatch,
+		MaxDelay:        *maxDelay,
+		CacheSize:       *cacheSize,
+		FineTuneWorkers: *ftWorkers,
+	})
+	die(err)
+	if arch != nil {
+		srv.SetClusterArchetypes(arch)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		fmt.Printf("serving CLEAR lifecycle on %s (device %s, clusters %v)\n",
+			*addr, dev.Name, pipe.ClusterSizes())
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			die(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\ndraining...")
+	_ = hs.Close()
+	srv.Shutdown()
+	fmt.Println("\n── span tree ──")
+	fmt.Println(obs.SpanTree())
+	fmt.Println("\n── metrics ──")
+	fmt.Println(obs.MetricsDump())
+}
+
+// trainPipeline builds the serving pipeline from a synthetic WEMAC
+// population, returning the per-cluster dominant ground-truth archetypes
+// for the /v1/stats diagnostic.
+func trainPipeline(profile string, seed int64, scale float64) (*core.Pipeline, []int) {
+	var cfg core.Config
+	switch profile {
+	case "fast":
+		cfg = core.DefaultConfig()
+	case "paper":
+		cfg = core.PaperConfig()
+	default:
+		die(fmt.Errorf("unknown profile %q", profile))
+	}
+	cfg.Seed = seed
+	dcfg := wemac.DefaultConfig()
+	dcfg.Seed = seed
+	if scale != 1.0 {
+		for i, s := range dcfg.ArchetypeSizes {
+			n := int(float64(s)*scale + 0.5)
+			if n < 2 {
+				n = 2
+			}
+			dcfg.ArchetypeSizes[i] = n
+		}
+	}
+	start := time.Now()
+	fmt.Printf("generating synthetic WEMAC population (%v volunteers)...\n", dcfg.ArchetypeSizes)
+	gsp := obs.StartSpan("serve.generate")
+	ds := wemac.Generate(dcfg)
+	users, err := wemac.ExtractAll(ds, cfg.Extractor)
+	gsp.End()
+	die(err)
+	fmt.Printf("training CLEAR pipeline on %d users...\n", len(users))
+	tsp := obs.StartSpan("serve.train")
+	pipe, err := core.Train(users, cfg)
+	tsp.End()
+	die(err)
+	fmt.Printf("trained in %v, cluster sizes %v\n", time.Since(start).Round(time.Second), pipe.ClusterSizes())
+	arch := make([]int, pipe.Cfg.K)
+	for k := range arch {
+		arch[k] = eval.DominantArchetype(pipe, users, k)
+	}
+	fmt.Printf("cluster dominant archetypes %v\n", arch)
+	return pipe, arch
+}
+
+func deviceByName(name string) (edge.Device, error) {
+	switch name {
+	case "gpu":
+		return edge.GPU(), nil
+	case "coral":
+		return edge.CoralTPU(), nil
+	case "pi":
+		return edge.PiNCS2(), nil
+	}
+	return edge.Device{}, fmt.Errorf("unknown device %q (want gpu, coral, or pi)", name)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-serve:", err)
+		os.Exit(1)
+	}
+}

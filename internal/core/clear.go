@@ -148,6 +148,17 @@ func (c *Config) fillDefaults() {
 }
 
 // Pipeline is a trained CLEAR system ready for new users.
+//
+// Concurrency: once built (by Train, ClusterOnly, or Load), a Pipeline is
+// read-only and safe for any number of concurrent readers. Assign,
+// AssignMaps, Apply, SamplesFor, EnsembleFor, ModelFor, and ClusterSizes
+// allocate their results and never write to shared state. The one sharp
+// edge is the *nn.Model values in Models (returned by ModelFor): layers
+// cache per-forward scratch state, so running inference or fine-tuning on
+// the same model instance from multiple goroutines requires external
+// serialisation — clone the model per goroutine, or route requests through
+// a serialising executor (internal/serve does the latter). FineTune itself
+// is safe to call concurrently: it clones the checkpoint before training.
 type Pipeline struct {
 	Cfg Config
 	// Norm z-scores feature maps with statistics from the training users.
@@ -310,12 +321,26 @@ type Assignment struct {
 // first frac of the new user's *unlabeled* feature maps (the paper uses
 // 10 %).
 func (p *Pipeline) Assign(u *wemac.UserMaps, frac float64) Assignment {
+	return p.assignSummary(u.Summary(frac), frac)
+}
+
+// AssignMaps is the streaming-ingest form of Assign: it assigns from an
+// explicit set of raw (un-normalised) feature maps accumulated so far, as
+// a serving layer receives them window by window. fracUsed only annotates
+// the returned Assignment. The scoring path is identical to Assign, so a
+// served cold-start decision is bitwise-equal to the batch eval path given
+// the same maps.
+func (p *Pipeline) AssignMaps(maps []*tensorT, fracUsed float64) Assignment {
+	return p.assignSummary(features.Summary(maps), fracUsed)
+}
+
+func (p *Pipeline) assignSummary(summary []float64, fracUsed float64) Assignment {
 	sp := obs.StartSpan("core.assign")
 	defer sp.End()
 	mCoreAssigns.Inc()
-	s := p.Std.Apply(u.Summary(frac))
+	s := p.Std.Apply(summary)
 	best, scores := p.Hier.Assign(s)
-	return Assignment{Cluster: best, Scores: scores, FracUsed: frac}
+	return Assignment{Cluster: best, Scores: scores, FracUsed: fracUsed}
 }
 
 // Margin returns the relative score gap between the selected cluster and

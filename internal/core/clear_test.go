@@ -238,6 +238,25 @@ func TestPipelineSaveLoadRoundTrip(t *testing.T) {
 			t.Errorf("cluster %d accuracy changed after reload: %g vs %g", k, accP, accQ)
 		}
 	}
+	// Bitwise prediction parity: a reloaded checkpoint is the same
+	// function, not just equally accurate.
+	for i := range pa.Scores {
+		if pa.Scores[i] != qa.Scores[i] {
+			t.Errorf("assignment score[%d] changed after reload: %v vs %v", i, pa.Scores[i], qa.Scores[i])
+		}
+	}
+	for k := range p.Models {
+		for i, s := range data {
+			got := q.Models[k].Probabilities(s.X)
+			want := p.Models[k].Probabilities(s.X)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("cluster %d sample %d class %d: reloaded %v ≠ original %v",
+						k, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {

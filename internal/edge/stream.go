@@ -39,9 +39,25 @@ type Monitor struct {
 	alarmed bool
 	nSeen   int
 
+	// Per-monitor lifetime accounting (the global obs metrics aggregate
+	// across every monitor in the process; these are this monitor's own,
+	// and are what Reset clears when a session is recycled).
+	stats MonitorStats
+
 	// inferJ is the modelled per-horizon energy on this deployment's
 	// device (TestS × MPCTestW), accumulated into the energy gauge.
 	inferJ float64
+}
+
+// MonitorStats is one monitor's own accounting since construction or the
+// last Reset.
+type MonitorStats struct {
+	// Horizons counts processed recording horizons.
+	Horizons int
+	// Transitions counts alarm state changes.
+	Transitions int
+	// EnergyJ is the modelled on-device inference energy consumed.
+	EnergyJ float64
 }
 
 // Normalizer matches features.Normalizer's Apply without importing the
@@ -91,6 +107,17 @@ func (m *Monitor) Process(rec *features.Recording) (Event, error) {
 	if len(probs) > 1 {
 		raw = probs[1]
 	}
+	ev := m.Observe(raw)
+	hMonLatencyUS.Observe(float64(time.Since(start).Microseconds()))
+	return ev, nil
+}
+
+// Observe updates the smoothing and alarm state with an externally
+// computed fear probability and returns the resulting event. It is the
+// inference-free half of Process, for deployments where the forward pass
+// happens elsewhere (e.g. batched across sessions by a serving layer) but
+// the hysteresis and energy accounting still belong to this monitor.
+func (m *Monitor) Observe(raw float64) Event {
 	if m.nSeen == 0 {
 		m.prob = raw
 	} else {
@@ -106,29 +133,42 @@ func (m *Monitor) Process(rec *features.Recording) (Event, error) {
 		m.alarmed = false
 		changed = true
 	}
-	hMonLatencyUS.Observe(float64(time.Since(start).Microseconds()))
 	mMonHorizons.Inc()
 	if changed {
 		mMonTransitions.Inc()
 	}
 	gMonEnergyJ.Add(m.inferJ)
+	m.stats.Horizons++
+	if changed {
+		m.stats.Transitions++
+	}
+	m.stats.EnergyJ += m.inferJ
 	return Event{
 		Index:      m.nSeen - 1,
 		RawProb:    raw,
 		SmoothProb: m.prob,
 		Alarm:      m.alarmed,
 		Changed:    changed,
-	}, nil
+	}
 }
 
 // Alarmed reports the current alarm state.
 func (m *Monitor) Alarmed() bool { return m.alarmed }
 
-// Reset clears the smoothing and alarm state.
+// Stats returns this monitor's own accounting since construction or the
+// last Reset. The global obs metrics are process-wide aggregates and are
+// deliberately not affected by Reset.
+func (m *Monitor) Stats() MonitorStats { return m.stats }
+
+// Reset returns the monitor to its just-constructed state so a recycled
+// session starts clean: the EWMA history (including the first-sample
+// seeding path), the alarm state, and the per-monitor stats all clear
+// together. Only the process-global obs metrics keep accumulating.
 func (m *Monitor) Reset() {
 	m.prob = 0
 	m.alarmed = false
 	m.nSeen = 0
+	m.stats = MonitorStats{}
 }
 
 // The concrete features.Normalizer satisfies Normalizer.

@@ -108,6 +108,23 @@ func (m *Model) Probabilities(x *tensor.Tensor) []float64 {
 	return Softmax(logits.Data)
 }
 
+// ProbabilitiesBatch runs inference for a minibatch of inputs in one pass
+// through the model and returns one softmax distribution per input.
+//
+// Layers cache forward state, so the framework processes samples
+// sequentially; what a batch buys a serving layer is amortisation — one
+// dispatch (and one model lock acquisition) per minibatch instead of per
+// request. A model instance must not run ProbabilitiesBatch concurrently
+// with any other forward pass; callers coordinate (see internal/serve's
+// batched executor) or Clone.
+func (m *Model) ProbabilitiesBatch(xs []*tensor.Tensor) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Probabilities(x)
+	}
+	return out
+}
+
 // CloneWeightsTo copies m's weights into dst, which must have an identical
 // architecture.
 func (m *Model) CloneWeightsTo(dst *Model) error {

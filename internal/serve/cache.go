@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// Cache telemetry.
+var (
+	mCacheHits   = obs.GetCounter("serve.cache.hits")
+	mCacheMisses = obs.GetCounter("serve.cache.misses")
+	mCacheEvicts = obs.GetCounter("serve.cache.evictions")
+	mCacheDedups = obs.GetCounter("serve.cache.singleflight_dedups")
+	gCacheSize   = obs.GetGauge("serve.cache.size")
+)
+
+// ModelCache is an LRU over fine-tuned checkpoints keyed by session ID.
+// It is the personalisation tier between the shared read-only cluster
+// models and individual sessions: a hit serves the session's own
+// checkpoint, a miss falls back to the cluster checkpoint (the caller's
+// responsibility), and loading is single-flighted so concurrent triggers
+// for the same session never duplicate a fine-tune.
+//
+// Entries are inserted in-flight by beginLoad and filled by complete;
+// in-flight entries are never evicted (the worker holds a reference and a
+// fine-tune is too expensive to throw away mid-build).
+type ModelCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+// cacheEntry is one session's slot. model stays nil (and done open) while
+// the fine-tune is in flight.
+type cacheEntry struct {
+	key   string
+	model *nn.Model
+	done  bool
+}
+
+// NewModelCache builds a cache holding at most capacity completed
+// checkpoints.
+func NewModelCache(capacity int) *ModelCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ModelCache{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// Lookup returns the completed checkpoint for key, touching its LRU
+// position. In-flight entries report a miss: the caller serves the shared
+// cluster model until the build completes.
+func (c *ModelCache) Lookup(key string) (*nn.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok || !el.Value.(*cacheEntry).done {
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	mCacheHits.Inc()
+	return el.Value.(*cacheEntry).model, true
+}
+
+// beginLoad reserves key's slot for a build. created is false when an
+// entry (in-flight or completed) already exists — the single-flight dedup
+// path; the caller must not start a second build.
+func (c *ModelCache) beginLoad(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		mCacheDedups.Inc()
+		return el.Value.(*cacheEntry), false
+	}
+	e := &cacheEntry{key: key}
+	c.byKey[key] = c.ll.PushFront(e)
+	gCacheSize.Set(float64(c.ll.Len()))
+	return e, true
+}
+
+// abort withdraws an in-flight reservation (e.g. the worker pool shed the
+// job).
+func (c *ModelCache) abort(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok && el.Value.(*cacheEntry) == e {
+		c.ll.Remove(el)
+		delete(c.byKey, e.key)
+		gCacheSize.Set(float64(c.ll.Len()))
+	}
+}
+
+// complete fills an in-flight entry. A failed build removes the
+// reservation so a later trigger can retry; a successful one may evict
+// the least-recently-used completed checkpoints beyond capacity.
+func (c *ModelCache) complete(e *cacheEntry, m *nn.Model, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[e.key]
+	if !ok || el.Value.(*cacheEntry) != e {
+		return // superseded or removed while building
+	}
+	if err != nil {
+		c.ll.Remove(el)
+		delete(c.byKey, e.key)
+		gCacheSize.Set(float64(c.ll.Len()))
+		return
+	}
+	e.model = m
+	e.done = true
+	c.evictLocked()
+	gCacheSize.Set(float64(c.ll.Len()))
+}
+
+// evictLocked drops completed entries from the LRU tail until the cache
+// fits its capacity. In-flight entries are skipped.
+func (c *ModelCache) evictLocked() {
+	over := c.ll.Len() - c.cap
+	for el := c.ll.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		if e := el.Value.(*cacheEntry); e.done {
+			c.ll.Remove(el)
+			delete(c.byKey, e.key)
+			mCacheEvicts.Inc()
+			over--
+		}
+		el = prev
+	}
+}
+
+// Remove drops key's entry, returning the completed model it held (nil
+// for misses and in-flight entries; an in-flight entry is detached so the
+// finishing build is discarded by complete).
+func (c *ModelCache) Remove(key string) *nn.Model {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.byKey, key)
+	gCacheSize.Set(float64(c.ll.Len()))
+	if e.done {
+		return e.model
+	}
+	return nil
+}
+
+// Len returns the number of entries (including in-flight).
+func (c *ModelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is the cache block of the server stats surface.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// SingleFlightDedups counts fine-tune triggers that were collapsed
+	// onto an in-flight build.
+	SingleFlightDedups int64 `json:"singleflight_dedups"`
+}
+
+// Stats snapshots the cache.
+func (c *ModelCache) Stats() CacheStats {
+	return CacheStats{
+		Size:               c.Len(),
+		Capacity:           c.cap,
+		Hits:               mCacheHits.Value(),
+		Misses:             mCacheMisses.Value(),
+		Evictions:          mCacheEvicts.Value(),
+		SingleFlightDedups: mCacheDedups.Value(),
+	}
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// Executor telemetry.
+var (
+	hBatchSize  = obs.GetHistogram("serve.batch_size", obs.LinearBuckets(1, 1, 64))
+	hQueueUS    = obs.GetHistogram("serve.queue_wait_us", obs.ExpBuckets(1, 2, 24))
+	gQueueDepth = obs.GetGauge("serve.queue_depth")
+	mBatches    = obs.GetCounter("serve.batches")
+	mInfers     = obs.GetCounter("serve.inferences")
+	mExecShed   = obs.GetCounter("serve.exec_shed")
+)
+
+// inferRequest is one pending forward pass.
+type inferRequest struct {
+	model    *nn.Model
+	x        *tensorT
+	resp     chan InferResult
+	enqueued time.Time
+}
+
+// InferResult is the executor's answer for one request.
+type InferResult struct {
+	// Probs is the softmax class distribution.
+	Probs []float64
+	// Batch is the size of the dispatch round this request rode in (the
+	// coalescing the executor achieved under the current load).
+	Batch int
+	// QueueWait is the time from submission to the start of the
+	// request's model pass.
+	QueueWait time.Duration
+	Err       error
+}
+
+// Executor is the batched inference dispatcher. A single goroutine
+// coalesces pending requests — up to MaxBatch, waiting at most MaxDelay
+// after the first — then groups them by target model and runs each group
+// as one nn.Model minibatch pass. Grouping is what makes shared cluster
+// checkpoints batch across sessions, and the per-model locks are what
+// make concurrent use of a stateful model safe: a model instance never
+// runs two passes at once, here or across dispatch rounds.
+//
+// The queue is bounded; Submit never blocks on a full queue — it sheds
+// with ErrOverloaded so callers can apply backpressure to their clients.
+type Executor struct {
+	maxBatch int
+	maxDelay time.Duration
+
+	queue chan *inferRequest
+	sem   chan struct{} // bounds concurrent model groups
+
+	mu     sync.RWMutex // guards closed against Submit/Close races
+	closed bool
+
+	dispatcherDone chan struct{}
+	groupWG        sync.WaitGroup
+
+	locks sync.Map // *nn.Model → *sync.Mutex
+}
+
+// NewExecutor starts the dispatcher. concurrency bounds how many model
+// groups execute simultaneously (distinct models only; one model is never
+// concurrent with itself).
+func NewExecutor(maxBatch int, maxDelay time.Duration, queueDepth, concurrency int) *Executor {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	e := &Executor{
+		maxBatch:       maxBatch,
+		maxDelay:       maxDelay,
+		queue:          make(chan *inferRequest, queueDepth),
+		sem:            make(chan struct{}, concurrency),
+		dispatcherDone: make(chan struct{}),
+	}
+	go e.dispatch()
+	return e
+}
+
+// Submit queues one inference and waits for its result. It returns
+// ErrOverloaded immediately when the queue is full and ErrShutdown after
+// Close.
+func (e *Executor) Submit(model *nn.Model, x *tensorT) (InferResult, error) {
+	req := &inferRequest{model: model, x: x, resp: make(chan InferResult, 1), enqueued: time.Now()}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return InferResult{}, ErrShutdown
+	}
+	select {
+	case e.queue <- req:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		mExecShed.Inc()
+		mShed.Inc()
+		return InferResult{}, fmt.Errorf("%w: inference queue full", ErrOverloaded)
+	}
+	gQueueDepth.Set(float64(len(e.queue)))
+	res := <-req.resp
+	return res, res.Err
+}
+
+// Close drains the executor: no new submissions, every queued request is
+// answered, and all in-flight model passes finish before Close returns.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.queue) // Submit holds RLock while sending, so no send can race this
+	e.mu.Unlock()
+	<-e.dispatcherDone
+	e.groupWG.Wait()
+}
+
+// Forget drops the per-model lock entry for a retired model (evicted or
+// superseded fine-tuned checkpoints), keeping the lock table from growing
+// with session churn.
+func (e *Executor) Forget(model *nn.Model) {
+	e.locks.Delete(model)
+}
+
+// lockFor returns the mutex serialising passes through model.
+func (e *Executor) lockFor(model *nn.Model) *sync.Mutex {
+	if mu, ok := e.locks.Load(model); ok {
+		return mu.(*sync.Mutex)
+	}
+	mu, _ := e.locks.LoadOrStore(model, &sync.Mutex{})
+	return mu.(*sync.Mutex)
+}
+
+// dispatch is the coalescing loop.
+func (e *Executor) dispatch() {
+	defer close(e.dispatcherDone)
+	for {
+		first, ok := <-e.queue
+		if !ok {
+			return
+		}
+		batch := []*inferRequest{first}
+		timer := time.NewTimer(e.maxDelay)
+	collect:
+		for len(batch) < e.maxBatch {
+			select {
+			case r, ok := <-e.queue:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		gQueueDepth.Set(float64(len(e.queue)))
+		e.run(batch)
+	}
+}
+
+// run groups a dispatch round by model and executes each group as one
+// minibatch pass, concurrently across distinct models.
+func (e *Executor) run(batch []*inferRequest) {
+	mBatches.Inc()
+	hBatchSize.Observe(float64(len(batch)))
+	groups := map[*nn.Model][]*inferRequest{}
+	order := make([]*nn.Model, 0, len(batch))
+	for _, r := range batch {
+		if _, ok := groups[r.model]; !ok {
+			order = append(order, r.model)
+		}
+		groups[r.model] = append(groups[r.model], r)
+	}
+	for _, m := range order {
+		g := groups[m]
+		e.groupWG.Add(1)
+		e.sem <- struct{}{}
+		go func(m *nn.Model, g []*inferRequest, round int) {
+			defer e.groupWG.Done()
+			defer func() { <-e.sem }()
+			mu := e.lockFor(m)
+			mu.Lock()
+			defer mu.Unlock()
+			started := time.Now()
+			xs := make([]*tensorT, len(g))
+			for i, r := range g {
+				xs[i] = r.x
+			}
+			probs := m.ProbabilitiesBatch(xs)
+			for i, r := range g {
+				hQueueUS.Observe(float64(started.Sub(r.enqueued).Microseconds()))
+				mInfers.Inc()
+				r.resp <- InferResult{
+					Probs:     probs[i],
+					Batch:     round,
+					QueueWait: started.Sub(r.enqueued),
+				}
+			}
+		}(m, g, len(batch))
+	}
+}
+
+// ExecutorStats is the executor block of the server stats surface.
+type ExecutorStats struct {
+	Batches    int64   `json:"batches"`
+	Inferences int64   `json:"inferences"`
+	Shed       int64   `json:"shed"`
+	MeanBatch  float64 `json:"mean_batch"`
+	P95QueueUS float64 `json:"p95_queue_us"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+// Stats snapshots the executor.
+func (e *Executor) Stats() ExecutorStats {
+	return ExecutorStats{
+		Batches:    mBatches.Value(),
+		Inferences: mInfers.Value(),
+		Shed:       mExecShed.Value(),
+		MeanBatch:  hBatchSize.Mean(),
+		P95QueueUS: hQueueUS.Quantile(0.95),
+		QueueDepth: len(e.queue),
+	}
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/features"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// The HTTP JSON API:
+//
+//	POST   /v1/sessions                enrol a new user
+//	POST   /v1/sessions/{id}/windows   stream one signal window
+//	POST   /v1/sessions/{id}/labels    attach ground-truth labels
+//	GET    /v1/sessions/{id}           session status
+//	DELETE /v1/sessions/{id}           close the session
+//	GET    /v1/stats                   server aggregates
+//	GET    /metrics, /debug/...        the shared obs surface
+//
+// Typed serve errors map to status codes: ErrOverloaded → 429,
+// ErrSessionNotFound → 404, ErrSessionClosed → 409, ErrBadRequest → 400,
+// ErrShutdown → 503.
+
+// CreateSessionRequest is the POST /v1/sessions body.
+type CreateSessionRequest struct {
+	UserID int `json:"user_id"`
+	// ExpectedWindows sizes the unlabeled cold-start budget.
+	ExpectedWindows int `json:"expected_windows"`
+	// AssignFrac overrides the server default when positive.
+	AssignFrac float64 `json:"assign_frac,omitempty"`
+}
+
+// CreateSessionResponse echoes the new session.
+type CreateSessionResponse struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	AssignAt int    `json:"assign_at"`
+}
+
+// WindowPayload is the POST .../windows body: either raw signals (the
+// server extracts the feature map, as an edge gateway would) or a
+// precomputed F×W map from a client that extracts on-device.
+type WindowPayload struct {
+	Recording *RecordingPayload `json:"recording,omitempty"`
+	Map       *MapPayload       `json:"map,omitempty"`
+}
+
+// RecordingPayload carries the three raw physiological channels.
+type RecordingPayload struct {
+	BVP   []float64 `json:"bvp"`
+	BVPFs float64   `json:"bvp_fs"`
+	GSR   []float64 `json:"gsr"`
+	GSRFs float64   `json:"gsr_fs"`
+	SKT   []float64 `json:"skt"`
+	SKTFs float64   `json:"skt_fs"`
+}
+
+// MapPayload is a row-major F×W feature map.
+type MapPayload struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// WindowResponse is the per-window answer.
+type WindowResponse struct {
+	State   string `json:"state"`
+	Windows int    `json:"windows"`
+	// Cluster/Scores/Margin appear from the assignment-triggering window
+	// onward.
+	Cluster *int      `json:"cluster,omitempty"`
+	Scores  []float64 `json:"scores,omitempty"`
+	Margin  *float64  `json:"margin,omitempty"`
+	// Classification output (post-assignment windows).
+	Probs        []float64 `json:"probs,omitempty"`
+	RawProb      *float64  `json:"raw_prob,omitempty"`
+	SmoothProb   *float64  `json:"smooth_prob,omitempty"`
+	Alarm        *bool     `json:"alarm,omitempty"`
+	Personalized bool      `json:"personalized"`
+	BatchSize    int       `json:"batch_size,omitempty"`
+	QueueWaitUS  int64     `json:"queue_wait_us,omitempty"`
+}
+
+// LabelsPayload is the POST .../labels body: window arrival index →
+// class.
+type LabelsPayload struct {
+	Labels map[int]int `json:"labels"`
+}
+
+// LabelsResponse reports the merged label set and whether a fine-tune
+// started.
+type LabelsResponse struct {
+	State          string `json:"state"`
+	Labeled        int    `json:"labeled"`
+	FineTuneQueued bool   `json:"finetune_queued"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API, with the obs observability
+// surface (/metrics, /debug/pprof, /debug/vars, /debug/spans) mounted on
+// the same mux so one port serves both traffic and introspection.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/windows", s.handleWindow)
+	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.handleLabels)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	oh := obs.Handler()
+	mux.Handle("/metrics", oh)
+	mux.Handle("/debug/", oh)
+	return mux
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	sess, err := s.CreateSession(req.UserID, req.ExpectedWindows, req.AssignFrac)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st := sess.Status()
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{
+		ID: sess.ID(), State: st.State, AssignAt: st.AssignAt,
+	})
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var payload WindowPayload
+	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	m, err := s.decodeWindow(&payload)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := sess.PushWindow(m)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := WindowResponse{
+		State:        res.State.String(),
+		Windows:      res.Windows,
+		Personalized: res.Personalized,
+		BatchSize:    res.BatchSize,
+		QueueWaitUS:  res.QueueWait.Microseconds(),
+		Probs:        res.Probs,
+	}
+	if res.Assignment != nil {
+		c := res.Assignment.Cluster
+		mg := res.Assignment.Margin()
+		resp.Cluster = &c
+		resp.Scores = res.Assignment.Scores
+		resp.Margin = &mg
+	}
+	if res.Event != nil {
+		raw, smooth, alarm := res.Event.RawProb, res.Event.SmoothProb, res.Event.Alarm
+		resp.RawProb = &raw
+		resp.SmoothProb = &smooth
+		resp.Alarm = &alarm
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeWindow turns a payload into the raw feature map the session
+// ingests, extracting from raw signals when that's what arrived.
+func (s *Server) decodeWindow(p *WindowPayload) (*tensorT, error) {
+	switch {
+	case p.Recording != nil:
+		rec := &features.Recording{
+			BVP: p.Recording.BVP, BVPFs: p.Recording.BVPFs,
+			GSR: p.Recording.GSR, GSRFs: p.Recording.GSRFs,
+			SKT: p.Recording.SKT, SKTFs: p.Recording.SKTFs,
+		}
+		m, err := features.ExtractMap(rec, s.pipe.Cfg.Extractor)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return m, nil
+	case p.Map != nil:
+		if p.Map.Rows*p.Map.Cols != len(p.Map.Data) || p.Map.Rows < 1 || p.Map.Cols < 1 {
+			return nil, fmt.Errorf("%w: map dims %dx%d don't match %d values",
+				ErrBadRequest, p.Map.Rows, p.Map.Cols, len(p.Map.Data))
+		}
+		m := tensor.New(p.Map.Rows, p.Map.Cols)
+		copy(m.Data, p.Map.Data)
+		return m, nil
+	}
+	return nil, fmt.Errorf("%w: window needs a recording or a map", ErrBadRequest)
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var payload LabelsPayload
+	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	res, err := sess.PushLabels(payload.Labels)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LabelsResponse{
+		State: res.State.String(), Labeled: res.Labeled, FineTuneQueued: res.FineTuneQueued,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.CloseSession(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// writeError maps typed serve errors to HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrSessionNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrSessionClosed):
+		code = http.StatusConflict
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrShutdown):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

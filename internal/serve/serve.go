@@ -1,0 +1,366 @@
+// Package serve is the concurrent cold-start serving layer: it drives the
+// full CLEAR edge lifecycle — enrol → cold-start cluster assignment →
+// optional personalisation → continuous monitoring — for many users at
+// once, on top of one shared read-only core.Pipeline.
+//
+// The moving parts:
+//
+//   - Session registry: every user gets a Session wrapping their state
+//     machine (enrolling → assigned → finetuning → monitoring). Streamed
+//     signal windows accumulate until the unlabeled assignment budget (the
+//     paper's 10 %) is reached, which triggers core.Pipeline.AssignMaps;
+//     labelled windows, whenever they arrive, trigger an asynchronous
+//     fine-tune on a bounded worker pool; every window after assignment is
+//     classified and fed to the session's edge.Monitor hysteresis.
+//   - Model cache: an LRU over fine-tuned checkpoints keyed by session,
+//     backed by the shared per-cluster deployments. Loading is
+//     single-flighted, so concurrent triggers never duplicate a fine-tune,
+//     and eviction silently falls back to the cluster checkpoint.
+//   - Batched executor: a dispatcher goroutine coalesces pending inference
+//     requests across sessions into minibatches, grouped by target model so
+//     each group rides one nn.Model pass (model forward state is not
+//     concurrency-safe; the executor is what serialises it).
+//   - Backpressure: bounded queues everywhere. A full executor queue, a
+//     full fine-tune queue, or a session-cap hit surfaces ErrOverloaded,
+//     which the HTTP layer maps to 429/503 — load is shed, never buffered
+//     unboundedly.
+//
+// Everything is instrumented through internal/obs: serve.sessions gauge,
+// serve.batch_size histogram, serve.queue_depth gauge, per-window latency
+// histograms, and shed/cache counters.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// Typed errors. The HTTP layer maps them to status codes; embedded callers
+// branch with errors.Is.
+var (
+	// ErrOverloaded reports that a bounded resource (session slots, the
+	// inference queue, or the fine-tune queue) is full and the request was
+	// shed. Clients should back off and retry.
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrSessionNotFound reports an unknown session ID.
+	ErrSessionNotFound = errors.New("serve: session not found")
+	// ErrSessionClosed reports an operation on a closed session.
+	ErrSessionClosed = errors.New("serve: session closed")
+	// ErrBadRequest reports malformed input (bad shapes, labels out of
+	// range, non-positive window budgets).
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrShutdown reports that the server is draining.
+	ErrShutdown = errors.New("serve: shutting down")
+)
+
+// Serving telemetry, all on the default obs registry.
+var (
+	gSessions     = obs.GetGauge("serve.sessions")
+	mSessionsOpen = obs.GetCounter("serve.sessions_opened")
+	mWindows      = obs.GetCounter("serve.windows")
+	mShed         = obs.GetCounter("serve.shed")
+	hWindowUS     = obs.GetHistogram("serve.window_latency_us", obs.ExpBuckets(1, 2, 26))
+)
+
+// Config parameterises a Server. The zero value is usable: every field
+// defaults to something sensible for a laptop-scale deployment.
+type Config struct {
+	// MaxSessions caps live (non-closed) sessions; creation beyond it
+	// sheds with ErrOverloaded. Default 1024.
+	MaxSessions int
+	// AssignFrac is the default unlabeled budget fraction that triggers
+	// cold-start assignment (the paper's 10 %). Sessions may override it
+	// at creation. Default 0.10.
+	AssignFrac float64
+	// Device is the simulated execution platform sessions run on (sets
+	// numeric precision and the monitor's latency/energy model).
+	// Default edge.GPU() (native precision).
+	Device edge.Device
+	// MaxBatch and MaxDelay bound the executor's coalescing: a minibatch
+	// dispatches when MaxBatch requests are pending or the oldest has
+	// waited MaxDelay. Defaults 16 and 2ms.
+	MaxBatch int
+	MaxDelay time.Duration
+	// QueueDepth bounds the executor's pending-request queue; submissions
+	// beyond it shed. Default 256.
+	QueueDepth int
+	// InferConcurrency bounds how many model groups execute at once.
+	// Default GOMAXPROCS.
+	InferConcurrency int
+	// FineTuneWorkers and FineTuneQueue size the personalisation pool.
+	// Defaults 2 and 32.
+	FineTuneWorkers int
+	FineTuneQueue   int
+	// CacheSize caps the fine-tuned checkpoint LRU. Default 64.
+	CacheSize int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 1024
+	}
+	if c.AssignFrac == 0 {
+		c.AssignFrac = 0.10
+	}
+	if c.Device.Name == "" {
+		c.Device = edge.GPU()
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.InferConcurrency == 0 {
+		c.InferConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.FineTuneWorkers == 0 {
+		c.FineTuneWorkers = 2
+	}
+	if c.FineTuneQueue == 0 {
+		c.FineTuneQueue = 32
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+}
+
+// Server owns the session registry and the shared serving machinery.
+type Server struct {
+	cfg   Config
+	pipe  *core.Pipeline
+	exec  *Executor
+	cache *ModelCache
+
+	// deps holds one shared read-only deployment per cluster (the model
+	// every un-personalised session in that cluster is served from).
+	deps []*edge.Deployment
+
+	// clusterArchetype, when set by the embedding binary, maps each
+	// cluster to the dominant ground-truth archetype of its training
+	// users (synthetic-data diagnostic; -1 when unknown).
+	clusterArchetype []int
+
+	ftq    chan ftJob
+	ftWG   sync.WaitGroup
+	ftOnce sync.Once
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	seq      int64
+	draining bool
+
+	start time.Time
+}
+
+// ftJob is one queued personalisation.
+type ftJob struct {
+	s *Session
+	e *cacheEntry
+}
+
+// New builds a server over a trained pipeline. The pipeline must have
+// models (core.Train or core.Load output, not ClusterOnly).
+func New(pipe *core.Pipeline, cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if pipe == nil || len(pipe.Models) == 0 || pipe.Models[0] == nil {
+		return nil, fmt.Errorf("%w: pipeline has no trained models", ErrBadRequest)
+	}
+	s := &Server{
+		cfg:      cfg,
+		pipe:     pipe,
+		sessions: make(map[string]*Session),
+		ftq:      make(chan ftJob, cfg.FineTuneQueue),
+		start:    time.Now(),
+	}
+	sp := obs.StartSpan("serve.deploy_clusters")
+	for k := range pipe.Models {
+		s.deps = append(s.deps, edge.Deploy(pipe.ModelFor(k), cfg.Device))
+	}
+	sp.End()
+	s.clusterArchetype = make([]int, len(s.deps))
+	for k := range s.clusterArchetype {
+		s.clusterArchetype[k] = -1
+	}
+	s.exec = NewExecutor(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueDepth, cfg.InferConcurrency)
+	s.cache = NewModelCache(cfg.CacheSize)
+	for i := 0; i < cfg.FineTuneWorkers; i++ {
+		s.ftWG.Add(1)
+		go s.fineTuneWorker()
+	}
+	return s, nil
+}
+
+// Pipeline returns the shared pipeline the server serves from.
+func (s *Server) Pipeline() *core.Pipeline { return s.pipe }
+
+// SetClusterArchetypes records the dominant ground-truth archetype per
+// cluster (a synthetic-data diagnostic exposed through Stats so load
+// generators can score assignment accuracy).
+func (s *Server) SetClusterArchetypes(arch []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clusterArchetype = append([]int(nil), arch...)
+}
+
+// fineTuneWorker drains the personalisation queue. Each job fine-tunes one
+// session's assigned-cluster checkpoint on its labelled windows and
+// completes the session's cache entry.
+func (s *Server) fineTuneWorker() {
+	defer s.ftWG.Done()
+	for job := range s.ftq {
+		model, err := job.s.runFineTune()
+		s.cache.complete(job.e, model, err)
+		job.s.fineTuneDone(err)
+	}
+}
+
+// enqueueFineTune places a job on the bounded pool, shedding when full.
+func (s *Server) enqueueFineTune(job ftJob) error {
+	select {
+	case s.ftq <- job:
+		return nil
+	default:
+		mShed.Inc()
+		return fmt.Errorf("%w: fine-tune queue full", ErrOverloaded)
+	}
+}
+
+// CreateSession registers a new user session. expectedWindows is how many
+// signal windows the client intends to stream in total (it sizes the
+// unlabeled assignment budget); assignFrac overrides Config.AssignFrac
+// when positive. userID is an opaque client-chosen identifier echoed in
+// status output.
+func (s *Server) CreateSession(userID int, expectedWindows int, assignFrac float64) (*Session, error) {
+	if expectedWindows < 1 {
+		return nil, fmt.Errorf("%w: expected_windows must be ≥ 1", ErrBadRequest)
+	}
+	if assignFrac < 0 || assignFrac > 1 {
+		return nil, fmt.Errorf("%w: assign_frac must be in [0,1]", ErrBadRequest)
+	}
+	if assignFrac == 0 {
+		assignFrac = s.cfg.AssignFrac
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrShutdown
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		mShed.Inc()
+		return nil, fmt.Errorf("%w: session cap %d reached", ErrOverloaded, s.cfg.MaxSessions)
+	}
+	s.seq++
+	sess := newSession(s, fmt.Sprintf("s%06d", s.seq), userID, expectedWindows, assignFrac)
+	s.sessions[sess.id] = sess
+	mSessionsOpen.Inc()
+	gSessions.Set(float64(len(s.sessions)))
+	return sess, nil
+}
+
+// Session looks a live session up by ID.
+func (s *Server) Session(id string) (*Session, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	return sess, nil
+}
+
+// CloseSession removes a session from the registry and releases its cached
+// fine-tuned checkpoint. Closing an unknown ID is ErrSessionNotFound.
+func (s *Server) CloseSession(id string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		gSessions.Set(float64(len(s.sessions)))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	sess.close()
+	if m := s.cache.Remove(sess.id); m != nil {
+		s.exec.Forget(m)
+	}
+	return nil
+}
+
+// Shutdown drains the server: no new sessions, the fine-tune pool finishes
+// queued jobs, and the executor completes pending inferences.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.ftOnce.Do(func() { close(s.ftq) })
+	s.ftWG.Wait()
+	s.exec.Close()
+}
+
+// StateCounts tallies live sessions by state.
+func (s *Server) StateCounts() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[string]int{}
+	for _, sess := range s.sessions {
+		out[sess.State().String()]++
+	}
+	return out
+}
+
+// Stats is the aggregate surface behind GET /v1/stats.
+type Stats struct {
+	UptimeSec       float64        `json:"uptime_sec"`
+	Sessions        int            `json:"sessions"`
+	SessionsOpened  int64          `json:"sessions_opened"`
+	SessionsByState map[string]int `json:"sessions_by_state"`
+	Windows         int64          `json:"windows"`
+	Shed            int64          `json:"shed"`
+	Clusters        int            `json:"clusters"`
+	ClusterSizes    []int          `json:"cluster_sizes"`
+	// ClusterArchetypes maps cluster → dominant training archetype
+	// (synthetic-data diagnostic; -1 when unknown).
+	ClusterArchetypes []int         `json:"cluster_archetypes"`
+	Device            string        `json:"device"`
+	Cache             CacheStats    `json:"cache"`
+	Executor          ExecutorStats `json:"executor"`
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	n := len(s.sessions)
+	arch := append([]int(nil), s.clusterArchetype...)
+	s.mu.RUnlock()
+	return Stats{
+		UptimeSec:         time.Since(s.start).Seconds(),
+		Sessions:          n,
+		SessionsOpened:    mSessionsOpen.Value(),
+		SessionsByState:   s.StateCounts(),
+		Windows:           mWindows.Value(),
+		Shed:              mShed.Value(),
+		Clusters:          len(s.deps),
+		ClusterSizes:      s.pipe.ClusterSizes(),
+		ClusterArchetypes: arch,
+		Device:            s.cfg.Device.Name,
+		Cache:             s.cache.Stats(),
+		Executor:          s.exec.Stats(),
+	}
+}
+
+// tensorT shortens signatures below.
+type tensorT = tensor.Tensor

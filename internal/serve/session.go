@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/wemac"
+)
+
+// State is a session's position in the CLEAR edge lifecycle.
+type State int32
+
+// The lifecycle is linear with one loop: labels arriving after
+// personalisation send the session back through FineTuning.
+const (
+	// StateEnrolling: unlabeled windows accumulate toward the cold-start
+	// assignment budget; nothing is classified yet.
+	StateEnrolling State = iota
+	// StateAssigned: cold-start assignment done; windows are classified
+	// with the shared cluster checkpoint while personalisation is still
+	// possible.
+	StateAssigned
+	// StateFineTuning: an asynchronous fine-tune is in flight; windows
+	// keep being classified with the current (shared) checkpoint.
+	StateFineTuning
+	// StateMonitoring: the personalised checkpoint is live.
+	StateMonitoring
+	// StateClosed: the session was removed; all operations fail.
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateEnrolling:
+		return "enrolling"
+	case StateAssigned:
+		return "assigned"
+	case StateFineTuning:
+		return "finetuning"
+	case StateMonitoring:
+		return "monitoring"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Fine-tune telemetry (concurrent path → metrics, not spans).
+var (
+	hFineTuneMS  = obs.GetHistogram("serve.finetune_ms", obs.ExpBuckets(1, 2, 20))
+	mFineTuneErr = obs.GetCounter("serve.finetune_errors")
+)
+
+// Session is one user's serving state. All fields behind mu; the heavy
+// work (normalisation, inference, fine-tuning) happens outside the lock.
+type Session struct {
+	id     string
+	userID int
+	srv    *Server
+
+	mu       sync.Mutex
+	state    State
+	expected int
+	assignAt int
+	frac     float64
+	maps     []*tensorT // raw feature maps in arrival order
+	labels   map[int]int
+	asg      core.Assignment
+	haveAsg  bool
+	mon      *edge.Monitor
+
+	personalized bool
+	ftInFlight   bool
+	ftLabeled    int // len(labels) when the last fine-tune was snapshotted
+	lastEvent    *edge.Event
+	created      time.Time
+}
+
+func newSession(srv *Server, id string, userID, expected int, frac float64) *Session {
+	return &Session{
+		id:       id,
+		userID:   userID,
+		srv:      srv,
+		state:    StateEnrolling,
+		expected: expected,
+		assignAt: wemac.BudgetWindows(expected, frac),
+		frac:     frac,
+		labels:   map[int]int{},
+		created:  time.Now(),
+	}
+}
+
+// ID returns the registry key.
+func (s *Session) ID() string { return s.id }
+
+// State returns the current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// WindowResult is the outcome of one PushWindow call.
+type WindowResult struct {
+	SessionID string
+	State     State
+	Windows   int
+	// Assignment is set from the window that triggers cold-start
+	// assignment onward.
+	Assignment *core.Assignment
+	// Event and Probs are set for classified windows (post-assignment).
+	Event *edge.Event
+	Probs []float64
+	// Personalized reports whether the fine-tuned checkpoint served this
+	// window.
+	Personalized bool
+	// BatchSize and QueueWait are the executor's accounting for this
+	// window's inference.
+	BatchSize int
+	QueueWait time.Duration
+}
+
+// PushWindow ingests one raw feature map for the session. During
+// enrolment it only accumulates (and possibly triggers assignment); after
+// assignment it classifies the window through the batched executor and
+// updates the session's monitor.
+func (s *Session) PushWindow(m *tensorT) (WindowResult, error) {
+	start := time.Now()
+	if m == nil || m.Rank() != 2 ||
+		m.Dim(0) != s.srv.pipe.Cfg.Model.InH || m.Dim(1) != s.srv.pipe.Cfg.Model.InW {
+		return WindowResult{}, fmt.Errorf("%w: window must be a %d×%d feature map",
+			ErrBadRequest, s.srv.pipe.Cfg.Model.InH, s.srv.pipe.Cfg.Model.InW)
+	}
+
+	s.mu.Lock()
+	if s.state == StateClosed {
+		s.mu.Unlock()
+		return WindowResult{}, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
+	}
+	s.maps = append(s.maps, m)
+	n := len(s.maps)
+	res := WindowResult{SessionID: s.id, Windows: n}
+
+	if s.state == StateEnrolling {
+		if n >= s.assignAt {
+			// The unlabeled budget is met: cold-start assignment, on
+			// exactly the maps the batch eval path would consume.
+			s.asg = s.srv.pipe.AssignMaps(s.maps[:s.assignAt], s.frac)
+			s.haveAsg = true
+			s.mon = edge.NewMonitor(s.srv.deps[s.asg.Cluster], nil, s.srv.pipe.Cfg.Extractor)
+			s.state = StateAssigned
+			s.tryFineTuneLocked()
+		}
+		res.State = s.state
+		if s.haveAsg {
+			a := s.asg
+			res.Assignment = &a
+		}
+		s.mu.Unlock()
+		mWindows.Inc()
+		hWindowUS.Observe(float64(time.Since(start).Microseconds()))
+		return res, nil
+	}
+
+	// Classified path: pick the serving model (LRU touch), release the
+	// lock for normalisation + inference, re-acquire for the monitor.
+	model, personalized := s.servingModelLocked()
+	mon := s.mon
+	a := s.asg
+	s.mu.Unlock()
+
+	x := s.srv.pipe.Apply(m)
+	ir, err := s.srv.exec.Submit(model, x)
+	if err != nil {
+		return WindowResult{}, err
+	}
+	raw := 0.0
+	if len(ir.Probs) > 1 {
+		raw = ir.Probs[1]
+	}
+
+	s.mu.Lock()
+	ev := mon.Observe(raw)
+	s.lastEvent = &ev
+	res.State = s.state
+	s.mu.Unlock()
+
+	res.Assignment = &a
+	res.Event = &ev
+	res.Probs = ir.Probs
+	res.Personalized = personalized
+	res.BatchSize = ir.Batch
+	res.QueueWait = ir.QueueWait
+	mWindows.Inc()
+	hWindowUS.Observe(float64(time.Since(start).Microseconds()))
+	return res, nil
+}
+
+// servingModelLocked resolves the model this session's inferences run on:
+// the cached fine-tuned checkpoint when present, else the shared
+// deployment of the assigned cluster. Callers hold s.mu.
+func (s *Session) servingModelLocked() (*nn.Model, bool) {
+	if m, ok := s.srv.cache.Lookup(s.id); ok {
+		return m, true
+	}
+	return s.srv.deps[s.asg.Cluster].Model, false
+}
+
+// LabelsResult is the outcome of one PushLabels call.
+type LabelsResult struct {
+	SessionID string
+	State     State
+	Labeled   int
+	// FineTuneQueued reports whether this call started a personalisation
+	// job (false when one is already in flight or the session is still
+	// enrolling).
+	FineTuneQueued bool
+}
+
+// PushLabels attaches ground-truth labels to previously streamed windows
+// (by arrival index) and, once the session is assigned, triggers an
+// asynchronous fine-tune incorporating every label received so far.
+// Labels arriving while a fine-tune is in flight are folded into the next
+// trigger rather than restarting the running job.
+func (s *Session) PushLabels(labels map[int]int) (LabelsResult, error) {
+	classes := s.srv.pipe.Cfg.Model.Classes
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateClosed {
+		return LabelsResult{}, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
+	}
+	for idx, y := range labels {
+		if idx < 0 || idx >= len(s.maps) {
+			return LabelsResult{}, fmt.Errorf("%w: label for unknown window %d (have %d)",
+				ErrBadRequest, idx, len(s.maps))
+		}
+		if y < 0 || y >= classes {
+			return LabelsResult{}, fmt.Errorf("%w: label %d out of range [0,%d)", ErrBadRequest, y, classes)
+		}
+	}
+	for idx, y := range labels {
+		s.labels[idx] = y
+	}
+	queued, err := s.tryFineTuneLocked()
+	if err != nil {
+		return LabelsResult{}, err
+	}
+	return LabelsResult{SessionID: s.id, State: s.state, Labeled: len(s.labels), FineTuneQueued: queued}, nil
+}
+
+// tryFineTuneLocked starts a personalisation job when the session is
+// assigned, has labels that a previous job hasn't seen, and no job is in
+// flight. It single-flights through the model cache, so concurrent
+// triggers collapse onto one build. Callers hold s.mu.
+func (s *Session) tryFineTuneLocked() (bool, error) {
+	if !s.haveAsg || s.ftInFlight || len(s.labels) == 0 || len(s.labels) == s.ftLabeled {
+		return false, nil
+	}
+	// A fresh job must supersede any cached older checkpoint.
+	if old := s.srv.cache.Remove(s.id); old != nil {
+		s.srv.exec.Forget(old)
+	}
+	e, created := s.srv.cache.beginLoad(s.id)
+	if !created {
+		// Another goroutine is already building for this session.
+		return false, nil
+	}
+	if err := s.srv.enqueueFineTune(ftJob{s: s, e: e}); err != nil {
+		s.srv.cache.abort(e)
+		return false, err
+	}
+	s.ftInFlight = true
+	s.ftLabeled = len(s.labels)
+	s.state = StateFineTuning
+	return true, nil
+}
+
+// runFineTune executes one personalisation job on a pool worker: snapshot
+// the labelled windows, fine-tune the assigned cluster's checkpoint, and
+// deploy it at the session's device precision.
+func (s *Session) runFineTune() (*nn.Model, error) {
+	s.mu.Lock()
+	k := s.asg.Cluster
+	idxs := make([]int, 0, len(s.labels))
+	for idx := range s.labels {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	samples := make([]nn.Sample, 0, len(idxs))
+	raw := make([]*tensorT, len(idxs))
+	ys := make([]int, len(idxs))
+	for i, idx := range idxs {
+		raw[i] = s.maps[idx]
+		ys[i] = s.labels[idx]
+	}
+	s.mu.Unlock()
+
+	// Normalisation and training run unlocked; the pipeline is read-only
+	// and FineTune clones the checkpoint before touching it.
+	for i := range raw {
+		samples = append(samples, nn.Sample{X: s.srv.pipe.Apply(raw[i]), Y: ys[i]})
+	}
+	start := time.Now()
+	m, err := s.srv.pipe.FineTune(k, samples)
+	if err != nil {
+		mFineTuneErr.Inc()
+		return nil, err
+	}
+	hFineTuneMS.Observe(float64(time.Since(start).Milliseconds()))
+	return edge.Deploy(m, s.srv.cfg.Device).Model, nil
+}
+
+// fineTuneDone records a job's outcome on the session.
+func (s *Session) fineTuneDone(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ftInFlight = false
+	if s.state == StateClosed {
+		return
+	}
+	if err != nil {
+		if !s.personalized {
+			s.state = StateAssigned
+		} else {
+			s.state = StateMonitoring
+		}
+		return
+	}
+	s.personalized = true
+	s.state = StateMonitoring
+}
+
+// close marks the session closed and recycles its monitor.
+func (s *Session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = StateClosed
+	if s.mon != nil {
+		s.mon.Reset()
+	}
+	s.maps = nil
+	s.labels = nil
+}
+
+// SessionStatus is the GET /v1/sessions/{id} snapshot.
+type SessionStatus struct {
+	ID       string  `json:"id"`
+	UserID   int     `json:"user_id"`
+	State    string  `json:"state"`
+	Windows  int     `json:"windows"`
+	Expected int     `json:"expected_windows"`
+	AssignAt int     `json:"assign_at"`
+	Labeled  int     `json:"labeled"`
+	AgeSec   float64 `json:"age_sec"`
+
+	// Cluster is -1 until assignment.
+	Cluster int       `json:"cluster"`
+	Scores  []float64 `json:"scores,omitempty"`
+	Margin  float64   `json:"margin"`
+
+	Personalized     bool `json:"personalized"`
+	FineTuneInFlight bool `json:"finetune_in_flight"`
+
+	Monitor   *edge.MonitorStats `json:"monitor,omitempty"`
+	LastEvent *edge.Event        `json:"last_event,omitempty"`
+}
+
+// Status snapshots the session.
+func (s *Session) Status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SessionStatus{
+		ID:               s.id,
+		UserID:           s.userID,
+		State:            s.state.String(),
+		Windows:          len(s.maps),
+		Expected:         s.expected,
+		AssignAt:         s.assignAt,
+		Labeled:          len(s.labels),
+		AgeSec:           time.Since(s.created).Seconds(),
+		Cluster:          -1,
+		Personalized:     s.personalized,
+		FineTuneInFlight: s.ftInFlight,
+		LastEvent:        s.lastEvent,
+	}
+	if s.haveAsg {
+		st.Cluster = s.asg.Cluster
+		st.Scores = append([]float64(nil), s.asg.Scores...)
+		st.Margin = s.asg.Margin()
+	}
+	if s.mon != nil {
+		ms := s.mon.Stats()
+		st.Monitor = &ms
+	}
+	return st
+}

@@ -180,17 +180,26 @@ type UserMaps struct {
 	Maps      []LabeledMap
 }
 
+// BudgetWindows returns how many of total maps a frac budget covers — the
+// rounding Summary applies: nearest integer, at least one, at most total.
+// Serving code uses it to trigger cold-start assignment after exactly the
+// number of windows the batch eval path would consume.
+func BudgetWindows(total int, frac float64) int {
+	n := int(frac*float64(total) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	return n
+}
+
 // Summary returns the volunteer's unlabeled per-feature mean vector over the
 // first frac of their maps (frac in (0,1]; the paper's cold-start assignment
 // uses 10 %, i.e. frac = 0.1, with at least one map).
 func (u *UserMaps) Summary(frac float64) []float64 {
-	n := int(frac*float64(len(u.Maps)) + 0.5)
-	if n < 1 {
-		n = 1
-	}
-	if n > len(u.Maps) {
-		n = len(u.Maps)
-	}
+	n := BudgetWindows(len(u.Maps), frac)
 	ms := make([]*tensor.Tensor, n)
 	for i := 0; i < n; i++ {
 		ms[i] = u.Maps[i].Map
