@@ -63,7 +63,20 @@ type Executor struct {
 	dispatcherDone chan struct{}
 	groupWG        sync.WaitGroup
 
-	locks sync.Map // *nn.Model → *sync.Mutex
+	locksMu sync.Mutex
+	locks   map[*nn.Model]*modelLock
+}
+
+// modelLock serialises forward passes through one model. refs counts
+// dispatch groups currently using the entry (holding or waiting on mu);
+// retired marks a model Forget was called on, whose entry is dropped only
+// once the last in-flight group releases it. That deferral is what keeps a
+// Forget racing an executing pass from letting a later acquire mint a
+// second mutex for the same model.
+type modelLock struct {
+	mu      sync.Mutex
+	refs    int
+	retired bool
 }
 
 // NewExecutor starts the dispatcher. concurrency bounds how many model
@@ -85,6 +98,7 @@ func NewExecutor(maxBatch int, maxDelay time.Duration, queueDepth, concurrency i
 		queue:          make(chan *inferRequest, queueDepth),
 		sem:            make(chan struct{}, concurrency),
 		dispatcherDone: make(chan struct{}),
+		locks:          map[*nn.Model]*modelLock{},
 	}
 	go e.dispatch()
 	return e
@@ -129,20 +143,47 @@ func (e *Executor) Close() {
 	e.groupWG.Wait()
 }
 
-// Forget drops the per-model lock entry for a retired model (evicted or
+// Forget retires the per-model lock entry for a dropped model (evicted or
 // superseded fine-tuned checkpoints), keeping the lock table from growing
-// with session churn.
+// with session churn. If dispatch groups for the model are still in flight
+// the entry is only marked retired — they keep serialising through it, and
+// the last release deletes it.
 func (e *Executor) Forget(model *nn.Model) {
-	e.locks.Delete(model)
+	e.locksMu.Lock()
+	defer e.locksMu.Unlock()
+	ml, ok := e.locks[model]
+	if !ok {
+		return
+	}
+	if ml.refs == 0 {
+		delete(e.locks, model)
+		return
+	}
+	ml.retired = true
 }
 
-// lockFor returns the mutex serialising passes through model.
-func (e *Executor) lockFor(model *nn.Model) *sync.Mutex {
-	if mu, ok := e.locks.Load(model); ok {
-		return mu.(*sync.Mutex)
+// acquire pins the lock entry serialising passes through model. Every
+// acquire must be paired with a release after the pass's mutex is dropped.
+func (e *Executor) acquire(model *nn.Model) *modelLock {
+	e.locksMu.Lock()
+	defer e.locksMu.Unlock()
+	ml, ok := e.locks[model]
+	if !ok {
+		ml = &modelLock{}
+		e.locks[model] = ml
 	}
-	mu, _ := e.locks.LoadOrStore(model, &sync.Mutex{})
-	return mu.(*sync.Mutex)
+	ml.refs++
+	return ml
+}
+
+// release unpins a lock entry, dropping it once it is retired and idle.
+func (e *Executor) release(model *nn.Model, ml *modelLock) {
+	e.locksMu.Lock()
+	defer e.locksMu.Unlock()
+	ml.refs--
+	if ml.retired && ml.refs == 0 && e.locks[model] == ml {
+		delete(e.locks, model)
+	}
 }
 
 // dispatch is the coalescing loop.
@@ -193,9 +234,10 @@ func (e *Executor) run(batch []*inferRequest) {
 		go func(m *nn.Model, g []*inferRequest, round int) {
 			defer e.groupWG.Done()
 			defer func() { <-e.sem }()
-			mu := e.lockFor(m)
-			mu.Lock()
-			defer mu.Unlock()
+			ml := e.acquire(m)
+			defer e.release(m, ml)
+			ml.mu.Lock()
+			defer ml.mu.Unlock()
 			started := time.Now()
 			xs := make([]*tensorT, len(g))
 			for i, r := range g {

@@ -76,6 +76,10 @@ type Config struct {
 	// MaxSessions caps live (non-closed) sessions; creation beyond it
 	// sheds with ErrOverloaded. Default 1024.
 	MaxSessions int
+	// MaxWindows caps a session's expectedWindows, which in turn caps how
+	// many raw feature maps the session retains — the per-session memory
+	// bound. Creation beyond it is ErrBadRequest. Default 4096.
+	MaxWindows int
 	// AssignFrac is the default unlabeled budget fraction that triggers
 	// cold-start assignment (the paper's 10 %). Sessions may override it
 	// at creation. Default 0.10.
@@ -106,6 +110,9 @@ type Config struct {
 func (c *Config) fillDefaults() {
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 1024
+	}
+	if c.MaxWindows == 0 {
+		c.MaxWindows = 4096
 	}
 	if c.AssignFrac == 0 {
 		c.AssignFrac = 0.10
@@ -152,9 +159,10 @@ type Server struct {
 	// users (synthetic-data diagnostic; -1 when unknown).
 	clusterArchetype []int
 
-	ftq    chan ftJob
-	ftWG   sync.WaitGroup
-	ftOnce sync.Once
+	ftq      chan ftJob
+	ftWG     sync.WaitGroup
+	ftMu     sync.RWMutex // guards ftClosed against enqueue/Shutdown races
+	ftClosed bool
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
@@ -226,8 +234,16 @@ func (s *Server) fineTuneWorker() {
 	}
 }
 
-// enqueueFineTune places a job on the bounded pool, shedding when full.
+// enqueueFineTune places a job on the bounded pool, shedding when full and
+// refusing with ErrShutdown while draining. The send happens under ftMu's
+// read lock so it can never race Shutdown's close of the channel (the same
+// closed/mu pattern Executor.Submit uses).
 func (s *Server) enqueueFineTune(job ftJob) error {
+	s.ftMu.RLock()
+	defer s.ftMu.RUnlock()
+	if s.ftClosed {
+		return ErrShutdown
+	}
 	select {
 	case s.ftq <- job:
 		return nil
@@ -239,12 +255,17 @@ func (s *Server) enqueueFineTune(job ftJob) error {
 
 // CreateSession registers a new user session. expectedWindows is how many
 // signal windows the client intends to stream in total (it sizes the
-// unlabeled assignment budget); assignFrac overrides Config.AssignFrac
-// when positive. userID is an opaque client-chosen identifier echoed in
-// status output.
+// unlabeled assignment budget and caps how many raw maps the session
+// retains; it must not exceed Config.MaxWindows); assignFrac overrides
+// Config.AssignFrac when positive. userID is an opaque client-chosen
+// identifier echoed in status output.
 func (s *Server) CreateSession(userID int, expectedWindows int, assignFrac float64) (*Session, error) {
 	if expectedWindows < 1 {
 		return nil, fmt.Errorf("%w: expected_windows must be ≥ 1", ErrBadRequest)
+	}
+	if expectedWindows > s.cfg.MaxWindows {
+		return nil, fmt.Errorf("%w: expected_windows %d exceeds cap %d",
+			ErrBadRequest, expectedWindows, s.cfg.MaxWindows)
 	}
 	if assignFrac < 0 || assignFrac > 1 {
 		return nil, fmt.Errorf("%w: assign_frac must be in [0,1]", ErrBadRequest)
@@ -306,7 +327,12 @@ func (s *Server) Shutdown() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
-	s.ftOnce.Do(func() { close(s.ftq) })
+	s.ftMu.Lock()
+	if !s.ftClosed {
+		s.ftClosed = true
+		close(s.ftq) // enqueueFineTune holds ftMu's RLock while sending
+	}
+	s.ftMu.Unlock()
 	s.ftWG.Wait()
 	s.exec.Close()
 }

@@ -567,6 +567,214 @@ func TestExecutorShutdownAndShed(t *testing.T) {
 	}
 }
 
+// TestShutdownFineTuneEnqueueRace hammers PushLabels (whose fine-tune
+// trigger sends on the server's ftq) concurrently with Shutdown (which
+// closes ftq). Run with -race: the enqueue must fail typed with
+// ErrShutdown, never panic with a send on a closed channel.
+func TestShutdownFineTuneEnqueueRace(t *testing.T) {
+	pipe, users := fixture(t)
+	srv, err := New(pipe, Config{MaxDelay: 500 * time.Microsecond, FineTuneQueue: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Shutdown() // idempotent
+
+	type labeled struct {
+		sess *Session
+		u    *wemac.UserMaps
+		n    int // windows streamed (= label-eligible range)
+	}
+	var ls []labeled
+	for _, u := range users[:4] {
+		sess, err := srv.CreateSession(u.ID, len(u.Maps), 0.1)
+		if err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+		n := wemac.BudgetWindows(len(u.Maps), 0.1)
+		for i := 0; i < n; i++ {
+			if _, err := sess.PushWindow(u.Maps[i].Map); err != nil {
+				t.Fatalf("PushWindow: %v", err)
+			}
+		}
+		ls = append(ls, labeled{sess, u, n})
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, l := range ls {
+		wg.Add(1)
+		go func(l labeled) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 50; j++ {
+				idx := j % l.n
+				_, err := l.sess.PushLabels(map[int]int{idx: int(l.u.Maps[idx].Label)})
+				if err != nil && !errors.Is(err, ErrShutdown) && !errors.Is(err, ErrOverloaded) {
+					t.Errorf("PushLabels during shutdown: %v", err)
+					return
+				}
+			}
+		}(l)
+	}
+	close(start)
+	srv.Shutdown()
+	wg.Wait()
+}
+
+// TestExecutorForgetDefersWhileInFlight pins a model's lock entry (as a
+// dispatch group does for the duration of its pass) and checks Forget
+// leaves the entry — and every concurrent acquire reuses it — until the
+// last release, so two passes can never serialise through different
+// mutexes.
+func TestExecutorForgetDefersWhileInFlight(t *testing.T) {
+	e := NewExecutor(1, time.Millisecond, 4, 2)
+	defer e.Close()
+	m := &nn.Model{}
+
+	ml := e.acquire(m)
+	e.Forget(m)
+	e.locksMu.Lock()
+	cur, ok := e.locks[m]
+	e.locksMu.Unlock()
+	if !ok || cur != ml || !ml.retired {
+		t.Fatalf("Forget with a pass in flight must retire, not delete (ok=%v same=%v retired=%v)",
+			ok, cur == ml, ml.retired)
+	}
+	if ml2 := e.acquire(m); ml2 != ml {
+		t.Fatal("acquire after Forget minted a second lock entry for an in-flight model")
+	}
+	e.release(m, ml)
+	e.locksMu.Lock()
+	_, ok = e.locks[m]
+	e.locksMu.Unlock()
+	if !ok {
+		t.Fatal("entry dropped while a second group still holds a reference")
+	}
+	e.release(m, ml)
+	e.locksMu.Lock()
+	_, ok = e.locks[m]
+	e.locksMu.Unlock()
+	if ok {
+		t.Fatal("retired entry not dropped once idle")
+	}
+
+	// With no pass in flight, Forget deletes immediately.
+	ml3 := e.acquire(m)
+	e.release(m, ml3)
+	e.Forget(m)
+	e.locksMu.Lock()
+	_, ok = e.locks[m]
+	e.locksMu.Unlock()
+	if ok {
+		t.Fatal("Forget on an idle model left its entry behind")
+	}
+}
+
+// TestLabelsDuringFineTuneFoldIntoNextJob checks the PushLabels contract
+// that labels arriving while a job is in flight are trained by a follow-up
+// job at completion, not silently dropped.
+func TestLabelsDuringFineTuneFoldIntoNextJob(t *testing.T) {
+	_, users := fixture(t)
+	srv := newTestServer(t, Config{MaxDelay: 500 * time.Microsecond})
+	u := users[2]
+	total := len(u.Maps)
+	sess, err := srv.CreateSession(u.ID, total, 0.1)
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	for i, lm := range u.Maps {
+		if _, err := sess.PushWindow(lm.Map); err != nil {
+			t.Fatalf("PushWindow %d: %v", i, err)
+		}
+	}
+	batch := func(lo, hi int) map[int]int {
+		m := map[int]int{}
+		for j := lo; j < hi; j++ {
+			m[j] = int(u.Maps[j].Label)
+		}
+		return m
+	}
+	lr, err := sess.PushLabels(batch(0, total/4))
+	if err != nil || !lr.FineTuneQueued {
+		t.Fatalf("first PushLabels = %+v, %v; want a queued fine-tune", lr, err)
+	}
+	lr, err = sess.PushLabels(batch(total/4, total/2))
+	if err != nil {
+		t.Fatalf("second PushLabels: %v", err)
+	}
+	if lr.FineTuneQueued {
+		t.Skip("first fine-tune finished before the second batch; overlap not exercised")
+	}
+
+	// Settle: personalised, no job in flight.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := sess.Status()
+		if st.State == "monitoring" && !st.FineTuneInFlight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never settled, status %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Every label must have been seen by a job: re-sending a duplicate
+	// subset must not find unseen labels to train on.
+	lr, err = sess.PushLabels(batch(total/4, total/2))
+	if err != nil {
+		t.Fatalf("duplicate PushLabels: %v", err)
+	}
+	if lr.FineTuneQueued {
+		t.Fatal("labels pushed during the in-flight job were never folded into a follow-up job")
+	}
+}
+
+// TestWindowRetentionBounded checks the per-session memory bound: maps are
+// retained only up to expectedWindows, streaming past it keeps working
+// (classified, counted, not stored), and labels are validated against both
+// the streamed and retained ranges.
+func TestWindowRetentionBounded(t *testing.T) {
+	_, users := fixture(t)
+	srv := newTestServer(t, Config{MaxDelay: 500 * time.Microsecond, MaxWindows: 8})
+	u := users[0]
+
+	if _, err := srv.CreateSession(u.ID, 9, 0.1); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("expected_windows over MaxWindows = %v, want ErrBadRequest", err)
+	}
+	sess, err := srv.CreateSession(u.ID, 8, 0.5)
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	for i := 0; i < 16; i++ {
+		res, err := sess.PushWindow(u.Maps[i%len(u.Maps)].Map)
+		if err != nil {
+			t.Fatalf("PushWindow %d: %v", i, err)
+		}
+		if res.Windows != i+1 {
+			t.Fatalf("window %d: Windows = %d, want %d", i, res.Windows, i+1)
+		}
+	}
+	sess.mu.Lock()
+	retained := len(sess.maps)
+	sess.mu.Unlock()
+	if retained != 8 {
+		t.Fatalf("retained %d maps, want the expectedWindows cap of 8", retained)
+	}
+	if st := sess.Status(); st.Windows != 16 {
+		t.Fatalf("Status.Windows = %d, want all 16 streamed", st.Windows)
+	}
+	if _, err := sess.PushLabels(map[int]int{7: int(u.Maps[7].Label)}); err != nil {
+		t.Fatalf("label in retained range: %v", err)
+	}
+	if _, err := sess.PushLabels(map[int]int{8: 0}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("label past retention = %v, want ErrBadRequest", err)
+	}
+	if _, err := sess.PushLabels(map[int]int{16: 0}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("label for unstreamed window = %v, want ErrBadRequest", err)
+	}
+}
+
 func TestCacheSingleFlightAndLRU(t *testing.T) {
 	c := NewModelCache(2)
 	ma, mb, mc := &nn.Model{}, &nn.Model{}, &nn.Model{}

@@ -69,7 +69,8 @@ type Session struct {
 	expected int
 	assignAt int
 	frac     float64
-	maps     []*tensorT // raw feature maps in arrival order
+	pushed   int        // total windows ever streamed
+	maps     []*tensorT // raw feature maps in arrival order, capped at expected
 	labels   map[int]int
 	asg      core.Assignment
 	haveAsg  bool
@@ -129,7 +130,10 @@ type WindowResult struct {
 // PushWindow ingests one raw feature map for the session. During
 // enrolment it only accumulates (and possibly triggers assignment); after
 // assignment it classifies the window through the batched executor and
-// updates the session's monitor.
+// updates the session's monitor. Only the first expectedWindows maps are
+// retained (they cover the assignment budget and are the label-eligible
+// set); windows past that are classified and dropped, so a session
+// streaming indefinitely holds bounded memory.
 func (s *Session) PushWindow(m *tensorT) (WindowResult, error) {
 	start := time.Now()
 	if m == nil || m.Rank() != 2 ||
@@ -143,12 +147,14 @@ func (s *Session) PushWindow(m *tensorT) (WindowResult, error) {
 		s.mu.Unlock()
 		return WindowResult{}, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
 	}
-	s.maps = append(s.maps, m)
-	n := len(s.maps)
-	res := WindowResult{SessionID: s.id, Windows: n}
+	s.pushed++
+	if len(s.maps) < s.expected {
+		s.maps = append(s.maps, m)
+	}
+	res := WindowResult{SessionID: s.id, Windows: s.pushed}
 
 	if s.state == StateEnrolling {
-		if n >= s.assignAt {
+		if s.pushed >= s.assignAt {
 			// The unlabeled budget is met: cold-start assignment, on
 			// exactly the maps the batch eval path would consume.
 			s.asg = s.srv.pipe.AssignMaps(s.maps[:s.assignAt], s.frac)
@@ -236,8 +242,12 @@ func (s *Session) PushLabels(labels map[int]int) (LabelsResult, error) {
 		return LabelsResult{}, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
 	}
 	for idx, y := range labels {
-		if idx < 0 || idx >= len(s.maps) {
+		if idx < 0 || idx >= s.pushed {
 			return LabelsResult{}, fmt.Errorf("%w: label for unknown window %d (have %d)",
+				ErrBadRequest, idx, s.pushed)
+		}
+		if idx >= len(s.maps) {
+			return LabelsResult{}, fmt.Errorf("%w: window %d is past the retained range [0,%d)",
 				ErrBadRequest, idx, len(s.maps))
 		}
 		if y < 0 || y >= classes {
@@ -316,7 +326,11 @@ func (s *Session) runFineTune() (*nn.Model, error) {
 	return edge.Deploy(m, s.srv.cfg.Device).Model, nil
 }
 
-// fineTuneDone records a job's outcome on the session.
+// fineTuneDone records a job's outcome on the session and, if labels
+// arrived after the finished job snapshotted its training set, immediately
+// starts the next job over them — the "folded into the next trigger"
+// promise PushLabels makes. A trigger shed here (pool full) is dropped;
+// the labels stay merged and the next PushLabels retries.
 func (s *Session) fineTuneDone(err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -330,10 +344,11 @@ func (s *Session) fineTuneDone(err error) {
 		} else {
 			s.state = StateMonitoring
 		}
-		return
+	} else {
+		s.personalized = true
+		s.state = StateMonitoring
 	}
-	s.personalized = true
-	s.state = StateMonitoring
+	_, _ = s.tryFineTuneLocked()
 }
 
 // close marks the session closed and recycles its monitor.
@@ -379,7 +394,7 @@ func (s *Session) Status() SessionStatus {
 		ID:               s.id,
 		UserID:           s.userID,
 		State:            s.state.String(),
-		Windows:          len(s.maps),
+		Windows:          s.pushed,
 		Expected:         s.expected,
 		AssignAt:         s.assignAt,
 		Labeled:          len(s.labels),
