@@ -12,6 +12,17 @@
 //	clear-loadgen [-addr http://localhost:8080] [-users 32] [-concurrency 32]
 //	              [-trials 10] [-trialsec 45] [-seed 99] [-ftfrac 0.2]
 //	              [-raw] [-keep]
+//	              [-chaos] [-chaosdrop F] [-accfloor F] [-expectbreaker]
+//
+// -chaos turns the run into a fault-tolerance check: each window is
+// dropped-channel-corrupted client-side at rate -chaosdrop (simulating a
+// dead sensor stream; pair with the server's -fault-* flags for build
+// failures and stalls), sessions tolerate degraded-mode serving, rejected
+// windows (422) are re-read and re-sent, timeouts (504) are absorbed, and
+// the run exits non-zero unless the SLOs hold: every lifecycle completes,
+// no 5xx server errors, assignment accuracy stays above -accfloor, and —
+// with -expectbreaker — a circuit breaker is observed opening and closing
+// again during the run.
 package main
 
 import (
@@ -21,10 +32,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/features"
@@ -47,21 +60,56 @@ type windowResp struct {
 	Cluster      *int      `json:"cluster,omitempty"`
 	Probs        []float64 `json:"probs,omitempty"`
 	Personalized bool      `json:"personalized"`
+	Degraded     bool      `json:"degraded"`
+	Imputed      bool      `json:"imputed"`
 	BatchSize    int       `json:"batch_size"`
 }
 type statusResp struct {
 	State        string `json:"state"`
 	Personalized bool   `json:"personalized"`
+	Degraded     bool   `json:"degraded"`
 }
 type statsResp struct {
-	ClusterArchetypes []int `json:"cluster_archetypes"`
-	Shed              int64 `json:"shed"`
+	ClusterArchetypes []int    `json:"cluster_archetypes"`
+	Shed              int64    `json:"shed"`
+	Breakers          []string `json:"breakers"`
+	DegradedSessions  int      `json:"degraded_sessions"`
+	CorruptWindows    int64    `json:"corrupt_windows"`
+	ImputedWindows    int64    `json:"imputed_windows"`
+	FineTuneRetries   int64    `json:"finetune_retries"`
+	FineTuneGiveups   int64    `json:"finetune_giveups"`
+	RestoredSessions  int64    `json:"restored_sessions"`
+}
+
+// srvErrs counts 5xx responses other than the tolerated 503/504 — in chaos
+// mode any of these (a 500 is what a handler bug looks like) fails the SLO.
+var srvErrs int64
+
+// chaosCfg is the per-run chaos-mode configuration; rng draws are per-user
+// (seeded from the run seed + user ID) so runs replay deterministically
+// regardless of goroutine scheduling.
+type chaosCfg struct {
+	enabled bool
+	drop    float64
+}
+
+// chaosTally aggregates what the chaos run absorbed.
+type chaosTally struct {
+	mu        sync.Mutex
+	dropped   int // windows corrupted client-side
+	rejected  int // 422s re-read and re-sent
+	timeouts  int // 504s absorbed
+	degraded int  // windows answered from the cluster baseline
+	imputed  int  // windows the server repaired
+	sawOpen  bool // a breaker was observed open
+	reclosed bool // ...and later observed closed again
 }
 
 // userResult is one simulated user's outcome.
 type userResult struct {
 	ok           bool
 	err          error
+	base         string // session URL, set when the session was kept open
 	cluster      int
 	archetype    int
 	personalized bool
@@ -83,6 +131,11 @@ func main() {
 		keep     = flag.Bool("keep", false, "leave sessions open instead of closing them")
 		windows  = flag.Int("mapwindows", 8, "feature-map windows (must match the server profile)")
 		winSec   = flag.Float64("mapwinsec", 8, "feature window seconds (must match the server profile)")
+
+		chaos         = flag.Bool("chaos", false, "chaos mode: inject client-side sensor dropouts and assert robustness SLOs")
+		chaosDrop     = flag.Float64("chaosdrop", 0.15, "chaos: per-window channel-dropout rate")
+		accFloor      = flag.Float64("accfloor", 25, "chaos: minimum assignment accuracy %% (4 clusters ⇒ 25 is chance)")
+		expectBreaker = flag.Bool("expectbreaker", false, "chaos: require a breaker open→closed cycle to be observed")
 	)
 	flag.Parse()
 
@@ -121,6 +174,45 @@ func main() {
 		latMu.Unlock()
 	}
 
+	ccfg := chaosCfg{enabled: *chaos, drop: *chaosDrop}
+	tally := &chaosTally{}
+	pollDone := make(chan struct{})
+	var pollWG sync.WaitGroup
+	if *chaos {
+		fmt.Printf("chaos mode: client dropout rate %.2f, accuracy floor %.0f%%, expect breaker cycle %v\n",
+			*chaosDrop, *accFloor, *expectBreaker)
+		// Watch the breaker states through the public stats surface; the
+		// SLO wants an open breaker to be seen healing, not just tripping.
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			for {
+				select {
+				case <-pollDone:
+					return
+				case <-time.After(50 * time.Millisecond):
+				}
+				var st statsResp
+				if err := getJSON(client, *addr+"/v1/stats", &st); err != nil {
+					continue
+				}
+				tally.mu.Lock()
+				open := false
+				for _, b := range st.Breakers {
+					if b == "open" || b == "half-open" {
+						open = true
+					}
+				}
+				if open {
+					tally.sawOpen = true
+				} else if tally.sawOpen {
+					tally.reclosed = true
+				}
+				tally.mu.Unlock()
+			}
+		}()
+	}
+
 	start := time.Now()
 	results := make([]userResult, *users)
 	sem := make(chan struct{}, *conc)
@@ -135,11 +227,59 @@ func main() {
 			if maps != nil {
 				um = maps[i]
 			}
-			results[i] = runUser(client, *addr, v, um, *ftFrac, *keep, observe)
+			rng := rand.New(rand.NewSource(*seed*1000 + int64(v.ID)))
+			// An -expectbreaker run keeps sessions open so the healing
+			// phase below has live sessions to drive probes through.
+			keepOpen := *keep || (ccfg.enabled && *expectBreaker)
+			results[i] = runUser(client, *addr, v, um, *ftFrac, keepOpen, observe, ccfg, rng, tally)
 		}(i, v)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	// Breaker healing phase. Lifecycles can finish before any open
+	// breaker's cooldown elapses, and half-open probes only fire on
+	// windows pushed through degraded sessions — so keep a trickle of
+	// clean windows flowing until the poller sees every breaker closed
+	// again (or the deadline passes and the SLO check reports the miss).
+	if *chaos && *expectBreaker {
+		healStart := time.Now()
+		for time.Since(healStart) < 60*time.Second {
+			tally.mu.Lock()
+			healed := tally.reclosed || (!tally.sawOpen && time.Since(healStart) > 2*time.Second)
+			tally.mu.Unlock()
+			if healed {
+				break
+			}
+			for i, r := range results {
+				if r.base == "" {
+					continue
+				}
+				var um *wemac.UserMaps
+				if maps != nil {
+					um = maps[i]
+				}
+				v := ds.Volunteers[i]
+				var wr windowResp
+				_, _ = postRetry(client, r.base+"/windows", windowPayload(v, um, len(v.Trials)-1), &wr)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		fmt.Printf("breaker healing phase took %v\n", time.Since(healStart).Round(time.Millisecond))
+		if !*keep {
+			for _, r := range results {
+				if r.base == "" {
+					continue
+				}
+				req, _ := http.NewRequest(http.MethodDelete, r.base, nil)
+				if resp, err := client.Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}
+	close(pollDone)
+	pollWG.Wait()
 
 	// Cluster → dominant archetype, for assignment scoring.
 	var stats statsResp
@@ -194,14 +334,60 @@ func main() {
 			100*float64(correct)/float64(monitored), monitored)
 	}
 	fmt.Printf("sheds (client)   %d retried;  server shed counter %d\n", sheds, stats.Shed)
+
+	assignAcc := 100.0
+	if completed > 0 {
+		assignAcc = 100 * float64(assignedRight) / float64(completed)
+	}
+	if *chaos {
+		tally.mu.Lock()
+		fmt.Printf("\n── chaos report ──\n")
+		fmt.Printf("client faults    %d windows corrupted (%d rejected+resent, %d timeouts absorbed)\n",
+			tally.dropped, tally.rejected, tally.timeouts)
+		fmt.Printf("server repair    %d windows imputed;  %d degraded inferences observed\n",
+			tally.imputed, tally.degraded)
+		fmt.Printf("server counters  corrupt %d, imputed %d, ft retries %d, ft giveups %d, restored %d\n",
+			stats.CorruptWindows, stats.ImputedWindows, stats.FineTuneRetries,
+			stats.FineTuneGiveups, stats.RestoredSessions)
+		fmt.Printf("breakers         final %v (open seen: %v, re-closed: %v)\n",
+			stats.Breakers, tally.sawOpen, tally.reclosed)
+		failed := false
+		if n := atomic.LoadInt64(&srvErrs); n > 0 {
+			fmt.Printf("SLO FAIL: %d unexpected 5xx server errors\n", n)
+			failed = true
+		}
+		if completed < *users {
+			fmt.Printf("SLO FAIL: only %d/%d lifecycles completed under fault load\n", completed, *users)
+			failed = true
+		}
+		if assignAcc < *accFloor {
+			fmt.Printf("SLO FAIL: assignment accuracy %.0f%% below floor %.0f%%\n", assignAcc, *accFloor)
+			failed = true
+		}
+		if *expectBreaker && !(tally.sawOpen && tally.reclosed) {
+			fmt.Printf("SLO FAIL: no breaker open→re-close cycle observed (open %v, reclosed %v)\n",
+				tally.sawOpen, tally.reclosed)
+			failed = true
+		}
+		tally.mu.Unlock()
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("all chaos SLOs held")
+		return
+	}
 	if completed < *users {
 		os.Exit(1)
 	}
 }
 
-// runUser drives one full lifecycle.
+// runUser drives one full lifecycle. In chaos mode it corrupts windows
+// client-side at the configured rate, re-sends the clean copy when the
+// server rejects one as unrecoverable (422, a client "re-read"), and
+// absorbs inference timeouts (504) instead of failing the lifecycle.
 func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.UserMaps,
-	ftFrac float64, keep bool, observe func(time.Duration, int)) userResult {
+	ftFrac float64, keep bool, observe func(time.Duration, int),
+	chaos chaosCfg, rng *rand.Rand, tally *chaosTally) userResult {
 
 	res := userResult{cluster: -1, archetype: v.Archetype}
 	total := len(v.Trials)
@@ -220,13 +406,60 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 
 	for t := 0; t < total; t++ {
 		payload := windowPayload(v, um, t)
+		corrupted := false
+		if chaos.enabled && rng.Float64() < chaos.drop {
+			payload = dropPayloadChannel(payload, rng.Intn(3))
+			corrupted = true
+			tally.mu.Lock()
+			tally.dropped++
+			tally.mu.Unlock()
+		}
 		var wr windowResp
 		start := time.Now()
 		shed, err := postRetry(client, base+"/windows", payload, &wr)
+		if chaos.enabled && err != nil {
+			if he, ok := err.(*httpError); ok {
+				switch he.code {
+				case http.StatusUnprocessableEntity:
+					// Unrecoverable server-side (no history yet): re-read
+					// the sensor, i.e. re-send the clean window. The
+					// server's own corruption injection can hit the re-send
+					// too, so give it a few tries.
+					tally.mu.Lock()
+					tally.rejected++
+					tally.mu.Unlock()
+					for try := 0; try < 3; try++ {
+						shed2 := 0
+						shed2, err = postRetry(client, base+"/windows", windowPayload(v, um, t), &wr)
+						shed += shed2
+						if he2, ok := err.(*httpError); !ok || he2.code != http.StatusUnprocessableEntity {
+							break
+						}
+					}
+				case http.StatusGatewayTimeout:
+					// The window was ingested; only the answer is lost.
+					tally.mu.Lock()
+					tally.timeouts++
+					tally.mu.Unlock()
+					observe(time.Since(start), shed)
+					continue
+				}
+			}
+		}
 		observe(time.Since(start), shed)
 		if err != nil {
 			res.err = fmt.Errorf("window %d: %w", t, err)
 			return res
+		}
+		if chaos.enabled && (wr.Degraded || wr.Imputed || corrupted) {
+			tally.mu.Lock()
+			if wr.Degraded {
+				tally.degraded++
+			}
+			if wr.Imputed {
+				tally.imputed++
+			}
+			tally.mu.Unlock()
 		}
 		if wr.Cluster != nil {
 			res.cluster = *wr.Cluster
@@ -257,7 +490,7 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 				res.err = fmt.Errorf("labels: %w", err)
 				return res
 			}
-			if err := waitMonitoring(client, base); err != nil {
+			if err := waitMonitoring(client, base, chaos.enabled); err != nil {
 				res.err = err
 				return res
 			}
@@ -270,6 +503,8 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 		if resp, err := client.Do(req); err == nil {
 			resp.Body.Close()
 		}
+	} else {
+		res.base = base
 	}
 	return res
 }
@@ -291,8 +526,12 @@ func windowPayload(v *wemac.Volunteer, um *wemac.UserMaps, t int) map[string]any
 	}}
 }
 
-// waitMonitoring polls the session until the fine-tune lands.
-func waitMonitoring(client *http.Client, base string) error {
+// waitMonitoring polls the session until the fine-tune lands. In chaos
+// mode a degraded session is also terminal: personalisation failed or was
+// breaker-suppressed and the session is legitimately serving from the
+// cluster baseline — the lifecycle continues rather than stalling on a
+// checkpoint that may never arrive.
+func waitMonitoring(client *http.Client, base string, tolerateDegraded bool) error {
 	deadline := time.Now().Add(5 * time.Minute)
 	for time.Now().Before(deadline) {
 		var st statusResp
@@ -302,9 +541,65 @@ func waitMonitoring(client *http.Client, base string) error {
 		if st.State == "monitoring" || st.Personalized {
 			return nil
 		}
+		if tolerateDegraded && st.Degraded {
+			return nil
+		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	return fmt.Errorf("fine-tune did not complete within 5m")
+}
+
+// dropPayloadChannel simulates a dead sensor stream client-side: channel
+// ch (0 BVP, 1 GSR, 2 SKT) is zeroed in a copy of the payload. For map
+// payloads the channel's feature-row block goes to zero (JSON cannot carry
+// NaN, so dead-channel is the transportable corruption; the server's own
+// injector covers the NaN shapes); for recordings the raw samples do.
+func dropPayloadChannel(payload map[string]any, ch int) map[string]any {
+	if mp, ok := payload["map"].(map[string]any); ok {
+		rows, cols := mp["rows"].(int), mp["cols"].(int)
+		data := append([]float64(nil), mp["data"].([]float64)...)
+		lo, hi := 0, rows
+		if rows == features.TotalFeatureCount {
+			switch ch % 3 {
+			case 0:
+				lo, hi = 0, features.BVPFeatureCount
+			case 1:
+				lo = features.BVPFeatureCount
+				hi = lo + features.GSRFeatureCount
+			case 2:
+				lo = features.BVPFeatureCount + features.GSRFeatureCount
+				hi = rows
+			}
+		}
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				data[i*cols+j] = 0
+			}
+		}
+		return map[string]any{"map": map[string]any{"rows": rows, "cols": cols, "data": data}}
+	}
+	rec, ok := payload["recording"].(map[string]any)
+	if !ok {
+		return payload
+	}
+	out := make(map[string]any, len(rec))
+	for k, v := range rec {
+		out[k] = v
+	}
+	zero := func(key string) {
+		if s, ok := out[key].([]float64); ok {
+			out[key] = make([]float64, len(s))
+		}
+	}
+	switch ch % 3 {
+	case 0:
+		zero("bvp")
+	case 1:
+		zero("gsr")
+	case 2:
+		zero("skt")
+	}
+	return map[string]any{"recording": out}
 }
 
 // postRetry POSTs with bounded retry on 429, returning how many times the
@@ -359,6 +654,10 @@ func decodeJSON(resp *http.Response, out any) error {
 		return err
 	}
 	if resp.StatusCode >= 400 {
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable &&
+			resp.StatusCode != http.StatusGatewayTimeout {
+			atomic.AddInt64(&srvErrs, 1)
+		}
 		return &httpError{code: resp.StatusCode, body: string(bytes.TrimSpace(raw))}
 	}
 	if out == nil {

@@ -10,6 +10,14 @@
 //	            [-pipeline ckpt] [-save ckpt] [-device gpu|coral|pi]
 //	            [-maxsessions N] [-batch N] [-maxdelay D] [-cachesize N]
 //	            [-ftworkers N] [-assignfrac F]
+//	            [-snapshot path] [-snapinterval D]
+//	            [-fault-seed N] [-fault-build F] [-fault-stall F]
+//	            [-fault-corrupt F] [-infertimeout D]
+//
+// -snapshot enables crash-safe session recovery: the registry is restored
+// from the file at boot (if present), persisted every -snapinterval, and
+// persisted once more on SIGTERM. The -fault-* flags arm the deterministic
+// fault injector (chaos testing); all default to 0 (off).
 //
 // The observability surface (/metrics, /debug/pprof, /debug/vars,
 // /debug/spans) shares the API mux — no separate -obs port needed.
@@ -27,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/edge"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wemac"
@@ -47,6 +56,18 @@ func main() {
 		cacheSize   = flag.Int("cachesize", 64, "fine-tuned checkpoint LRU capacity")
 		ftWorkers   = flag.Int("ftworkers", 2, "fine-tune worker pool size")
 		assignFrac  = flag.Float64("assignfrac", 0.10, "default unlabeled cold-start budget")
+
+		snapPath     = flag.String("snapshot", "", "session-registry snapshot file (enables crash-safe recovery)")
+		snapInterval = flag.Duration("snapinterval", 10*time.Second, "snapshot period")
+		inferTimeout = flag.Duration("infertimeout", 10*time.Second, "default per-window inference deadline")
+
+		faultSeed    = flag.Int64("fault-seed", 1, "fault injector seed")
+		faultBuild   = flag.Float64("fault-build", 0, "model-build failure rate [0,1]")
+		faultStall   = flag.Float64("fault-stall", 0, "inference stall rate [0,1]")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "window corruption rate [0,1]")
+
+		brThreshold = flag.Int("breakerthreshold", 3, "consecutive build failures that open a cluster's breaker")
+		brCooldown  = flag.Duration("breakercooldown", 5*time.Second, "breaker open→half-open cooldown")
 	)
 	flag.Parse()
 
@@ -77,18 +98,42 @@ func main() {
 		fmt.Printf("saved pipeline checkpoint to %s\n", *savePath)
 	}
 
+	var inj *fault.Injector
+	if *faultBuild > 0 || *faultStall > 0 || *faultCorrupt > 0 {
+		inj = fault.New(*faultSeed).
+			Enable(fault.ModelBuild, *faultBuild).
+			Enable(fault.InferStall, *faultStall).
+			Enable(fault.CorruptWindow, *faultCorrupt)
+		pipe.Fault = inj
+		fmt.Printf("fault injection armed (seed %d): build %.2f, stall %.2f, corrupt %.2f\n",
+			*faultSeed, *faultBuild, *faultStall, *faultCorrupt)
+	}
+
 	srv, err := serve.New(pipe, serve.Config{
-		MaxSessions:     *maxSessions,
-		AssignFrac:      *assignFrac,
-		Device:          dev,
-		MaxBatch:        *maxBatch,
-		MaxDelay:        *maxDelay,
-		CacheSize:       *cacheSize,
-		FineTuneWorkers: *ftWorkers,
+		MaxSessions:      *maxSessions,
+		AssignFrac:       *assignFrac,
+		Device:           dev,
+		MaxBatch:         *maxBatch,
+		MaxDelay:         *maxDelay,
+		CacheSize:        *cacheSize,
+		FineTuneWorkers:  *ftWorkers,
+		InferTimeout:     *inferTimeout,
+		BreakerThreshold: *brThreshold,
+		BreakerCooldown:  *brCooldown,
+		SnapshotPath:     *snapPath,
+		SnapshotInterval: *snapInterval,
+		Fault:            inj,
 	})
 	die(err)
 	if arch != nil {
 		srv.SetClusterArchetypes(arch)
+	}
+	if *snapPath != "" {
+		n, err := srv.RestoreFile(*snapPath)
+		die(err)
+		if n > 0 {
+			fmt.Printf("restored %d sessions from %s\n", n, *snapPath)
+		}
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -7,12 +7,19 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/obs"
 )
+
+// ErrNonFinite reports input rows containing NaN or ±Inf. A single
+// non-finite coordinate poisons every distance it touches (NaN comparisons
+// are always false), silently corrupting centroids, so such rows are
+// rejected up front with a typed error the caller can branch on.
+var ErrNonFinite = errors.New("cluster: non-finite input")
 
 // Clustering telemetry: how many k-means runs/restarts happened, how many
 // Lloyd iterations each restart needed to converge, and the inertia of the
@@ -114,6 +121,11 @@ func validate(points [][]float64, k int) error {
 	for i, p := range points {
 		if len(p) != dim {
 			return fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		for j, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: point %d coordinate %d is %v", ErrNonFinite, i, j, v)
+			}
 		}
 	}
 	return nil

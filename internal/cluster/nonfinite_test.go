@@ -1,0 +1,27 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Non-finite rows must be rejected up front with the typed error: a single
+// NaN coordinate silently corrupts every centroid it touches otherwise.
+func TestKMeansRejectsNonFinite(t *testing.T) {
+	clean := [][]float64{{0, 0}, {0, 1}, {10, 10}, {10, 11}}
+	if _, err := KMeans(clean, 2, Options{Seed: 1}); err != nil {
+		t.Fatalf("clean input rejected: %v", err)
+	}
+	for name, bad := range map[string]float64{
+		"nan":  math.NaN(),
+		"+inf": math.Inf(1),
+		"-inf": math.Inf(-1),
+	} {
+		pts := [][]float64{{0, 0}, {0, bad}, {10, 10}, {10, 11}}
+		_, err := KMeans(pts, 2, Options{Seed: 1})
+		if !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s input: err = %v, want ErrNonFinite", name, err)
+		}
+	}
+}

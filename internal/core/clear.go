@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/features"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -173,6 +174,10 @@ type Pipeline struct {
 	UserCluster []int
 	// TrainUserIDs records the volunteer IDs used for training, in order.
 	TrainUserIDs []int
+	// Fault, when non-nil, arms deterministic fault injection on the
+	// pipeline's failure points (currently fault.ModelBuild in FineTune).
+	// Not serialised; set it after Load when chaos-testing.
+	Fault *fault.Injector
 }
 
 // ClusterOnly builds the clustering stage of a pipeline (summaries,
@@ -399,6 +404,9 @@ func (p *Pipeline) FineTune(k int, data []nn.Sample) (*nn.Model, error) {
 	sp := obs.StartSpan("core.finetune")
 	defer sp.End()
 	mCoreFineTunes.Inc()
+	if p.Fault.Fire(fault.ModelBuild) {
+		return nil, fmt.Errorf("core: fine-tuning cluster %d: %w", k, fault.ErrInjected)
+	}
 	m := p.Models[k].Clone()
 	ft := p.Cfg.FineTune
 	ft.Seed = p.Cfg.Seed*3001 + int64(k)

@@ -25,6 +25,57 @@ const pipelineMagic uint32 = 0x50524C43
 // ErrBadPipeline is returned for malformed pipeline checkpoints.
 var ErrBadPipeline = errors.New("core: bad pipeline checkpoint")
 
+// ErrBadHeader is returned by ReadHeader for a stream whose magic or
+// header block is malformed.
+var ErrBadHeader = errors.New("core: bad checkpoint header")
+
+// WriteHeader writes the store framing every checkpoint in this repo
+// shares: a little-endian uint32 magic, a uint32 length, then the JSON
+// encoding of hdr. Binary payloads (tensors, model checkpoints) follow the
+// header in whatever order the header describes.
+func WriteHeader(w io.Writer, magic uint32, hdr any) error {
+	js, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(js))); err != nil {
+		return err
+	}
+	_, err = w.Write(js)
+	return err
+}
+
+// ReadHeader reads framing written by WriteHeader, verifying the magic and
+// unmarshalling the JSON block into hdr (a pointer). Header blocks above
+// 64 MiB are rejected as implausible before any allocation.
+func ReadHeader(r io.Reader, magic uint32, hdr any) error {
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return err
+	}
+	if got != magic {
+		return fmt.Errorf("%w: bad magic %#x (want %#x)", ErrBadHeader, got, magic)
+	}
+	var hdrLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdrLen); err != nil {
+		return err
+	}
+	if hdrLen > 64<<20 {
+		return fmt.Errorf("%w: implausible header size %d", ErrBadHeader, hdrLen)
+	}
+	js := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, js); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(js, hdr); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	return nil
+}
+
 // storeHeader is the JSON-serialisable part of a pipeline.
 type storeHeader struct {
 	Cfg          Config        `json:"cfg"`
@@ -57,17 +108,7 @@ func (p *Pipeline) Save(w io.Writer) error {
 		UserCluster:  p.UserCluster,
 		TrainUserIDs: p.TrainUserIDs,
 	}
-	js, err := json.Marshal(hdr)
-	if err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, pipelineMagic); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(js))); err != nil {
-		return err
-	}
-	if _, err := bw.Write(js); err != nil {
+	if err := WriteHeader(bw, pipelineMagic, hdr); err != nil {
 		return err
 	}
 	for k, m := range p.Models {
@@ -84,27 +125,12 @@ func (p *Pipeline) Save(w io.Writer) error {
 // Load reads a pipeline checkpoint written by Save.
 func Load(r io.Reader) (*Pipeline, error) {
 	br := bufio.NewReader(r)
-	var magic uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, err
-	}
-	if magic != pipelineMagic {
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadPipeline, magic)
-	}
-	var hdrLen uint32
-	if err := binary.Read(br, binary.LittleEndian, &hdrLen); err != nil {
-		return nil, err
-	}
-	if hdrLen > 64<<20 {
-		return nil, fmt.Errorf("%w: implausible header size %d", ErrBadPipeline, hdrLen)
-	}
-	js := make([]byte, hdrLen)
-	if _, err := io.ReadFull(br, js); err != nil {
-		return nil, err
-	}
 	var hdr storeHeader
-	if err := json.Unmarshal(js, &hdr); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadPipeline, err)
+	if err := ReadHeader(br, pipelineMagic, &hdr); err != nil {
+		if errors.Is(err, ErrBadHeader) {
+			return nil, fmt.Errorf("%w: %v", ErrBadPipeline, err)
+		}
+		return nil, err
 	}
 	if hdr.TopK < 1 || len(hdr.TopCentroids) != hdr.TopK || len(hdr.Sub) != hdr.TopK {
 		return nil, fmt.Errorf("%w: inconsistent clustering structure", ErrBadPipeline)

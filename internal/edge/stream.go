@@ -2,8 +2,10 @@ package edge
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -17,6 +19,8 @@ var (
 	hMonLatencyUS   = obs.GetHistogram("edge.monitor.latency_us", obs.ExpBuckets(1, 2, 24))
 	mMonHorizons    = obs.GetCounter("edge.monitor.horizons")
 	mMonTransitions = obs.GetCounter("edge.monitor.alarm_transitions")
+	mMonDropouts    = obs.GetCounter("edge.monitor.channel_dropouts")
+	mMonClamped     = obs.GetCounter("edge.monitor.clamped_features")
 	gMonEnergyJ     = obs.GetGauge("edge.monitor.energy_j")
 	gMonDeviceS     = obs.GetGauge("edge.monitor.device_infer_s")
 )
@@ -47,6 +51,12 @@ type Monitor struct {
 	// inferJ is the modelled per-horizon energy on this deployment's
 	// device (TestS × MPCTestW), accumulated into the energy gauge.
 	inferJ float64
+
+	// Fault, when non-nil, arms fault injection on the monitor's ingest
+	// path: fault.ChannelDropout blanks one raw sensor channel before
+	// extraction, simulating a detached electrode or a dead BLE stream.
+	// Nil costs one pointer check per horizon.
+	Fault *fault.Injector
 }
 
 // MonitorStats is one monitor's own accounting since construction or the
@@ -92,8 +102,15 @@ type Event struct {
 }
 
 // Process classifies one recording horizon and updates the alarm state.
+// Non-finite extracted features (the numeric fallout of degenerate or
+// injected-faulty signals) are clamped to zero — the feature's post-z-score
+// mean — so one bad horizon perturbs, rather than poisons, the EWMA.
 func (m *Monitor) Process(rec *features.Recording) (Event, error) {
 	start := time.Now()
+	if m.Fault.Fire(fault.ChannelDropout) {
+		rec = dropChannel(rec, m.Fault.Intn(3))
+		mMonDropouts.Inc()
+	}
 	fm, err := features.ExtractMap(rec, m.ecfg)
 	if err != nil {
 		return Event{}, fmt.Errorf("edge: monitor extraction: %w", err)
@@ -102,6 +119,7 @@ func (m *Monitor) Process(rec *features.Recording) (Event, error) {
 	if m.norm != nil {
 		x = m.norm.Apply(fm)
 	}
+	clampNonFinite(x)
 	probs := m.dep.Model.Probabilities(x)
 	raw := 0.0
 	if len(probs) > 1 {
@@ -169,6 +187,34 @@ func (m *Monitor) Reset() {
 	m.alarmed = false
 	m.nSeen = 0
 	m.stats = MonitorStats{}
+}
+
+// dropChannel returns a shallow copy of rec with one physiological channel
+// (0 BVP, 1 GSR, 2 SKT) zeroed — the injected shape of a sensor dropout.
+// The original recording is never mutated.
+func dropChannel(rec *features.Recording, ch int) *features.Recording {
+	out := *rec
+	switch ch % 3 {
+	case 0:
+		out.BVP = make([]float64, len(rec.BVP))
+	case 1:
+		out.GSR = make([]float64, len(rec.GSR))
+	case 2:
+		out.SKT = make([]float64, len(rec.SKT))
+	}
+	return &out
+}
+
+// clampNonFinite zeroes NaN/Inf cells of a normalised feature map in
+// place. Zero is the training mean after z-scoring, so a clamped feature
+// is a neutral vote rather than a poison pill for the forward pass.
+func clampNonFinite(x *tensor.Tensor) {
+	for i, v := range x.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			x.Data[i] = 0
+			mMonClamped.Inc()
+		}
+	}
 }
 
 // The concrete features.Normalizer satisfies Normalizer.

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/obs"
 )
@@ -17,10 +19,14 @@ var (
 	mBatches    = obs.GetCounter("serve.batches")
 	mInfers     = obs.GetCounter("serve.inferences")
 	mExecShed   = obs.GetCounter("serve.exec_shed")
+	mTimeouts   = obs.GetCounter("serve.timeouts")
+	mExecStalls = obs.GetCounter("serve.exec_stalls")
+	mExpired    = obs.GetCounter("serve.exec_expired")
 )
 
 // inferRequest is one pending forward pass.
 type inferRequest struct {
+	ctx      context.Context
 	model    *nn.Model
 	x        *tensorT
 	resp     chan InferResult
@@ -50,9 +56,18 @@ type InferResult struct {
 //
 // The queue is bounded; Submit never blocks on a full queue — it sheds
 // with ErrOverloaded so callers can apply backpressure to their clients.
+//
+// Every request carries a context: a caller whose deadline expires stops
+// waiting immediately (typed ErrTimeout), requests already expired when a
+// dispatch round forms are dropped without wasting a pass, and a watchdog
+// timer flags model passes that exceed the configured bound (a stalled
+// pass can't be killed mid-flight, but it is counted and the waiters have
+// already been released).
 type Executor struct {
 	maxBatch int
 	maxDelay time.Duration
+	watchdog time.Duration
+	inj      *fault.Injector
 
 	queue chan *inferRequest
 	sem   chan struct{} // bounds concurrent model groups
@@ -104,11 +119,27 @@ func NewExecutor(maxBatch int, maxDelay time.Duration, queueDepth, concurrency i
 	return e
 }
 
-// Submit queues one inference and waits for its result. It returns
-// ErrOverloaded immediately when the queue is full and ErrShutdown after
-// Close.
-func (e *Executor) Submit(model *nn.Model, x *tensorT) (InferResult, error) {
-	req := &inferRequest{model: model, x: x, resp: make(chan InferResult, 1), enqueued: time.Now()}
+// SetWatchdog arms the dispatcher watchdog: a model pass running longer
+// than d is counted in serve.exec_stalls. Zero disables the watchdog.
+// Call before the executor serves traffic.
+func (e *Executor) SetWatchdog(d time.Duration) { e.watchdog = d }
+
+// SetFault installs a fault injector (nil disables injection). The
+// executor honours the InferStall point by sleeping inside the model
+// group's pass, which is what a wedged accelerator looks like to callers.
+// Call before the executor serves traffic.
+func (e *Executor) SetFault(inj *fault.Injector) { e.inj = inj }
+
+// Submit queues one inference and waits for its result or the context's
+// deadline, whichever comes first. It returns ErrOverloaded immediately
+// when the queue is full, ErrShutdown after Close, and ErrTimeout when ctx
+// expires before the pass completes (the pass itself still finishes; its
+// result is discarded into the request's buffered channel).
+func (e *Executor) Submit(ctx context.Context, model *nn.Model, x *tensorT) (InferResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req := &inferRequest{ctx: ctx, model: model, x: x, resp: make(chan InferResult, 1), enqueued: time.Now()}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -124,8 +155,13 @@ func (e *Executor) Submit(model *nn.Model, x *tensorT) (InferResult, error) {
 		return InferResult{}, fmt.Errorf("%w: inference queue full", ErrOverloaded)
 	}
 	gQueueDepth.Set(float64(len(e.queue)))
-	res := <-req.resp
-	return res, res.Err
+	select {
+	case res := <-req.resp:
+		return res, res.Err
+	case <-ctx.Done():
+		mTimeouts.Inc()
+		return InferResult{}, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	}
 }
 
 // Close drains the executor: no new submissions, every queued request is
@@ -215,8 +251,24 @@ func (e *Executor) dispatch() {
 }
 
 // run groups a dispatch round by model and executes each group as one
-// minibatch pass, concurrently across distinct models.
+// minibatch pass, concurrently across distinct models. Requests whose
+// context already expired while queued are answered ErrTimeout and dropped
+// from the pass — their waiter is long gone and a dead request must not
+// consume accelerator time.
 func (e *Executor) run(batch []*inferRequest) {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			mExpired.Inc()
+			r.resp <- InferResult{Err: fmt.Errorf("%w: expired in queue", ErrTimeout)}
+			continue
+		}
+		live = append(live, r)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	mBatches.Inc()
 	hBatchSize.Observe(float64(len(batch)))
 	groups := map[*nn.Model][]*inferRequest{}
@@ -238,12 +290,22 @@ func (e *Executor) run(batch []*inferRequest) {
 			defer e.release(m, ml)
 			ml.mu.Lock()
 			defer ml.mu.Unlock()
+			var wd *time.Timer
+			if e.watchdog > 0 {
+				wd = time.AfterFunc(e.watchdog, func() { mExecStalls.Inc() })
+			}
+			if e.inj.Fire(fault.InferStall) {
+				time.Sleep(e.inj.Stall())
+			}
 			started := time.Now()
 			xs := make([]*tensorT, len(g))
 			for i, r := range g {
 				xs[i] = r.x
 			}
 			probs := m.ProbabilitiesBatch(xs)
+			if wd != nil {
+				wd.Stop()
+			}
 			for i, r := range g {
 				hQueueUS.Observe(float64(started.Sub(r.enqueued).Microseconds()))
 				mInfers.Inc()
@@ -262,6 +324,8 @@ type ExecutorStats struct {
 	Batches    int64   `json:"batches"`
 	Inferences int64   `json:"inferences"`
 	Shed       int64   `json:"shed"`
+	Timeouts   int64   `json:"timeouts"`
+	Stalls     int64   `json:"stalls"`
 	MeanBatch  float64 `json:"mean_batch"`
 	P95QueueUS float64 `json:"p95_queue_us"`
 	QueueDepth int     `json:"queue_depth"`
@@ -273,6 +337,8 @@ func (e *Executor) Stats() ExecutorStats {
 		Batches:    mBatches.Value(),
 		Inferences: mInfers.Value(),
 		Shed:       mExecShed.Value(),
+		Timeouts:   mTimeouts.Value(),
+		Stalls:     mExecStalls.Value(),
 		MeanBatch:  hBatchSize.Mean(),
 		P95QueueUS: hQueueUS.Quantile(0.95),
 		QueueDepth: len(e.queue),

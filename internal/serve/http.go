@@ -23,7 +23,7 @@ import (
 //
 // Typed serve errors map to status codes: ErrOverloaded → 429,
 // ErrSessionNotFound → 404, ErrSessionClosed → 409, ErrBadRequest → 400,
-// ErrShutdown → 503.
+// ErrCorruptWindow → 422, ErrShutdown → 503, ErrTimeout → 504.
 
 // CreateSessionRequest is the POST /v1/sessions body.
 type CreateSessionRequest struct {
@@ -81,8 +81,13 @@ type WindowResponse struct {
 	SmoothProb   *float64  `json:"smooth_prob,omitempty"`
 	Alarm        *bool     `json:"alarm,omitempty"`
 	Personalized bool      `json:"personalized"`
-	BatchSize    int       `json:"batch_size,omitempty"`
-	QueueWaitUS  int64     `json:"queue_wait_us,omitempty"`
+	// Degraded surfaces baseline-fallback serving (fine-tune failed or the
+	// cluster's breaker is open); Imputed reports the window arrived
+	// damaged and was repaired from session history.
+	Degraded    bool  `json:"degraded,omitempty"`
+	Imputed     bool  `json:"imputed,omitempty"`
+	BatchSize   int   `json:"batch_size,omitempty"`
+	QueueWaitUS int64 `json:"queue_wait_us,omitempty"`
 }
 
 // LabelsPayload is the POST .../labels body: window arrival index →
@@ -153,7 +158,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := sess.PushWindow(m)
+	res, err := sess.PushWindowCtx(r.Context(), m)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -162,6 +167,8 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		State:        res.State.String(),
 		Windows:      res.Windows,
 		Personalized: res.Personalized,
+		Degraded:     res.Degraded,
+		Imputed:      res.Imputed,
 		BatchSize:    res.BatchSize,
 		QueueWaitUS:  res.QueueWait.Microseconds(),
 		Probs:        res.Probs,
@@ -264,8 +271,12 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrBadRequest):
 		code = http.StatusBadRequest
+	case errors.Is(err, ErrCorruptWindow):
+		code = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrShutdown):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrTimeout):
+		code = http.StatusGatewayTimeout
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }

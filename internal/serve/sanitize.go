@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/features"
+	"repro/internal/obs"
+)
+
+// Window-sanitisation telemetry.
+var (
+	mCorruptWindows  = obs.GetCounter("serve.corrupt_windows")
+	mImputedWindows  = obs.GetCounter("serve.imputed_windows")
+	mRejectedWindows = obs.GetCounter("serve.rejected_windows")
+	mDroppedChannels = obs.GetCounter("serve.dropped_channels")
+)
+
+// channelBounds returns the [lo,hi) feature-row blocks of the physiological
+// channels when the map uses the standard 123-row layout; otherwise the
+// whole map is treated as a single channel.
+func channelBounds(rows int) [][2]int {
+	if rows == features.TotalFeatureCount {
+		b := features.BVPFeatureCount
+		g := b + features.GSRFeatureCount
+		return [][2]int{{0, b}, {b, g}, {g, rows}}
+	}
+	return [][2]int{{0, rows}}
+}
+
+// sanitizeWindowLocked screens one incoming raw feature map before it can
+// reach feature normalisation, cold-start assignment, or the classifier:
+//
+//   - a clean window passes through untouched (zero-copy fast path);
+//   - non-finite cells (NaN/Inf corruption) and fully dead sensor channels
+//     (every cell zero or non-finite — a dropped BVP/GSR/SKT stream) are
+//     imputed cell-wise from the session's retained history;
+//   - a corrupt window with no history to impute from is rejected with
+//     ErrCorruptWindow (the HTTP layer maps it to 422).
+//
+// Callers hold s.mu (the history is s.maps, which the same lock guards).
+func (s *Session) sanitizeWindowLocked(m *tensorT) (*tensorT, error) {
+	rows, cols := m.Dim(0), m.Dim(1)
+	bad := markBadCells(m, rows, cols)
+	if bad == nil {
+		return m, nil
+	}
+	mCorruptWindows.Inc()
+	if len(s.maps) == 0 {
+		mRejectedWindows.Inc()
+		return nil, fmt.Errorf("%w: window has non-finite or dead-channel cells and the session has no history to impute from", ErrCorruptWindow)
+	}
+
+	out := m.Clone()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if !bad[i*cols+j] {
+				continue
+			}
+			v, ok := s.imputeLocked(i, j)
+			if !ok {
+				mRejectedWindows.Inc()
+				return nil, fmt.Errorf("%w: no finite history for feature %d window %d", ErrCorruptWindow, i, j)
+			}
+			out.Set(v, i, j)
+		}
+	}
+	mImputedWindows.Inc()
+	return out, nil
+}
+
+// markBadCells flags the cells sanitisation must repair: every non-finite
+// cell, plus every cell of a dead channel. It returns nil when the window
+// is clean.
+func markBadCells(m *tensorT, rows, cols int) []bool {
+	var bad []bool
+	mark := func(i, j int) {
+		if bad == nil {
+			bad = make([]bool, rows*cols)
+		}
+		bad[i*cols+j] = true
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if !isFinite(m.At(i, j)) {
+				mark(i, j)
+			}
+		}
+	}
+	for _, ch := range channelBounds(rows) {
+		if deadChannel(m, ch, cols) {
+			mDroppedChannels.Inc()
+			for i := ch[0]; i < ch[1]; i++ {
+				for j := 0; j < cols; j++ {
+					mark(i, j)
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// deadChannel reports whether every cell of the channel block is zero or
+// non-finite — the signature of a dropped sensor stream. (A live channel
+// always carries real-valued feature statistics; an exactly-zero block only
+// arises when the upstream signal vanished.)
+func deadChannel(m *tensorT, ch [2]int, cols int) bool {
+	for i := ch[0]; i < ch[1]; i++ {
+		for j := 0; j < cols; j++ {
+			if v := m.At(i, j); v != 0 && isFinite(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// imputeLocked estimates cell (i,j) from the finite values the session's
+// retained history holds at the same position. Callers hold s.mu.
+func (s *Session) imputeLocked(i, j int) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, h := range s.maps {
+		if i >= h.Dim(0) || j >= h.Dim(1) {
+			continue
+		}
+		if v := h.At(i, j); isFinite(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// corruptMap poisons a clone of m (the fault-injection path, shared with
+// tests): kind 0 scatters NaN cells, kind 1 zeroes the channel block
+// chosen by pick.
+func corruptMap(m *tensorT, kind, pick int) *tensorT {
+	out := m.Clone()
+	rows, cols := out.Dim(0), out.Dim(1)
+	switch kind {
+	case 0:
+		for j := 0; j < cols; j++ {
+			out.Set(math.NaN(), (j*7)%rows, j)
+		}
+	case 1:
+		chans := channelBounds(rows)
+		ch := chans[pick%len(chans)]
+		for i := ch[0]; i < ch[1]; i++ {
+			for j := 0; j < cols; j++ {
+				out.Set(0, i, j)
+			}
+		}
+	}
+	return out
+}

@@ -24,21 +24,34 @@
 //     full fine-tune queue, or a session-cap hit surfaces ErrOverloaded,
 //     which the HTTP layer maps to 429/503 — load is shed, never buffered
 //     unboundedly.
+//   - Hardening: incoming windows are sanitised (NaN/Inf and dead-channel
+//     imputation, typed ErrCorruptWindow); fine-tune builds retry with
+//     capped exponential backoff behind a per-cluster circuit breaker —
+//     when a cluster's breaker opens its sessions are served from the
+//     shared cluster baseline (degraded mode) until a half-open probe
+//     succeeds; every inference carries a context deadline (typed
+//     ErrTimeout); and the session registry can snapshot to disk and
+//     restore after a crash, with restored sessions re-entering monitoring
+//     on the cluster baseline until their labels replay a fine-tune.
 //
 // Everything is instrumented through internal/obs: serve.sessions gauge,
 // serve.batch_size histogram, serve.queue_depth gauge, per-window latency
-// histograms, and shed/cache counters.
+// histograms, shed/cache counters, breaker-state gauges, and
+// retry/degraded/corrupt-window counters.
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/edge"
+	"repro/internal/fault"
+	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/tensor"
 )
@@ -59,6 +72,15 @@ var (
 	ErrBadRequest = errors.New("serve: bad request")
 	// ErrShutdown reports that the server is draining.
 	ErrShutdown = errors.New("serve: shutting down")
+	// ErrTimeout reports that an inference missed its context deadline
+	// (mapped to 504).
+	ErrTimeout = errors.New("serve: inference deadline exceeded")
+	// ErrCorruptWindow reports a window whose NaN/Inf or dead-channel
+	// damage could not be repaired from the session's history (mapped to
+	// 422).
+	ErrCorruptWindow = errors.New("serve: corrupt window")
+	// ErrBadSnapshot reports a malformed session-registry snapshot.
+	ErrBadSnapshot = errors.New("serve: bad session snapshot")
 )
 
 // Serving telemetry, all on the default obs registry.
@@ -68,6 +90,11 @@ var (
 	mWindows      = obs.GetCounter("serve.windows")
 	mShed         = obs.GetCounter("serve.shed")
 	hWindowUS     = obs.GetHistogram("serve.window_latency_us", obs.ExpBuckets(1, 2, 26))
+
+	mFTRetries     = obs.GetCounter("serve.finetune_retries")
+	mFTGiveups     = obs.GetCounter("serve.finetune_giveups")
+	mFTSuppressed  = obs.GetCounter("serve.finetune_suppressed")
+	mDegradedInfer = obs.GetCounter("serve.degraded_inferences")
 )
 
 // Config parameterises a Server. The zero value is usable: every field
@@ -105,6 +132,41 @@ type Config struct {
 	FineTuneQueue   int
 	// CacheSize caps the fine-tuned checkpoint LRU. Default 64.
 	CacheSize int
+
+	// FineTuneRetries is the total build attempts per queued fine-tune
+	// job (first try + retries), with capped exponential backoff between
+	// attempts. Default 3.
+	FineTuneRetries int
+	// FineTuneBackoff is the base backoff before the first retry; each
+	// further retry doubles it, capped at FineTuneBackoffCap, with ±50 %
+	// jitter. Defaults 25ms and 1s.
+	FineTuneBackoff    time.Duration
+	FineTuneBackoffCap time.Duration
+	// BreakerThreshold and BreakerCooldown parameterise the per-cluster
+	// circuit breaker over fine-tune builds: after Threshold consecutive
+	// failures the cluster's breaker opens for Cooldown, during which its
+	// sessions are served from the shared cluster baseline (degraded
+	// mode); the first build after the cooldown is a half-open probe.
+	// Defaults 3 and 5s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// InferTimeout is the default per-window inference deadline applied
+	// when the caller's context carries none. Default 10s.
+	InferTimeout time.Duration
+	// WatchdogFactor scales InferTimeout into the executor's stalled-pass
+	// watchdog. Default 1 (watchdog = InferTimeout).
+	WatchdogFactor float64
+
+	// SnapshotPath, when set, enables crash-safe session recovery: the
+	// registry is snapshotted there every SnapshotInterval (default 10s)
+	// and once more on Shutdown, atomically (tmp + rename).
+	SnapshotPath     string
+	SnapshotInterval time.Duration
+
+	// Fault, when non-nil, arms deterministic fault injection (chaos
+	// testing): build failures, inference stalls, window corruption. The
+	// production path pays only nil checks when unset.
+	Fault *fault.Injector
 }
 
 func (c *Config) fillDefaults() {
@@ -141,6 +203,30 @@ func (c *Config) fillDefaults() {
 	if c.CacheSize == 0 {
 		c.CacheSize = 64
 	}
+	if c.FineTuneRetries == 0 {
+		c.FineTuneRetries = 3
+	}
+	if c.FineTuneBackoff == 0 {
+		c.FineTuneBackoff = 25 * time.Millisecond
+	}
+	if c.FineTuneBackoffCap == 0 {
+		c.FineTuneBackoffCap = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.InferTimeout == 0 {
+		c.InferTimeout = 10 * time.Second
+	}
+	if c.WatchdogFactor == 0 {
+		c.WatchdogFactor = 1
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 10 * time.Second
+	}
 }
 
 // Server owns the session registry and the shared serving machinery.
@@ -154,6 +240,11 @@ type Server struct {
 	// every un-personalised session in that cluster is served from).
 	deps []*edge.Deployment
 
+	// breakers guard each cluster's fine-tune builds; gBreaker mirrors
+	// their state onto the obs registry (0 closed, 1 open, 2 half-open).
+	breakers []*Breaker
+	gBreaker []*obs.Gauge
+
 	// clusterArchetype, when set by the embedding binary, maps each
 	// cluster to the dominant ground-truth archetype of its training
 	// users (synthetic-data diagnostic; -1 when unknown).
@@ -163,6 +254,12 @@ type Server struct {
 	ftWG     sync.WaitGroup
 	ftMu     sync.RWMutex // guards ftClosed against enqueue/Shutdown races
 	ftClosed bool
+	stopc    chan struct{} // closed on Shutdown; aborts backoff sleeps and the snapshotter
+
+	jmu   sync.Mutex
+	jrand *rand.Rand // backoff jitter
+
+	snapWG sync.WaitGroup
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
@@ -172,10 +269,12 @@ type Server struct {
 	start time.Time
 }
 
-// ftJob is one queued personalisation.
+// ftJob is one queued personalisation. k is the session's assigned cluster
+// (fixed at enqueue time; the breaker it answers to).
 type ftJob struct {
 	s *Session
 	e *cacheEntry
+	k int
 }
 
 // New builds a server over a trained pipeline. The pipeline must have
@@ -190,6 +289,8 @@ func New(pipe *core.Pipeline, cfg Config) (*Server, error) {
 		pipe:     pipe,
 		sessions: make(map[string]*Session),
 		ftq:      make(chan ftJob, cfg.FineTuneQueue),
+		stopc:    make(chan struct{}),
+		jrand:    rand.New(rand.NewSource(time.Now().UnixNano())),
 		start:    time.Now(),
 	}
 	sp := obs.StartSpan("serve.deploy_clusters")
@@ -198,14 +299,25 @@ func New(pipe *core.Pipeline, cfg Config) (*Server, error) {
 	}
 	sp.End()
 	s.clusterArchetype = make([]int, len(s.deps))
+	s.breakers = make([]*Breaker, len(s.deps))
+	s.gBreaker = make([]*obs.Gauge, len(s.deps))
 	for k := range s.clusterArchetype {
 		s.clusterArchetype[k] = -1
+		s.breakers[k] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		s.gBreaker[k] = obs.GetGauge(fmt.Sprintf("serve.breaker_state.c%d", k))
+		s.gBreaker[k].Set(float64(BreakerClosed))
 	}
 	s.exec = NewExecutor(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueDepth, cfg.InferConcurrency)
+	s.exec.SetWatchdog(time.Duration(float64(cfg.InferTimeout) * cfg.WatchdogFactor))
+	s.exec.SetFault(cfg.Fault)
 	s.cache = NewModelCache(cfg.CacheSize)
 	for i := 0; i < cfg.FineTuneWorkers; i++ {
 		s.ftWG.Add(1)
 		go s.fineTuneWorker()
+	}
+	if cfg.SnapshotPath != "" {
+		s.snapWG.Add(1)
+		go s.snapshotLoop()
 	}
 	return s, nil
 }
@@ -222,15 +334,66 @@ func (s *Server) SetClusterArchetypes(arch []int) {
 	s.clusterArchetype = append([]int(nil), arch...)
 }
 
-// fineTuneWorker drains the personalisation queue. Each job fine-tunes one
-// session's assigned-cluster checkpoint on its labelled windows and
-// completes the session's cache entry.
+// fineTuneWorker drains the personalisation queue. Each job builds one
+// session's personalised checkpoint with retry/backoff behind the
+// cluster's circuit breaker, then completes the session's cache entry.
 func (s *Server) fineTuneWorker() {
 	defer s.ftWG.Done()
 	for job := range s.ftq {
-		model, err := job.s.runFineTune()
+		model, err := s.buildWithRetry(job)
 		s.cache.complete(job.e, model, err)
 		job.s.fineTuneDone(err)
+	}
+}
+
+// buildWithRetry runs one fine-tune job: up to FineTuneRetries attempts
+// with capped exponential backoff + jitter, each attempt gated by the
+// cluster's breaker (which also absorbs the outcome — in half-open the
+// attempt is the probe). A breaker refusal or a shutdown mid-backoff ends
+// the job early.
+func (s *Server) buildWithRetry(job ftJob) (*nn.Model, error) {
+	br := s.breakers[job.k]
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.FineTuneRetries; attempt++ {
+		if attempt > 0 {
+			mFTRetries.Inc()
+			if !s.sleepBackoff(attempt) {
+				break // draining
+			}
+		}
+		if !br.Allow() {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("serve: cluster %d circuit breaker open", job.k)
+			}
+			break
+		}
+		m, err := job.s.runFineTune()
+		br.Done(err)
+		s.gBreaker[job.k].Set(float64(br.State()))
+		if err == nil {
+			return m, nil
+		}
+		lastErr = err
+	}
+	mFTGiveups.Inc()
+	return nil, lastErr
+}
+
+// sleepBackoff waits out the attempt-th backoff (base·2^(attempt−1) capped,
+// ±50 % jitter), returning false if the server began draining first.
+func (s *Server) sleepBackoff(attempt int) bool {
+	d := s.cfg.FineTuneBackoff << (attempt - 1)
+	if d > s.cfg.FineTuneBackoffCap || d <= 0 {
+		d = s.cfg.FineTuneBackoffCap
+	}
+	s.jmu.Lock()
+	d = d/2 + time.Duration(s.jrand.Int63n(int64(d)))
+	s.jmu.Unlock()
+	select {
+	case <-time.After(d):
+		return true
+	case <-s.stopc:
+		return false
 	}
 }
 
@@ -322,7 +485,9 @@ func (s *Server) CloseSession(id string) error {
 }
 
 // Shutdown drains the server: no new sessions, the fine-tune pool finishes
-// queued jobs, and the executor completes pending inferences.
+// queued jobs (aborting pending backoff sleeps), the executor completes
+// pending inferences, and — when snapshotting is configured — one final
+// registry snapshot is written so a restart restores every live session.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	s.draining = true
@@ -330,11 +495,16 @@ func (s *Server) Shutdown() {
 	s.ftMu.Lock()
 	if !s.ftClosed {
 		s.ftClosed = true
+		close(s.stopc)
 		close(s.ftq) // enqueueFineTune holds ftMu's RLock while sending
 	}
 	s.ftMu.Unlock()
 	s.ftWG.Wait()
 	s.exec.Close()
+	s.snapWG.Wait()
+	if s.cfg.SnapshotPath != "" {
+		_ = s.SnapshotFile(s.cfg.SnapshotPath)
+	}
 }
 
 // StateCounts tallies live sessions by state.
@@ -360,10 +530,25 @@ type Stats struct {
 	ClusterSizes    []int          `json:"cluster_sizes"`
 	// ClusterArchetypes maps cluster → dominant training archetype
 	// (synthetic-data diagnostic; -1 when unknown).
-	ClusterArchetypes []int         `json:"cluster_archetypes"`
-	Device            string        `json:"device"`
-	Cache             CacheStats    `json:"cache"`
-	Executor          ExecutorStats `json:"executor"`
+	ClusterArchetypes []int  `json:"cluster_archetypes"`
+	Device            string `json:"device"`
+
+	// Robustness surface: per-cluster breaker states, degraded-mode
+	// session/inference accounting, sanitisation counters, and fine-tune
+	// retry totals.
+	Breakers           []string `json:"breakers"`
+	DegradedSessions   int      `json:"degraded_sessions"`
+	DegradedInferences int64    `json:"degraded_inferences"`
+	CorruptWindows     int64    `json:"corrupt_windows"`
+	ImputedWindows     int64    `json:"imputed_windows"`
+	RejectedWindows    int64    `json:"rejected_windows"`
+	FineTuneRetries    int64    `json:"finetune_retries"`
+	FineTuneGiveups    int64    `json:"finetune_giveups"`
+	RestoredSessions   int64    `json:"restored_sessions"`
+	Snapshots          int64    `json:"snapshots"`
+
+	Cache    CacheStats    `json:"cache"`
+	Executor ExecutorStats `json:"executor"`
 }
 
 // Stats snapshots the server.
@@ -371,21 +556,52 @@ func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	n := len(s.sessions)
 	arch := append([]int(nil), s.clusterArchetype...)
-	s.mu.RUnlock()
-	return Stats{
-		UptimeSec:         time.Since(s.start).Seconds(),
-		Sessions:          n,
-		SessionsOpened:    mSessionsOpen.Value(),
-		SessionsByState:   s.StateCounts(),
-		Windows:           mWindows.Value(),
-		Shed:              mShed.Value(),
-		Clusters:          len(s.deps),
-		ClusterSizes:      s.pipe.ClusterSizes(),
-		ClusterArchetypes: arch,
-		Device:            s.cfg.Device.Name,
-		Cache:             s.cache.Stats(),
-		Executor:          s.exec.Stats(),
+	degraded := 0
+	for _, sess := range s.sessions {
+		if sess.Degraded() {
+			degraded++
+		}
 	}
+	s.mu.RUnlock()
+	brs := make([]string, len(s.breakers))
+	for k, b := range s.breakers {
+		st := b.State()
+		brs[k] = st.String()
+		s.gBreaker[k].Set(float64(st))
+	}
+	return Stats{
+		UptimeSec:          time.Since(s.start).Seconds(),
+		Sessions:           n,
+		SessionsOpened:     mSessionsOpen.Value(),
+		SessionsByState:    s.StateCounts(),
+		Windows:            mWindows.Value(),
+		Shed:               mShed.Value(),
+		Clusters:           len(s.deps),
+		ClusterSizes:       s.pipe.ClusterSizes(),
+		ClusterArchetypes:  arch,
+		Device:             s.cfg.Device.Name,
+		Breakers:           brs,
+		DegradedSessions:   degraded,
+		DegradedInferences: mDegradedInfer.Value(),
+		CorruptWindows:     mCorruptWindows.Value(),
+		ImputedWindows:     mImputedWindows.Value(),
+		RejectedWindows:    mRejectedWindows.Value(),
+		FineTuneRetries:    mFTRetries.Value(),
+		FineTuneGiveups:    mFTGiveups.Value(),
+		RestoredSessions:   mRestored.Value(),
+		Snapshots:          mSnapshots.Value(),
+		Cache:              s.cache.Stats(),
+		Executor:           s.exec.Stats(),
+	}
+}
+
+// BreakerFor exposes cluster k's breaker (nil when out of range) so
+// embedding binaries and tests can inspect or trip it.
+func (s *Server) BreakerFor(k int) *Breaker {
+	if k < 0 || k >= len(s.breakers) {
+		return nil
+	}
+	return s.breakers[k]
 }
 
 // tensorT shortens signatures below.

@@ -517,7 +517,7 @@ func TestExecutorBatchingCorrectness(t *testing.T) {
 			wg.Add(1)
 			go func(i int, x *tensorT) {
 				defer wg.Done()
-				res, err := exec.Submit(model, x)
+				res, err := exec.Submit(nil, model, x)
 				if err != nil {
 					t.Errorf("Submit: %v", err)
 					return
@@ -555,14 +555,14 @@ func TestExecutorShutdownAndShed(t *testing.T) {
 
 	exec := NewExecutor(4, time.Millisecond, 16, 2)
 	exec.Close()
-	if _, err := exec.Submit(pipe.ModelFor(0), x); !errors.Is(err, ErrShutdown) {
+	if _, err := exec.Submit(nil, pipe.ModelFor(0), x); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("Submit after Close = %v, want ErrShutdown", err)
 	}
 	exec.Close() // idempotent
 
 	// A full queue with no dispatcher sheds instead of blocking.
 	stalled := &Executor{maxBatch: 1, queue: make(chan *inferRequest)}
-	if _, err := stalled.Submit(pipe.ModelFor(0), x); !errors.Is(err, ErrOverloaded) {
+	if _, err := stalled.Submit(nil, pipe.ModelFor(0), x); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("full queue = %v, want ErrOverloaded", err)
 	}
 }

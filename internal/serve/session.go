@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/edge"
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/wemac"
@@ -79,8 +81,17 @@ type Session struct {
 	personalized bool
 	ftInFlight   bool
 	ftLabeled    int // len(labels) when the last fine-tune was snapshotted
-	lastEvent    *edge.Event
-	created      time.Time
+	// degraded marks a session whose personalisation failed or was
+	// suppressed by an open breaker: it is served from the shared cluster
+	// baseline until a later fine-tune succeeds.
+	degraded bool
+	// restored marks a session recovered from a registry snapshot.
+	restored bool
+	// healArmed guards the session's single pending self-heal timer (see
+	// scheduleHealLocked).
+	healArmed bool
+	lastEvent *edge.Event
+	created   time.Time
 }
 
 func newSession(srv *Server, id string, userID, expected int, frac float64) *Session {
@@ -121,25 +132,50 @@ type WindowResult struct {
 	// Personalized reports whether the fine-tuned checkpoint served this
 	// window.
 	Personalized bool
+	// Degraded reports that the session wanted personalisation but is being
+	// served from the shared cluster baseline (fine-tune failed or its
+	// cluster's circuit breaker is open).
+	Degraded bool
+	// Imputed reports that the window arrived damaged (NaN/Inf cells or a
+	// dead sensor channel) and was repaired from the session's history
+	// before use.
+	Imputed bool
 	// BatchSize and QueueWait are the executor's accounting for this
 	// window's inference.
 	BatchSize int
 	QueueWait time.Duration
 }
 
-// PushWindow ingests one raw feature map for the session. During
+// PushWindow ingests one raw feature map with no caller deadline (the
+// server's default InferTimeout still applies to the inference).
+func (s *Session) PushWindow(m *tensorT) (WindowResult, error) {
+	return s.PushWindowCtx(context.Background(), m)
+}
+
+// PushWindowCtx ingests one raw feature map for the session. During
 // enrolment it only accumulates (and possibly triggers assignment); after
 // assignment it classifies the window through the batched executor and
 // updates the session's monitor. Only the first expectedWindows maps are
 // retained (they cover the assignment budget and are the label-eligible
 // set); windows past that are classified and dropped, so a session
 // streaming indefinitely holds bounded memory.
-func (s *Session) PushWindow(m *tensorT) (WindowResult, error) {
+//
+// Incoming windows are sanitised first: NaN/Inf cells and dead sensor
+// channels are imputed from the session's retained history, and a corrupt
+// window with no history is rejected with ErrCorruptWindow. ctx bounds the
+// inference (ErrTimeout past its deadline); when it carries no deadline
+// the server's InferTimeout applies.
+func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, error) {
 	start := time.Now()
 	if m == nil || m.Rank() != 2 ||
 		m.Dim(0) != s.srv.pipe.Cfg.Model.InH || m.Dim(1) != s.srv.pipe.Cfg.Model.InW {
 		return WindowResult{}, fmt.Errorf("%w: window must be a %d×%d feature map",
 			ErrBadRequest, s.srv.pipe.Cfg.Model.InH, s.srv.pipe.Cfg.Model.InW)
+	}
+	// Chaos path: corrupt the window server-side (JSON transport cannot
+	// carry NaN, so scattered-NaN damage is injected here post-decode).
+	if inj := s.srv.cfg.Fault; inj.Fire(fault.CorruptWindow) {
+		m = corruptMap(m, inj.Intn(2), inj.Intn(3))
 	}
 
 	s.mu.Lock()
@@ -147,11 +183,18 @@ func (s *Session) PushWindow(m *tensorT) (WindowResult, error) {
 		s.mu.Unlock()
 		return WindowResult{}, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
 	}
+	clean, err := s.sanitizeWindowLocked(m)
+	if err != nil {
+		s.mu.Unlock()
+		return WindowResult{}, err
+	}
+	imputed := clean != m
+	m = clean
 	s.pushed++
 	if len(s.maps) < s.expected {
 		s.maps = append(s.maps, m)
 	}
-	res := WindowResult{SessionID: s.id, Windows: s.pushed}
+	res := WindowResult{SessionID: s.id, Windows: s.pushed, Imputed: imputed}
 
 	if s.state == StateEnrolling {
 		if s.pushed >= s.assignAt {
@@ -174,15 +217,31 @@ func (s *Session) PushWindow(m *tensorT) (WindowResult, error) {
 		return res, nil
 	}
 
+	// A degraded session opportunistically re-asks for personalisation:
+	// once its cluster's breaker has left the open state the suppressed
+	// labels are still merged, so the trigger re-fires here.
+	if s.degraded && !s.ftInFlight && len(s.labels) > 0 {
+		_, _ = s.tryFineTuneLocked()
+	}
+
 	// Classified path: pick the serving model (LRU touch), release the
 	// lock for normalisation + inference, re-acquire for the monitor.
 	model, personalized := s.servingModelLocked()
+	degraded := s.degraded && !personalized
 	mon := s.mon
 	a := s.asg
 	s.mu.Unlock()
+	if degraded {
+		mDegradedInfer.Inc()
+	}
 
+	if _, has := ctx.Deadline(); !has && s.srv.cfg.InferTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.srv.cfg.InferTimeout)
+		defer cancel()
+	}
 	x := s.srv.pipe.Apply(m)
-	ir, err := s.srv.exec.Submit(model, x)
+	ir, err := s.srv.exec.Submit(ctx, model, x)
 	if err != nil {
 		return WindowResult{}, err
 	}
@@ -201,6 +260,7 @@ func (s *Session) PushWindow(m *tensorT) (WindowResult, error) {
 	res.Event = &ev
 	res.Probs = ir.Probs
 	res.Personalized = personalized
+	res.Degraded = degraded
 	res.BatchSize = ir.Batch
 	res.QueueWait = ir.QueueWait
 	mWindows.Inc()
@@ -266,10 +326,20 @@ func (s *Session) PushLabels(labels map[int]int) (LabelsResult, error) {
 
 // tryFineTuneLocked starts a personalisation job when the session is
 // assigned, has labels that a previous job hasn't seen, and no job is in
-// flight. It single-flights through the model cache, so concurrent
-// triggers collapse onto one build. Callers hold s.mu.
+// flight. While the cluster's circuit breaker is open the trigger is
+// suppressed and the session is marked degraded (served from the cluster
+// baseline); the merged labels survive, so a later trigger — opportunistic
+// on window pushes or from the next PushLabels — re-fires once the breaker
+// admits probes again. It single-flights through the model cache, so
+// concurrent triggers collapse onto one build. Callers hold s.mu.
 func (s *Session) tryFineTuneLocked() (bool, error) {
 	if !s.haveAsg || s.ftInFlight || len(s.labels) == 0 || len(s.labels) == s.ftLabeled {
+		return false, nil
+	}
+	if br := s.srv.BreakerFor(s.asg.Cluster); br != nil && br.State() == BreakerOpen {
+		s.degraded = true
+		mFTSuppressed.Inc()
+		s.scheduleHealLocked()
 		return false, nil
 	}
 	// A fresh job must supersede any cached older checkpoint.
@@ -281,7 +351,7 @@ func (s *Session) tryFineTuneLocked() (bool, error) {
 		// Another goroutine is already building for this session.
 		return false, nil
 	}
-	if err := s.srv.enqueueFineTune(ftJob{s: s, e: e}); err != nil {
+	if err := s.srv.enqueueFineTune(ftJob{s: s, e: e, k: s.asg.Cluster}); err != nil {
 		s.srv.cache.abort(e)
 		return false, err
 	}
@@ -311,6 +381,12 @@ func (s *Session) runFineTune() (*nn.Model, error) {
 	}
 	s.mu.Unlock()
 
+	// Chaos path: a model-build failure, before any training work.
+	if s.srv.cfg.Fault.Fire(fault.ModelBuild) {
+		mFineTuneErr.Inc()
+		return nil, fmt.Errorf("fine-tune cluster %d: %w", k, fault.ErrInjected)
+	}
+
 	// Normalisation and training run unlocked; the pipeline is read-only
 	// and FineTune clones the checkpoint before touching it.
 	for i := range raw {
@@ -331,6 +407,17 @@ func (s *Session) runFineTune() (*nn.Model, error) {
 // starts the next job over them — the "folded into the next trigger"
 // promise PushLabels makes. A trigger shed here (pool full) is dropped;
 // the labels stay merged and the next PushLabels retries.
+//
+// A failed job (retries exhausted or breaker refusal) marks the session
+// degraded and forgets the job's label watermark, so the same labels count
+// as unseen for the next trigger. That trigger is deliberately NOT
+// immediate: retrying inline would spin against a still-failing builder —
+// or against a half-open breaker whose single probe slot another session
+// holds — as fast as the workers can drain. Instead recovery is
+// push-driven (the opportunistic retry in PushWindowCtx, or the next
+// PushLabels) with a one-shot timer after the breaker cooldown as the
+// quiet-session fallback, so a session with no further traffic still
+// heals once the fault clears.
 func (s *Session) fineTuneDone(err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -339,16 +426,49 @@ func (s *Session) fineTuneDone(err error) {
 		return
 	}
 	if err != nil {
+		s.degraded = true
+		s.ftLabeled = 0
 		if !s.personalized {
 			s.state = StateAssigned
 		} else {
 			s.state = StateMonitoring
 		}
-	} else {
-		s.personalized = true
-		s.state = StateMonitoring
+		s.scheduleHealLocked()
+		return
 	}
+	s.personalized = true
+	s.degraded = false
+	s.state = StateMonitoring
 	_, _ = s.tryFineTuneLocked()
+}
+
+// scheduleHealLocked arms the session's one self-heal timer: a retry of
+// tryFineTuneLocked after the breaker cooldown, by which time an open
+// breaker admits probes again. The healArmed guard caps the session at a
+// single pending timer no matter how many failures or suppressions pile
+// up, and the timer re-arms through the suppression path until the
+// fine-tune lands or the session closes. Callers hold s.mu.
+func (s *Session) scheduleHealLocked() {
+	if s.healArmed {
+		return
+	}
+	s.healArmed = true
+	time.AfterFunc(s.srv.cfg.BreakerCooldown, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.healArmed = false
+		if s.state == StateClosed {
+			return
+		}
+		_, _ = s.tryFineTuneLocked()
+	})
+}
+
+// Degraded reports whether the session is currently in degraded mode.
+func (s *Session) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
 }
 
 // close marks the session closed and recycles its monitor.
@@ -381,6 +501,13 @@ type SessionStatus struct {
 
 	Personalized     bool `json:"personalized"`
 	FineTuneInFlight bool `json:"finetune_in_flight"`
+	// Degraded reports the session is served from the shared cluster
+	// baseline because personalisation failed or its cluster's breaker is
+	// open.
+	Degraded bool `json:"degraded"`
+	// Restored reports the session was recovered from a registry snapshot
+	// after a restart.
+	Restored bool `json:"restored"`
 
 	Monitor   *edge.MonitorStats `json:"monitor,omitempty"`
 	LastEvent *edge.Event        `json:"last_event,omitempty"`
@@ -402,6 +529,8 @@ func (s *Session) Status() SessionStatus {
 		Cluster:          -1,
 		Personalized:     s.personalized,
 		FineTuneInFlight: s.ftInFlight,
+		Degraded:         s.degraded,
+		Restored:         s.restored,
 		LastEvent:        s.lastEvent,
 	}
 	if s.haveAsg {

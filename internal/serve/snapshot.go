@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// Session-registry snapshot format (little-endian), sharing the repo's
+// store framing via core.WriteHeader / core.ReadHeader:
+//
+//	magic   uint32 0x534E5353 ("SSNS")
+//	hdrLen  uint32, hdr JSON (sequence counter + one record per session)
+//	retained feature maps in tensor binary format, session order, each
+//	session contributing exactly NMaps tensors.
+//
+// Snapshots carry everything a restart cannot recompute: lifecycle state,
+// the cold-start assignment, the label budget, and the retained raw maps
+// the labels index into. Fine-tuned checkpoints are deliberately NOT
+// snapshotted — restored sessions re-enter monitoring on the shared
+// cluster baseline and their merged labels replay a fine-tune, which keeps
+// snapshots small and the restore path free of stale-model hazards.
+
+const snapshotMagic uint32 = 0x534E5353
+
+// Snapshot telemetry.
+var (
+	mSnapshots    = obs.GetCounter("serve.snapshots")
+	mSnapshotErrs = obs.GetCounter("serve.snapshot_errors")
+	mRestored     = obs.GetCounter("serve.sessions_restored")
+)
+
+// sessSnap is one session's JSON record inside a snapshot header.
+type sessSnap struct {
+	ID       string      `json:"id"`
+	UserID   int         `json:"user_id"`
+	State    int         `json:"state"`
+	Expected int         `json:"expected"`
+	AssignAt int         `json:"assign_at"`
+	Frac     float64     `json:"frac"`
+	Pushed   int         `json:"pushed"`
+	Labels   map[int]int `json:"labels,omitempty"`
+	HaveAsg  bool        `json:"have_asg"`
+	Cluster  int         `json:"cluster"`
+	Scores   []float64   `json:"scores,omitempty"`
+	FracUsed float64     `json:"frac_used"`
+	Degraded bool        `json:"degraded"`
+	NMaps    int         `json:"n_maps"`
+	Created  int64       `json:"created_unix"`
+}
+
+// snapHeader is the snapshot's JSON block.
+type snapHeader struct {
+	Seq      int64      `json:"seq"`
+	Sessions []sessSnap `json:"sessions"`
+}
+
+// Snapshot serialises the live session registry to w. It holds each
+// session's lock only long enough to copy scalar state and map references
+// (retained maps are append-only, so sharing the tensors is safe); closed
+// sessions are skipped.
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	seq := s.seq
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.RUnlock()
+
+	hdr := snapHeader{Seq: seq}
+	var maps []*tensorT
+	for _, sess := range live {
+		sess.mu.Lock()
+		if sess.state == StateClosed {
+			sess.mu.Unlock()
+			continue
+		}
+		rec := sessSnap{
+			ID:       sess.id,
+			UserID:   sess.userID,
+			State:    int(sess.state),
+			Expected: sess.expected,
+			AssignAt: sess.assignAt,
+			Frac:     sess.frac,
+			Pushed:   sess.pushed,
+			HaveAsg:  sess.haveAsg,
+			Cluster:  -1,
+			Degraded: sess.degraded,
+			NMaps:    len(sess.maps),
+			Created:  sess.created.Unix(),
+		}
+		if len(sess.labels) > 0 {
+			rec.Labels = make(map[int]int, len(sess.labels))
+			for k, v := range sess.labels {
+				rec.Labels[k] = v
+			}
+		}
+		if sess.haveAsg {
+			rec.Cluster = sess.asg.Cluster
+			rec.Scores = append([]float64(nil), sess.asg.Scores...)
+			rec.FracUsed = sess.asg.FracUsed
+		}
+		maps = append(maps, sess.maps...)
+		sess.mu.Unlock()
+		hdr.Sessions = append(hdr.Sessions, rec)
+	}
+
+	bw := bufio.NewWriter(w)
+	if err := core.WriteHeader(bw, snapshotMagic, hdr); err != nil {
+		return err
+	}
+	for _, m := range maps {
+		if _, err := m.WriteTo(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SnapshotFile writes a snapshot atomically: to path+".tmp", then rename.
+// A crash mid-write leaves the previous snapshot intact.
+func (s *Server) SnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		mSnapshotErrs.Inc()
+		return err
+	}
+	if err := s.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		mSnapshotErrs.Inc()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		mSnapshotErrs.Inc()
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		mSnapshotErrs.Inc()
+		return err
+	}
+	mSnapshots.Inc()
+	return nil
+}
+
+// Restore rebuilds the session registry from a snapshot written by
+// Snapshot, returning how many sessions were recovered. It must run before
+// the server takes traffic (it assumes an empty registry for the restored
+// IDs). Restored sessions keep their lifecycle position with one
+// deliberate demotion: anything past assignment re-enters StateAssigned on
+// the shared cluster baseline — fine-tuned checkpoints are not persisted —
+// and sessions with merged labels immediately re-queue a fine-tune, so
+// personalisation replays from durable state.
+func (s *Server) Restore(r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	var hdr snapHeader
+	if err := core.ReadHeader(br, snapshotMagic, &hdr); err != nil {
+		if errors.Is(err, core.ErrBadHeader) {
+			return 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		return 0, err
+	}
+	n := 0
+	for _, rec := range hdr.Sessions {
+		sess, err := s.restoreOne(br, rec)
+		if err != nil {
+			return n, err
+		}
+		s.mu.Lock()
+		s.sessions[sess.id] = sess
+		if hdr.Seq > s.seq {
+			s.seq = hdr.Seq
+		}
+		gSessions.Set(float64(len(s.sessions)))
+		s.mu.Unlock()
+		mRestored.Inc()
+		n++
+	}
+	return n, nil
+}
+
+// RestoreFile restores from path; a missing file is not an error (0, nil)
+// so boot code can call it unconditionally.
+func (s *Server) RestoreFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return s.Restore(f)
+}
+
+// restoreOne materialises one session record and its NMaps tensors.
+func (s *Server) restoreOne(br *bufio.Reader, rec sessSnap) (*Session, error) {
+	if rec.Expected < 1 || rec.NMaps < 0 || rec.NMaps > rec.Expected {
+		return nil, fmt.Errorf("%w: session %q has inconsistent window counts", ErrBadSnapshot, rec.ID)
+	}
+	if rec.HaveAsg && (rec.Cluster < 0 || rec.Cluster >= len(s.deps)) {
+		return nil, fmt.Errorf("%w: session %q assigned to unknown cluster %d", ErrBadSnapshot, rec.ID, rec.Cluster)
+	}
+	sess := newSession(s, rec.ID, rec.UserID, rec.Expected, rec.Frac)
+	sess.assignAt = rec.AssignAt
+	sess.pushed = rec.Pushed
+	sess.degraded = rec.Degraded
+	sess.restored = true
+	sess.created = time.Unix(rec.Created, 0)
+	for k, v := range rec.Labels {
+		sess.labels[k] = v
+	}
+	for i := 0; i < rec.NMaps; i++ {
+		var t tensor.Tensor
+		if _, err := t.ReadFrom(br); err != nil {
+			return nil, fmt.Errorf("%w: session %q map %d: %v", ErrBadSnapshot, rec.ID, i, err)
+		}
+		sess.maps = append(sess.maps, &t)
+	}
+	if rec.HaveAsg {
+		sess.asg = core.Assignment{Cluster: rec.Cluster, Scores: rec.Scores, FracUsed: rec.FracUsed}
+		sess.haveAsg = true
+		sess.mon = edge.NewMonitor(s.deps[rec.Cluster], nil, s.pipe.Cfg.Extractor)
+		// Demote to the cluster baseline: personalised checkpoints are not
+		// persisted, so monitoring resumes un-personalised and any merged
+		// labels replay the fine-tune below.
+		switch State(rec.State) {
+		case StateEnrolling, StateClosed:
+			return nil, fmt.Errorf("%w: session %q state %d inconsistent with assignment", ErrBadSnapshot, rec.ID, rec.State)
+		default:
+			sess.state = StateAssigned
+		}
+		sess.mu.Lock()
+		_, _ = sess.tryFineTuneLocked()
+		sess.mu.Unlock()
+	} else {
+		if State(rec.State) != StateEnrolling {
+			return nil, fmt.Errorf("%w: session %q state %d without assignment", ErrBadSnapshot, rec.ID, rec.State)
+		}
+		sess.state = StateEnrolling
+	}
+	return sess, nil
+}
+
+// snapshotLoop periodically persists the registry to cfg.SnapshotPath
+// until Shutdown (which writes the final snapshot itself).
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.SnapshotFile(s.cfg.SnapshotPath)
+		case <-s.stopc:
+			return
+		}
+	}
+}
