@@ -13,6 +13,7 @@
 //	              [-trials 10] [-trialsec 45] [-seed 99] [-ftfrac 0.2]
 //	              [-raw] [-keep]
 //	              [-chaos] [-chaosdrop F] [-accfloor F] [-expectbreaker]
+//	              [-driftusers N] [-driftstart F] [-expectreassign]
 //
 // -chaos turns the run into a fault-tolerance check: each window is
 // dropped-channel-corrupted client-side at rate -chaosdrop (simulating a
@@ -23,6 +24,17 @@
 // no 5xx server errors, assignment accuracy stays above -accfloor, and —
 // with -expectbreaker — a circuit breaker is observed opening and closing
 // again during the run.
+//
+// -driftusers turns the first N users into drift personas: their
+// physiology interpolates toward a different archetype from -driftstart of
+// the stream onward (wemac.DriftSpec), exercising the server's
+// self-healing assignment detector. Assignment accuracy is scored on the
+// FIRST cluster each session reports, so a mid-stream re-assignment does
+// not corrupt the cold-start metric. With -expectreassign the run fails
+// unless at least one detector re-assignment is observed (tune the
+// server's -drift-* flags down so the detector can fire within -trials
+// windows), no drift session flaps (re-assigns more than once), and the
+// zero-5xx SLO holds.
 package main
 
 import (
@@ -62,6 +74,7 @@ type windowResp struct {
 	Personalized bool      `json:"personalized"`
 	Degraded     bool      `json:"degraded"`
 	Imputed      bool      `json:"imputed"`
+	Reassigned   bool      `json:"reassigned"`
 	BatchSize    int       `json:"batch_size"`
 }
 type statusResp struct {
@@ -79,6 +92,9 @@ type statsResp struct {
 	FineTuneRetries   int64    `json:"finetune_retries"`
 	FineTuneGiveups   int64    `json:"finetune_giveups"`
 	RestoredSessions  int64    `json:"restored_sessions"`
+	DriftVerdicts     int64    `json:"drift_verdicts"`
+	DriftReassigns    int64    `json:"drift_reassigns"`
+	DriftSuppressed   int64    `json:"drift_suppressed"`
 }
 
 // srvErrs counts 5xx responses other than the tolerated 503/504 — in chaos
@@ -95,10 +111,10 @@ type chaosCfg struct {
 
 // chaosTally aggregates what the chaos run absorbed.
 type chaosTally struct {
-	mu        sync.Mutex
-	dropped   int // windows corrupted client-side
-	rejected  int // 422s re-read and re-sent
-	timeouts  int // 504s absorbed
+	mu       sync.Mutex
+	dropped  int  // windows corrupted client-side
+	rejected int  // 422s re-read and re-sent
+	timeouts int  // 504s absorbed
 	degraded int  // windows answered from the cluster baseline
 	imputed  int  // windows the server repaired
 	sawOpen  bool // a breaker was observed open
@@ -110,8 +126,10 @@ type userResult struct {
 	ok           bool
 	err          error
 	base         string // session URL, set when the session was kept open
-	cluster      int
+	cluster      int    // FIRST cluster the session reported (cold-start)
 	archetype    int
+	drifter      bool // user is a drift persona
+	reassigns    int  // detector re-assignments observed mid-stream
 	personalized bool
 	lifecycleS   float64
 	correct      int // monitored windows predicted correctly
@@ -136,6 +154,10 @@ func main() {
 		chaosDrop     = flag.Float64("chaosdrop", 0.15, "chaos: per-window channel-dropout rate")
 		accFloor      = flag.Float64("accfloor", 25, "chaos: minimum assignment accuracy %% (4 clusters ⇒ 25 is chance)")
 		expectBreaker = flag.Bool("expectbreaker", false, "chaos: require a breaker open→closed cycle to be observed")
+
+		driftUsers     = flag.Int("driftusers", 0, "turn the first N users into drift personas (archetype migrates mid-stream)")
+		driftStart     = flag.Float64("driftstart", 0.35, "stream fraction at which drift personas start migrating")
+		expectReassign = flag.Bool("expectreassign", false, "chaos: require ≥1 detector re-assignment, and no session to flap")
 	)
 	flag.Parse()
 
@@ -145,12 +167,26 @@ func main() {
 	for i := 0; i < *users; i++ {
 		sizes[i%4]++
 	}
-	fmt.Printf("generating %d synthetic users (%v, %d trials × %.0fs)...\n",
-		*users, sizes, *trials, *trialSec)
+	// Drift personas: the first -driftusers volunteers migrate toward the
+	// "opposite" archetype (two apart, the largest physiological jump) from
+	// -driftstart of their stream onward. Generation interleaves archetypes
+	// round-robin, so volunteer i belongs to archetype i%4.
+	if *driftUsers > *users {
+		*driftUsers = *users
+	}
+	var specs []wemac.DriftSpec
+	for i := 0; i < *driftUsers; i++ {
+		specs = append(specs, wemac.DriftSpec{
+			User: i, To: (i%4 + 2) % 4, StartFrac: *driftStart,
+		})
+	}
+	fmt.Printf("generating %d synthetic users (%v, %d trials × %.0fs, %d drift personas)...\n",
+		*users, sizes, *trials, *trialSec, len(specs))
 	ds := wemac.Generate(wemac.Config{
 		ArchetypeSizes:     sizes,
 		TrialsPerVolunteer: *trials,
 		TrialSec:           *trialSec,
+		Drift:              specs,
 		Seed:               *seed,
 	})
 	ecfg := features.ExtractorConfig{WindowSec: *winSec, Windows: *windows}
@@ -289,6 +325,7 @@ func main() {
 
 	completed, assignedRight, personalized := 0, 0, 0
 	correct, monitored := 0, 0
+	totalReassigns, reassignedSessions, flapped := 0, 0, 0
 	var lifecycleSum float64
 	for _, r := range results {
 		if r.err != nil {
@@ -303,6 +340,13 @@ func main() {
 		if r.cluster >= 0 && r.cluster < len(stats.ClusterArchetypes) &&
 			stats.ClusterArchetypes[r.cluster] == r.archetype {
 			assignedRight++
+		}
+		totalReassigns += r.reassigns
+		if r.reassigns > 0 {
+			reassignedSessions++
+		}
+		if r.reassigns > 1 {
+			flapped++
 		}
 		correct += r.correct
 		monitored += r.monitored
@@ -334,6 +378,11 @@ func main() {
 			100*float64(correct)/float64(monitored), monitored)
 	}
 	fmt.Printf("sheds (client)   %d retried;  server shed counter %d\n", sheds, stats.Shed)
+	if *driftUsers > 0 || totalReassigns > 0 {
+		fmt.Printf("self-healing     %d sessions re-assigned (%d swaps, %d flapped);  server verdicts %d, re-assigns %d, suppressed %d\n",
+			reassignedSessions, totalReassigns, flapped,
+			stats.DriftVerdicts, stats.DriftReassigns, stats.DriftSuppressed)
+	}
 
 	assignAcc := 100.0
 	if completed > 0 {
@@ -369,6 +418,16 @@ func main() {
 				tally.sawOpen, tally.reclosed)
 			failed = true
 		}
+		if *expectReassign {
+			if reassignedSessions < 1 {
+				fmt.Printf("SLO FAIL: no detector re-assignment observed across %d drift personas\n", *driftUsers)
+				failed = true
+			}
+			if flapped > 0 {
+				fmt.Printf("SLO FAIL: %d sessions flapped (re-assigned more than once)\n", flapped)
+				failed = true
+			}
+		}
 		tally.mu.Unlock()
 		if failed {
 			os.Exit(1)
@@ -389,7 +448,7 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 	ftFrac float64, keep bool, observe func(time.Duration, int),
 	chaos chaosCfg, rng *rand.Rand, tally *chaosTally) userResult {
 
-	res := userResult{cluster: -1, archetype: v.Archetype}
+	res := userResult{cluster: -1, archetype: v.Archetype, drifter: v.DriftTo >= 0}
 	total := len(v.Trials)
 	var cr createResp
 	if err := postJSON(client, addr+"/v1/sessions",
@@ -461,8 +520,14 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 			}
 			tally.mu.Unlock()
 		}
-		if wr.Cluster != nil {
+		// Score cold-start assignment on the FIRST cluster the session
+		// reports: a detector re-assignment mid-stream (drift personas)
+		// must not rewrite the cold-start accuracy metric.
+		if wr.Cluster != nil && res.cluster < 0 {
 			res.cluster = *wr.Cluster
+		}
+		if wr.Reassigned {
+			res.reassigns++
 		}
 		if len(wr.Probs) > 1 {
 			res.monitored++

@@ -1,0 +1,152 @@
+// Command clear-rt reproduces the paper's RT (robustness test) experiment
+// against the live serving layer and measures the self-healing drift
+// detector's recovery. For each held-out user it streams the same windows
+// through three serving arms — honest assignment, forced wrong-cluster
+// with the detector off (the paper's RT condition), and forced
+// wrong-cluster with the detector on — then reports window-level accuracy
+// per arm and the recovered fraction of the wrong-cluster gap.
+//
+// Usage:
+//
+//	clear-rt [-profile fast|paper] [-seed N] [-scale F] [-pipeline ckpt]
+//	         [-held N] [-cycles N] [-out results_rt.txt]
+//	         [-drift-window N] [-drift-threshold F] [-drift-consecutive N]
+//	         [-drift-cooldown N]
+//
+// The -drift-* flags mirror clear-serve's detector tuning so the offline
+// harness exercises exactly the serving configuration under test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/wemac"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "fast", "experiment profile: fast or paper")
+		seed     = flag.Int64("seed", 1, "master seed for data and training")
+		scale    = flag.Float64("scale", 1.0, "training population scale factor")
+		pipePath = flag.String("pipeline", "", "load a pipeline checkpoint instead of training")
+		held     = flag.Int("held", 8, "held-out users to stream (generated from seed+1)")
+		cycles   = flag.Int("cycles", 4, "stream passes per arm (detector needs stream length)")
+		out      = flag.String("out", "results_rt.txt", "report output path")
+
+		driftWindow      = flag.Int("drift-window", 6, "drift evidence ring size in windows")
+		driftThreshold   = flag.Float64("drift-threshold", 0.05, "relative score gap for a drift-positive window")
+		driftConsecutive = flag.Int("drift-consecutive", 3, "consecutive positives that raise a verdict")
+		driftCooldown    = flag.Int("drift-cooldown", 64, "post-swap flap-suppression cooldown in windows")
+	)
+	flag.Parse()
+
+	var pipe *core.Pipeline
+	if *pipePath != "" {
+		f, err := os.Open(*pipePath)
+		die(err)
+		pipe, err = core.Load(f)
+		f.Close()
+		die(err)
+		fmt.Printf("loaded pipeline from %s (K=%d)\n", *pipePath, pipe.Cfg.K)
+	} else {
+		pipe = trainPipeline(*profile, *seed, *scale)
+	}
+
+	hcfg := wemac.DefaultConfig()
+	hcfg.Seed = *seed + 1
+	hcfg.ArchetypeSizes = spread(*held, len(hcfg.ArchetypeSizes))
+	heldDS := wemac.Generate(hcfg)
+	users, err := wemac.ExtractAll(heldDS, pipe.Cfg.Extractor)
+	die(err)
+	fmt.Printf("streaming %d held-out users, %d cycles, 3 arms\n", len(users), *cycles)
+
+	start := time.Now()
+	res, err := eval.RunRT(pipe, users, *cycles, serve.Config{
+		MaxDelay:         500 * time.Microsecond,
+		DriftWindow:      *driftWindow,
+		DriftThreshold:   *driftThreshold,
+		DriftConsecutive: *driftConsecutive,
+		DriftCooldown:    *driftCooldown,
+	}, func(done, total int) {
+		fmt.Printf("\ruser %d/%d", done, total)
+	})
+	fmt.Println()
+	die(err)
+
+	report := eval.FormatRT(res)
+	die(os.WriteFile(*out, []byte(report), 0o644))
+	fmt.Printf("\n%s\n", report)
+	fmt.Printf("wrote %s in %v\n", *out, time.Since(start).Round(time.Second))
+
+	if res.Correct <= res.Wrong {
+		fmt.Fprintln(os.Stderr, "clear-rt: WARNING: wrong-cluster arm did not lose accuracy; RT condition not reproduced")
+		os.Exit(2)
+	}
+	if res.Recovery < 0.5 {
+		fmt.Fprintf(os.Stderr, "clear-rt: WARNING: detector recovered %.2f of the gap (< 0.50)\n", res.Recovery)
+		os.Exit(2)
+	}
+	fmt.Printf("RT reproduced: wrong-cluster loses %.3f accuracy; detector recovers %.0f%% of the gap\n",
+		res.Correct-res.Wrong, 100*res.Recovery)
+}
+
+// trainPipeline mirrors clear-serve's training path (without the archetype
+// diagnostic, which RT does not need).
+func trainPipeline(profile string, seed int64, scale float64) *core.Pipeline {
+	var cfg core.Config
+	switch profile {
+	case "fast":
+		cfg = core.DefaultConfig()
+	case "paper":
+		cfg = core.PaperConfig()
+	default:
+		die(fmt.Errorf("unknown profile %q", profile))
+	}
+	cfg.Seed = seed
+	dcfg := wemac.DefaultConfig()
+	dcfg.Seed = seed
+	if scale != 1.0 {
+		for i, s := range dcfg.ArchetypeSizes {
+			n := int(float64(s)*scale + 0.5)
+			if n < 2 {
+				n = 2
+			}
+			dcfg.ArchetypeSizes[i] = n
+		}
+	}
+	fmt.Printf("generating synthetic WEMAC population (%v volunteers)...\n", dcfg.ArchetypeSizes)
+	ds := wemac.Generate(dcfg)
+	users, err := wemac.ExtractAll(ds, cfg.Extractor)
+	die(err)
+	fmt.Printf("training CLEAR pipeline on %d users...\n", len(users))
+	sp := obs.StartSpan("rt.train")
+	pipe, err := core.Train(users, cfg)
+	sp.End()
+	die(err)
+	fmt.Printf("cluster sizes %v\n", pipe.ClusterSizes())
+	return pipe
+}
+
+// spread distributes n held-out users across k archetypes as evenly as
+// possible (earlier archetypes get the remainder).
+func spread(n, k int) []int {
+	out := make([]int, k)
+	for i := 0; i < n; i++ {
+		out[i%k]++
+	}
+	return out
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-rt:", err)
+		os.Exit(1)
+	}
+}

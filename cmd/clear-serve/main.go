@@ -13,11 +13,15 @@
 //	            [-snapshot path] [-snapinterval D]
 //	            [-fault-seed N] [-fault-build F] [-fault-stall F]
 //	            [-fault-corrupt F] [-infertimeout D]
+//	            [-drift-window N] [-drift-threshold F] [-drift-consecutive N]
+//	            [-drift-cooldown N] [-drift-off]
 //
 // -snapshot enables crash-safe session recovery: the registry is restored
 // from the file at boot (if present), persisted every -snapinterval, and
 // persisted once more on SIGTERM. The -fault-* flags arm the deterministic
-// fault injector (chaos testing); all default to 0 (off).
+// fault injector (chaos testing); all default to 0 (off). The -drift-*
+// flags tune the self-healing cluster-assignment detector
+// (internal/serve/drift.go); -drift-off disables it entirely.
 //
 // The observability surface (/metrics, /debug/pprof, /debug/vars,
 // /debug/spans) shares the API mux — no separate -obs port needed.
@@ -68,6 +72,12 @@ func main() {
 
 		brThreshold = flag.Int("breakerthreshold", 3, "consecutive build failures that open a cluster's breaker")
 		brCooldown  = flag.Duration("breakercooldown", 5*time.Second, "breaker open→half-open cooldown")
+
+		driftWindow      = flag.Int("drift-window", 8, "drift-detector evidence ring size in windows")
+		driftThreshold   = flag.Float64("drift-threshold", 0.05, "relative score gap for a drift-positive window")
+		driftConsecutive = flag.Int("drift-consecutive", 4, "consecutive positives that raise a drift verdict")
+		driftCooldown    = flag.Int("drift-cooldown", 64, "post-re-assignment flap-suppression cooldown in windows")
+		driftOff         = flag.Bool("drift-off", false, "disable the self-healing assignment detector")
 	)
 	flag.Parse()
 
@@ -123,6 +133,11 @@ func main() {
 		SnapshotPath:     *snapPath,
 		SnapshotInterval: *snapInterval,
 		Fault:            inj,
+		DriftWindow:      *driftWindow,
+		DriftThreshold:   *driftThreshold,
+		DriftConsecutive: *driftConsecutive,
+		DriftCooldown:    *driftCooldown,
+		DriftDisabled:    *driftOff,
 	})
 	die(err)
 	if arch != nil {

@@ -54,6 +54,12 @@ func BuildHierarchy(points [][]float64, top *Result, subK int, opts Options) (*H
 // the summed distance to x, together with the per-cluster scores. Scores
 // are mean (not raw-sum) distances so clusters with different sub-cluster
 // counts compare fairly.
+//
+// Ownership: the returned scores slice is freshly allocated on every call
+// and handed to the caller outright — Assign never retains it and
+// concurrent calls never share backing arrays, so callers may mutate or
+// store it without copying. Assign itself only reads the hierarchy, so any
+// number of goroutines may call it concurrently.
 func (h *Hierarchy) Assign(x []float64) (best int, scores []float64) {
 	scores = make([]float64, h.Top.K)
 	bestScore := math.Inf(1)

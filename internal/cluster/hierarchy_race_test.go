@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestAssignConcurrentNoSharedBacking pins the Assign ownership contract:
+// every call returns a freshly allocated scores slice, so concurrent
+// callers (the serving layer's drift detector re-scores assignments from
+// many sessions at once) can mutate their copies freely. Run with -race.
+func TestAssignConcurrentNoSharedBacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	centres := [][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	pts, _ := blobs(rng, centres, 20, 1.0)
+	top, err := KMeans(pts, 4, Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	h, err := BuildHierarchy(pts, top, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("BuildHierarchy: %v", err)
+	}
+
+	const goroutines, iters = 8, 200
+	results := make([][][]float64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			grng := rand.New(rand.NewSource(int64(g) + 100))
+			for i := 0; i < iters; i++ {
+				x := []float64{grng.Float64() * 10, grng.Float64() * 10}
+				best, scores := h.Assign(x)
+				if best < 0 || best >= top.K || len(scores) != top.K {
+					t.Errorf("Assign returned best=%d scores len=%d", best, len(scores))
+					return
+				}
+				// Mutating our slice must be safe under the ownership
+				// contract; the race detector flags any sharing.
+				for j := range scores {
+					scores[j] = -1
+				}
+				results[g] = append(results[g], scores)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Distinct calls must never alias the same backing array.
+	seen := map[*float64]bool{}
+	for _, rs := range results {
+		for _, s := range rs {
+			if len(s) == 0 {
+				continue
+			}
+			p := &s[0]
+			if seen[p] {
+				t.Fatalf("two Assign calls returned the same backing array")
+			}
+			seen[p] = true
+		}
+	}
+
+	// Same-input calls agree on the winner even when interleaved.
+	x := []float64{1, 1}
+	b1, s1 := h.Assign(x)
+	b2, s2 := h.Assign(x)
+	if b1 != b2 {
+		t.Fatalf("Assign not deterministic: %d vs %d", b1, b2)
+	}
+	if &s1[0] == &s2[0] {
+		t.Fatalf("repeated Assign calls share a backing array")
+	}
+}

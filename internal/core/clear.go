@@ -339,6 +339,18 @@ func (p *Pipeline) AssignMaps(maps []*tensorT, fracUsed float64) Assignment {
 	return p.assignSummary(features.Summary(maps), fracUsed)
 }
 
+// AssignFromSummary performs cold-start assignment from an explicit
+// unlabeled per-feature summary vector (the features.Summary
+// representation). It is the incremental-evidence entry point: a serving
+// layer that maintains a rolling summary over recent windows (e.g. the
+// drift detector in internal/serve) can re-score the assignment on every
+// window without re-touching the underlying maps. The scoring path is
+// identical to Assign/AssignMaps, so rolling verdicts are directly
+// comparable to the original cold-start decision.
+func (p *Pipeline) AssignFromSummary(summary []float64, fracUsed float64) Assignment {
+	return p.assignSummary(summary, fracUsed)
+}
+
 func (p *Pipeline) assignSummary(summary []float64, fracUsed float64) Assignment {
 	sp := obs.StartSpan("core.assign")
 	defer sp.End()
@@ -370,6 +382,28 @@ func (a Assignment) Margin() float64 {
 		return 0
 	}
 	return (second - best) / best
+}
+
+// RunnerUp returns the index of the second-closest cluster — the
+// assignment the user would have received had the selected cluster not
+// existed. −1 when fewer than two scores are available. Together with
+// Margin it quantifies how contested the assignment is: a drift monitor
+// watches whether the runner-up starts beating the assigned cluster on
+// fresh data.
+func (a Assignment) RunnerUp() int {
+	if len(a.Scores) < 2 {
+		return -1
+	}
+	second, runner := -1.0, -1
+	for k, s := range a.Scores {
+		if k == a.Cluster {
+			continue
+		}
+		if runner < 0 || s < second {
+			second, runner = s, k
+		}
+	}
+	return runner
 }
 
 // ModelFor returns the pre-trained checkpoint of a cluster.

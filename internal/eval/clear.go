@@ -69,7 +69,7 @@ func RunLOSO(users []*wemac.UserMaps, cfg core.Config, caFrac float64, progress 
 			UserIdx:        i,
 			Pipeline:       p,
 			Assignment:     a,
-			ArchetypeMatch: dominantArchetype(p, train, a.Cluster) == users[i].Archetype,
+			ArchetypeMatch: archetypeMatches(p, train, a.Cluster, users[i].Archetype),
 		})
 		fsp.End()
 		mLOSOFolds.Inc()
@@ -93,21 +93,45 @@ func DominantArchetype(p *core.Pipeline, train []*wemac.UserMaps, k int) int {
 }
 
 // dominantArchetype returns the most common ground-truth archetype among
-// the training users assigned to cluster k.
+// the training users assigned to cluster k. Ties break toward the lower
+// archetype index — a fixed rule, so the diagnostic is deterministic run
+// to run instead of riding on map iteration order.
 func dominantArchetype(p *core.Pipeline, train []*wemac.UserMaps, k int) int {
+	counts := archetypeCounts(p, train, k)
+	best, bestArch := -1, -1
+	for a, c := range counts {
+		if c > best || (c == best && a < bestArch) {
+			best, bestArch = c, a
+		}
+	}
+	return bestArch
+}
+
+func archetypeCounts(p *core.Pipeline, train []*wemac.UserMaps, k int) map[int]int {
 	counts := map[int]int{}
 	for i, c := range p.UserCluster {
 		if c == k {
 			counts[train[i].Archetype]++
 		}
 	}
-	best, bestArch := -1, -1
-	for a, c := range counts {
+	return counts
+}
+
+// archetypeMatches reports whether arch is among cluster k's most common
+// ground-truth archetypes. A cluster whose majority is tied represents
+// every tied archetype equally — the clustering merged them — so
+// assigning a user of any tied archetype is not a cold-start mistake.
+// (dominantArchetype stays single-valued for surfaces that need one label
+// per cluster, e.g. /v1/stats.)
+func archetypeMatches(p *core.Pipeline, train []*wemac.UserMaps, k, arch int) bool {
+	counts := archetypeCounts(p, train, k)
+	best := -1
+	for _, c := range counts {
 		if c > best {
-			best, bestArch = c, a
+			best = c
 		}
 	}
-	return bestArch
+	return best >= 0 && counts[arch] == best
 }
 
 // CLEARResult carries the three CLEAR rows of Table I.

@@ -1,0 +1,272 @@
+package eval
+
+// The online robustness-test (RT) harness. The paper's RT experiment
+// (Table I, "RT CLEAR") measures what a wrong-cluster model costs by
+// evaluating every held-out volunteer under the *other* clusters'
+// checkpoints — a large accuracy loss. This harness reproduces that
+// experiment against the live serving layer and measures how much of the
+// loss the self-healing drift detector (internal/serve/drift.go) claws
+// back.
+//
+// Three arms per held-out user, all streaming the same windows through
+// real serving sessions:
+//
+//	correct  cold-start assignment as served (the CLEAR w/o FT condition)
+//	wrong    assignment overridden to the most distant cluster right
+//	         after cold-start, detector disabled (the RT condition)
+//	healed   same wrong override, detector enabled: the session must
+//	         notice the rolling evidence contradicting its assignment
+//	         and re-assign itself mid-stream
+//
+// Accuracy is window-level over every classified (post-assignment)
+// window, so the healed arm pays for the windows served wrong before the
+// detector fires — recovery counts real serving output, not an oracle
+// switch. Recovery = (healed − wrong) / (correct − wrong).
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/wemac"
+)
+
+var mRTUsers = obs.GetCounter("eval.rt.users_done")
+
+// RTUser is one held-out user's three-arm outcome.
+type RTUser struct {
+	ID int `json:"id"`
+	// Cluster is the honest cold-start assignment; WrongCluster the
+	// most-distant cluster the wrong/healed arms are forced onto.
+	Cluster      int `json:"cluster"`
+	WrongCluster int `json:"wrong_cluster"`
+	// Window-level accuracies per arm.
+	Correct float64 `json:"correct"`
+	Wrong   float64 `json:"wrong"`
+	Healed  float64 `json:"healed"`
+	// HealedAt is the classified-window index at which the detector
+	// re-assigned (-1: never fired).
+	HealedAt int `json:"healed_at"`
+	// HealedTo is the cluster the detector chose (-1: never fired).
+	HealedTo int `json:"healed_to"`
+}
+
+// RTResult aggregates the online RT experiment.
+type RTResult struct {
+	Users  int `json:"users"`
+	Cycles int `json:"cycles"`
+	// Mean window-level accuracy per arm.
+	Correct float64 `json:"correct"`
+	Wrong   float64 `json:"wrong"`
+	Healed  float64 `json:"healed"`
+	// Recovery is the healed arm's position in the correct−wrong gap:
+	// 0 = no better than serving the wrong cluster forever, 1 = as good
+	// as never having been misassigned.
+	Recovery float64 `json:"recovery"`
+	// Reassigned counts healed-arm users whose detector fired;
+	// MeanHealAt is their mean classified-window index at re-assignment.
+	Reassigned int      `json:"reassigned"`
+	MeanHealAt float64  `json:"mean_heal_at"`
+	PerUser    []RTUser `json:"per_user"`
+}
+
+// RunRT runs the three arms for every held-out user against pipe. Each
+// arm streams the user's maps cycles times (the detector needs stream
+// length to amortise its evidence window; the paper's trials are minutes
+// long, the fixture's seconds). scfg parameterises the serving layer; the
+// harness forces snapshotting off and flips DriftDisabled per arm.
+// Progress, if non-nil, is called after each user.
+func RunRT(pipe *core.Pipeline, users []*wemac.UserMaps, cycles int, scfg serve.Config, progress func(done, total int)) (RTResult, error) {
+	if cycles < 1 {
+		cycles = 1
+	}
+	sp := obs.StartSpan("eval.rt")
+	defer sp.End()
+	scfg.SnapshotPath = ""
+	scfg.Fault = nil
+
+	// One server per arm: the detector switch is server-wide, and
+	// separate registries keep the arms from sharing fine-tune caches.
+	offCfg := scfg
+	offCfg.DriftDisabled = true
+	onCfg := scfg
+	onCfg.DriftDisabled = false
+
+	srvCorrect, err := serve.New(pipe, onCfg)
+	if err != nil {
+		return RTResult{}, err
+	}
+	defer srvCorrect.Shutdown()
+	srvWrong, err := serve.New(pipe, offCfg)
+	if err != nil {
+		return RTResult{}, err
+	}
+	defer srvWrong.Shutdown()
+	srvHealed, err := serve.New(pipe, onCfg)
+	if err != nil {
+		return RTResult{}, err
+	}
+	defer srvHealed.Shutdown()
+
+	res := RTResult{Users: len(users), Cycles: cycles}
+	var sumHealAt float64
+	for i, u := range users {
+		honest := pipe.Assign(u, 0.1)
+		wrongK := worstCluster(honest)
+
+		correct, _, _, err := streamArm(srvCorrect, u, cycles, -1)
+		if err != nil {
+			return RTResult{}, fmt.Errorf("eval: rt user %d correct arm: %w", u.ID, err)
+		}
+		wrong, _, _, err := streamArm(srvWrong, u, cycles, wrongK)
+		if err != nil {
+			return RTResult{}, fmt.Errorf("eval: rt user %d wrong arm: %w", u.ID, err)
+		}
+		healed, healedAt, healedTo, err := streamArm(srvHealed, u, cycles, wrongK)
+		if err != nil {
+			return RTResult{}, fmt.Errorf("eval: rt user %d healed arm: %w", u.ID, err)
+		}
+
+		res.PerUser = append(res.PerUser, RTUser{
+			ID: u.ID, Cluster: honest.Cluster, WrongCluster: wrongK,
+			Correct: correct, Wrong: wrong, Healed: healed,
+			HealedAt: healedAt, HealedTo: healedTo,
+		})
+		res.Correct += correct
+		res.Wrong += wrong
+		res.Healed += healed
+		if healedAt >= 0 {
+			res.Reassigned++
+			sumHealAt += float64(healedAt)
+		}
+		mRTUsers.Inc()
+		if progress != nil {
+			progress(i+1, len(users))
+		}
+	}
+	if res.Users > 0 {
+		n := float64(res.Users)
+		res.Correct /= n
+		res.Wrong /= n
+		res.Healed /= n
+	}
+	if res.Reassigned > 0 {
+		res.MeanHealAt = sumHealAt / float64(res.Reassigned)
+	}
+	if gap := res.Correct - res.Wrong; gap > 0 {
+		res.Recovery = (res.Healed - res.Wrong) / gap
+	}
+	return res, nil
+}
+
+// worstCluster returns the cluster the assignment scored most distant —
+// the strongest wrong-cluster condition the serving layer can be forced
+// into.
+func worstCluster(a core.Assignment) int {
+	worst, ws := a.Cluster, -1.0
+	for k, s := range a.Scores {
+		if s > ws {
+			ws, worst = s, k
+		}
+	}
+	return worst
+}
+
+// streamArm drives one serving session through cycles passes over u's
+// maps. overrideK ≥ 0 forces the assignment onto that cluster immediately
+// after cold-start (the wrong/healed arms). Returns window-level accuracy
+// over all classified windows, plus the classified-window index and
+// target of the first detector re-assignment (-1, -1 when none).
+func streamArm(srv *serve.Server, u *wemac.UserMaps, cycles, overrideK int) (acc float64, healedAt, healedTo int, err error) {
+	total := len(u.Maps)
+	sess, err := srv.CreateSession(u.ID, total, 0.1)
+	if err != nil {
+		return 0, -1, -1, err
+	}
+	defer func() { _ = srv.CloseSession(sess.ID()) }()
+	healedAt, healedTo = -1, -1
+	hits, n := 0, 0
+	for c := 0; c < cycles; c++ {
+		for i, lm := range u.Maps {
+			res, perr := sess.PushWindowCtx(context.Background(), lm.Map)
+			if perr != nil {
+				return 0, -1, -1, perr
+			}
+			if res.Assignment != nil && overrideK >= 0 && c == 0 && i+1 == wemac.BudgetWindows(total, 0.1) {
+				// Cold-start just fired: force the wrong cluster before
+				// any window is classified under the honest one.
+				if oerr := sess.OverrideAssignment(overrideK); oerr != nil {
+					return 0, -1, -1, oerr
+				}
+				continue
+			}
+			if res.Probs == nil {
+				continue
+			}
+			if res.Reassigned && healedAt < 0 {
+				healedAt = n
+				healedTo = res.Assignment.Cluster
+			}
+			if argmax(res.Probs) == int(lm.Label) {
+				hits++
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		acc = float64(hits) / float64(n)
+	}
+	return acc, healedAt, healedTo, nil
+}
+
+func argmax(xs []float64) int {
+	best, bi := -1.0, 0
+	for i, x := range xs {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// FormatRT renders the RT result as the markdown report results_rt.txt
+// carries.
+func FormatRT(res RTResult) string {
+	r := NewReport("Online RT: wrong-cluster serving and self-healing recovery")
+	r.Paragraph(fmt.Sprintf(
+		"%d held-out users, %d stream cycles per arm. Window-level accuracy over all classified windows; "+
+			"the healed arm includes the windows served wrong before the detector fired.",
+		res.Users, res.Cycles))
+	r.Section("Arms")
+	r.Table(
+		[]string{"arm", "accuracy", "condition"},
+		[][]string{
+			{"correct", fmt.Sprintf("%.3f", res.Correct), "honest cold-start assignment"},
+			{"wrong (RT)", fmt.Sprintf("%.3f", res.Wrong), "forced onto the most distant cluster, detector off"},
+			{"healed", fmt.Sprintf("%.3f", res.Healed), "same wrong start, self-healing detector on"},
+		})
+	r.Paragraph(fmt.Sprintf(
+		"Recovery (healed−wrong)/(correct−wrong): **%.2f**. Detector fired for %d/%d users, mean heal at classified window %.1f.",
+		res.Recovery, res.Reassigned, res.Users, res.MeanHealAt))
+	r.Section("Per user")
+	var rows [][]string
+	for _, pu := range res.PerUser {
+		heal := "—"
+		if pu.HealedAt >= 0 {
+			heal = fmt.Sprintf("w%d → c%d", pu.HealedAt, pu.HealedTo)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", pu.ID),
+			fmt.Sprintf("c%d", pu.Cluster),
+			fmt.Sprintf("c%d", pu.WrongCluster),
+			fmt.Sprintf("%.3f", pu.Correct),
+			fmt.Sprintf("%.3f", pu.Wrong),
+			fmt.Sprintf("%.3f", pu.Healed),
+			heal,
+		})
+	}
+	r.Table([]string{"user", "cluster", "forced", "correct", "wrong", "healed", "healed at"}, rows)
+	return r.String()
+}

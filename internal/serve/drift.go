@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/obs"
+)
+
+// Self-healing cluster assignment.
+//
+// The cold-start assignment (core.Pipeline.AssignMaps) is a one-shot
+// decision over the first ~10 % of a user's stream. Two things can make it
+// wrong *later*: the decision itself was a misassignment (the budget
+// windows were unrepresentative), or the user's physiology drifts away
+// from the assigned archetype mid-stream. Either way the session keeps
+// being served by a wrong-cluster checkpoint — the exact failure mode the
+// paper's robustness tests (RT) quantify as a large accuracy loss.
+//
+// The drift detector re-evaluates the assignment continuously and cheaply:
+// every classified window contributes its per-feature summary vector to a
+// per-session ring of the last DriftWindow windows. The ring mean is
+// exactly features.Summary over those windows (all maps share one width),
+// so re-scoring it through core.Pipeline.AssignFromSummary walks the same
+// standardise → hierarchical-assign path as the original cold-start
+// decision — rolling verdicts are directly comparable to it.
+//
+// Evidence and hysteresis: a window is drift-positive when the rolling
+// assignment prefers another cluster by a relative score gap above
+// DriftThreshold. Only DriftConsecutive consecutive positives raise a
+// verdict (transient noise resets the streak), and after any swap a
+// cooldown of DriftCooldown windows suppresses further verdicts — a
+// session oscillating on a cluster boundary re-assigns at most once per
+// cooldown instead of flapping. Prediction-confidence entropy is tracked
+// as a corroborating signal (exposed in status; deliberately not gating:
+// a wrong-cluster model can be confidently wrong).
+//
+// The state machine extends the lifecycle:
+//
+//	monitoring ──verdict──▶ drifting ──confirm──▶ reassigning ──▶ monitoring
+//	     ▲                     │ streak broken                      (fine-tune
+//	     └─────────────────────┘                                     replay)
+//
+// On the confirming window the session swaps to the evidence-preferred
+// cluster: the stale personalised checkpoint is dropped from the
+// single-flight cache, the monitor is rebuilt on the new cluster's
+// deployment, and — when labels are retained — the session enters
+// StateReassigning, served from the shared cluster baseline (degraded
+// mode) while its labels replay through a fresh fine-tune behind the new
+// cluster's circuit breaker.
+
+// Drift telemetry.
+var (
+	mDriftVerdicts   = obs.GetCounter("serve.drift_verdicts")
+	mDriftReassigns  = obs.GetCounter("serve.drift_reassigns")
+	mDriftSuppressed = obs.GetCounter("serve.drift_suppressed")
+	// hDriftGap tracks the relative score gap (assigned − best)/best on
+	// drift-positive windows: how decisively the evidence prefers another
+	// cluster.
+	hDriftGap = obs.GetHistogram("serve.drift_gap", obs.ExpBuckets(0.005, 2, 12))
+)
+
+// driftTracker is a session's rolling re-assignment evidence. All access
+// under the owning Session's mu.
+type driftTracker struct {
+	ring   [][]float64 // last cap per-window summary vectors
+	sum    []float64   // running sum over the ring
+	next   int
+	filled int
+
+	streak int     // consecutive drift-positive windows
+	score  float64 // cumulative relative gap over the current streak
+
+	cooldown int // windows left with verdicts suppressed
+
+	lastGap  float64 // relative gap on the last full-ring evaluation
+	lastBest int     // rolling-evidence cluster on the last evaluation
+
+	entropy    float64 // EWMA of normalised prediction entropy
+	hasEntropy bool
+}
+
+func newDriftTracker(capWindows int) *driftTracker {
+	return &driftTracker{ring: make([][]float64, capWindows), lastBest: -1}
+}
+
+// push adds one window's summary vector, maintaining the running sum.
+func (d *driftTracker) push(sum []float64) {
+	if d.sum == nil {
+		d.sum = make([]float64, len(sum))
+	}
+	if old := d.ring[d.next]; old != nil {
+		for i := range old {
+			d.sum[i] -= old[i]
+		}
+	}
+	d.ring[d.next] = sum
+	for i := range sum {
+		d.sum[i] += sum[i]
+	}
+	d.next = (d.next + 1) % len(d.ring)
+	if d.filled < len(d.ring) {
+		d.filled++
+	}
+}
+
+// mean returns the rolling per-feature mean (fresh slice).
+func (d *driftTracker) mean() []float64 {
+	out := make([]float64, len(d.sum))
+	for i, v := range d.sum {
+		out[i] = v / float64(d.filled)
+	}
+	return out
+}
+
+// resetEvidence clears the ring and streak but preserves the cooldown —
+// an assignment swap must not re-arm the detector before the cooldown
+// runs out, or a boundary session flaps.
+func (d *driftTracker) resetEvidence() {
+	for i := range d.ring {
+		d.ring[i] = nil
+	}
+	if d.sum != nil {
+		for i := range d.sum {
+			d.sum[i] = 0
+		}
+	}
+	d.next, d.filled = 0, 0
+	d.streak, d.score, d.lastGap, d.lastBest = 0, 0, 0, -1
+}
+
+// observeEntropy folds one prediction's normalised Shannon entropy into
+// the EWMA.
+func (d *driftTracker) observeEntropy(probs []float64) {
+	if len(probs) < 2 {
+		return
+	}
+	h := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	h /= math.Log(float64(len(probs)))
+	const alpha = 0.1
+	if !d.hasEntropy {
+		d.entropy, d.hasEntropy = h, true
+		return
+	}
+	d.entropy += alpha * (h - d.entropy)
+}
+
+// ensureDriftLocked lazily builds the session's tracker. Callers hold
+// s.mu.
+func (s *Session) ensureDriftLocked() *driftTracker {
+	if s.drift == nil {
+		s.drift = newDriftTracker(s.srv.cfg.DriftWindow)
+	}
+	return s.drift
+}
+
+// driftObserveLocked folds one classified window into the session's drift
+// evidence and, when the hysteresis is satisfied, swaps the assignment.
+// Returns true when this window triggered a re-assignment. Callers hold
+// s.mu; summary is the window's per-feature mean (nil when the detector is
+// disabled), probs the model's prediction.
+func (s *Session) driftObserveLocked(summary, probs []float64) bool {
+	if summary == nil || s.srv.cfg.DriftDisabled || !s.haveAsg {
+		return false
+	}
+	switch s.state {
+	case StateAssigned, StateFineTuning, StateMonitoring, StateDrifting:
+	default:
+		// Reassigning (swap already in flight) and terminal states
+		// accumulate no evidence.
+		return false
+	}
+	d := s.ensureDriftLocked()
+	if d.cooldown > 0 {
+		d.cooldown--
+	}
+	d.observeEntropy(probs)
+	d.push(summary)
+	if d.filled < len(d.ring) {
+		return false // not enough evidence yet
+	}
+
+	asg := s.srv.pipe.AssignFromSummary(d.mean(), s.frac)
+	d.lastBest = asg.Cluster
+	gap := 0.0
+	if asg.Cluster != s.asg.Cluster {
+		if best := asg.Scores[asg.Cluster]; best > 0 {
+			gap = (asg.Scores[s.asg.Cluster] - best) / best
+		}
+	}
+	d.lastGap = gap
+
+	if gap <= s.srv.cfg.DriftThreshold {
+		// Streak broken: noise, not drift.
+		d.streak, d.score = 0, 0
+		if s.state == StateDrifting {
+			s.exitDriftLocked()
+		}
+		return false
+	}
+	d.streak++
+	d.score += gap
+	hDriftGap.Observe(gap)
+	if d.streak < s.srv.cfg.DriftConsecutive {
+		return false
+	}
+	if s.state != StateDrifting {
+		// Streak hit the verdict threshold. A cooldown swallows the
+		// verdict (flap suppression); otherwise enter StateDrifting and
+		// require one more positive window to confirm.
+		if d.cooldown > 0 {
+			mDriftSuppressed.Inc()
+			d.streak, d.score = 0, 0
+			return false
+		}
+		mDriftVerdicts.Inc()
+		s.state = StateDrifting
+		return false
+	}
+	// Confirming window while drifting: re-assign.
+	s.reassignLocked(asg)
+	return true
+}
+
+// exitDriftLocked returns a session whose drift streak broke to its
+// resting serving state. Callers hold s.mu.
+func (s *Session) exitDriftLocked() {
+	switch {
+	case s.ftInFlight:
+		s.state = StateFineTuning
+	case s.personalized:
+		s.state = StateMonitoring
+	default:
+		s.state = StateAssigned
+	}
+}
+
+// reassignLocked swaps the session onto the evidence-preferred cluster:
+// record the event, drop the stale personalised checkpoint, rebuild the
+// monitor on the new cluster's shared deployment, arm the cooldown, and —
+// when labels are retained — replay them through a fresh fine-tune
+// (StateReassigning until the job resolves; served from the shared
+// baseline meanwhile). Callers hold s.mu.
+func (s *Session) reassignLocked(target core.Assignment) {
+	s.prevCluster = s.asg.Cluster
+	s.reassigns++
+	s.asg = target
+	if old := s.srv.cache.Remove(s.id); old != nil {
+		s.srv.exec.Forget(old)
+	}
+	s.personalized = false
+	s.mon = edge.NewMonitor(s.srv.deps[target.Cluster], nil, s.srv.pipe.Cfg.Extractor)
+	d := s.ensureDriftLocked()
+	d.resetEvidence()
+	d.cooldown = s.srv.cfg.DriftCooldown
+	mDriftReassigns.Inc()
+
+	if len(s.labels) > 0 {
+		// Serve from the new cluster's shared baseline while the labels
+		// replay; the fresh fine-tune runs behind the new cluster's
+		// breaker.
+		s.degraded = true
+		s.ftLabeled = 0
+		s.state = StateReassigning
+		_, _ = s.tryFineTuneLocked()
+		if !s.ftInFlight {
+			// Replay refused (breaker open / queue full): fall back to
+			// assigned+degraded; the heal timer or the next push retries.
+			s.state = StateAssigned
+		}
+		return
+	}
+	s.degraded = false
+	s.state = StateAssigned
+}
+
+// OverrideAssignment forces the session onto cluster k, as if cold-start
+// assignment had picked it: the personalised checkpoint is dropped, the
+// monitor rebuilds on k's deployment, and drift evidence restarts from
+// empty (the cooldown, if armed, survives — an operator override is not a
+// licence to flap). The RT harness uses it to reproduce the paper's
+// wrong-cluster experiment; operators can use it to pin a session.
+func (s *Session) OverrideAssignment(k int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateClosed {
+		return fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
+	}
+	if !s.haveAsg {
+		return fmt.Errorf("%w: session %q not yet assigned", ErrBadRequest, s.id)
+	}
+	if k < 0 || k >= len(s.srv.deps) {
+		return fmt.Errorf("%w: cluster %d out of range [0,%d)", ErrBadRequest, k, len(s.srv.deps))
+	}
+	if k != s.asg.Cluster {
+		s.prevCluster = s.asg.Cluster
+		s.asg.Cluster = k
+	}
+	if old := s.srv.cache.Remove(s.id); old != nil {
+		s.srv.exec.Forget(old)
+	}
+	s.personalized = false
+	s.ftLabeled = 0
+	s.mon = edge.NewMonitor(s.srv.deps[k], nil, s.srv.pipe.Cfg.Extractor)
+	if s.drift != nil {
+		s.drift.resetEvidence()
+	}
+	if s.state == StateDrifting || s.state == StateMonitoring || s.state == StateReassigning {
+		s.exitDriftLocked()
+	}
+	return nil
+}
+
+// DriftStatus is the drift-evidence block of a session's status.
+type DriftStatus struct {
+	// Streak is the current run of consecutive drift-positive windows.
+	Streak int `json:"streak"`
+	// Score is the cumulative relative gap over the streak — the
+	// session's drift-evidence mass.
+	Score float64 `json:"score"`
+	// LastGap is the relative score gap on the latest full-ring
+	// evaluation (0 when the rolling evidence agrees with the
+	// assignment).
+	LastGap float64 `json:"last_gap"`
+	// RollingCluster is the cluster the rolling evidence prefers (-1
+	// before the ring first fills).
+	RollingCluster int `json:"rolling_cluster"`
+	// CooldownLeft is how many windows of flap suppression remain.
+	CooldownLeft int `json:"cooldown_left"`
+	// WindowFill is how many of the evidence ring's slots hold data.
+	WindowFill int `json:"window_fill"`
+	// Entropy is the EWMA of normalised prediction entropy (a
+	// corroborating confidence signal; not gating).
+	Entropy float64 `json:"entropy"`
+}
+
+// driftStatusLocked snapshots the tracker; nil when the detector has
+// never observed a window for this session. Callers hold s.mu.
+func (s *Session) driftStatusLocked() *DriftStatus {
+	if s.drift == nil {
+		return nil
+	}
+	d := s.drift
+	return &DriftStatus{
+		Streak:         d.streak,
+		Score:          d.score,
+		LastGap:        d.lastGap,
+		RollingCluster: d.lastBest,
+		CooldownLeft:   d.cooldown,
+		WindowFill:     d.filled,
+		Entropy:        d.entropy,
+	}
+}

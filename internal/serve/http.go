@@ -83,9 +83,12 @@ type WindowResponse struct {
 	Personalized bool      `json:"personalized"`
 	// Degraded surfaces baseline-fallback serving (fine-tune failed or the
 	// cluster's breaker is open); Imputed reports the window arrived
-	// damaged and was repaired from session history.
+	// damaged and was repaired from session history; Reassigned marks the
+	// window that confirmed a drift verdict and swapped the session onto
+	// another cluster (Cluster already reflects the new assignment).
 	Degraded    bool  `json:"degraded,omitempty"`
 	Imputed     bool  `json:"imputed,omitempty"`
+	Reassigned  bool  `json:"reassigned,omitempty"`
 	BatchSize   int   `json:"batch_size,omitempty"`
 	QueueWaitUS int64 `json:"queue_wait_us,omitempty"`
 }
@@ -169,6 +172,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		Personalized: res.Personalized,
 		Degraded:     res.Degraded,
 		Imputed:      res.Imputed,
+		Reassigned:   res.Reassigned,
 		BatchSize:    res.BatchSize,
 		QueueWaitUS:  res.QueueWait.Microseconds(),
 		Probs:        res.Probs,

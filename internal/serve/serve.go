@@ -157,6 +157,19 @@ type Config struct {
 	// watchdog. Default 1 (watchdog = InferTimeout).
 	WatchdogFactor float64
 
+	// Self-healing assignment (see drift.go). DriftWindow is the rolling
+	// evidence ring size in windows; DriftThreshold the relative score
+	// gap a window must show for the rolling assignment to count as
+	// drift-positive; DriftConsecutive how many consecutive positives
+	// raise a verdict (one more confirms it); DriftCooldown how many
+	// windows after a swap further verdicts are suppressed (flap guard).
+	// Defaults 8, 0.05, 4, 64. DriftDisabled turns the detector off.
+	DriftWindow      int
+	DriftThreshold   float64
+	DriftConsecutive int
+	DriftCooldown    int
+	DriftDisabled    bool
+
 	// SnapshotPath, when set, enables crash-safe session recovery: the
 	// registry is snapshotted there every SnapshotInterval (default 10s)
 	// and once more on Shutdown, atomically (tmp + rename).
@@ -223,6 +236,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.WatchdogFactor == 0 {
 		c.WatchdogFactor = 1
+	}
+	if c.DriftWindow == 0 {
+		c.DriftWindow = 8
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.05
+	}
+	if c.DriftConsecutive == 0 {
+		c.DriftConsecutive = 4
+	}
+	if c.DriftCooldown == 0 {
+		c.DriftCooldown = 64
 	}
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 10 * time.Second
@@ -547,6 +572,16 @@ type Stats struct {
 	RestoredSessions   int64    `json:"restored_sessions"`
 	Snapshots          int64    `json:"snapshots"`
 
+	// Self-healing assignment surface: verdict/re-assignment/flap
+	// suppression totals, plus how many live sessions have re-assigned at
+	// least once and the largest cumulative drift-evidence score any live
+	// session currently carries.
+	DriftVerdicts      int64   `json:"drift_verdicts"`
+	DriftReassigns     int64   `json:"drift_reassigns"`
+	DriftSuppressed    int64   `json:"drift_suppressed"`
+	ReassignedSessions int     `json:"reassigned_sessions"`
+	MaxDriftScore      float64 `json:"max_drift_score"`
+
 	Cache    CacheStats    `json:"cache"`
 	Executor ExecutorStats `json:"executor"`
 }
@@ -556,11 +591,20 @@ func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	n := len(s.sessions)
 	arch := append([]int(nil), s.clusterArchetype...)
-	degraded := 0
+	degraded, reassigned := 0, 0
+	maxDrift := 0.0
 	for _, sess := range s.sessions {
-		if sess.Degraded() {
+		sess.mu.Lock()
+		if sess.degraded {
 			degraded++
 		}
+		if sess.reassigns > 0 {
+			reassigned++
+		}
+		if sess.drift != nil && sess.drift.score > maxDrift {
+			maxDrift = sess.drift.score
+		}
+		sess.mu.Unlock()
 	}
 	s.mu.RUnlock()
 	brs := make([]string, len(s.breakers))
@@ -590,6 +634,11 @@ func (s *Server) Stats() Stats {
 		FineTuneGiveups:    mFTGiveups.Value(),
 		RestoredSessions:   mRestored.Value(),
 		Snapshots:          mSnapshots.Value(),
+		DriftVerdicts:      mDriftVerdicts.Value(),
+		DriftReassigns:     mDriftReassigns.Value(),
+		DriftSuppressed:    mDriftSuppressed.Value(),
+		ReassignedSessions: reassigned,
+		MaxDriftScore:      maxDrift,
 		Cache:              s.cache.Stats(),
 		Executor:           s.exec.Stats(),
 	}

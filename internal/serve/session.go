@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/edge"
 	"repro/internal/fault"
+	"repro/internal/features"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/wemac"
@@ -35,6 +36,18 @@ const (
 	StateMonitoring
 	// StateClosed: the session was removed; all operations fail.
 	StateClosed
+	// StateDrifting: the drift detector's evidence streak hit the verdict
+	// threshold; one more drift-positive window confirms and triggers
+	// re-assignment, a contradicting window returns the session to its
+	// resting state. Windows keep being classified throughout.
+	// (Appended after StateClosed so persisted snapshot state ints stay
+	// stable across versions.)
+	StateDrifting
+	// StateReassigning: the assignment was swapped to the
+	// evidence-preferred cluster and the session's retained labels are
+	// replaying through a fresh fine-tune; windows are served from the
+	// new cluster's shared baseline meanwhile.
+	StateReassigning
 )
 
 func (s State) String() string {
@@ -49,6 +62,10 @@ func (s State) String() string {
 		return "monitoring"
 	case StateClosed:
 		return "closed"
+	case StateDrifting:
+		return "drifting"
+	case StateReassigning:
+		return "reassigning"
 	}
 	return fmt.Sprintf("state(%d)", int32(s))
 }
@@ -90,21 +107,30 @@ type Session struct {
 	// healArmed guards the session's single pending self-heal timer (see
 	// scheduleHealLocked).
 	healArmed bool
-	lastEvent *edge.Event
-	created   time.Time
+	// drift is the session's rolling re-assignment evidence (see
+	// drift.go); nil until the first post-assignment window when the
+	// detector is enabled.
+	drift *driftTracker
+	// reassigns counts self-healing assignment swaps; prevCluster is the
+	// cluster the latest swap left (-1 when none).
+	reassigns   int
+	prevCluster int
+	lastEvent   *edge.Event
+	created     time.Time
 }
 
 func newSession(srv *Server, id string, userID, expected int, frac float64) *Session {
 	return &Session{
-		id:       id,
-		userID:   userID,
-		srv:      srv,
-		state:    StateEnrolling,
-		expected: expected,
-		assignAt: wemac.BudgetWindows(expected, frac),
-		frac:     frac,
-		labels:   map[int]int{},
-		created:  time.Now(),
+		id:          id,
+		userID:      userID,
+		srv:         srv,
+		state:       StateEnrolling,
+		expected:    expected,
+		assignAt:    wemac.BudgetWindows(expected, frac),
+		frac:        frac,
+		labels:      map[int]int{},
+		prevCluster: -1,
+		created:     time.Now(),
 	}
 }
 
@@ -140,6 +166,10 @@ type WindowResult struct {
 	// dead sensor channel) and was repaired from the session's history
 	// before use.
 	Imputed bool
+	// Reassigned reports that this window confirmed a drift verdict and
+	// the session self-healed onto another cluster; Assignment already
+	// reflects the new cluster.
+	Reassigned bool
 	// BatchSize and QueueWait are the executor's accounting for this
 	// window's inference.
 	BatchSize int
@@ -241,6 +271,12 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 		defer cancel()
 	}
 	x := s.srv.pipe.Apply(m)
+	var dsum []float64
+	if !s.srv.cfg.DriftDisabled {
+		// Per-window summary vector for the drift detector's evidence
+		// ring, computed outside the lock like the normalisation above.
+		dsum = features.Summary([]*tensorT{m})
+	}
 	ir, err := s.srv.exec.Submit(ctx, model, x)
 	if err != nil {
 		return WindowResult{}, err
@@ -253,6 +289,10 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	s.mu.Lock()
 	ev := mon.Observe(raw)
 	s.lastEvent = &ev
+	if s.driftObserveLocked(dsum, ir.Probs) {
+		res.Reassigned = true
+		a = s.asg
+	}
 	res.State = s.state
 	s.mu.Unlock()
 
@@ -357,7 +397,11 @@ func (s *Session) tryFineTuneLocked() (bool, error) {
 	}
 	s.ftInFlight = true
 	s.ftLabeled = len(s.labels)
-	s.state = StateFineTuning
+	if s.state != StateReassigning {
+		// A re-assignment replay keeps its own state so status readers can
+		// tell a self-heal swap from ordinary personalisation.
+		s.state = StateFineTuning
+	}
 	return true, nil
 }
 
@@ -498,6 +542,16 @@ type SessionStatus struct {
 	Cluster int       `json:"cluster"`
 	Scores  []float64 `json:"scores,omitempty"`
 	Margin  float64   `json:"margin"`
+	// RunnerUp is the second-closest cluster at assignment time (-1
+	// before assignment); with Margin it quantifies how contested the
+	// assignment is.
+	RunnerUp int `json:"runner_up"`
+	// Reassigns counts self-healing assignment swaps; PrevCluster is the
+	// cluster the latest swap left (-1 when none). Drift is the rolling
+	// evidence snapshot (absent until the detector observes a window).
+	Reassigns   int          `json:"reassigns"`
+	PrevCluster int          `json:"prev_cluster"`
+	Drift       *DriftStatus `json:"drift,omitempty"`
 
 	Personalized     bool `json:"personalized"`
 	FineTuneInFlight bool `json:"finetune_in_flight"`
@@ -527,6 +581,10 @@ func (s *Session) Status() SessionStatus {
 		Labeled:          len(s.labels),
 		AgeSec:           time.Since(s.created).Seconds(),
 		Cluster:          -1,
+		RunnerUp:         -1,
+		Reassigns:        s.reassigns,
+		PrevCluster:      s.prevCluster,
+		Drift:            s.driftStatusLocked(),
 		Personalized:     s.personalized,
 		FineTuneInFlight: s.ftInFlight,
 		Degraded:         s.degraded,
@@ -537,6 +595,7 @@ func (s *Session) Status() SessionStatus {
 		st.Cluster = s.asg.Cluster
 		st.Scores = append([]float64(nil), s.asg.Scores...)
 		st.Margin = s.asg.Margin()
+		st.RunnerUp = s.asg.RunnerUp()
 	}
 	if s.mon != nil {
 		ms := s.mon.Stats()

@@ -55,6 +55,16 @@ type sessSnap struct {
 	Degraded bool        `json:"degraded"`
 	NMaps    int         `json:"n_maps"`
 	Created  int64       `json:"created_unix"`
+	// Self-healing assignment record: how many times the session
+	// re-assigned, the cluster the latest swap left (meaningful only when
+	// Reassigns > 0 — absent in pre-drift snapshots, both decode as 0),
+	// and the remaining flap-suppression cooldown in windows. Persisting
+	// these means restore-on-boot resumes the *healed* assignment with
+	// its cooldown intact instead of resurrecting a known-bad one or
+	// re-arming the detector for an immediate flap.
+	Reassigns     int `json:"reassigns,omitempty"`
+	PrevCluster   int `json:"prev_cluster,omitempty"`
+	DriftCooldown int `json:"drift_cooldown,omitempty"`
 }
 
 // snapHeader is the snapshot's JSON block.
@@ -108,6 +118,13 @@ func (s *Server) Snapshot(w io.Writer) error {
 			rec.Cluster = sess.asg.Cluster
 			rec.Scores = append([]float64(nil), sess.asg.Scores...)
 			rec.FracUsed = sess.asg.FracUsed
+		}
+		rec.Reassigns = sess.reassigns
+		if sess.reassigns > 0 {
+			rec.PrevCluster = sess.prevCluster
+		}
+		if sess.drift != nil {
+			rec.DriftCooldown = sess.drift.cooldown
 		}
 		maps = append(maps, sess.maps...)
 		sess.mu.Unlock()
@@ -232,9 +249,24 @@ func (s *Server) restoreOne(br *bufio.Reader, rec sessSnap) (*Session, error) {
 		sess.asg = core.Assignment{Cluster: rec.Cluster, Scores: rec.Scores, FracUsed: rec.FracUsed}
 		sess.haveAsg = true
 		sess.mon = edge.NewMonitor(s.deps[rec.Cluster], nil, s.pipe.Cfg.Extractor)
+		// Resume the healed assignment, not the pre-swap one: the
+		// snapshot's Cluster already reflects any re-assignment, and the
+		// restored cooldown keeps the detector from flapping straight
+		// back. The evidence ring itself is recent-signal state and
+		// rebuilds from live traffic.
+		sess.reassigns = rec.Reassigns
+		if rec.Reassigns > 0 {
+			sess.prevCluster = rec.PrevCluster
+		}
+		if rec.DriftCooldown > 0 && !s.cfg.DriftDisabled {
+			sess.ensureDriftLocked().cooldown = rec.DriftCooldown
+		}
 		// Demote to the cluster baseline: personalised checkpoints are not
 		// persisted, so monitoring resumes un-personalised and any merged
-		// labels replay the fine-tune below.
+		// labels replay the fine-tune below. A session caught mid-drift or
+		// mid-re-assignment (StateDrifting/StateReassigning) lands here
+		// too — never half-swapped: its cluster is the post-swap one, its
+		// labels replay, and the evidence streak restarts.
 		switch State(rec.State) {
 		case StateEnrolling, StateClosed:
 			return nil, fmt.Errorf("%w: session %q state %d inconsistent with assignment", ErrBadSnapshot, rec.ID, rec.State)

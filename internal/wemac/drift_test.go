@@ -1,0 +1,123 @@
+package wemac
+
+import (
+	"testing"
+)
+
+func driftTestConfig(specs []DriftSpec) Config {
+	return Config{
+		ArchetypeSizes:     []int{2, 2, 1, 1},
+		TrialsPerVolunteer: 8,
+		TrialSec:           20,
+		Seed:               41,
+		Drift:              specs,
+	}
+}
+
+// recEqual compares two recordings sample-for-sample (bitwise: float64
+// equality, no tolerance).
+func recEqual(a, b *Trial) bool {
+	if a.Label != b.Label || a.Efficacy != b.Efficacy {
+		return false
+	}
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.Rec.BVP, b.Rec.BVP) && eq(a.Rec.GSR, b.Rec.GSR) && eq(a.Rec.SKT, b.Rec.SKT)
+}
+
+// TestDriftPersonaLeavesOthersBitwiseUnchanged is the satellite guarantee:
+// arming a drift spec for one volunteer must not perturb any other
+// volunteer's generated signals by a single bit.
+func TestDriftPersonaLeavesOthersBitwiseUnchanged(t *testing.T) {
+	base := Generate(driftTestConfig(nil))
+	drifted := Generate(driftTestConfig([]DriftSpec{{User: 2, To: 0, StartFrac: 0.25}}))
+
+	if base.N() != drifted.N() {
+		t.Fatalf("population size changed: %d vs %d", base.N(), drifted.N())
+	}
+	for i := range base.Volunteers {
+		bv, dv := base.Volunteers[i], drifted.Volunteers[i]
+		if i == 2 {
+			continue // the persona itself — checked below
+		}
+		if dv.DriftTo != -1 {
+			t.Errorf("volunteer %d unexpectedly marked as drift persona", i)
+		}
+		for ti := range bv.Trials {
+			if !recEqual(&bv.Trials[ti], &dv.Trials[ti]) {
+				t.Fatalf("volunteer %d trial %d changed bitwise under an unrelated drift spec", i, ti)
+			}
+		}
+	}
+}
+
+// TestDriftPersonaInterpolatesMidStream checks the persona itself: trials
+// before the drift onset are bitwise identical to the stable run (the
+// blend consumes no RNG draws), trials after it differ, and the ground
+// truth fields record the migration.
+func TestDriftPersonaInterpolatesMidStream(t *testing.T) {
+	base := Generate(driftTestConfig(nil))
+	drifted := Generate(driftTestConfig([]DriftSpec{{User: 2, To: 0, StartFrac: 0.25}}))
+
+	bv, dv := base.Volunteers[2], drifted.Volunteers[2]
+	if dv.DriftTo != 0 {
+		t.Fatalf("DriftTo = %d, want 0", dv.DriftTo)
+	}
+	if dv.DriftStart <= 0 || dv.DriftStart >= len(dv.Trials) {
+		t.Fatalf("DriftStart = %d, want mid-stream (0 < t < %d)", dv.DriftStart, len(dv.Trials))
+	}
+	for ti := 0; ti < dv.DriftStart; ti++ {
+		if !recEqual(&bv.Trials[ti], &dv.Trials[ti]) {
+			t.Fatalf("pre-drift trial %d changed (onset at %d)", ti, dv.DriftStart)
+		}
+	}
+	changed := 0
+	for ti := dv.DriftStart; ti < len(dv.Trials); ti++ {
+		if !recEqual(&bv.Trials[ti], &dv.Trials[ti]) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatalf("no post-onset trial differs from the stable persona")
+	}
+}
+
+// TestDriftWeightRamp pins the interpolation schedule.
+func TestDriftWeightRamp(t *testing.T) {
+	s := DriftSpec{StartFrac: 0.25, EndFrac: 0.75}
+	total := 9 // frac(t) = t/8
+	if w := s.weightAt(0, total); w != 0 {
+		t.Errorf("w(0) = %v, want 0", w)
+	}
+	if w := s.weightAt(2, total); w != 0 {
+		t.Errorf("w at StartFrac = %v, want 0", w)
+	}
+	if w := s.weightAt(4, total); w <= 0 || w >= 1 {
+		t.Errorf("mid-ramp w = %v, want in (0,1)", w)
+	}
+	if w := s.weightAt(8, total); w != 1 {
+		t.Errorf("w(end) = %v, want 1", w)
+	}
+	// EndFrac unset defaults to the end of the stream.
+	s2 := DriftSpec{StartFrac: 0.5}
+	if w := s2.weightAt(8, total); w != 1 {
+		t.Errorf("default EndFrac: w(end) = %v, want 1", w)
+	}
+	// lerpArchetype endpoints.
+	a, b := Archetypes()[0], Archetypes()[2]
+	if got := lerpArchetype(a, b, 0).RestHR; got != a.RestHR {
+		t.Errorf("lerp(0) RestHR = %v, want %v", got, a.RestHR)
+	}
+	if got := lerpArchetype(a, b, 1).FearDHR; got != b.FearDHR {
+		t.Errorf("lerp(1) FearDHR = %v, want %v", got, b.FearDHR)
+	}
+}

@@ -87,6 +87,54 @@ func Archetypes() []Archetype {
 // the paper (clusters 1–4).
 func DefaultArchetypeSizes() []int { return []int{17, 13, 7, 7} }
 
+// lerpArchetype interpolates every parameter of two archetypes: the
+// physiological operating point a drift persona passes through w of the
+// way from a to b. w is clamped to [0,1].
+func lerpArchetype(a, b Archetype, w float64) Archetype {
+	w = clamp(w, 0, 1)
+	mix := func(x, y float64) float64 { return x + w*(y-x) }
+	return Archetype{
+		Name:        a.Name + "→" + b.Name,
+		RestHR:      mix(a.RestHR, b.RestHR),
+		HRVStd:      mix(a.HRVStd, b.HRVStd),
+		GSRTonic:    mix(a.GSRTonic, b.GSRTonic),
+		SCRRate:     mix(a.SCRRate, b.SCRRate),
+		SKTLevel:    mix(a.SKTLevel, b.SKTLevel),
+		SKTDrift:    mix(a.SKTDrift, b.SKTDrift),
+		PulseAmp:    mix(a.PulseAmp, b.PulseAmp),
+		RespNoise:   mix(a.RespNoise, b.RespNoise),
+		FearDHR:     mix(a.FearDHR, b.FearDHR),
+		FearDHRV:    mix(a.FearDHRV, b.FearDHRV),
+		FearSCRMult: mix(a.FearSCRMult, b.FearSCRMult),
+		FearDGSR:    mix(a.FearDGSR, b.FearDGSR),
+		FearDSKT:    mix(a.FearDSKT, b.FearDSKT),
+		FearDAmp:    mix(a.FearDAmp, b.FearDAmp),
+	}
+}
+
+// weightAt returns the interpolation weight of trial t in a total-trial
+// stream: 0 before StartFrac, ramping linearly to 1 at EndFrac (default:
+// the end of the stream).
+func (s *DriftSpec) weightAt(t, total int) float64 {
+	if total <= 1 {
+		return 1
+	}
+	frac := float64(t) / float64(total-1)
+	start := clamp(s.StartFrac, 0, 1)
+	end := s.EndFrac
+	if end <= 0 || end > 1 {
+		end = 1
+	}
+	switch {
+	case frac <= start:
+		return 0
+	case frac >= end || end <= start:
+		return 1
+	default:
+		return (frac - start) / (end - start)
+	}
+}
+
 // UserParams are the idiosyncratic deviations of one volunteer from their
 // archetype. They are what a personalised (fine-tuned) model can learn and
 // a cluster model cannot.

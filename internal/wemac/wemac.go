@@ -41,6 +41,12 @@ type Volunteer struct {
 	Archetype int // ground-truth latent group (not visible to models)
 	Params    UserParams
 	Trials    []Trial
+	// DriftTo / DriftStart record the drift-persona ground truth: from
+	// trial DriftStart onward the volunteer's generator parameters
+	// interpolate from Archetype toward DriftTo (−1 / 0 for stable
+	// volunteers). Not visible to models.
+	DriftTo    int
+	DriftStart int
 }
 
 // Config controls dataset generation.
@@ -54,8 +60,48 @@ type Config struct {
 	TrialsPerVolunteer int
 	// TrialSec is the recording length per stimulus (default 60 s).
 	TrialSec float64
+	// Drift optionally turns individual volunteers into drift personas:
+	// from StartFrac of their trial sequence onward, the volunteer's
+	// generator parameters interpolate from their own archetype toward
+	// another (see DriftSpec). Volunteers without a spec are generated
+	// bitwise-identically to a drift-free run — each volunteer's signals
+	// derive from an independent sub-seeded RNG, so adding a spec for one
+	// user cannot perturb any other.
+	Drift []DriftSpec
 	// Seed makes generation deterministic.
 	Seed int64
+}
+
+// DriftSpec turns one volunteer into a drift persona: a synthetic user
+// whose physiology migrates from their assigned archetype to another
+// mid-stream — the statistical fault the paper's robustness tests (RT)
+// measure as "served by a wrong-cluster model". Used by the serving
+// layer's drift-detector tests and clear-loadgen's chaos mode.
+type DriftSpec struct {
+	// User is the volunteer ID (generation-order index) to drift.
+	User int
+	// To is the target archetype the volunteer migrates toward.
+	To int
+	// StartFrac is the fraction of the trial sequence at which the
+	// interpolation begins (trials before it are pure source archetype —
+	// keep it past the cold-start budget so the initial assignment is
+	// clean). Clamped to [0,1].
+	StartFrac float64
+	// EndFrac is where the interpolation reaches the full target
+	// archetype; 0 defaults to 1 (drift completes at the end of the
+	// stream).
+	EndFrac float64
+}
+
+// driftFor returns the drift spec covering volunteer id, nil for stable
+// volunteers.
+func (c *Config) driftFor(id int) *DriftSpec {
+	for i := range c.Drift {
+		if c.Drift[i].User == id {
+			return &c.Drift[i]
+		}
+	}
+	return nil
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -146,14 +192,32 @@ func generateVolunteer(cfg Config, id, arch int) *Volunteer {
 	// Stable per-volunteer stream: mix the dataset seed with the ID.
 	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(id)*7919))
 	a := Archetypes()[arch]
-	v := &Volunteer{ID: id, Archetype: arch, Params: sampleUserParams(rng)}
+	spec := cfg.driftFor(id)
+	v := &Volunteer{ID: id, Archetype: arch, DriftTo: -1, Params: sampleUserParams(rng)}
+	if spec != nil {
+		v.DriftTo = spec.To
+		v.DriftStart = cfg.TrialsPerVolunteer
+	}
 	for t := 0; t < cfg.TrialsPerVolunteer; t++ {
 		fear := t%2 == 1 // balanced classes, alternating
 		eff := 1.0
 		if fear {
 			eff = inductionEfficacy(rng)
 		}
-		dyn := resolveDynamics(rng, a, v.Params, sampleTrialJitter(rng), fear, eff)
+		// Drift personas glide toward the target archetype. The blend is a
+		// pure value substitution — it consumes no RNG draws, so trials
+		// before the drift onset (w == 0) stay bitwise identical to the
+		// stable persona's.
+		ta := a
+		if spec != nil {
+			if w := spec.weightAt(t, cfg.TrialsPerVolunteer); w > 0 {
+				ta = lerpArchetype(a, Archetypes()[spec.To], w)
+				if t < v.DriftStart {
+					v.DriftStart = t
+				}
+			}
+		}
+		dyn := resolveDynamics(rng, ta, v.Params, sampleTrialJitter(rng), fear, eff)
 		label := NonFear
 		if fear {
 			label = Fear
