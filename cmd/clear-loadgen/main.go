@@ -11,7 +11,7 @@
 //
 //	clear-loadgen [-addr http://localhost:8080] [-users 32] [-concurrency 32]
 //	              [-trials 10] [-trialsec 45] [-seed 99] [-ftfrac 0.2]
-//	              [-raw] [-keep]
+//	              [-raw] [-keep] [-tracesample F]
 //	              [-chaos] [-chaosdrop F] [-accfloor F] [-expectbreaker]
 //	              [-driftusers N] [-driftstart F] [-expectreassign]
 //
@@ -24,6 +24,14 @@
 // no 5xx server errors, assignment accuracy stays above -accfloor, and —
 // with -expectbreaker — a circuit breaker is observed opening and closing
 // again during the run.
+//
+// -tracesample F sends a client-generated W3C traceparent on roughly that
+// fraction of requests and turns the run into a distributed-tracing
+// conformance check: the server must echo the same 128-bit trace id back
+// on every response (including 422/429/504 error paths), and for every
+// sampled non-2xx response the trace id in the error body must resolve
+// through GET /v1/traces/<id> (errors bypass the server's tail sampler).
+// Any echo mismatch or unresolvable error trace fails the run.
 //
 // -driftusers turns the first N users into drift personas: their
 // physiology interpolates toward a different archetype from -driftstart of
@@ -48,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +110,86 @@ type statsResp struct {
 // mode any of these (a 500 is what a handler bug looks like) fails the SLO.
 var srvErrs int64
 
+// traceCheck implements -tracesample. Every `every`-th request (atomic
+// counter, so the schedule is deterministic regardless of goroutine
+// interleaving) carries a client traceparent whose 128-bit id is derived
+// from the counter; the response headers must echo it and sampled error
+// bodies must carry a trace id that resolves via /v1/traces/<id>.
+type traceCheckT struct {
+	every       int64 // 0 = disabled
+	n           int64 // request counter
+	sent        int64 // traceparents attached
+	mismatch    int64 // responses that did not echo our trace id
+	errResolved int64 // error-path traces found in the server store
+	errMissing  int64 // ...and those that were not
+}
+
+var traceCheck traceCheckT
+
+// armTrace decides whether this request is sampled and, if so, attaches a
+// traceparent and returns the 32-hex trace id (empty otherwise).
+func armTrace(req *http.Request) string {
+	if traceCheck.every <= 0 {
+		return ""
+	}
+	n := atomic.AddInt64(&traceCheck.n, 1)
+	if n%traceCheck.every != 0 {
+		return ""
+	}
+	atomic.AddInt64(&traceCheck.sent, 1)
+	tid := fmt.Sprintf("%016x%016x", n, n*2654435761+1) // non-zero, unique
+	req.Header.Set("traceparent", fmt.Sprintf("00-%s-%016x-01", tid, n))
+	return tid
+}
+
+// checkTraceEcho verifies the response carries our trace id back: the
+// echoed traceparent must hold the full 128-bit id and X-Trace-Id the low
+// 64 bits (the short form used in logs, error bodies, and /v1/traces).
+func checkTraceEcho(resp *http.Response, tid string) {
+	if tid == "" {
+		return
+	}
+	tp := resp.Header.Get("traceparent")
+	short := resp.Header.Get("X-Trace-Id")
+	if !strings.Contains(tp, tid) || short != tid[16:] {
+		atomic.AddInt64(&traceCheck.mismatch, 1)
+	}
+}
+
+// resolveErrTrace runs on sampled non-2xx responses: the error body's
+// trace_id must exist in the server's trace store (errors bypass tail
+// sampling). The lookup deliberately bypasses armTrace so a failing
+// lookup cannot recurse into more sampled requests.
+func resolveErrTrace(client *http.Client, reqURL, tid string, err error) {
+	he, ok := err.(*httpError)
+	if tid == "" || !ok {
+		return
+	}
+	var body struct {
+		TraceID string `json:"trace_id"`
+	}
+	base := reqURL
+	if i := strings.Index(reqURL, "/v1/"); i >= 0 {
+		base = reqURL[:i]
+	}
+	if json.Unmarshal([]byte(he.body), &body) != nil || body.TraceID != tid[16:] {
+		atomic.AddInt64(&traceCheck.errMissing, 1)
+		return
+	}
+	resp, lerr := client.Get(base + "/v1/traces/" + body.TraceID)
+	if lerr != nil {
+		atomic.AddInt64(&traceCheck.errMissing, 1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		atomic.AddInt64(&traceCheck.errMissing, 1)
+		return
+	}
+	atomic.AddInt64(&traceCheck.errResolved, 1)
+}
+
 // chaosCfg is the per-run chaos-mode configuration; rng draws are per-user
 // (seeded from the run seed + user ID) so runs replay deterministically
 // regardless of goroutine scheduling.
@@ -147,6 +236,7 @@ func main() {
 		ftFrac   = flag.Float64("ftfrac", 0.2, "labelled fraction uploaded for fine-tuning")
 		raw      = flag.Bool("raw", false, "send raw signal recordings instead of precomputed maps")
 		keep     = flag.Bool("keep", false, "leave sessions open instead of closing them")
+		traceFr  = flag.Float64("tracesample", 0, "fraction of requests sent with a client traceparent; echo and error-trace resolution are asserted")
 		windows  = flag.Int("mapwindows", 8, "feature-map windows (must match the server profile)")
 		winSec   = flag.Float64("mapwinsec", 8, "feature window seconds (must match the server profile)")
 
@@ -160,6 +250,15 @@ func main() {
 		expectReassign = flag.Bool("expectreassign", false, "chaos: require ≥1 detector re-assignment, and no session to flap")
 	)
 	flag.Parse()
+
+	if *traceFr > 0 {
+		if *traceFr >= 1 {
+			traceCheck.every = 1
+		} else {
+			traceCheck.every = int64(1/(*traceFr) + 0.5)
+		}
+		fmt.Printf("trace sampling: every %d requests carry a client traceparent\n", traceCheck.every)
+	}
 
 	// Spread users across the four archetypes so assignment accuracy is
 	// measurable for every cluster.
@@ -384,6 +483,20 @@ func main() {
 			stats.DriftVerdicts, stats.DriftReassigns, stats.DriftSuppressed)
 	}
 
+	traceFailed := false
+	if traceCheck.every > 0 {
+		sent := atomic.LoadInt64(&traceCheck.sent)
+		mm := atomic.LoadInt64(&traceCheck.mismatch)
+		res := atomic.LoadInt64(&traceCheck.errResolved)
+		miss := atomic.LoadInt64(&traceCheck.errMissing)
+		fmt.Printf("tracing          %d requests traced, %d echo mismatches;  error traces: %d resolved, %d unresolvable\n",
+			sent, mm, res, miss)
+		if mm > 0 || miss > 0 {
+			fmt.Println("TRACE FAIL: every traced response must echo its trace id and every traced error must resolve via /v1/traces")
+			traceFailed = true
+		}
+	}
+
 	assignAcc := 100.0
 	if completed > 0 {
 		assignAcc = 100 * float64(assignedRight) / float64(completed)
@@ -429,13 +542,13 @@ func main() {
 			}
 		}
 		tally.mu.Unlock()
-		if failed {
+		if failed || traceFailed {
 			os.Exit(1)
 		}
 		fmt.Println("all chaos SLOs held")
 		return
 	}
-	if completed < *users {
+	if completed < *users || traceFailed {
 		os.Exit(1)
 	}
 }
@@ -697,19 +810,36 @@ func postJSON(client *http.Client, url string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(js))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(js))
 	if err != nil {
 		return err
 	}
-	return decodeJSON(resp, out)
+	req.Header.Set("Content-Type", "application/json")
+	tid := armTrace(req)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	checkTraceEcho(resp, tid)
+	err = decodeJSON(resp, out)
+	resolveErrTrace(client, url, tid, err)
+	return err
 }
 
 func getJSON(client *http.Client, url string, out any) error {
-	resp, err := client.Get(url)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
-	return decodeJSON(resp, out)
+	tid := armTrace(req)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	checkTraceEcho(resp, tid)
+	err = decodeJSON(resp, out)
+	resolveErrTrace(client, url, tid, err)
+	return err
 }
 
 func decodeJSON(resp *http.Response, out any) error {

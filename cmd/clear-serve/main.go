@@ -9,7 +9,7 @@
 //	clear-serve [-addr :8080] [-profile fast|paper] [-seed N] [-scale F]
 //	            [-pipeline ckpt] [-save ckpt] [-device gpu|coral|pi]
 //	            [-maxsessions N] [-batch N] [-maxdelay D] [-cachesize N]
-//	            [-ftworkers N] [-assignfrac F]
+//	            [-ftworkers N] [-assignfrac F] [-loglevel debug|info|warn|error]
 //	            [-snapshot path] [-snapinterval D]
 //	            [-fault-seed N] [-fault-build F] [-fault-stall F]
 //	            [-fault-corrupt F] [-infertimeout D]
@@ -24,7 +24,9 @@
 // (internal/serve/drift.go); -drift-off disables it entirely.
 //
 // The observability surface (/metrics, /debug/pprof, /debug/vars,
-// /debug/spans) shares the API mux — no separate -obs port needed.
+// /debug/spans, /v1/traces/{id}) shares the API mux — no separate -obs
+// port needed. Structured request logs (JSON, trace-correlated) go to
+// stderr at -loglevel and above.
 package main
 
 import (
@@ -60,6 +62,7 @@ func main() {
 		cacheSize   = flag.Int("cachesize", 64, "fine-tuned checkpoint LRU capacity")
 		ftWorkers   = flag.Int("ftworkers", 2, "fine-tune worker pool size")
 		assignFrac  = flag.Float64("assignfrac", 0.10, "default unlabeled cold-start budget")
+		logLevel    = flag.String("loglevel", "info", "structured log threshold: debug, info, warn, or error")
 
 		snapPath     = flag.String("snapshot", "", "session-registry snapshot file (enables crash-safe recovery)")
 		snapInterval = flag.Duration("snapinterval", 10*time.Second, "snapshot period")
@@ -80,6 +83,8 @@ func main() {
 		driftOff         = flag.Bool("drift-off", false, "disable the self-healing assignment detector")
 	)
 	flag.Parse()
+
+	obs.SetLogLevel(obs.ParseLogLevel(*logLevel))
 
 	dev, err := deviceByName(*device)
 	die(err)

@@ -97,7 +97,7 @@ func main() {
 	// Per-horizon telemetry the monitor fed into the obs registry while
 	// streaming — the MTC-style view of this deployment (README
 	// "Observability" maps these to the paper's Table 2 metrics).
-	lat := obs.GetHistogram("edge.monitor.latency_us", nil)
+	lat := obs.GetHistogramVec("edge.monitor.latency_us", nil, "device").With(dep.Device.Name)
 	fmt.Printf("\nper-horizon inference latency (wall-clock): p50 %.0f µs  p95 %.0f µs  max %.0f µs over %d horizons\n",
 		lat.Quantile(0.50), lat.Quantile(0.95), lat.Max(), lat.Count())
 	fmt.Printf("alarm transitions: %d\n", obs.GetCounter("edge.monitor.alarm_transitions").Value())

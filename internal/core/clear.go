@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -326,7 +327,7 @@ type Assignment struct {
 // first frac of the new user's *unlabeled* feature maps (the paper uses
 // 10 %).
 func (p *Pipeline) Assign(u *wemac.UserMaps, frac float64) Assignment {
-	return p.assignSummary(u.Summary(frac), frac)
+	return p.assignSummaryCtx(context.Background(), u.Summary(frac), frac)
 }
 
 // AssignMaps is the streaming-ingest form of Assign: it assigns from an
@@ -336,7 +337,14 @@ func (p *Pipeline) Assign(u *wemac.UserMaps, frac float64) Assignment {
 // served cold-start decision is bitwise-equal to the batch eval path given
 // the same maps.
 func (p *Pipeline) AssignMaps(maps []*tensorT, fracUsed float64) Assignment {
-	return p.assignSummary(features.Summary(maps), fracUsed)
+	return p.assignSummaryCtx(context.Background(), features.Summary(maps), fracUsed)
+}
+
+// AssignMapsCtx is AssignMaps with request-scoped tracing: when ctx
+// carries an obs.Trace the core.assign span lands in that trace instead
+// of the process-wide background trace.
+func (p *Pipeline) AssignMapsCtx(ctx context.Context, maps []*tensorT, fracUsed float64) Assignment {
+	return p.assignSummaryCtx(ctx, features.Summary(maps), fracUsed)
 }
 
 // AssignFromSummary performs cold-start assignment from an explicit
@@ -348,11 +356,26 @@ func (p *Pipeline) AssignMaps(maps []*tensorT, fracUsed float64) Assignment {
 // identical to Assign/AssignMaps, so rolling verdicts are directly
 // comparable to the original cold-start decision.
 func (p *Pipeline) AssignFromSummary(summary []float64, fracUsed float64) Assignment {
-	return p.assignSummary(summary, fracUsed)
+	return p.assignSummaryCtx(context.Background(), summary, fracUsed)
 }
 
-func (p *Pipeline) assignSummary(summary []float64, fracUsed float64) Assignment {
-	sp := obs.StartSpan("core.assign")
+// AssignFromSummaryCtx is AssignFromSummary with request-scoped tracing.
+func (p *Pipeline) AssignFromSummaryCtx(ctx context.Context, summary []float64, fracUsed float64) Assignment {
+	return p.assignSummaryCtx(ctx, summary, fracUsed)
+}
+
+// spanIn opens a span in the request trace carried by ctx, falling back
+// to the process-wide background trace when ctx has none — batch
+// binaries keep their flat span tree, served requests get scoped ones.
+func spanIn(ctx context.Context, name string) *obs.Span {
+	if sp := obs.StartSpanCtx(ctx, name); sp != nil {
+		return sp
+	}
+	return obs.StartSpan(name)
+}
+
+func (p *Pipeline) assignSummaryCtx(ctx context.Context, summary []float64, fracUsed float64) Assignment {
+	sp := spanIn(ctx, "core.assign")
 	defer sp.End()
 	mCoreAssigns.Inc()
 	s := p.Std.Apply(summary)
@@ -432,21 +455,31 @@ func (p *Pipeline) EnsembleFor(a Assignment) (*nn.Ensemble, error) {
 // When configured, each sample is expanded with noise-jittered copies so
 // the optimizer sees enough variation to generalise from a handful of maps.
 func (p *Pipeline) FineTune(k int, data []nn.Sample) (*nn.Model, error) {
+	return p.FineTuneCtx(context.Background(), k, data)
+}
+
+// FineTuneCtx is FineTune with request-scoped tracing: the core.finetune
+// span attaches to the trace carried by ctx when present.
+func (p *Pipeline) FineTuneCtx(ctx context.Context, k int, data []nn.Sample) (*nn.Model, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: no fine-tuning data")
 	}
-	sp := obs.StartSpan("core.finetune")
+	sp := spanIn(ctx, "core.finetune")
 	defer sp.End()
 	mCoreFineTunes.Inc()
 	if p.Fault.Fire(fault.ModelBuild) {
-		return nil, fmt.Errorf("core: fine-tuning cluster %d: %w", k, fault.ErrInjected)
+		err := fmt.Errorf("core: fine-tuning cluster %d: %w", k, fault.ErrInjected)
+		sp.Fail(err)
+		return nil, err
 	}
 	m := p.Models[k].Clone()
 	ft := p.Cfg.FineTune
 	ft.Seed = p.Cfg.Seed*3001 + int64(k)
 	train := p.augmentFT(data, ft.Seed)
 	if _, err := nn.Train(m, train, ft); err != nil {
-		return nil, fmt.Errorf("core: fine-tuning cluster %d: %w", k, err)
+		err = fmt.Errorf("core: fine-tuning cluster %d: %w", k, err)
+		sp.Fail(err)
+		return nil, err
 	}
 	if b := p.Cfg.FTBlend; b > 0 {
 		orig := p.Models[k].Params()

@@ -16,7 +16,10 @@ import (
 // cumulative modelled on-device energy (J) of the horizons processed so
 // far, i.e. the running MPC·MTC integral of the paper's Table II.
 var (
-	hMonLatencyUS   = obs.GetHistogram("edge.monitor.latency_us", obs.ExpBuckets(1, 2, 24))
+	// Latency is labeled by the simulated device so mixed-device
+	// deployments stay separable in one scrape (Prometheus form:
+	// edge_monitor_latency_us_bucket{device="...",le="..."}).
+	hMonLatencyVec  = obs.GetHistogramVec("edge.monitor.latency_us", obs.ExpBuckets(1, 2, 24), "device")
 	mMonHorizons    = obs.GetCounter("edge.monitor.horizons")
 	mMonTransitions = obs.GetCounter("edge.monitor.alarm_transitions")
 	mMonDropouts    = obs.GetCounter("edge.monitor.channel_dropouts")
@@ -34,6 +37,9 @@ type Monitor struct {
 	dep  *Deployment
 	norm Normalizer
 	ecfg features.ExtractorConfig
+	// hLat is the device-labeled latency child, hoisted at construction so
+	// the per-horizon path pays no label lookup.
+	hLat *obs.Histogram
 
 	// Smoothing and hysteresis parameters.
 	Alpha   float64 // EWMA factor for the fear probability (0..1]
@@ -82,6 +88,7 @@ func NewMonitor(dep *Deployment, norm Normalizer, ecfg features.ExtractorConfig)
 	gMonDeviceS.Set(cost.TestS)
 	return &Monitor{
 		dep: dep, norm: norm, ecfg: ecfg,
+		hLat:  hMonLatencyVec.With(dep.Device.Name),
 		Alpha: 0.4, OnThr: 0.7, OffThr: 0.4,
 		inferJ: cost.TestEnergyJ,
 	}
@@ -126,7 +133,7 @@ func (m *Monitor) Process(rec *features.Recording) (Event, error) {
 		raw = probs[1]
 	}
 	ev := m.Observe(raw)
-	hMonLatencyUS.Observe(float64(time.Since(start).Microseconds()))
+	m.hLat.Observe(float64(time.Since(start).Microseconds()))
 	return ev, nil
 }
 

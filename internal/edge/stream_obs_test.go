@@ -14,7 +14,8 @@ func TestMonitorTelemetry(t *testing.T) {
 	rng := rand.New(rand.NewSource(26))
 
 	horizons0 := mMonHorizons.Value()
-	latCount0 := hMonLatencyUS.Count()
+	hLat := hMonLatencyVec.With(dep.Device.Name)
+	latCount0 := hLat.Count()
 	trans0 := mMonTransitions.Value()
 	energy0 := gMonEnergyJ.Value()
 
@@ -33,7 +34,7 @@ func TestMonitorTelemetry(t *testing.T) {
 	if got := mMonHorizons.Value() - horizons0; got != n {
 		t.Errorf("horizon counter += %d, want %d", got, n)
 	}
-	if got := hMonLatencyUS.Count() - latCount0; got != n {
+	if got := hLat.Count() - latCount0; got != n {
 		t.Errorf("latency histogram += %d observations, want %d", got, n)
 	}
 	if got := mMonTransitions.Value() - trans0; got != int64(transitions) {
@@ -42,7 +43,7 @@ func TestMonitorTelemetry(t *testing.T) {
 	if got := gMonEnergyJ.Value() - energy0; got <= 0 {
 		t.Errorf("energy gauge += %g J, want > 0", got)
 	}
-	if hMonLatencyUS.Quantile(0.95) < hMonLatencyUS.Quantile(0.50) {
+	if hLat.Quantile(0.95) < hLat.Quantile(0.50) {
 		t.Error("p95 latency below p50")
 	}
 	if gMonDeviceS.Value() <= 0 {

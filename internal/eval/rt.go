@@ -180,8 +180,20 @@ func worstCluster(a core.Assignment) int {
 // over all classified windows, plus the classified-window index and
 // target of the first detector re-assignment (-1, -1 when none).
 func streamArm(srv *serve.Server, u *wemac.UserMaps, cycles, overrideK int) (acc float64, healedAt, healedTo int, err error) {
+	// One request-scoped trace per user-arm: every span the serving layer
+	// emits for this stream (core.assign, exec.submit, edge.deploy) nests
+	// under it, and the session's flight-recorder events carry its id.
+	tr := obs.NewTrace("eval.rt.arm")
+	ctx := obs.WithTrace(context.Background(), tr)
+	defer func() {
+		if err != nil {
+			tr.MarkError()
+		}
+		tr.Finish()
+		srv.Traces().Add(tr)
+	}()
 	total := len(u.Maps)
-	sess, err := srv.CreateSession(u.ID, total, 0.1)
+	sess, err := srv.CreateSessionCtx(ctx, u.ID, total, 0.1)
 	if err != nil {
 		return 0, -1, -1, err
 	}
@@ -190,7 +202,7 @@ func streamArm(srv *serve.Server, u *wemac.UserMaps, cycles, overrideK int) (acc
 	hits, n := 0, 0
 	for c := 0; c < cycles; c++ {
 		for i, lm := range u.Maps {
-			res, perr := sess.PushWindowCtx(context.Background(), lm.Map)
+			res, perr := sess.PushWindowCtx(ctx, lm.Map)
 			if perr != nil {
 				return 0, -1, -1, perr
 			}

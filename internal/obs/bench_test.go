@@ -63,10 +63,36 @@ func BenchmarkRegistryLookup(b *testing.B) {
 // BenchmarkSpanStartEnd measures one span open/close pair (coarse-grained
 // stages only; not used on per-inference paths).
 func BenchmarkSpanStartEnd(b *testing.B) {
-	tr := NewTracer()
+	tr := NewTrace("t")
+	tr.maxSpans = 1 << 30 // the bench loops far past the request-trace cap
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Start("bench.span").End()
 	}
+}
+
+// BenchmarkVecHotPath measures a labeled-counter increment through the
+// With lookup — the worst case the HTTP layer pays per request when it
+// does not hoist the child handle.
+func BenchmarkVecHotPath(b *testing.B) {
+	v := newCounterVec("bench.vec", []string{"endpoint", "code"})
+	v.With("windows", "200") // pre-create so the loop hits the RLock path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("windows", "200").Inc()
+	}
+}
+
+// BenchmarkVecHotPathParallel is the contended variant.
+func BenchmarkVecHotPathParallel(b *testing.B) {
+	v := newCounterVec("bench.vec", []string{"endpoint", "code"})
+	v.With("windows", "200")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.With("windows", "200").Inc()
+		}
+	})
 }

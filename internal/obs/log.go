@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// The package logger emits JSON lines (log/slog) to stderr by default.
+// Serving code logs through Log(ctx) so every record carries the
+// request's trace_id and can be joined against the trace store and the
+// per-session flight recorder.
+
+var (
+	logLevel  = func() *slog.LevelVar { v := &slog.LevelVar{}; v.Set(slog.LevelInfo); return v }()
+	logMu     sync.Mutex
+	logOut    io.Writer = os.Stderr
+	curLogger atomic.Pointer[slog.Logger]
+)
+
+func buildLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: logLevel}))
+}
+
+// Logger returns the process-wide structured logger.
+func Logger() *slog.Logger {
+	if l := curLogger.Load(); l != nil {
+		return l
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if l := curLogger.Load(); l != nil {
+		return l
+	}
+	l := buildLogger(logOut)
+	curLogger.Store(l)
+	return l
+}
+
+// SetLogWriter redirects the structured logger (tests, log shipping).
+func SetLogWriter(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	logOut = w
+	curLogger.Store(buildLogger(w))
+}
+
+// SetLogLevel adjusts the minimum level (default Info; serving request
+// logs are emitted at Debug so steady-state traffic is quiet).
+func SetLogLevel(l slog.Level) { logLevel.Set(l) }
+
+// ParseLogLevel maps a -loglevel flag value to a slog.Level, defaulting
+// to Info for unknown strings.
+func ParseLogLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Log returns the structured logger, annotated with the trace_id of the
+// trace carried by ctx (if any) so log lines correlate with traces.
+func Log(ctx context.Context) *slog.Logger {
+	l := Logger()
+	if t := TraceOf(ctx); t != nil {
+		return l.With("trace_id", t.ID().String())
+	}
+	return l
+}

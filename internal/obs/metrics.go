@@ -93,7 +93,12 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value. It is concurrency-safe and allocation-free.
+// Non-finite values (NaN, ±Inf) are dropped: one NaN would otherwise
+// poison sum/min/max and make every later Quantile call return garbage.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	// Binary search for the first bound >= v.
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
@@ -154,13 +159,15 @@ func (h *Histogram) Max() float64 {
 
 // Quantile estimates the q-quantile (q in [0,1]) of the observed
 // distribution. Within the covering bucket the value is linearly
-// interpolated; results are clamped to the observed min/max.
+// interpolated; results are clamped to the observed min/max. An empty
+// histogram deterministically returns 0 for every q, and a NaN q is
+// treated as 0 (the minimum) rather than propagating.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Count()
 	if total == 0 {
 		return 0
 	}
-	if q < 0 {
+	if q < 0 || math.IsNaN(q) {
 		q = 0
 	}
 	if q > 1 {
@@ -242,6 +249,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	hvecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry (mainly for tests; production code
@@ -251,6 +261,9 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		cvecs:    map[string]*CounterVec{},
+		gvecs:    map[string]*GaugeVec{},
+		hvecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -292,6 +305,46 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// CounterVec returns the named labeled counter family, creating it with
+// the given label names on first use. Later calls return the existing vec
+// and ignore labels, mirroring Histogram's bounds behaviour.
+func (r *Registry) CounterVec(name string, labels []string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.cvecs[name]
+	if !ok {
+		v = newCounterVec(name, labels)
+		r.cvecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named labeled gauge family, creating it on first
+// use.
+func (r *Registry) GaugeVec(name string, labels []string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gvecs[name]
+	if !ok {
+		v = newGaugeVec(name, labels)
+		r.gvecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named labeled histogram family, creating it
+// with the given shared bucket bounds on first use.
+func (r *Registry) HistogramVec(name string, bounds []float64, labels []string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.hvecs[name]
+	if !ok {
+		v = newHistogramVec(name, bounds, labels)
+		r.hvecs[name] = v
+	}
+	return v
+}
+
 // Reset zeroes every registered metric in place. Handles held by
 // instrumented packages stay valid, so tests can isolate accounting
 // without re-registering.
@@ -307,10 +360,34 @@ func (r *Registry) Reset() {
 	for _, h := range r.hists {
 		h.reset()
 	}
+	for _, v := range r.cvecs {
+		v.reset()
+	}
+	for _, v := range r.gvecs {
+		v.reset()
+	}
+	for _, v := range r.hvecs {
+		v.reset()
+	}
+}
+
+// histSummary is the JSON-friendly quantile digest shared by Snapshot and
+// the expvar export.
+func histSummary(h *Histogram) map[string]any {
+	return map[string]any{
+		"count": h.Count(),
+		"sum":   h.Sum(),
+		"min":   h.Min(),
+		"max":   h.Max(),
+		"p50":   h.Quantile(0.50),
+		"p95":   h.Quantile(0.95),
+		"p99":   h.Quantile(0.99),
+	}
 }
 
 // Snapshot returns a JSON-friendly view of every metric, used by the
-// expvar export.
+// expvar export. Vec children appear under `name{label=value,…}` keys;
+// encoding/json sorts map keys, so the marshalled form is deterministic.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -322,22 +399,31 @@ func (r *Registry) Snapshot() map[string]any {
 		out[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		out[name] = map[string]any{
-			"count": h.Count(),
-			"sum":   h.Sum(),
-			"min":   h.Min(),
-			"max":   h.Max(),
-			"p50":   h.Quantile(0.50),
-			"p95":   h.Quantile(0.95),
-			"p99":   h.Quantile(0.99),
-		}
+		out[name] = histSummary(h)
+	}
+	for name, v := range r.cvecs {
+		v.each(func(values []string, c *Counter) {
+			out[name+labelPairs(v.labels, values)] = c.Value()
+		})
+	}
+	for name, v := range r.gvecs {
+		v.each(func(values []string, g *Gauge) {
+			out[name+labelPairs(v.labels, values)] = g.Value()
+		})
+	}
+	for name, v := range r.hvecs {
+		v.each(func(values []string, h *Histogram) {
+			out[name+labelPairs(v.labels, values)] = histSummary(h)
+		})
 	}
 	return out
 }
 
 // Dump renders every metric as sorted plain text, one per line — the
-// payload of the /metrics endpoint and of the end-of-run snapshot the
-// binaries print.
+// payload of the /debug/metrics endpoint and of the end-of-run snapshot
+// the binaries print. The output is deterministically ordered (sorted by
+// metric name, vec children by label values) so run-to-run CI log diffs
+// are stable.
 func (r *Registry) Dump() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -348,11 +434,29 @@ func (r *Registry) Dump() string {
 	for name, g := range r.gauges {
 		lines = append(lines, fmt.Sprintf("%s %g", name, g.Value()))
 	}
-	for name, h := range r.hists {
-		lines = append(lines, fmt.Sprintf(
+	histLine := func(name string, h *Histogram) string {
+		return fmt.Sprintf(
 			"%s count=%d mean=%.4g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
 			name, h.Count(), h.Mean(), h.Min(),
-			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max()))
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	}
+	for name, h := range r.hists {
+		lines = append(lines, histLine(name, h))
+	}
+	for name, v := range r.cvecs {
+		v.each(func(values []string, c *Counter) {
+			lines = append(lines, fmt.Sprintf("%s %d", name+labelPairs(v.labels, values), c.Value()))
+		})
+	}
+	for name, v := range r.gvecs {
+		v.each(func(values []string, g *Gauge) {
+			lines = append(lines, fmt.Sprintf("%s %g", name+labelPairs(v.labels, values), g.Value()))
+		})
+	}
+	for name, v := range r.hvecs {
+		v.each(func(values []string, h *Histogram) {
+			lines = append(lines, histLine(name+labelPairs(v.labels, values), h))
+		})
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")
@@ -385,6 +489,18 @@ func GetGauge(name string) *Gauge { return def.Gauge(name) }
 
 // GetHistogram returns a histogram from the default registry.
 func GetHistogram(name string, bounds []float64) *Histogram { return def.Histogram(name, bounds) }
+
+// GetCounterVec returns a labeled counter family from the default registry.
+func GetCounterVec(name string, labels ...string) *CounterVec { return def.CounterVec(name, labels) }
+
+// GetGaugeVec returns a labeled gauge family from the default registry.
+func GetGaugeVec(name string, labels ...string) *GaugeVec { return def.GaugeVec(name, labels) }
+
+// GetHistogramVec returns a labeled histogram family from the default
+// registry.
+func GetHistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	return def.HistogramVec(name, bounds, labels)
+}
 
 // MetricsDump renders the default registry as plain text.
 func MetricsDump() string { return Default().Dump() }

@@ -159,7 +159,7 @@ func TestDump(t *testing.T) {
 }
 
 func TestSpanNesting(t *testing.T) {
-	tr := NewTracer()
+	tr := NewTrace("t")
 	fit := tr.Start("fit")
 	cl := tr.Start("cluster")
 	for i := 0; i < 3; i++ {
@@ -194,7 +194,7 @@ func TestSpanNesting(t *testing.T) {
 // TestSpanSiblingMerge checks that children of merged siblings merge too:
 // N folds each containing a fit render as fold[N] > fit[N].
 func TestSpanSiblingMerge(t *testing.T) {
-	tr := NewTracer()
+	tr := NewTrace("t")
 	for i := 0; i < 5; i++ {
 		f := tr.Start("fold")
 		tr.Start("fit").End()
@@ -210,7 +210,7 @@ func TestSpanSiblingMerge(t *testing.T) {
 }
 
 func TestSpanEndIsIdempotentAndClosesChildren(t *testing.T) {
-	tr := NewTracer()
+	tr := NewTrace("t")
 	outer := tr.Start("outer")
 	inner := tr.Start("inner")
 	outer.End() // inner still open: must be closed implicitly
@@ -231,7 +231,7 @@ func TestSpanEndIsIdempotentAndClosesChildren(t *testing.T) {
 }
 
 func TestSpanDurations(t *testing.T) {
-	tr := NewTracer()
+	tr := NewTrace("t")
 	s := tr.Start("sleep")
 	time.Sleep(5 * time.Millisecond)
 	s.End()
@@ -241,7 +241,7 @@ func TestSpanDurations(t *testing.T) {
 }
 
 func TestEmptyTreeRender(t *testing.T) {
-	if got := NewTracer().Render(); !strings.Contains(got, "no spans") {
+	if got := NewTrace("t").Render(); !strings.Contains(got, "no spans") {
 		t.Fatalf("empty render = %q", got)
 	}
 }
@@ -280,8 +280,11 @@ func TestServe(t *testing.T) {
 		}
 		return string(body)
 	}
-	if body := get("/metrics"); !strings.Contains(body, "test.serve.hits") {
-		t.Errorf("/metrics missing counter:\n%s", body)
+	if body := get("/metrics"); !strings.Contains(body, "test_serve_hits") {
+		t.Errorf("/metrics missing counter in Prometheus form:\n%s", body)
+	}
+	if body := get("/debug/metrics"); !strings.Contains(body, "test.serve.hits") {
+		t.Errorf("/debug/metrics missing counter:\n%s", body)
 	}
 	var vars map[string]json.RawMessage
 	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {

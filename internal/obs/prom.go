@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName mangles a dotted internal metric name into the Prometheus
+// name charset [a-zA-Z0-9_:] (dots become underscores).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders {l1="v1",l2="v2"} (plus optional extra pre-rendered
+// pairs such as le="0.5"); empty input renders as "".
+func promLabels(labels, values []string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels)+len(extra))
+	for i := range labels {
+		parts = append(parts, fmt.Sprintf("%s=%q", promName(labels[i]), promEscape(values[i])))
+	}
+	parts = append(parts, extra...)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promFloat formats a float64 sample value (Prometheus accepts Go's 'g'
+// forms plus +Inf/-Inf/NaN spellings).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily is one `# TYPE` block: a metric name, its type, and its
+// sample lines (already label-sorted by the vec iteration order).
+type promFamily struct {
+	name  string
+	typ   string
+	lines []string
+}
+
+// promHist appends the text-format lines of one histogram (cumulative
+// le-buckets, _sum, _count) with the given pre-rendered label pairs.
+func promHist(f *promFamily, h *Histogram, labels, values []string) {
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = promFloat(h.bounds[i])
+		}
+		f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d",
+			f.name, promLabels(labels, values, fmt.Sprintf("le=%q", le)), cum))
+	}
+	f.lines = append(f.lines,
+		fmt.Sprintf("%s_sum%s %s", f.name, promLabels(labels, values), promFloat(h.Sum())),
+		fmt.Sprintf("%s_count%s %d", f.name, promLabels(labels, values), h.Count()))
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family, families sorted
+// by name, vec children sorted by label values. Internal dotted names are
+// mangled to underscores (serve.http_requests → serve_http_requests).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]promFamily, 0,
+		len(r.counters)+len(r.gauges)+len(r.hists)+len(r.cvecs)+len(r.gvecs)+len(r.hvecs))
+	for name, c := range r.counters {
+		fams = append(fams, promFamily{name: promName(name), typ: "counter",
+			lines: []string{fmt.Sprintf("%s %d", promName(name), c.Value())}})
+	}
+	for name, g := range r.gauges {
+		fams = append(fams, promFamily{name: promName(name), typ: "gauge",
+			lines: []string{fmt.Sprintf("%s %s", promName(name), promFloat(g.Value()))}})
+	}
+	for name, h := range r.hists {
+		f := promFamily{name: promName(name), typ: "histogram"}
+		promHist(&f, h, nil, nil)
+		fams = append(fams, f)
+	}
+	for name, v := range r.cvecs {
+		f := promFamily{name: promName(name), typ: "counter"}
+		v.each(func(values []string, c *Counter) {
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %d", f.name, promLabels(v.labels, values), c.Value()))
+		})
+		fams = append(fams, f)
+	}
+	for name, v := range r.gvecs {
+		f := promFamily{name: promName(name), typ: "gauge"}
+		v.each(func(values []string, g *Gauge) {
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %s", f.name, promLabels(v.labels, values), promFloat(g.Value())))
+		})
+		fams = append(fams, f)
+	}
+	for name, v := range r.hvecs {
+		f := promFamily{name: promName(name), typ: "histogram"}
+		v.each(func(values []string, h *Histogram) {
+			promHist(&f, h, v.labels, values)
+		})
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if len(f.lines) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -12,10 +12,11 @@ import (
 // Serve starts a background HTTP server exposing the process's
 // observability surface:
 //
-//	/metrics      plain-text dump of the default registry
-//	/debug/vars   expvar JSON (includes the "clear" registry snapshot)
-//	/debug/pprof  the standard Go profiler endpoints
-//	/debug/spans  the current span tree (live; open spans show elapsed)
+//	/metrics        Prometheus text exposition of the default registry
+//	/debug/metrics  human-oriented plain-text dump (quantile digests)
+//	/debug/vars     expvar JSON (includes the "clear" registry snapshot)
+//	/debug/pprof    the standard Go profiler endpoints
+//	/debug/spans    the background span tree (live; open spans show elapsed)
 //
 // It returns the bound address (useful with ":0") once the listener is
 // up; the server itself runs until the process exits. Binaries enable it
@@ -35,6 +36,10 @@ func Handler() http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = io.WriteString(w, MetricsDump()+"\n")
 	})

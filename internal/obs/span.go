@@ -3,55 +3,33 @@ package obs
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 )
 
-// Span is one timed region of the pipeline. Spans nest: a span started
-// while another is open becomes its child, so a full run produces a trace
-// tree (fit > cluster > kmeans.restart) that Render collapses into an
-// indented per-stage timing summary.
+// Span is one timed region of a trace. Spans nest: a span started while
+// another is open becomes its child, so a request (or a batch run on the
+// background trace) produces a trace tree that Render collapses into an
+// indented per-stage timing summary. All methods are nil-safe, so call
+// sites can hold the result of StartSpanCtx without checking for a
+// missing trace.
 type Span struct {
 	name     string
+	id       SpanID
 	start    time.Time
 	dur      time.Duration
 	ended    bool
+	err      error
 	parent   *Span
 	children []*Span
-	t        *Tracer
+	t        *Trace
 }
 
-// Tracer owns one trace tree. Start/End are mutex-guarded and safe to call
-// from multiple goroutines, but parent attribution follows call order: the
-// instrumented pipeline stages are sequential, which is what makes a
-// ctx-free API sufficient. Concurrent hot paths use the metrics registry
-// instead of spans.
-type Tracer struct {
-	mu   sync.Mutex
-	root *Span
-	cur  *Span
-}
-
-// NewTracer returns an empty tracer.
-func NewTracer() *Tracer {
-	t := &Tracer{}
-	t.reset()
-	return t
-}
-
-func (t *Tracer) reset() {
-	t.root = &Span{name: "root", start: time.Now()}
-	t.cur = t.root
-}
-
-// Start opens a span as a child of the innermost open span.
-func (t *Tracer) Start(name string) *Span {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s := &Span{name: name, start: time.Now(), parent: t.cur, t: t}
-	t.cur.children = append(t.cur.children, s)
-	t.cur = s
-	return s
+// ID returns the span's 64-bit id (zero for a no-op span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // End closes the span, recording its wall-clock duration. Ending a span
@@ -87,6 +65,22 @@ func (s *Span) End() {
 	s.ended = true
 }
 
+// Fail records err on the span, marks the owning trace as errored (so the
+// trace store's tail sampling keeps it), and ends the span. A nil err just
+// ends the span.
+func (s *Span) Fail(err error) {
+	if s == nil || s.t == nil {
+		return
+	}
+	if err != nil {
+		s.t.mu.Lock()
+		s.err = err
+		s.t.err = true
+		s.t.mu.Unlock()
+	}
+	s.End()
+}
+
 // elapsed returns the span's duration, using the current time for spans
 // still open (so Render mid-run shows live figures).
 func (s *Span) elapsed(now time.Time) time.Duration {
@@ -118,29 +112,16 @@ func groupByName(spans []*Span) []spanGroup {
 	return out
 }
 
-// Render returns the trace tree as indented text. Same-named siblings are
-// merged into one line with a repetition count, total, and mean duration;
-// their children are merged recursively, so 44 LOSO folds render as one
-// `loso.fold[44]` subtree instead of 44 copies.
-func (t *Tracer) Render() string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if len(t.root.children) == 0 {
-		return "(no spans recorded)"
-	}
-	var b strings.Builder
-	renderGroups(&b, groupByName(t.root.children), 0, time.Now())
-	return strings.TrimRight(b.String(), "\n")
-}
-
 func renderGroups(b *strings.Builder, groups []spanGroup, depth int, now time.Time) {
 	for _, g := range groups {
 		var total time.Duration
 		running := false
+		failed := false
 		var kids []*Span
 		for _, s := range g.spans {
 			total += s.elapsed(now)
 			running = running || !s.ended
+			failed = failed || s.err != nil
 			kids = append(kids, s.children...)
 		}
 		label := g.name
@@ -154,6 +135,9 @@ func renderGroups(b *strings.Builder, groups []spanGroup, depth int, now time.Ti
 		}
 		if running {
 			b.WriteString("  (running)")
+		}
+		if failed {
+			b.WriteString("  (error)")
 		}
 		b.WriteString("\n")
 		renderGroups(b, groupByName(kids), depth+1, now)
@@ -172,21 +156,4 @@ func fmtDur(d time.Duration) string {
 	default:
 		return d.Round(time.Nanosecond).String()
 	}
-}
-
-// defTracer is the process-global tracer the instrumented packages share.
-var defTracer = NewTracer()
-
-// StartSpan opens a span on the default tracer.
-func StartSpan(name string) *Span { return defTracer.Start(name) }
-
-// SpanTree renders the default tracer's trace tree.
-func SpanTree() string { return defTracer.Render() }
-
-// ResetSpans discards the default tracer's trace tree (tests and repeated
-// in-process runs).
-func ResetSpans() {
-	defTracer.mu.Lock()
-	defer defTracer.mu.Unlock()
-	defTracer.reset()
 }

@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceID is a W3C-trace-context-compatible 128-bit trace id. The low 64
+// bits (Lo) are the internal lookup key; when a caller hands us a 128-bit
+// id via traceparent the high word is preserved so the id echoed back
+// matches what they sent byte-for-byte.
+type TraceID struct{ Hi, Lo uint64 }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id.Hi == 0 && id.Lo == 0 }
+
+// String renders the full 32-hex-digit W3C form.
+func (id TraceID) String() string { return fmt.Sprintf("%016x%016x", id.Hi, id.Lo) }
+
+// Short renders the 16-hex-digit low word — the key accepted by
+// TraceStore.Get and the /v1/traces/<id> endpoint.
+func (id TraceID) Short() string { return fmt.Sprintf("%016x", id.Lo) }
+
+// SpanID is a 64-bit span id.
+type SpanID uint64
+
+// String renders the 16-hex-digit W3C form.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// randID returns a non-zero random 64-bit id (zero is invalid in W3C
+// trace context). math/rand/v2's global generator is concurrency-safe and
+// seeded per process.
+func randID() uint64 {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// Span caps: a request trace that would record more spans than this is
+// misbehaving (a loop instrumenting per-element); further spans are
+// counted in dropped and discarded rather than growing without bound. The
+// background trace keeps the old unbounded behaviour because batch
+// binaries legitimately record thousands of fold/epoch spans.
+const defaultMaxSpans = 512
+
+// Trace owns one tree of spans plus the identity that ties it to a
+// request: a 128-bit trace id, a root span id (echoed as the parent id in
+// traceparent), an error flag for tail-sampling, and a done bit set by
+// Finish. Start/End are mutex-guarded; parent attribution follows call
+// order, which is correct because each request's spans are sequential
+// within its own trace. Concurrent hot paths that share one trace should
+// stick to metrics.
+type Trace struct {
+	mu       sync.Mutex
+	id       TraceID
+	name     string
+	start    time.Time
+	dur      time.Duration
+	done     bool
+	err      bool
+	nspans   int
+	dropped  int
+	maxSpans int
+	root     *Span
+	cur      *Span
+}
+
+// NewTrace returns a trace with a fresh random 64-bit id.
+func NewTrace(name string) *Trace {
+	t := &Trace{id: TraceID{Lo: randID()}, name: name, maxSpans: defaultMaxSpans}
+	t.reset()
+	return t
+}
+
+// NewTraceFromParent returns a trace continuing the given W3C traceparent
+// header: the caller's 128-bit trace id is kept (so it round-trips on the
+// response) and a fresh root span id is minted. An empty or malformed
+// header yields a fresh trace, same as NewTrace.
+func NewTraceFromParent(name, traceparent string) *Trace {
+	t := NewTrace(name)
+	if id, _, ok := ParseTraceparent(traceparent); ok {
+		t.id = id
+	}
+	return t
+}
+
+func (t *Trace) reset() {
+	t.start = time.Now()
+	t.dur = 0
+	t.done = false
+	t.err = false
+	t.nspans = 0
+	t.dropped = 0
+	t.root = &Span{name: "root", id: SpanID(randID()), start: t.start}
+	t.cur = t.root
+}
+
+// ID returns the trace id.
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// Name returns the trace's name (e.g. "http.windows").
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Traceparent renders the trace identity as a W3C traceparent header
+// value, using the root span as the parent id.
+func (t *Trace) Traceparent() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("00-%s-%s-01", t.id.String(), t.root.id.String())
+}
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). It returns ok=false for malformed
+// headers, all-zero ids, or the reserved version ff.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return TraceID{}, 0, false
+	}
+	if _, err := strconv.ParseUint(parts[0], 16, 8); err != nil || strings.EqualFold(parts[0], "ff") {
+		return TraceID{}, 0, false
+	}
+	hi, err1 := strconv.ParseUint(parts[1][:16], 16, 64)
+	lo, err2 := strconv.ParseUint(parts[1][16:], 16, 64)
+	sp, err3 := strconv.ParseUint(parts[2], 16, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return TraceID{}, 0, false
+	}
+	id := TraceID{Hi: hi, Lo: lo}
+	if id.IsZero() || sp == 0 {
+		return TraceID{}, 0, false
+	}
+	return id, SpanID(sp), true
+}
+
+// Start opens a span as a child of the innermost open span. It is nil-safe
+// and returns nil (a no-op span) once the trace is finished or has hit its
+// span cap.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return nil
+	}
+	if t.nspans >= t.maxSpans {
+		t.dropped++
+		return nil
+	}
+	t.nspans++
+	s := &Span{name: name, id: SpanID(randID()), start: time.Now(), parent: t.cur, t: t}
+	t.cur.children = append(t.cur.children, s)
+	t.cur = s
+	return s
+}
+
+// MarkError flags the trace as errored; errored traces bypass the
+// TraceStore's OK-trace rate limit (tail sampling keeps them all).
+func (t *Trace) MarkError() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.err = true
+	t.mu.Unlock()
+}
+
+// Errored reports whether the trace (or any span in it) recorded an error.
+func (t *Trace) Errored() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Finish closes every open span, freezes the trace duration, and marks the
+// trace done (further Start calls return nil). Idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	now := time.Now()
+	endTree(t.root, now)
+	t.cur = t.root
+	t.dur = now.Sub(t.start)
+	t.done = true
+}
+
+func endTree(s *Span, now time.Time) {
+	for _, c := range s.children {
+		if !c.ended {
+			c.dur = now.Sub(c.start)
+			c.ended = true
+		}
+		endTree(c, now)
+	}
+}
+
+// Render returns the trace's span tree as indented text. Same-named
+// siblings are merged into one line with a repetition count, total, and
+// mean duration; their children are merged recursively, so 44 LOSO folds
+// render as one `loso.fold[44]` subtree instead of 44 copies.
+func (t *Trace) Render() string {
+	if t == nil {
+		return "(no spans recorded)"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.root.children) == 0 {
+		return "(no spans recorded)"
+	}
+	var b strings.Builder
+	renderGroups(&b, groupByName(t.root.children), 0, time.Now())
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// SpanSnap is one span flattened out of a trace tree, JSON-ready.
+type SpanSnap struct {
+	ID      string `json:"span_id"`
+	Parent  string `json:"parent_id,omitempty"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Err     string `json:"error,omitempty"`
+}
+
+// TraceSnapshot is an immutable JSON-ready copy of a trace, the unit the
+// TraceStore holds and /v1/traces/<id> returns.
+type TraceSnapshot struct {
+	TraceID string     `json:"trace_id"`
+	Name    string     `json:"name"`
+	Start   time.Time  `json:"start"`
+	DurUS   int64      `json:"dur_us"`
+	Error   bool       `json:"error"`
+	Dropped int        `json:"dropped_spans,omitempty"`
+	Spans   []SpanSnap `json:"spans"`
+}
+
+// Snapshot flattens the trace into a TraceSnapshot. Spans still open are
+// reported with their elapsed-so-far duration.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	snap := TraceSnapshot{
+		TraceID: t.id.String(),
+		Name:    t.name,
+		Start:   t.start,
+		Error:   t.err,
+		Dropped: t.dropped,
+	}
+	if t.done {
+		snap.DurUS = t.dur.Microseconds()
+	} else {
+		snap.DurUS = now.Sub(t.start).Microseconds()
+	}
+	var walk func(s *Span, parent SpanID)
+	walk = func(s *Span, parent SpanID) {
+		for _, c := range s.children {
+			ss := SpanSnap{
+				ID:      c.id.String(),
+				Name:    c.name,
+				StartUS: c.start.Sub(t.start).Microseconds(),
+				DurUS:   c.elapsed(now).Microseconds(),
+			}
+			if parent != 0 {
+				ss.Parent = parent.String()
+			}
+			if c.err != nil {
+				ss.Err = c.err.Error()
+			}
+			snap.Spans = append(snap.Spans, ss)
+			walk(c, c.id)
+		}
+	}
+	walk(t.root, 0)
+	return snap
+}
+
+// traceKey carries a *Trace through a context.Context.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceOf returns the trace carried by ctx, or nil.
+func TraceOf(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpanCtx opens a span on the trace carried by ctx. When ctx carries
+// no trace it returns nil — a no-op span — so concurrent hot paths called
+// outside a request (tests, batch eval) never contend on a shared tree.
+func StartSpanCtx(ctx context.Context, name string) *Span {
+	if t := TraceOf(ctx); t != nil {
+		return t.Start(name)
+	}
+	return nil
+}
+
+// defTrace is the process-global background trace that the legacy
+// StartSpan/SpanTree API renders; batch binaries print it at exit as a
+// Table-II-style timing breakdown. It is unbounded because batch runs
+// legitimately record thousands of spans.
+var defTrace = func() *Trace {
+	t := NewTrace("process")
+	t.maxSpans = 1 << 20
+	return t
+}()
+
+// BackgroundTrace returns the process-global trace behind StartSpan.
+func BackgroundTrace() *Trace { return defTrace }
+
+// StartSpan opens a span on the background trace. Sequential pipeline
+// stages (fit, cluster, train, eval folds) use this; request paths should
+// carry a per-request trace via context and StartSpanCtx instead.
+func StartSpan(name string) *Span { return defTrace.Start(name) }
+
+// SpanTree renders the background trace's span tree.
+func SpanTree() string { return defTrace.Render() }
+
+// ResetSpans discards the background trace's span tree (tests and
+// repeated in-process runs).
+func ResetSpans() {
+	defTrace.mu.Lock()
+	defer defTrace.mu.Unlock()
+	max := defTrace.maxSpans
+	defTrace.reset()
+	defTrace.maxSpans = max
+}

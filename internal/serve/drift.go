@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -166,7 +167,7 @@ func (s *Session) ensureDriftLocked() *driftTracker {
 // Returns true when this window triggered a re-assignment. Callers hold
 // s.mu; summary is the window's per-feature mean (nil when the detector is
 // disabled), probs the model's prediction.
-func (s *Session) driftObserveLocked(summary, probs []float64) bool {
+func (s *Session) driftObserveLocked(ctx context.Context, summary, probs []float64) bool {
 	if summary == nil || s.srv.cfg.DriftDisabled || !s.haveAsg {
 		return false
 	}
@@ -187,7 +188,7 @@ func (s *Session) driftObserveLocked(summary, probs []float64) bool {
 		return false // not enough evidence yet
 	}
 
-	asg := s.srv.pipe.AssignFromSummary(d.mean(), s.frac)
+	asg := s.srv.pipe.AssignFromSummaryCtx(ctx, d.mean(), s.frac)
 	d.lastBest = asg.Cluster
 	gap := 0.0
 	if asg.Cluster != s.asg.Cluster {
@@ -202,6 +203,7 @@ func (s *Session) driftObserveLocked(summary, probs []float64) bool {
 		d.streak, d.score = 0, 0
 		if s.state == StateDrifting {
 			s.exitDriftLocked()
+			s.record(ctx, evDriftCleared, "cluster=%d gap=%.4f", s.asg.Cluster, gap)
 		}
 		return false
 	}
@@ -217,15 +219,19 @@ func (s *Session) driftObserveLocked(summary, probs []float64) bool {
 		// require one more positive window to confirm.
 		if d.cooldown > 0 {
 			mDriftSuppressed.Inc()
+			s.record(ctx, evDriftSuppress, "cluster=%d rolling=%d gap=%.4f cooldown=%d",
+				s.asg.Cluster, asg.Cluster, gap, d.cooldown)
 			d.streak, d.score = 0, 0
 			return false
 		}
 		mDriftVerdicts.Inc()
 		s.state = StateDrifting
+		s.record(ctx, evDriftVerdict, "cluster=%d rolling=%d gap=%.4f streak=%d score=%.4f",
+			s.asg.Cluster, asg.Cluster, gap, d.streak, d.score)
 		return false
 	}
 	// Confirming window while drifting: re-assign.
-	s.reassignLocked(asg)
+	s.reassignLocked(ctx, asg)
 	return true
 }
 
@@ -248,7 +254,7 @@ func (s *Session) exitDriftLocked() {
 // when labels are retained — replay them through a fresh fine-tune
 // (StateReassigning until the job resolves; served from the shared
 // baseline meanwhile). Callers hold s.mu.
-func (s *Session) reassignLocked(target core.Assignment) {
+func (s *Session) reassignLocked(ctx context.Context, target core.Assignment) {
 	s.prevCluster = s.asg.Cluster
 	s.reassigns++
 	s.asg = target
@@ -261,6 +267,8 @@ func (s *Session) reassignLocked(target core.Assignment) {
 	d.resetEvidence()
 	d.cooldown = s.srv.cfg.DriftCooldown
 	mDriftReassigns.Inc()
+	s.record(ctx, evReassigned, "from=%d to=%d reassigns=%d labels=%d",
+		s.prevCluster, target.Cluster, s.reassigns, len(s.labels))
 
 	if len(s.labels) > 0 {
 		// Serve from the new cluster's shared baseline while the labels
@@ -269,7 +277,7 @@ func (s *Session) reassignLocked(target core.Assignment) {
 		s.degraded = true
 		s.ftLabeled = 0
 		s.state = StateReassigning
-		_, _ = s.tryFineTuneLocked()
+		_, _ = s.tryFineTuneLocked(ctx)
 		if !s.ftInFlight {
 			// Replay refused (breaker open / queue full): fall back to
 			// assigned+degraded; the heal timer or the next push retries.
@@ -302,6 +310,7 @@ func (s *Session) OverrideAssignment(k int) error {
 	if k != s.asg.Cluster {
 		s.prevCluster = s.asg.Cluster
 		s.asg.Cluster = k
+		s.record(context.Background(), evOverride, "from=%d to=%d", s.prevCluster, k)
 	}
 	if old := s.srv.cache.Remove(s.id); old != nil {
 		s.srv.exec.Forget(old)

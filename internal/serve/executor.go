@@ -139,10 +139,14 @@ func (e *Executor) Submit(ctx context.Context, model *nn.Model, x *tensorT) (Inf
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Request-scoped span (nil and free when ctx carries no trace): covers
+	// queue wait + the batched pass, with shed/timeout marked as errors.
+	sp := obs.StartSpanCtx(ctx, "exec.submit")
 	req := &inferRequest{ctx: ctx, model: model, x: x, resp: make(chan InferResult, 1), enqueued: time.Now()}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
+		sp.Fail(ErrShutdown)
 		return InferResult{}, ErrShutdown
 	}
 	select {
@@ -152,15 +156,24 @@ func (e *Executor) Submit(ctx context.Context, model *nn.Model, x *tensorT) (Inf
 		e.mu.RUnlock()
 		mExecShed.Inc()
 		mShed.Inc()
-		return InferResult{}, fmt.Errorf("%w: inference queue full", ErrOverloaded)
+		err := fmt.Errorf("%w: inference queue full", ErrOverloaded)
+		sp.Fail(err)
+		return InferResult{}, err
 	}
 	gQueueDepth.Set(float64(len(e.queue)))
 	select {
 	case res := <-req.resp:
+		if res.Err != nil {
+			sp.Fail(res.Err)
+		} else {
+			sp.End()
+		}
 		return res, res.Err
 	case <-ctx.Done():
 		mTimeouts.Inc()
-		return InferResult{}, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+		err := fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+		sp.Fail(err)
+		return InferResult{}, err
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/features"
 	"repro/internal/obs"
@@ -19,11 +21,21 @@ import (
 //	GET    /v1/sessions/{id}           session status
 //	DELETE /v1/sessions/{id}           close the session
 //	GET    /v1/stats                   server aggregates
+//	GET    /v1/traces/{id}             look a recorded request trace up
 //	GET    /metrics, /debug/...        the shared obs surface
 //
 // Typed serve errors map to status codes: ErrOverloaded → 429,
-// ErrSessionNotFound → 404, ErrSessionClosed → 409, ErrBadRequest → 400,
-// ErrCorruptWindow → 422, ErrShutdown → 503, ErrTimeout → 504.
+// ErrSessionNotFound/ErrTraceNotFound → 404, ErrSessionClosed → 409,
+// ErrBadRequest → 400, ErrCorruptWindow → 422, ErrShutdown → 503,
+// ErrTimeout → 504.
+//
+// Tracing: every /v1 request runs under an obs.Trace. An incoming W3C
+// `traceparent` header is honoured (the caller's 128-bit trace id is
+// adopted); otherwise a fresh id is minted. The response always carries
+// `traceparent` and `X-Trace-Id` headers, error bodies echo the id in
+// `trace_id`, and the trace is retained in a bounded tail-sampled store
+// (errors always kept) queryable at /v1/traces/{id} with either the
+// 32-hex or 16-hex id form.
 
 // CreateSessionRequest is the POST /v1/sessions body.
 type CreateSessionRequest struct {
@@ -109,6 +121,9 @@ type LabelsResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// TraceID is the short id of the request's trace, resolvable at
+	// /v1/traces/{id} (error traces are always retained).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Handler returns the server's HTTP API, with the obs observability
@@ -116,27 +131,92 @@ type errorResponse struct {
 // the same mux so one port serves both traffic and introspection.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	mux.HandleFunc("POST /v1/sessions/{id}/windows", s.handleWindow)
-	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.handleLabels)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/sessions", s.traced("sessions", s.handleCreate))
+	mux.HandleFunc("POST /v1/sessions/{id}/windows", s.traced("windows", s.handleWindow))
+	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.traced("labels", s.handleLabels))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.traced("status", s.handleStatus))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.traced("delete", s.handleDelete))
+	mux.HandleFunc("GET /v1/stats", s.traced("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", s.handleTrace))
 	oh := obs.Handler()
 	mux.Handle("/metrics", oh)
 	mux.Handle("/debug/", oh)
 	return mux
 }
 
+// statusWriter captures the response status for metrics/trace labeling.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// traced wraps a handler with the per-request observability envelope: it
+// mints (or adopts, from an incoming traceparent) the request trace,
+// echoes traceparent/X-Trace-Id on the response, carries the trace
+// through ctx so every downstream stage scopes its spans to this request,
+// records endpoint/code-labeled metrics, logs the request, and retains
+// the finished trace in the tail-sampled store.
+func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tr := obs.NewTraceFromParent("http."+endpoint, r.Header.Get("traceparent"))
+		ctx := obs.WithTrace(r.Context(), tr)
+		// Headers go out before the handler writes anything.
+		w.Header().Set("traceparent", tr.Traceparent())
+		w.Header().Set("X-Trace-Id", tr.ID().Short())
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		if code >= 400 {
+			tr.MarkError()
+		}
+		s.traces.Add(tr)
+		durUS := time.Since(start).Microseconds()
+		mHTTPReqVec.With(endpoint, strconv.Itoa(code)).Inc()
+		hHTTPLatVec.With(endpoint).Observe(float64(durUS))
+		obs.Log(ctx).Debug("http request",
+			"method", r.Method, "endpoint", endpoint, "path", r.URL.Path,
+			"code", code, "dur_us", durUS)
+	}
+}
+
+// handleTrace serves a recorded trace snapshot by 32- or 16-hex id.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, r, fmt.Errorf("%w: %q", ErrTraceNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		writeError(w, r, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
-	sess, err := s.CreateSession(req.UserID, req.ExpectedWindows, req.AssignFrac)
+	sess, err := s.CreateSessionCtx(r.Context(), req.UserID, req.ExpectedWindows, req.AssignFrac)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	st := sess.Status()
@@ -148,22 +228,22 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.Session(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	var payload WindowPayload
 	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		writeError(w, r, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
 	m, err := s.decodeWindow(&payload)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	res, err := sess.PushWindowCtx(r.Context(), m)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	resp := WindowResponse{
@@ -223,17 +303,17 @@ func (s *Server) decodeWindow(p *WindowPayload) (*tensorT, error) {
 func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.Session(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	var payload LabelsPayload
 	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		writeError(w, r, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
-	res, err := sess.PushLabels(payload.Labels)
+	res, err := sess.PushLabelsCtx(r.Context(), payload.Labels)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, LabelsResponse{
@@ -244,15 +324,15 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.Session(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.Status())
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.CloseSession(r.PathValue("id")); err != nil {
-		writeError(w, err)
+	if err := s.CloseSessionCtx(r.Context(), r.PathValue("id")); err != nil {
+		writeError(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -262,14 +342,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// writeError maps typed serve errors to HTTP status codes.
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps typed serve errors to HTTP status codes. The response
+// body carries the request's trace id so a client holding a failed
+// response can resolve the full trace at /v1/traces/{id}.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, ErrSessionNotFound):
+	case errors.Is(err, ErrSessionNotFound), errors.Is(err, ErrTraceNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrSessionClosed):
 		code = http.StatusConflict
@@ -282,7 +364,11 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrTimeout):
 		code = http.StatusGatewayTimeout
 	}
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	resp := errorResponse{Error: err.Error()}
+	if t := obs.TraceOf(r.Context()); t != nil {
+		resp.TraceID = t.ID().Short()
+	}
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -320,7 +320,7 @@ func TestErrorStatusTable(t *testing.T) {
 	}
 	for _, tc := range cases {
 		rec := httptest.NewRecorder()
-		writeError(rec, tc.err)
+		writeError(rec, httptest.NewRequest("GET", "/v1/stats", nil), tc.err)
 		if rec.Code != tc.want {
 			t.Errorf("writeError(%v) = %d, want %d", tc.err, rec.Code, tc.want)
 		}

@@ -36,15 +36,24 @@
 //
 // Everything is instrumented through internal/obs: serve.sessions gauge,
 // serve.batch_size histogram, serve.queue_depth gauge, per-window latency
-// histograms, shed/cache counters, breaker-state gauges, and
-// retry/degraded/corrupt-window counters.
+// histograms, shed/cache counters, and retry/degraded/corrupt-window
+// counters, plus labeled series (serve.http_requests{endpoint,code},
+// serve.windows_served{cluster,degraded}, serve.breaker_state{cluster},
+// serve.finetunes_by{cluster,outcome}) exported in Prometheus text form
+// at /metrics. Every request runs under an obs.Trace (W3C traceparent
+// ingest/echo) held in a bounded tail-sampled store queryable at
+// /v1/traces/<id>, and every session keeps a flight recorder — a bounded
+// ring of lifecycle events (flight.go) surfaced in status JSON and
+// persisted across crash restores.
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -81,6 +90,9 @@ var (
 	ErrCorruptWindow = errors.New("serve: corrupt window")
 	// ErrBadSnapshot reports a malformed session-registry snapshot.
 	ErrBadSnapshot = errors.New("serve: bad session snapshot")
+	// ErrTraceNotFound reports a trace id absent from the trace store
+	// (never recorded, shed by tail-sampling, or already evicted).
+	ErrTraceNotFound = errors.New("serve: trace not found")
 )
 
 // Serving telemetry, all on the default obs registry.
@@ -95,7 +107,19 @@ var (
 	mFTGiveups     = obs.GetCounter("serve.finetune_giveups")
 	mFTSuppressed  = obs.GetCounter("serve.finetune_suppressed")
 	mDegradedInfer = obs.GetCounter("serve.degraded_inferences")
+
+	// Labeled hot-path series. Cardinality is bounded by construction
+	// (endpoints and clusters are small fixed sets, codes a handful) and by
+	// the vec's own cap as a backstop.
+	mHTTPReqVec = obs.GetCounterVec("serve.http_requests", "endpoint", "code")
+	hHTTPLatVec = obs.GetHistogramVec("serve.http_latency_us", obs.ExpBuckets(1, 2, 26), "endpoint")
+	mWindowsVec = obs.GetCounterVec("serve.windows_served", "cluster", "degraded")
+	mFTByVec    = obs.GetCounterVec("serve.finetunes_by", "cluster", "outcome")
+	gBreakerVec = obs.GetGaugeVec("serve.breaker_state", "cluster")
 )
+
+// clusterLabel renders a cluster index as a metric label value.
+func clusterLabel(k int) string { return strconv.Itoa(k) }
 
 // Config parameterises a Server. The zero value is usable: every field
 // defaults to something sensible for a laptop-scale deployment.
@@ -176,6 +200,14 @@ type Config struct {
 	SnapshotPath     string
 	SnapshotInterval time.Duration
 
+	// TraceCapacity bounds the in-memory request-trace store (FIFO
+	// eviction); TraceOKPerSec is the tail-sampling budget for successful
+	// traces — errored traces are always kept. Defaults 4096 and 64.
+	TraceCapacity int
+	TraceOKPerSec int
+	// FlightEvents sizes each session's flight-recorder ring. Default 64.
+	FlightEvents int
+
 	// Fault, when non-nil, arms deterministic fault injection (chaos
 	// testing): build failures, inference stalls, window corruption. The
 	// production path pays only nil checks when unset.
@@ -252,6 +284,15 @@ func (c *Config) fillDefaults() {
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 10 * time.Second
 	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 4096
+	}
+	if c.TraceOKPerSec == 0 {
+		c.TraceOKPerSec = 64
+	}
+	if c.FlightEvents == 0 {
+		c.FlightEvents = 64
+	}
 }
 
 // Server owns the session registry and the shared serving machinery.
@@ -266,9 +307,18 @@ type Server struct {
 	deps []*edge.Deployment
 
 	// breakers guard each cluster's fine-tune builds; gBreaker mirrors
-	// their state onto the obs registry (0 closed, 1 open, 2 half-open).
+	// their state onto the obs registry as serve.breaker_state{cluster}
+	// (0 closed, 1 open, 2 half-open). brState remembers the last state
+	// published per cluster so transitions land exactly once in the
+	// affected session's flight recorder.
 	breakers []*Breaker
 	gBreaker []*obs.Gauge
+	brMu     sync.Mutex
+	brState  []BreakerState
+
+	// traces is the bounded tail-sampled request/job trace store behind
+	// GET /v1/traces/{id}.
+	traces *obs.TraceStore
 
 	// clusterArchetype, when set by the embedding binary, maps each
 	// cluster to the dominant ground-truth archetype of its training
@@ -326,12 +376,14 @@ func New(pipe *core.Pipeline, cfg Config) (*Server, error) {
 	s.clusterArchetype = make([]int, len(s.deps))
 	s.breakers = make([]*Breaker, len(s.deps))
 	s.gBreaker = make([]*obs.Gauge, len(s.deps))
+	s.brState = make([]BreakerState, len(s.deps))
 	for k := range s.clusterArchetype {
 		s.clusterArchetype[k] = -1
 		s.breakers[k] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
-		s.gBreaker[k] = obs.GetGauge(fmt.Sprintf("serve.breaker_state.c%d", k))
+		s.gBreaker[k] = gBreakerVec.With(clusterLabel(k))
 		s.gBreaker[k].Set(float64(BreakerClosed))
 	}
+	s.traces = obs.NewTraceStore(cfg.TraceCapacity, float64(cfg.TraceOKPerSec))
 	s.exec = NewExecutor(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueDepth, cfg.InferConcurrency)
 	s.exec.SetWatchdog(time.Duration(float64(cfg.InferTimeout) * cfg.WatchdogFactor))
 	s.exec.SetFault(cfg.Fault)
@@ -359,15 +411,42 @@ func (s *Server) SetClusterArchetypes(arch []int) {
 	s.clusterArchetype = append([]int(nil), arch...)
 }
 
+// Traces exposes the server's trace store (status endpoints, loadgen
+// assertions, tests).
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
+
+// noteBreaker publishes cluster k's breaker state to the labeled gauge
+// and, when the state changed since the last publication, records the
+// transition in the driving session's flight recorder. sess may be nil
+// (periodic refresh from Stats).
+func (s *Server) noteBreaker(ctx context.Context, sess *Session, k int, st BreakerState) {
+	s.brMu.Lock()
+	prev := s.brState[k]
+	s.brState[k] = st
+	s.brMu.Unlock()
+	s.gBreaker[k].Set(float64(st))
+	if st != prev && sess != nil {
+		sess.record(ctx, evBreaker, "cluster=%d %s→%s", k, prev, st)
+	}
+}
+
 // fineTuneWorker drains the personalisation queue. Each job builds one
 // session's personalised checkpoint with retry/backoff behind the
 // cluster's circuit breaker, then completes the session's cache entry.
+// Every job runs under its own obs.Trace, added to the trace store so a
+// fine-tune (and its retries) is inspectable like any request.
 func (s *Server) fineTuneWorker() {
 	defer s.ftWG.Done()
 	for job := range s.ftq {
-		model, err := s.buildWithRetry(job)
+		tr := obs.NewTrace("serve.finetune")
+		ctx := obs.WithTrace(context.Background(), tr)
+		model, err := s.buildWithRetry(ctx, job)
+		if err != nil {
+			tr.MarkError()
+		}
 		s.cache.complete(job.e, model, err)
-		job.s.fineTuneDone(err)
+		job.s.fineTuneDone(ctx, err)
+		s.traces.Add(tr)
 	}
 }
 
@@ -376,7 +455,7 @@ func (s *Server) fineTuneWorker() {
 // cluster's breaker (which also absorbs the outcome — in half-open the
 // attempt is the probe). A breaker refusal or a shutdown mid-backoff ends
 // the job early.
-func (s *Server) buildWithRetry(job ftJob) (*nn.Model, error) {
+func (s *Server) buildWithRetry(ctx context.Context, job ftJob) (*nn.Model, error) {
 	br := s.breakers[job.k]
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.FineTuneRetries; attempt++ {
@@ -386,15 +465,21 @@ func (s *Server) buildWithRetry(job ftJob) (*nn.Model, error) {
 				break // draining
 			}
 		}
+		// State() promotes an elapsed-cooldown breaker to half-open, so
+		// reading it here also surfaces the open→half-open transition.
+		before := br.State()
+		s.noteBreaker(ctx, job.s, job.k, before)
 		if !br.Allow() {
+			job.s.record(ctx, evFTSuppressed, "cluster=%d attempt=%d breaker=%s", job.k, attempt, before)
 			if lastErr == nil {
 				lastErr = fmt.Errorf("serve: cluster %d circuit breaker open", job.k)
 			}
 			break
 		}
-		m, err := job.s.runFineTune()
+		job.s.record(ctx, evFTAttempt, "cluster=%d attempt=%d breaker=%s", job.k, attempt, before)
+		m, err := job.s.runFineTune(ctx)
 		br.Done(err)
-		s.gBreaker[job.k].Set(float64(br.State()))
+		s.noteBreaker(ctx, job.s, job.k, br.State())
 		if err == nil {
 			return m, nil
 		}
@@ -448,6 +533,12 @@ func (s *Server) enqueueFineTune(job ftJob) error {
 // Config.AssignFrac when positive. userID is an opaque client-chosen
 // identifier echoed in status output.
 func (s *Server) CreateSession(userID int, expectedWindows int, assignFrac float64) (*Session, error) {
+	return s.CreateSessionCtx(context.Background(), userID, expectedWindows, assignFrac)
+}
+
+// CreateSessionCtx is CreateSession with request-scoped tracing: the
+// session's "created" flight event is correlated with the trace in ctx.
+func (s *Server) CreateSessionCtx(ctx context.Context, userID int, expectedWindows int, assignFrac float64) (*Session, error) {
 	if expectedWindows < 1 {
 		return nil, fmt.Errorf("%w: expected_windows must be ≥ 1", ErrBadRequest)
 	}
@@ -475,6 +566,8 @@ func (s *Server) CreateSession(userID int, expectedWindows int, assignFrac float
 	s.sessions[sess.id] = sess
 	mSessionsOpen.Inc()
 	gSessions.Set(float64(len(s.sessions)))
+	sess.record(ctx, evCreated, "user=%d expected_windows=%d assign_frac=%.3f",
+		userID, expectedWindows, assignFrac)
 	return sess, nil
 }
 
@@ -492,6 +585,11 @@ func (s *Server) Session(id string) (*Session, error) {
 // CloseSession removes a session from the registry and releases its cached
 // fine-tuned checkpoint. Closing an unknown ID is ErrSessionNotFound.
 func (s *Server) CloseSession(id string) error {
+	return s.CloseSessionCtx(context.Background(), id)
+}
+
+// CloseSessionCtx is CloseSession with request-scoped tracing.
+func (s *Server) CloseSessionCtx(ctx context.Context, id string) error {
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	if ok {
@@ -502,6 +600,7 @@ func (s *Server) CloseSession(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
 	}
+	sess.record(ctx, evClosed, "")
 	sess.close()
 	if m := s.cache.Remove(sess.id); m != nil {
 		s.exec.Forget(m)
@@ -611,7 +710,7 @@ func (s *Server) Stats() Stats {
 	for k, b := range s.breakers {
 		st := b.State()
 		brs[k] = st.String()
-		s.gBreaker[k].Set(float64(st))
+		s.noteBreaker(context.Background(), nil, k, st)
 	}
 	return Stats{
 		UptimeSec:          time.Since(s.start).Seconds(),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -117,6 +118,10 @@ type Session struct {
 	prevCluster int
 	lastEvent   *edge.Event
 	created     time.Time
+
+	// flight is the session's lifecycle event ring (see flight.go). It has
+	// its own mutex and is safe to append to with or without mu held.
+	flight *flightRecorder
 }
 
 func newSession(srv *Server, id string, userID, expected int, frac float64) *Session {
@@ -131,6 +136,7 @@ func newSession(srv *Server, id string, userID, expected int, frac float64) *Ses
 		labels:      map[int]int{},
 		prevCluster: -1,
 		created:     time.Now(),
+		flight:      newFlightRecorder(srv.cfg.FlightEvents),
 	}
 }
 
@@ -216,6 +222,7 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	clean, err := s.sanitizeWindowLocked(m)
 	if err != nil {
 		s.mu.Unlock()
+		s.record(ctx, evRejected, "window=%d err=%v", s.pushed, err)
 		return WindowResult{}, err
 	}
 	imputed := clean != m
@@ -224,25 +231,33 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	if len(s.maps) < s.expected {
 		s.maps = append(s.maps, m)
 	}
+	if imputed {
+		s.record(ctx, evImputed, "window=%d", s.pushed)
+	}
 	res := WindowResult{SessionID: s.id, Windows: s.pushed, Imputed: imputed}
 
 	if s.state == StateEnrolling {
 		if s.pushed >= s.assignAt {
 			// The unlabeled budget is met: cold-start assignment, on
 			// exactly the maps the batch eval path would consume.
-			s.asg = s.srv.pipe.AssignMaps(s.maps[:s.assignAt], s.frac)
+			s.asg = s.srv.pipe.AssignMapsCtx(ctx, s.maps[:s.assignAt], s.frac)
 			s.haveAsg = true
 			s.mon = edge.NewMonitor(s.srv.deps[s.asg.Cluster], nil, s.srv.pipe.Cfg.Extractor)
 			s.state = StateAssigned
-			s.tryFineTuneLocked()
+			s.record(ctx, evAssigned, "cluster=%d margin=%.4f runner_up=%d windows=%d",
+				s.asg.Cluster, s.asg.Margin(), s.asg.RunnerUp(), s.pushed)
+			s.tryFineTuneLocked(ctx)
 		}
 		res.State = s.state
+		cl := "none"
 		if s.haveAsg {
 			a := s.asg
 			res.Assignment = &a
+			cl = clusterLabel(a.Cluster)
 		}
 		s.mu.Unlock()
 		mWindows.Inc()
+		mWindowsVec.With(cl, "false").Inc()
 		hWindowUS.Observe(float64(time.Since(start).Microseconds()))
 		return res, nil
 	}
@@ -251,7 +266,7 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	// once its cluster's breaker has left the open state the suppressed
 	// labels are still merged, so the trigger re-fires here.
 	if s.degraded && !s.ftInFlight && len(s.labels) > 0 {
-		_, _ = s.tryFineTuneLocked()
+		_, _ = s.tryFineTuneLocked(ctx)
 	}
 
 	// Classified path: pick the serving model (LRU touch), release the
@@ -289,7 +304,7 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	s.mu.Lock()
 	ev := mon.Observe(raw)
 	s.lastEvent = &ev
-	if s.driftObserveLocked(dsum, ir.Probs) {
+	if s.driftObserveLocked(ctx, dsum, ir.Probs) {
 		res.Reassigned = true
 		a = s.asg
 	}
@@ -304,6 +319,7 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	res.BatchSize = ir.Batch
 	res.QueueWait = ir.QueueWait
 	mWindows.Inc()
+	mWindowsVec.With(clusterLabel(a.Cluster), strconv.FormatBool(degraded)).Inc()
 	hWindowUS.Observe(float64(time.Since(start).Microseconds()))
 	return res, nil
 }
@@ -335,6 +351,12 @@ type LabelsResult struct {
 // Labels arriving while a fine-tune is in flight are folded into the next
 // trigger rather than restarting the running job.
 func (s *Session) PushLabels(labels map[int]int) (LabelsResult, error) {
+	return s.PushLabelsCtx(context.Background(), labels)
+}
+
+// PushLabelsCtx is PushLabels with request-scoped tracing: flight events
+// raised by the trigger (queued/suppressed) carry the request's trace id.
+func (s *Session) PushLabelsCtx(ctx context.Context, labels map[int]int) (LabelsResult, error) {
 	classes := s.srv.pipe.Cfg.Model.Classes
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -357,7 +379,7 @@ func (s *Session) PushLabels(labels map[int]int) (LabelsResult, error) {
 	for idx, y := range labels {
 		s.labels[idx] = y
 	}
-	queued, err := s.tryFineTuneLocked()
+	queued, err := s.tryFineTuneLocked(ctx)
 	if err != nil {
 		return LabelsResult{}, err
 	}
@@ -372,13 +394,15 @@ func (s *Session) PushLabels(labels map[int]int) (LabelsResult, error) {
 // on window pushes or from the next PushLabels — re-fires once the breaker
 // admits probes again. It single-flights through the model cache, so
 // concurrent triggers collapse onto one build. Callers hold s.mu.
-func (s *Session) tryFineTuneLocked() (bool, error) {
+func (s *Session) tryFineTuneLocked(ctx context.Context) (bool, error) {
 	if !s.haveAsg || s.ftInFlight || len(s.labels) == 0 || len(s.labels) == s.ftLabeled {
 		return false, nil
 	}
 	if br := s.srv.BreakerFor(s.asg.Cluster); br != nil && br.State() == BreakerOpen {
 		s.degraded = true
 		mFTSuppressed.Inc()
+		mFTByVec.With(clusterLabel(s.asg.Cluster), "suppressed").Inc()
+		s.record(ctx, evFTSuppressed, "cluster=%d breaker=open labels=%d", s.asg.Cluster, len(s.labels))
 		s.scheduleHealLocked()
 		return false, nil
 	}
@@ -397,6 +421,7 @@ func (s *Session) tryFineTuneLocked() (bool, error) {
 	}
 	s.ftInFlight = true
 	s.ftLabeled = len(s.labels)
+	s.record(ctx, evFTQueued, "cluster=%d labels=%d", s.asg.Cluster, len(s.labels))
 	if s.state != StateReassigning {
 		// A re-assignment replay keeps its own state so status readers can
 		// tell a self-heal swap from ordinary personalisation.
@@ -408,7 +433,7 @@ func (s *Session) tryFineTuneLocked() (bool, error) {
 // runFineTune executes one personalisation job on a pool worker: snapshot
 // the labelled windows, fine-tune the assigned cluster's checkpoint, and
 // deploy it at the session's device precision.
-func (s *Session) runFineTune() (*nn.Model, error) {
+func (s *Session) runFineTune(ctx context.Context) (*nn.Model, error) {
 	s.mu.Lock()
 	k := s.asg.Cluster
 	idxs := make([]int, 0, len(s.labels))
@@ -437,13 +462,16 @@ func (s *Session) runFineTune() (*nn.Model, error) {
 		samples = append(samples, nn.Sample{X: s.srv.pipe.Apply(raw[i]), Y: ys[i]})
 	}
 	start := time.Now()
-	m, err := s.srv.pipe.FineTune(k, samples)
+	m, err := s.srv.pipe.FineTuneCtx(ctx, k, samples)
 	if err != nil {
 		mFineTuneErr.Inc()
 		return nil, err
 	}
 	hFineTuneMS.Observe(float64(time.Since(start).Milliseconds()))
-	return edge.Deploy(m, s.srv.cfg.Device).Model, nil
+	sp := obs.StartSpanCtx(ctx, "edge.deploy")
+	dep := edge.Deploy(m, s.srv.cfg.Device)
+	sp.End()
+	return dep.Model, nil
 }
 
 // fineTuneDone records a job's outcome on the session and, if labels
@@ -462,7 +490,7 @@ func (s *Session) runFineTune() (*nn.Model, error) {
 // PushLabels) with a one-shot timer after the breaker cooldown as the
 // quiet-session fallback, so a session with no further traffic still
 // heals once the fault clears.
-func (s *Session) fineTuneDone(err error) {
+func (s *Session) fineTuneDone(ctx context.Context, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ftInFlight = false
@@ -477,13 +505,17 @@ func (s *Session) fineTuneDone(err error) {
 		} else {
 			s.state = StateMonitoring
 		}
+		mFTByVec.With(clusterLabel(s.asg.Cluster), "failed").Inc()
+		s.record(ctx, evFTFailed, "cluster=%d err=%v degraded=true", s.asg.Cluster, err)
 		s.scheduleHealLocked()
 		return
 	}
 	s.personalized = true
 	s.degraded = false
 	s.state = StateMonitoring
-	_, _ = s.tryFineTuneLocked()
+	mFTByVec.With(clusterLabel(s.asg.Cluster), "ok").Inc()
+	s.record(ctx, evFTOK, "cluster=%d", s.asg.Cluster)
+	_, _ = s.tryFineTuneLocked(ctx)
 }
 
 // scheduleHealLocked arms the session's one self-heal timer: a retry of
@@ -504,7 +536,7 @@ func (s *Session) scheduleHealLocked() {
 		if s.state == StateClosed {
 			return
 		}
-		_, _ = s.tryFineTuneLocked()
+		_, _ = s.tryFineTuneLocked(context.Background())
 	})
 }
 
@@ -565,6 +597,13 @@ type SessionStatus struct {
 
 	Monitor   *edge.MonitorStats `json:"monitor,omitempty"`
 	LastEvent *edge.Event        `json:"last_event,omitempty"`
+
+	// Events is the session's flight recorder: a bounded, ordered ring of
+	// lifecycle events (assignment, fine-tune attempts, breaker
+	// transitions, sanitisation hits, drift verdicts, re-assignments,
+	// snapshot restores), each correlated with the request or job trace
+	// that caused it.
+	Events []FlightEvent `json:"events,omitempty"`
 }
 
 // Status snapshots the session.
@@ -601,5 +640,6 @@ func (s *Session) Status() SessionStatus {
 		ms := s.mon.Stats()
 		st.Monitor = &ms
 	}
+	st.Events = s.flight.events()
 	return st
 }

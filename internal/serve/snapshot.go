@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -65,6 +66,9 @@ type sessSnap struct {
 	Reassigns     int `json:"reassigns,omitempty"`
 	PrevCluster   int `json:"prev_cluster,omitempty"`
 	DriftCooldown int `json:"drift_cooldown,omitempty"`
+	// Events is the session's flight-recorder ring at snapshot time, so a
+	// post-crash timeline spans the restart (absent in older snapshots).
+	Events []FlightEvent `json:"events,omitempty"`
 }
 
 // snapHeader is the snapshot's JSON block.
@@ -128,6 +132,7 @@ func (s *Server) Snapshot(w io.Writer) error {
 		}
 		maps = append(maps, sess.maps...)
 		sess.mu.Unlock()
+		rec.Events = sess.flight.events()
 		hdr.Sessions = append(hdr.Sessions, rec)
 	}
 
@@ -235,6 +240,15 @@ func (s *Server) restoreOne(br *bufio.Reader, rec sessSnap) (*Session, error) {
 	sess.degraded = rec.Degraded
 	sess.restored = true
 	sess.created = time.Unix(rec.Created, 0)
+	// Reload the flight recorder so the session's timeline spans the
+	// restart, dump the recovered history to the structured log (this is
+	// the crash post-mortem), then record the restore itself.
+	sess.flight.seed(rec.Events)
+	lg := obs.Logger().With("session", rec.ID)
+	for _, ev := range rec.Events {
+		lg.Info("flight replay", "seq", ev.Seq, "t_ms", ev.TMS,
+			"kind", ev.Kind, "detail", ev.Detail, "trace", ev.Trace)
+	}
 	for k, v := range rec.Labels {
 		sess.labels[k] = v
 	}
@@ -273,14 +287,17 @@ func (s *Server) restoreOne(br *bufio.Reader, rec sessSnap) (*Session, error) {
 		default:
 			sess.state = StateAssigned
 		}
+		sess.record(context.Background(), evRestored, "state=%s cluster=%d labels=%d maps=%d",
+			State(rec.State), rec.Cluster, len(rec.Labels), rec.NMaps)
 		sess.mu.Lock()
-		_, _ = sess.tryFineTuneLocked()
+		_, _ = sess.tryFineTuneLocked(context.Background())
 		sess.mu.Unlock()
 	} else {
 		if State(rec.State) != StateEnrolling {
 			return nil, fmt.Errorf("%w: session %q state %d without assignment", ErrBadSnapshot, rec.ID, rec.State)
 		}
 		sess.state = StateEnrolling
+		sess.record(context.Background(), evRestored, "state=%s maps=%d", StateEnrolling, rec.NMaps)
 	}
 	return sess, nil
 }
