@@ -1,0 +1,419 @@
+// Command clear-bench records the repo's performance trajectory. It trains
+// a small pipeline, drives a serving wave through the real Server (the
+// same executor/batching/stage-attribution path production requests take),
+// times the hot kernels in isolation, and writes a machine-readable report
+// (schema "clear-bench/1") meant to be committed as BENCH_PR<N>.json.
+//
+// CI re-runs the harness on every change and compares the fresh serving
+// throughput against the newest committed baseline: a drop of more than
+// -tolerance (default 10%) fails the build, so perf regressions surface in
+// review instead of in production, and the committed BENCH_*.json files
+// form the recorded benchmark trajectory of the project.
+//
+// Usage:
+//
+//	clear-bench [-out BENCH_PR6.json] [-against path|auto] [-tolerance 0.10]
+//	            [-quick] [-seed 17]
+//
+// -against auto globs BENCH_*.json next to -out and compares against the
+// lexically newest one that is not -out itself; "none" (or an empty flag)
+// skips the gate and only records.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/wemac"
+)
+
+// Report is the committed benchmark record. Field names are the contract:
+// CI's regression gate and future clear-bench runs parse them, so renames
+// are schema changes (bump "schema").
+type Report struct {
+	Schema string     `json:"schema"`
+	Meta   MetaInfo   `json:"meta"`
+	Serve  ServeBench `json:"serve"`
+	Micro  MicroBench `json:"micro"`
+}
+
+type MetaInfo struct {
+	Go         string `json:"go"`
+	Commit     string `json:"commit"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick,omitempty"`
+}
+
+// ServeBench is the end-to-end serving wave: real sessions, real executor
+// batching, stage attribution on.
+type ServeBench struct {
+	Windows              int                `json:"windows"`
+	ElapsedSec           float64            `json:"elapsed_sec"`
+	WindowsPerSec        float64            `json:"windows_per_sec"`
+	WindowsPerSecPerCore float64            `json:"windows_per_sec_per_core"`
+	P50US                float64            `json:"p50_us"`
+	P95US                float64            `json:"p95_us"`
+	P99US                float64            `json:"p99_us"`
+	AllocsPerWindow      float64            `json:"allocs_per_window"`
+	StageMedianUS        map[string]float64 `json:"stage_median_us"`
+}
+
+// MicroBench isolates the kernels the serving numbers decompose into.
+type MicroBench struct {
+	Matmul64NS     float64 `json:"matmul64_ns"`
+	Matmul64GFLOPS float64 `json:"matmul64_gflops"`
+	ForwardFP32NS  float64 `json:"forward_fp32_ns"`
+	ForwardInt8NS  float64 `json:"forward_int8_ns"`
+	VecHotPathNS   float64 `json:"vec_hot_path_ns"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_PR6.json", "report output path")
+		against   = flag.String("against", "auto", "baseline to gate against: path, auto, or none")
+		tolerance = flag.Float64("tolerance", 0.10, "max allowed windows_per_sec_per_core drop")
+		quick     = flag.Bool("quick", false, "smaller wave (smoke-testing the harness, not for committed baselines)")
+		seed      = flag.Int64("seed", 17, "pipeline training seed")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Schema: "clear-bench/1",
+		Meta: MetaInfo{
+			Go:         runtime.Version(),
+			Commit:     vcsCommit(),
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Quick:      *quick,
+		},
+	}
+
+	fmt.Println("clear-bench: training pipeline...")
+	pipe, users := buildFixture(*seed)
+	fmt.Printf("clear-bench: %d clusters, %d held-out users\n", pipe.Cfg.K, len(users))
+
+	rep.Serve = serveWave(pipe, users, *quick)
+	rep.Micro = microBench(pipe, users)
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	die(err)
+	js = append(js, '\n')
+	die(os.WriteFile(*out, js, 0o644))
+	fmt.Printf("clear-bench: wrote %s\n%s", *out, js)
+
+	if *against == "" || *against == "none" {
+		return
+	}
+	basePath := *against
+	if basePath == "auto" {
+		basePath = newestBaseline(*out)
+		if basePath == "" {
+			fmt.Println("clear-bench: no committed baseline found; gate skipped")
+			return
+		}
+	}
+	die(gate(basePath, rep, *tolerance))
+}
+
+// buildFixture trains the same small pipeline the serve test suite uses
+// (deterministic, seconds not minutes) and returns held-out users from a
+// disjoint generator seed so the wave is a genuine cold-start.
+func buildFixture(seed int64) (*core.Pipeline, []*wemac.UserMaps) {
+	ecfg := features.ExtractorConfig{WindowSec: 8, Windows: 4}
+	train := wemac.Generate(wemac.Config{
+		ArchetypeSizes:     []int{3, 3, 2, 2},
+		TrialsPerVolunteer: 6,
+		TrialSec:           30,
+		Seed:               seed,
+	})
+	users, err := wemac.ExtractAll(train, ecfg)
+	die(err)
+	cfg := core.Config{
+		K: 4, SubK: 2,
+		Extractor: ecfg,
+		Model: nn.ModelConfig{
+			Conv1: 2, Conv2: 4,
+			K1H: 5, K1W: 3, K2H: 3, K2W: 3, Pool1: 4, Pool2: 3,
+			LSTMHidden: 12, Dropout: 0.1, Classes: 2, Seed: 1,
+		},
+		Train:        nn.TrainConfig{Epochs: 4, BatchSize: 16, LR: 3e-3, GradClip: 5, ValFrac: 0.15, Patience: 3, Seed: 1},
+		FineTune:     nn.TrainConfig{Epochs: 2, BatchSize: 8, LR: 1e-3, GradClip: 5, Seed: 1},
+		Cluster:      cluster.Options{Restarts: 4, MaxIter: 50},
+		RefineRounds: 2, RefineSampleFrac: 0.8, Seed: 1,
+	}
+	pipe, err := core.Train(users, cfg)
+	die(err)
+	held := wemac.Generate(wemac.Config{
+		ArchetypeSizes:     []int{2, 2, 2, 2},
+		TrialsPerVolunteer: 10,
+		TrialSec:           30,
+		Seed:               seed + 6,
+	})
+	heldUsers, err := wemac.ExtractAll(held, ecfg)
+	die(err)
+	return pipe, heldUsers
+}
+
+// serveWave streams every held-out user's windows through a real Server
+// and measures per-window latency at the call site. The first pass warms
+// caches and JIT-like lazies (metric children, executor goroutines); the
+// registry is reset between passes so the stage medians describe only the
+// measured wave.
+func serveWave(pipe *core.Pipeline, users []*wemac.UserMaps, quick bool) ServeBench {
+	passes := 3
+	if quick {
+		passes = 1
+	}
+
+	srv, err := serve.New(pipe, serve.Config{
+		MaxDelay:    500 * time.Microsecond,
+		SLODisabled: true, // the tracker diffs cumulative counters; the reset below would skew it
+	})
+	die(err)
+	defer srv.Shutdown()
+
+	fmt.Println("clear-bench: warmup pass...")
+	runPass(srv, users)
+	obs.Default().Reset()
+
+	fmt.Printf("clear-bench: measuring %d passes...\n", passes)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var lats []time.Duration
+	for p := 0; p < passes; p++ {
+		lats = append(lats, runPass(srv, users)...)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	n := len(lats)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	wps := float64(n) / elapsed.Seconds()
+	return ServeBench{
+		Windows:              n,
+		ElapsedSec:           elapsed.Seconds(),
+		WindowsPerSec:        wps,
+		WindowsPerSecPerCore: wps / float64(runtime.GOMAXPROCS(0)),
+		P50US:                float64(quantile(lats, 0.50).Microseconds()),
+		P95US:                float64(quantile(lats, 0.95).Microseconds()),
+		P99US:                float64(quantile(lats, 0.99).Microseconds()),
+		AllocsPerWindow:      float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		StageMedianUS:        stageMedians(),
+	}
+}
+
+// runPass drives one full pass of every user through fresh sessions and
+// returns the per-window latencies.
+func runPass(srv *serve.Server, users []*wemac.UserMaps) []time.Duration {
+	ctx := context.Background()
+	var lats []time.Duration
+	for _, u := range users {
+		sess, err := srv.CreateSession(u.ID, len(u.Maps), 0.1)
+		die(err)
+		for _, lm := range u.Maps {
+			t0 := time.Now()
+			_, err := sess.PushWindowCtx(ctx, lm.Map)
+			lats = append(lats, time.Since(t0))
+			die(err)
+		}
+		die(srv.CloseSession(sess.ID()))
+	}
+	return lats
+}
+
+// stageMedians estimates the per-stage median from the
+// serve.stage_latency_us histogram family, merging cluster children.
+// Resolution is one exponential bucket (×2), which is plenty to see a
+// stage regress.
+func stageMedians() map[string]float64 {
+	vec := obs.GetHistogramVec("serve.stage_latency_us", obs.ExpBuckets(1, 2, 26), "stage", "cluster")
+	type merged struct {
+		counts []int64
+		bounds []float64
+		total  int64
+	}
+	byStage := map[string]*merged{}
+	vec.Each(func(values []string, h *obs.Histogram) {
+		bounds, counts := h.Buckets()
+		m := byStage[values[0]]
+		if m == nil {
+			m = &merged{counts: make([]int64, len(counts)), bounds: bounds}
+			byStage[values[0]] = m
+		}
+		for i, c := range counts {
+			m.counts[i] += c
+			m.total += c
+		}
+	})
+	out := map[string]float64{}
+	for stage, m := range byStage {
+		if m.total == 0 {
+			continue
+		}
+		var cum int64
+		for i, c := range m.counts {
+			cum += c
+			if cum*2 >= m.total {
+				if i < len(m.bounds) {
+					out[stage] = m.bounds[i]
+				} else {
+					out[stage] = m.bounds[len(m.bounds)-1] * 2 // overflow bucket
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// microBench times the kernels underneath the serving numbers.
+func microBench(pipe *core.Pipeline, users []*wemac.UserMaps) MicroBench {
+	var mb MicroBench
+
+	// 64×64×64 matmul: the dense-kernel floor for everything above it.
+	a, b := tensor.New(64, 64), tensor.New(64, 64)
+	for i := range a.Data {
+		a.Data[i] = float64(i%13) * 0.1
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i%7) * 0.2
+	}
+	mb.Matmul64NS = timeIt(200, func() { a.MatMul(b) })
+	mb.Matmul64GFLOPS = (2 * 64 * 64 * 64) / mb.Matmul64NS
+
+	// Forward pass on the trained fp32 model vs its int8 edge deployment.
+	x := users[0].Maps[0].Map
+	m := pipe.Models[0]
+	mb.ForwardFP32NS = timeIt(100, func() { m.Probabilities(x) })
+	dep := edge.Deploy(m, edge.CoralTPU())
+	mb.ForwardInt8NS = timeIt(100, func() { dep.Model.Probabilities(x) })
+
+	// Labeled-counter hot path (per-request metric cost), on a private
+	// registry so the serving families stay untouched.
+	reg := obs.NewRegistry()
+	cv := reg.CounterVec("bench_hot", []string{"endpoint", "code"})
+	mb.VecHotPathNS = timeIt(2_000_000, func() { cv.With("windows", "200").Inc() })
+	return mb
+}
+
+// timeIt returns ns/op over n iterations (one untimed warmup call).
+func timeIt(n int, f func()) float64 {
+	f()
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// quantile returns the q-th latency from sorted samples (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// newestBaseline picks the lexically newest BENCH_*.json sibling of out,
+// excluding out itself (the file this run is about to write).
+func newestBaseline(out string) string {
+	dir := filepath.Dir(out)
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	sort.Strings(matches)
+	outAbs, _ := filepath.Abs(out)
+	for i := len(matches) - 1; i >= 0; i-- {
+		mAbs, _ := filepath.Abs(matches[i])
+		if mAbs != outAbs {
+			return matches[i]
+		}
+	}
+	return ""
+}
+
+// gate compares fresh serving throughput against the committed baseline
+// and errors when the drop exceeds tolerance. Sub-metric deltas are
+// reported informationally: micro-benchmarks are noisier than the wave
+// and machine-dependent, so only the headline number gates.
+func gate(basePath string, rep Report, tolerance float64) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", basePath, err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", basePath, err)
+	}
+	if base.Schema != rep.Schema {
+		return fmt.Errorf("baseline %s has schema %q, this build emits %q", basePath, base.Schema, rep.Schema)
+	}
+
+	oldT, newT := base.Serve.WindowsPerSecPerCore, rep.Serve.WindowsPerSecPerCore
+	delta := (newT - oldT) / oldT
+	fmt.Printf("clear-bench: gate vs %s: windows/s/core %.1f -> %.1f (%+.1f%%, tolerance -%.0f%%)\n",
+		basePath, oldT, newT, 100*delta, 100*tolerance)
+	for name, pair := range map[string][2]float64{
+		"p99_us":          {base.Serve.P99US, rep.Serve.P99US},
+		"allocs_per_win":  {base.Serve.AllocsPerWindow, rep.Serve.AllocsPerWindow},
+		"matmul64_ns":     {base.Micro.Matmul64NS, rep.Micro.Matmul64NS},
+		"forward_fp32_ns": {base.Micro.ForwardFP32NS, rep.Micro.ForwardFP32NS},
+		"vec_hot_path_ns": {base.Micro.VecHotPathNS, rep.Micro.VecHotPathNS},
+	} {
+		if pair[0] > 0 {
+			fmt.Printf("clear-bench:   %-16s %.0f -> %.0f (%+.1f%%)\n",
+				name, pair[0], pair[1], 100*(pair[1]-pair[0])/pair[0])
+		}
+	}
+	if oldT > 0 && newT < oldT*(1-tolerance) {
+		return fmt.Errorf("throughput regression: windows/s/core dropped %.1f%% (> %.0f%% tolerance) vs %s",
+			-100*delta, 100*tolerance, basePath)
+	}
+	fmt.Println("clear-bench: gate passed")
+	return nil
+}
+
+// vcsCommit returns the short VCS revision when the binary carries build
+// info ("unknown" under go run, which skips VCS stamping).
+func vcsCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	return "unknown"
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clear-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -210,6 +211,76 @@ type chaosTally struct {
 	reclosed bool // ...and later observed closed again
 }
 
+// loadgenReport is the -json machine-readable mirror of the closed-loop
+// report. It shares the clear-bench conventions (a "schema" discriminator,
+// a "serve" block with windows_per_sec / p50_us-style keys) so one parser
+// handles both artifacts in CI.
+type loadgenReport struct {
+	Schema string `json:"schema"` // "clear-loadgen/1"
+	Meta   struct {
+		Go          string `json:"go"`
+		Addr        string `json:"addr"`
+		Users       int    `json:"users"`
+		Concurrency int    `json:"concurrency"`
+		Trials      int    `json:"trials"`
+		Seed        int64  `json:"seed"`
+		Chaos       bool   `json:"chaos,omitempty"`
+		DriftUsers  int    `json:"drift_users,omitempty"`
+	} `json:"meta"`
+	Serve struct {
+		Windows       int     `json:"windows"`
+		ElapsedSec    float64 `json:"elapsed_sec"`
+		WindowsPerSec float64 `json:"windows_per_sec"`
+		P50US         float64 `json:"p50_us"`
+		P95US         float64 `json:"p95_us"`
+		P99US         float64 `json:"p99_us"`
+		MaxUS         float64 `json:"max_us"`
+		ShedsClient   int64   `json:"sheds_client"`
+		ShedsServer   int64   `json:"sheds_server"`
+	} `json:"serve"`
+	Lifecycle struct {
+		Completed        int     `json:"completed"`
+		Personalized     int     `json:"personalized"`
+		MeanLifecycleSec float64 `json:"mean_lifecycle_sec"`
+		AssignAccPct     float64 `json:"assign_acc_pct"`
+		MonitorAccPct    float64 `json:"monitor_acc_pct"`
+		MonitoredWindows int     `json:"monitored_windows"`
+		Reassigned       int     `json:"reassigned_sessions,omitempty"`
+		Flapped          int     `json:"flapped_sessions,omitempty"`
+	} `json:"lifecycle"`
+	Tracing *struct {
+		Sent        int64 `json:"sent"`
+		Mismatches  int64 `json:"mismatches"`
+		ErrResolved int64 `json:"err_resolved"`
+		ErrMissing  int64 `json:"err_missing"`
+	} `json:"tracing,omitempty"`
+	SLO  []sloVerdict `json:"slo"`
+	Pass bool         `json:"pass"`
+}
+
+// sloVerdict is one named pass/fail check from the run's SLO gate.
+type sloVerdict struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// writeReport emits the -json artifact ("-" = stdout).
+func writeReport(path string, rep *loadgenReport) {
+	js, err := json.MarshalIndent(rep, "", "  ")
+	die(err)
+	js = append(js, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(js)
+	} else {
+		err = os.WriteFile(path, js, 0o644)
+		if err == nil {
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	die(err)
+}
+
 // userResult is one simulated user's outcome.
 type userResult struct {
 	ok           bool
@@ -248,6 +319,8 @@ func main() {
 		driftUsers     = flag.Int("driftusers", 0, "turn the first N users into drift personas (archetype migrates mid-stream)")
 		driftStart     = flag.Float64("driftstart", 0.35, "stream fraction at which drift personas start migrating")
 		expectReassign = flag.Bool("expectreassign", false, "chaos: require ≥1 detector re-assignment, and no session to flap")
+
+		jsonOut = flag.String("json", "", "write the closed-loop report as machine-readable JSON to this path ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -455,6 +528,40 @@ func main() {
 	sort.Float64s(latencies)
 	latMu.Unlock()
 	nw := len(latencies)
+
+	rep := &loadgenReport{Schema: "clear-loadgen/1"}
+	rep.Meta.Go = runtime.Version()
+	rep.Meta.Addr = *addr
+	rep.Meta.Users = *users
+	rep.Meta.Concurrency = *conc
+	rep.Meta.Trials = *trials
+	rep.Meta.Seed = *seed
+	rep.Meta.Chaos = *chaos
+	rep.Meta.DriftUsers = *driftUsers
+	rep.Serve.Windows = nw
+	rep.Serve.ElapsedSec = elapsed.Seconds()
+	rep.Serve.WindowsPerSec = float64(nw) / elapsed.Seconds()
+	if nw > 0 {
+		rep.Serve.P50US = 1000 * quantile(latencies, 0.50)
+		rep.Serve.P95US = 1000 * quantile(latencies, 0.95)
+		rep.Serve.P99US = 1000 * quantile(latencies, 0.99)
+		rep.Serve.MaxUS = 1000 * latencies[nw-1]
+	}
+	rep.Serve.ShedsClient = sheds
+	rep.Serve.ShedsServer = stats.Shed
+	rep.Lifecycle.Completed = completed
+	rep.Lifecycle.Personalized = personalized
+	rep.Lifecycle.MeanLifecycleSec = lifecycleSum / math.Max(1, float64(completed))
+	rep.Lifecycle.MonitoredWindows = monitored
+	if monitored > 0 {
+		rep.Lifecycle.MonitorAccPct = 100 * float64(correct) / float64(monitored)
+	}
+	rep.Lifecycle.Reassigned = reassignedSessions
+	rep.Lifecycle.Flapped = flapped
+	verdict := func(name string, pass bool, detail string) {
+		rep.SLO = append(rep.SLO, sloVerdict{Name: name, Pass: pass, Detail: detail})
+	}
+
 	fmt.Printf("\n── loadgen report ──\n")
 	fmt.Printf("users            %d/%d lifecycles completed (%.1f sessions/sec)\n",
 		completed, *users, float64(completed)/elapsed.Seconds())
@@ -495,12 +602,21 @@ func main() {
 			fmt.Println("TRACE FAIL: every traced response must echo its trace id and every traced error must resolve via /v1/traces")
 			traceFailed = true
 		}
+		rep.Tracing = &struct {
+			Sent        int64 `json:"sent"`
+			Mismatches  int64 `json:"mismatches"`
+			ErrResolved int64 `json:"err_resolved"`
+			ErrMissing  int64 `json:"err_missing"`
+		}{sent, mm, res, miss}
+		verdict("trace_roundtrip", !traceFailed,
+			fmt.Sprintf("%d traced, %d mismatches, %d unresolvable error traces", sent, mm, miss))
 	}
 
 	assignAcc := 100.0
 	if completed > 0 {
 		assignAcc = 100 * float64(assignedRight) / float64(completed)
 	}
+	rep.Lifecycle.AssignAccPct = assignAcc
 	if *chaos {
 		tally.mu.Lock()
 		fmt.Printf("\n── chaos report ──\n")
@@ -514,22 +630,33 @@ func main() {
 		fmt.Printf("breakers         final %v (open seen: %v, re-closed: %v)\n",
 			stats.Breakers, tally.sawOpen, tally.reclosed)
 		failed := false
-		if n := atomic.LoadInt64(&srvErrs); n > 0 {
+		n := atomic.LoadInt64(&srvErrs)
+		if n > 0 {
 			fmt.Printf("SLO FAIL: %d unexpected 5xx server errors\n", n)
 			failed = true
 		}
+		verdict("no_5xx", n == 0, fmt.Sprintf("%d unexpected 5xx responses", n))
 		if completed < *users {
 			fmt.Printf("SLO FAIL: only %d/%d lifecycles completed under fault load\n", completed, *users)
 			failed = true
 		}
+		verdict("lifecycles_complete", completed >= *users,
+			fmt.Sprintf("%d/%d completed", completed, *users))
 		if assignAcc < *accFloor {
 			fmt.Printf("SLO FAIL: assignment accuracy %.0f%% below floor %.0f%%\n", assignAcc, *accFloor)
 			failed = true
 		}
-		if *expectBreaker && !(tally.sawOpen && tally.reclosed) {
-			fmt.Printf("SLO FAIL: no breaker open→re-close cycle observed (open %v, reclosed %v)\n",
-				tally.sawOpen, tally.reclosed)
-			failed = true
+		verdict("assign_accuracy", assignAcc >= *accFloor,
+			fmt.Sprintf("%.0f%% vs floor %.0f%%", assignAcc, *accFloor))
+		if *expectBreaker {
+			cycled := tally.sawOpen && tally.reclosed
+			if !cycled {
+				fmt.Printf("SLO FAIL: no breaker open→re-close cycle observed (open %v, reclosed %v)\n",
+					tally.sawOpen, tally.reclosed)
+				failed = true
+			}
+			verdict("breaker_cycle", cycled,
+				fmt.Sprintf("open seen %v, re-closed %v", tally.sawOpen, tally.reclosed))
 		}
 		if *expectReassign {
 			if reassignedSessions < 1 {
@@ -540,15 +667,27 @@ func main() {
 				fmt.Printf("SLO FAIL: %d sessions flapped (re-assigned more than once)\n", flapped)
 				failed = true
 			}
+			verdict("drift_reassign", reassignedSessions >= 1 && flapped == 0,
+				fmt.Sprintf("%d re-assigned, %d flapped", reassignedSessions, flapped))
 		}
 		tally.mu.Unlock()
-		if failed || traceFailed {
+		rep.Pass = !failed && !traceFailed
+		if *jsonOut != "" {
+			writeReport(*jsonOut, rep)
+		}
+		if !rep.Pass {
 			os.Exit(1)
 		}
 		fmt.Println("all chaos SLOs held")
 		return
 	}
-	if completed < *users || traceFailed {
+	verdict("lifecycles_complete", completed >= *users,
+		fmt.Sprintf("%d/%d completed", completed, *users))
+	rep.Pass = completed >= *users && !traceFailed
+	if *jsonOut != "" {
+		writeReport(*jsonOut, rep)
+	}
+	if !rep.Pass {
 		os.Exit(1)
 	}
 }

@@ -15,6 +15,10 @@
 //	            [-fault-corrupt F] [-infertimeout D]
 //	            [-drift-window N] [-drift-threshold F] [-drift-consecutive N]
 //	            [-drift-cooldown N] [-drift-off]
+//	            [-slo-off] [-slo-availability F] [-slo-p99us F] [-slo-lattarget F]
+//	            [-slo-short D] [-slo-long D] [-slo-interval D] [-slo-fastburn F]
+//	            [-slo-minevents N] [-profdir DIR] [-profmax N] [-profcpu D]
+//	            [-profgap D] [-runtimesample D]
 //
 // -snapshot enables crash-safe session recovery: the registry is restored
 // from the file at boot (if present), persisted every -snapinterval, and
@@ -24,9 +28,12 @@
 // (internal/serve/drift.go); -drift-off disables it entirely.
 //
 // The observability surface (/metrics, /debug/pprof, /debug/vars,
-// /debug/spans, /v1/traces/{id}) shares the API mux — no separate -obs
-// port needed. Structured request logs (JSON, trace-correlated) go to
-// stderr at -loglevel and above.
+// /debug/spans, /v1/traces/{id}, /v1/slo) shares the API mux — no separate
+// -obs port needed. Structured request logs (JSON, trace-correlated) go to
+// stderr at -loglevel and above. The -slo-* flags tune the multi-window
+// burn-rate tracker served at /v1/slo; -profdir arms triggered pprof
+// capture — a fast burn writes a CPU+heap profile pair into a bounded
+// on-disk ring and stamps an always-kept "slo.breach" trace.
 package main
 
 import (
@@ -81,6 +88,22 @@ func main() {
 		driftConsecutive = flag.Int("drift-consecutive", 4, "consecutive positives that raise a drift verdict")
 		driftCooldown    = flag.Int("drift-cooldown", 64, "post-re-assignment flap-suppression cooldown in windows")
 		driftOff         = flag.Bool("drift-off", false, "disable the self-healing assignment detector")
+
+		sloOff       = flag.Bool("slo-off", false, "disable the burn-rate SLO tracker")
+		sloAvail     = flag.Float64("slo-availability", 0, "availability objective (e.g. 0.999; 0 = default)")
+		sloP99US     = flag.Float64("slo-p99us", 0, "latency objective bound in µs (0 = default 262144)")
+		sloLatTarget = flag.Float64("slo-lattarget", 0, "fraction of requests that must beat the bound (0 = default 0.99)")
+		sloShort     = flag.Duration("slo-short", 0, "fast-burn short window (0 = default 30s)")
+		sloLong      = flag.Duration("slo-long", 0, "fast-burn long window (0 = default 5m)")
+		sloInterval  = flag.Duration("slo-interval", 0, "tracker sampling interval (0 = default 1s)")
+		sloFastBurn  = flag.Float64("slo-fastburn", 0, "burn-rate multiple that counts as fast (0 = default 10)")
+		sloMinEvents = flag.Int64("slo-minevents", 0, "short-window event floor before a verdict (0 = default 10)")
+
+		profDir    = flag.String("profdir", "", "triggered-profile capture directory (empty = capture off)")
+		profMax    = flag.Int("profmax", 0, "capture ring size in cpu+heap pairs (0 = default 8)")
+		profCPU    = flag.Duration("profcpu", 0, "CPU profile duration per capture (0 = default 250ms)")
+		profGap    = flag.Duration("profgap", 0, "minimum gap between captures (0 = default 10s)")
+		sampleRate = flag.Duration("runtimesample", time.Second, "runtime-vitals sampling interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -143,6 +166,21 @@ func main() {
 		DriftConsecutive: *driftConsecutive,
 		DriftCooldown:    *driftCooldown,
 		DriftDisabled:    *driftOff,
+
+		SLODisabled:       *sloOff,
+		SLOAvailability:   *sloAvail,
+		SLOLatencyBoundUS: *sloP99US,
+		SLOLatencyTarget:  *sloLatTarget,
+		SLOShortWindow:    *sloShort,
+		SLOLongWindow:     *sloLong,
+		SLOInterval:       *sloInterval,
+		SLOFastBurn:       *sloFastBurn,
+		SLOMinEvents:      *sloMinEvents,
+
+		ProfileDir:    *profDir,
+		ProfileMax:    *profMax,
+		ProfileCPUDur: *profCPU,
+		ProfileMinGap: *profGap,
 	})
 	die(err)
 	if arch != nil {
@@ -154,6 +192,16 @@ func main() {
 		if n > 0 {
 			fmt.Printf("restored %d sessions from %s\n", n, *snapPath)
 		}
+	}
+
+	// Runtime vitals (heap, GC pauses, goroutines, scheduler latency) plus
+	// the tensor kernel op counters, on one cadence, into /metrics.
+	var sampler *obs.RuntimeSampler
+	if *sampleRate > 0 {
+		sampler = obs.StartRuntimeSampler(*sampleRate, serve.KernelSampleHook())
+	}
+	if *profDir != "" {
+		fmt.Printf("triggered profile capture armed: dir %s\n", *profDir)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -171,6 +219,7 @@ func main() {
 	fmt.Println("\ndraining...")
 	_ = hs.Close()
 	srv.Shutdown()
+	sampler.Stop()
 	fmt.Println("\n── span tree ──")
 	fmt.Println(obs.SpanTree())
 	fmt.Println("\n── metrics ──")

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -123,6 +125,52 @@ func (m *Model) ProbabilitiesBatch(xs []*tensor.Tensor) [][]float64 {
 		out[i] = m.Probabilities(x)
 	}
 	return out
+}
+
+// BatchTiming is the wall-clock split of one batched inference pass, used
+// by the serving layer's stage-latency attribution: Quant is the time
+// spent in activation-quantisation layers (int8/fp16 deployments insert
+// them; zero for fp32 models), Total the whole pass.
+type BatchTiming struct {
+	Total time.Duration
+	Quant time.Duration
+}
+
+// ProbabilitiesBatchTimed is ProbabilitiesBatch plus a BatchTiming split.
+// The layer classification is computed once per call (Name() allocates),
+// and per-layer clocks are only read around quantisation layers, so the
+// overhead over ProbabilitiesBatch is two time reads per quant layer per
+// sample — noise next to the matmuls. Same concurrency contract as
+// ProbabilitiesBatch.
+func (m *Model) ProbabilitiesBatchTimed(xs []*tensor.Tensor) ([][]float64, BatchTiming) {
+	t0 := time.Now()
+	hasQuant := false
+	isQuant := make([]bool, len(m.Layers))
+	for j, l := range m.Layers {
+		if strings.HasPrefix(l.Name(), "ActQuant") {
+			isQuant[j] = true
+			hasQuant = true
+		}
+	}
+	out := make([][]float64, len(xs))
+	var quant time.Duration
+	for i, x := range xs {
+		if !hasQuant {
+			out[i] = m.Probabilities(x)
+			continue
+		}
+		for j, l := range m.Layers {
+			if isQuant[j] {
+				q0 := time.Now()
+				x = l.Forward(x, false)
+				quant += time.Since(q0)
+			} else {
+				x = l.Forward(x, false)
+			}
+		}
+		out[i] = Softmax(x.Data)
+	}
+	return out, BatchTiming{Total: time.Since(t0), Quant: quant}
 }
 
 // CloneWeightsTo copies m's weights into dst, which must have an identical

@@ -203,6 +203,35 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.Max()
 }
 
+// Buckets snapshots the histogram's bucket layout: bounds are the
+// inclusive upper edges and counts has len(bounds)+1 entries, the last
+// being the overflow bucket. The SLO tracker diffs successive snapshots to
+// compute windowed latency-threshold rates, and clear-bench merges
+// snapshots across vec children to report stage medians.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return bounds, counts
+}
+
+// CumulativeCount returns the number of observations in buckets whose
+// upper edge is ≤ le — i.e. observations known to be ≤ le at bucket
+// resolution. Used for latency-SLO "good event" counting, where le is
+// chosen to coincide with a bucket edge.
+func (h *Histogram) CumulativeCount(le float64) int64 {
+	var n int64
+	for i, b := range h.bounds {
+		if b > le {
+			return n
+		}
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
 func (h *Histogram) reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)

@@ -1,0 +1,182 @@
+package obs
+
+// Triggered pprof capture into a bounded on-disk ring. When the SLO
+// tracker detects a fast burn it calls Capture, which writes a short CPU
+// profile and a heap profile to the capture directory, records the pair
+// in an in-memory ring, and deletes the oldest pair once the ring is
+// full — so an unattended edge box keeps the last few incidents' worth
+// of profiles without ever growing the disk footprint. A minimum gap
+// between captures and a single-flight guard keep a sustained burn from
+// turning into a profile storm.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProfileCapture describes one captured profile pair.
+type ProfileCapture struct {
+	Seq      int64  `json:"seq"`
+	TMS      int64  `json:"t_ms"`
+	Reason   string `json:"reason"`
+	CPUFile  string `json:"cpu_file,omitempty"`
+	HeapFile string `json:"heap_file,omitempty"`
+	Err      string `json:"error,omitempty"`
+}
+
+// ProfileCapturer owns the capture directory and the ring. Create with
+// NewProfileCapturer.
+type ProfileCapturer struct {
+	dir     string
+	max     int
+	cpuDur  time.Duration
+	minGap  time.Duration
+	busy    atomic.Bool
+	mu      sync.Mutex
+	seq     int64
+	lastCap time.Time
+	ring    []ProfileCapture
+}
+
+// NewProfileCapturer prepares a capturer writing to dir (created if
+// missing), keeping at most max capture pairs (default 8), with CPU
+// profiles of cpuDur (default 250ms, clamped to 5s).
+func NewProfileCapturer(dir string, max int, cpuDur time.Duration) (*ProfileCapturer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("profcap: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profcap: %w", err)
+	}
+	if max < 1 {
+		max = 8
+	}
+	if cpuDur <= 0 {
+		cpuDur = 250 * time.Millisecond
+	}
+	if cpuDur > 5*time.Second {
+		cpuDur = 5 * time.Second
+	}
+	return &ProfileCapturer{dir: dir, max: max, cpuDur: cpuDur, minGap: 10 * time.Second}, nil
+}
+
+// SetMinGap adjusts the minimum spacing between captures (storm guard).
+// Call at setup time.
+func (p *ProfileCapturer) SetMinGap(d time.Duration) {
+	if p == nil || d < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.minGap = d
+	p.mu.Unlock()
+}
+
+// Dir returns the capture directory.
+func (p *ProfileCapturer) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.dir
+}
+
+// Capture writes one CPU+heap profile pair tagged with reason and returns
+// its record. It blocks for the CPU profile duration. Calls arriving
+// while a capture is in flight, or sooner than the minimum gap after the
+// last one, return ok=false without touching the disk. Nil-safe.
+func (p *ProfileCapturer) Capture(reason string) (ProfileCapture, bool) {
+	if p == nil {
+		return ProfileCapture{}, false
+	}
+	if !p.busy.CompareAndSwap(false, true) {
+		return ProfileCapture{}, false
+	}
+	defer p.busy.Store(false)
+
+	p.mu.Lock()
+	if !p.lastCap.IsZero() && time.Since(p.lastCap) < p.minGap {
+		p.mu.Unlock()
+		return ProfileCapture{}, false
+	}
+	p.seq++
+	rec := ProfileCapture{Seq: p.seq, TMS: time.Now().UnixMilli(), Reason: reason}
+	p.lastCap = time.Now()
+	p.mu.Unlock()
+
+	base := fmt.Sprintf("capture-%06d", rec.Seq)
+	cpuPath := filepath.Join(p.dir, base+".cpu.pprof")
+	heapPath := filepath.Join(p.dir, base+".heap.pprof")
+
+	if err := p.writeCPU(cpuPath); err != nil {
+		// CPU profiling may already be active (e.g. /debug/pprof/profile in
+		// flight); keep the heap profile rather than failing the capture.
+		rec.Err = err.Error()
+	} else {
+		rec.CPUFile = cpuPath
+	}
+	if err := p.writeHeap(heapPath); err != nil {
+		if rec.Err != "" {
+			rec.Err += "; "
+		}
+		rec.Err += err.Error()
+	} else {
+		rec.HeapFile = heapPath
+	}
+
+	p.mu.Lock()
+	p.ring = append(p.ring, rec)
+	for len(p.ring) > p.max {
+		old := p.ring[0]
+		p.ring = p.ring[1:]
+		if old.CPUFile != "" {
+			os.Remove(old.CPUFile)
+		}
+		if old.HeapFile != "" {
+			os.Remove(old.HeapFile)
+		}
+	}
+	p.mu.Unlock()
+	return rec, true
+}
+
+func (p *ProfileCapturer) writeCPU(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cpu profile: %w", err)
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("cpu profile: %w", err)
+	}
+	time.Sleep(p.cpuDur)
+	pprof.StopCPUProfile()
+	return nil
+}
+
+func (p *ProfileCapturer) writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	defer f.Close()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return nil
+}
+
+// List returns the held capture records, oldest first. Nil-safe.
+func (p *ProfileCapturer) List() []ProfileCapture {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]ProfileCapture(nil), p.ring...)
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProfileCapturerWritesAndBounds(t *testing.T) {
+	dir := t.TempDir()
+	pc, err := NewProfileCapturer(dir, 2, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.SetMinGap(0)
+
+	var recs []ProfileCapture
+	for i := 0; i < 3; i++ {
+		rec, ok := pc.Capture("test")
+		if !ok {
+			t.Fatalf("capture %d suppressed", i)
+		}
+		if rec.HeapFile == "" {
+			t.Fatalf("capture %d: no heap profile (err=%q)", i, rec.Err)
+		}
+		recs = append(recs, rec)
+	}
+
+	list := pc.List()
+	if len(list) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(list))
+	}
+	if list[0].Seq != 2 || list[1].Seq != 3 {
+		t.Fatalf("ring not FIFO-evicted: %+v", list)
+	}
+	// The evicted capture's files are deleted; the survivors' exist.
+	if _, err := os.Stat(recs[0].HeapFile); !os.IsNotExist(err) {
+		t.Fatalf("evicted heap profile still on disk: %v", err)
+	}
+	for _, rec := range list {
+		if _, err := os.Stat(rec.HeapFile); err != nil {
+			t.Fatalf("held heap profile missing: %v", err)
+		}
+		if rec.CPUFile != "" {
+			st, err := os.Stat(rec.CPUFile)
+			if err != nil {
+				t.Fatalf("held cpu profile missing: %v", err)
+			}
+			if st.Size() == 0 {
+				t.Fatal("cpu profile empty")
+			}
+		}
+	}
+	// Nothing outside the ring lingers in the directory.
+	got, _ := filepath.Glob(filepath.Join(dir, "*.pprof"))
+	if len(got) > 4 {
+		t.Fatalf("directory holds %d files, want ≤ 4 (2 pairs)", len(got))
+	}
+}
+
+func TestProfileCapturerMinGap(t *testing.T) {
+	pc, err := NewProfileCapturer(t.TempDir(), 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.SetMinGap(time.Hour)
+	if _, ok := pc.Capture("first"); !ok {
+		t.Fatal("first capture suppressed")
+	}
+	if _, ok := pc.Capture("second"); ok {
+		t.Fatal("storm guard failed: second capture within min gap succeeded")
+	}
+	if n := len(pc.List()); n != 1 {
+		t.Fatalf("ring holds %d, want 1", n)
+	}
+}
+
+func TestProfileCapturerNilAndBadDir(t *testing.T) {
+	var pc *ProfileCapturer
+	if _, ok := pc.Capture("x"); ok {
+		t.Fatal("nil capturer captured")
+	}
+	if pc.List() != nil || pc.Dir() != "" {
+		t.Fatal("nil capturer not inert")
+	}
+	if _, err := NewProfileCapturer("", 1, time.Millisecond); err == nil {
+		t.Fatal("empty dir must error")
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+// Runtime health telemetry: a background sampler that publishes Go
+// runtime vitals (heap, GC pauses, goroutine count, scheduler latency)
+// into the default registry so /metrics exposes them alongside the
+// serving metrics, plus process identity gauges (build_info, uptime).
+// The SLO tracker and the triggered profile capturer lean on these: a
+// burn caused by GC pressure or scheduler starvation is visible in the
+// same scrape that shows the burn.
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// procStart anchors process_uptime_seconds. Package init runs before any
+// serving starts, which is close enough to process birth.
+var procStart = time.Now()
+
+var (
+	gGoroutines = GetGauge("runtime.goroutines")
+	gHeapAlloc  = GetGauge("runtime.heap_alloc_bytes")
+	gHeapSys    = GetGauge("runtime.heap_sys_bytes")
+	gHeapObj    = GetGauge("runtime.heap_objects")
+	gNextGC     = GetGauge("runtime.next_gc_bytes")
+	gGCCycles   = GetGauge("runtime.gc_cycles")
+	gUptime     = GetGauge("process_uptime_seconds")
+	// GC pauses are tens of µs to tens of ms; scheduler-latency probes are
+	// timer overshoots, same range.
+	hGCPauseUS = GetHistogram("runtime.gc_pause_us", ExpBuckets(1, 2, 20))
+	hSchedUS   = GetHistogram("runtime.sched_latency_us", ExpBuckets(1, 2, 20))
+)
+
+var buildInfoOnce sync.Once
+
+// PublishBuildInfo registers the build_info{goversion,commit} identity
+// gauge (constant 1, Prometheus convention) in the default registry.
+// Idempotent; called by StartRuntimeSampler and by obs.Handler so the
+// series is present in every /metrics scrape.
+func PublishBuildInfo() {
+	buildInfoOnce.Do(func() {
+		commit := "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && s.Value != "" {
+					commit = s.Value
+					if len(commit) > 12 {
+						commit = commit[:12]
+					}
+				}
+			}
+		}
+		GetGaugeVec("build_info", "goversion", "commit").
+			With(runtime.Version(), commit).Set(1)
+		gUptime.Set(time.Since(procStart).Seconds())
+	})
+}
+
+// RuntimeSampler periodically reads runtime.MemStats and publishes the
+// gauges above. Start with StartRuntimeSampler; Stop is idempotent.
+type RuntimeSampler struct {
+	interval time.Duration
+	probe    time.Duration
+	onSample []func()
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	lastNumGC uint32
+}
+
+// StartRuntimeSampler begins sampling at the given interval (default 1s
+// when non-positive). Optional onSample hooks run after each built-in
+// sample — callers use them to publish gauges the obs package cannot see
+// (e.g. tensor kernel op counters) on the same cadence.
+func StartRuntimeSampler(interval time.Duration, onSample ...func()) *RuntimeSampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &RuntimeSampler{
+		interval: interval,
+		probe:    time.Millisecond,
+		onSample: onSample,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	PublishBuildInfo()
+	s.sample()
+	go s.loop()
+	return s
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Idempotent.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.sample()
+			s.probeSched()
+		}
+	}
+}
+
+// sample publishes one MemStats reading. GC pauses are drained from the
+// PauseNs ring: only cycles newer than the previous sample are observed,
+// so each pause lands in the histogram exactly once.
+func (s *RuntimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gGoroutines.Set(float64(runtime.NumGoroutine()))
+	gHeapAlloc.Set(float64(ms.HeapAlloc))
+	gHeapSys.Set(float64(ms.HeapSys))
+	gHeapObj.Set(float64(ms.HeapObjects))
+	gNextGC.Set(float64(ms.NextGC))
+	gGCCycles.Set(float64(ms.NumGC))
+	gUptime.Set(time.Since(procStart).Seconds())
+	for gc := s.lastNumGC; gc < ms.NumGC && ms.NumGC-gc <= uint32(len(ms.PauseNs)); gc++ {
+		hGCPauseUS.Observe(float64(ms.PauseNs[gc%uint32(len(ms.PauseNs))]) / 1e3)
+	}
+	s.lastNumGC = ms.NumGC
+	for _, f := range s.onSample {
+		f()
+	}
+}
+
+// probeSched measures scheduler latency as timer overshoot: sleep for a
+// short fixed probe and record how much later than requested the
+// goroutine actually ran. Under a healthy scheduler this is tens of µs;
+// under CPU starvation it stretches to ms — exactly the signal that
+// explains a latency-SLO burn that heap gauges don't.
+func (s *RuntimeSampler) probeSched() {
+	t0 := time.Now()
+	timer := time.NewTimer(s.probe)
+	select {
+	case <-timer.C:
+		if over := time.Since(t0) - s.probe; over > 0 {
+			hSchedUS.Observe(float64(over.Microseconds()))
+		}
+	case <-s.stop:
+		timer.Stop()
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPublishesGauges(t *testing.T) {
+	s := StartRuntimeSampler(time.Millisecond, func() {
+		GetGauge("test.hook_ran").Set(1)
+	})
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+
+	if gGoroutines.Value() <= 0 {
+		t.Fatalf("runtime.goroutines = %v, want > 0", gGoroutines.Value())
+	}
+	if gHeapAlloc.Value() <= 0 {
+		t.Fatalf("runtime.heap_alloc_bytes = %v, want > 0", gHeapAlloc.Value())
+	}
+	if gUptime.Value() <= 0 {
+		t.Fatalf("process_uptime_seconds = %v, want > 0", gUptime.Value())
+	}
+	if GetGauge("test.hook_ran").Value() != 1 {
+		t.Fatal("onSample hook did not run")
+	}
+}
+
+func TestPublishBuildInfoSeries(t *testing.T) {
+	PublishBuildInfo()
+	var sb strings.Builder
+	if err := Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `build_info{`) {
+		t.Fatal("build_info series missing from render")
+	}
+	if !strings.Contains(text, `goversion="`+runtime.Version()+`"`) {
+		t.Fatalf("build_info lacks goversion label:\n%s", text)
+	}
+	if !strings.Contains(text, "process_uptime_seconds") {
+		t.Fatal("process_uptime_seconds missing from render")
+	}
+}
+
+func TestRuntimeSamplerNilStop(t *testing.T) {
+	var s *RuntimeSampler
+	s.Stop() // must not panic
+}

@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"compress/gzip"
 	"expvar"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"time"
 )
 
 // Serve starts a background HTTP server exposing the process's
@@ -34,10 +37,21 @@ func Serve(addr string) (net.Addr, error) {
 // long-running servers can mount it on their own mux instead.
 func Handler() http.Handler {
 	publishExpvar()
+	PublishBuildInfo()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Refresh uptime on scrape so the gauge is live even without a
+		// running runtime sampler.
+		gUptime.Set(time.Since(procStart).Seconds())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = Default().WritePrometheus(w)
+		var out io.Writer = w
+		if acceptsGzip(r) {
+			w.Header().Set("Content-Encoding", "gzip")
+			gz := gzip.NewWriter(w)
+			defer gz.Close()
+			out = gz
+		}
+		_ = Default().WritePrometheus(out)
 	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -54,4 +68,29 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// acceptsGzip reports whether the scraper advertised gzip support.
+// Token-level match (not a raw substring) so "xgzipx" does not count, and
+// an explicit "gzip;q=0" refusal is honoured; Prometheus sends a plain
+// "gzip" token.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := strings.TrimSpace(part)
+		params := ""
+		if i := strings.IndexByte(enc, ';'); i >= 0 {
+			enc, params = strings.TrimSpace(enc[:i]), strings.ReplaceAll(enc[i+1:], " ", "")
+		}
+		if !strings.EqualFold(enc, "gzip") {
+			continue
+		}
+		if strings.HasPrefix(params, "q=") {
+			switch params[2:] {
+			case "0", "0.0", "0.00", "0.000":
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }

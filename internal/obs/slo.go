@@ -1,0 +1,323 @@
+package obs
+
+// Multi-window burn-rate SLO tracking (the Google SRE alerting shape).
+// Two objectives are tracked, both expressed as "good events / total
+// events": availability (non-5xx fraction of requests) and latency
+// (fraction of requests at or under a latency bound — a p99 objective is
+// "99% of requests under the bound"). A SampleFunc periodically snapshots
+// cumulative good/total counts from the serving metrics; the tracker
+// keeps a time-indexed ring of snapshots and computes the error-budget
+// burn rate over a short and a long window by diffing them.
+//
+// Burn rate = (bad fraction over the window) / (error budget). Burn 1
+// consumes the budget exactly over the objective period; a fast burn
+// (both windows over FastBurn) means the budget is vanishing in hours,
+// not weeks — that is the trigger that captures pprof profiles and
+// stamps a trace event, so the diagnosis artefacts exist from the first
+// minutes of an incident.
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOSample is one cumulative snapshot of the counters feeding the two
+// objectives. All fields are monotonically non-decreasing.
+type SLOSample struct {
+	// Total and Errors feed availability: error fraction = ΔErrors/ΔTotal.
+	Total  int64
+	Errors int64
+	// LatTotal and LatUnder feed latency: good fraction = ΔLatUnder/ΔLatTotal,
+	// where LatUnder counts observations at or under the latency bound.
+	LatTotal int64
+	LatUnder int64
+}
+
+// SLOConfig parameterises the tracker. Zero values take the defaults
+// noted per field.
+type SLOConfig struct {
+	// Availability is the target good fraction, e.g. 0.999 (default).
+	Availability float64
+	// LatencyBoundUS is the latency objective's bound in µs (default
+	// 250000). Pick a value on a histogram bucket edge; counting is at
+	// bucket resolution.
+	LatencyBoundUS float64
+	// LatencyTarget is the fraction of requests that must be under the
+	// bound, e.g. 0.99 for a p99 objective (default).
+	LatencyTarget float64
+	// ShortWindow and LongWindow are the two burn windows (defaults 30s
+	// and 5m). Both must exceed the sampling interval.
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// FastBurn is the burn-rate threshold that, sustained over both
+	// windows, constitutes a fast burn (default 10).
+	FastBurn float64
+	// Interval is the sampling cadence (default 1s).
+	Interval time.Duration
+	// MinEvents is the minimum ΔTotal in the short window before a burn
+	// verdict is rendered, so one failed request against an idle server
+	// does not page (default 10).
+	MinEvents int64
+	// Rearm is the minimum gap between fast-burn callbacks (default
+	// ShortWindow), preventing capture storms while a burn persists.
+	Rearm time.Duration
+}
+
+func (c *SLOConfig) fillDefaults() {
+	if c.Availability <= 0 || c.Availability >= 1 {
+		c.Availability = 0.999
+	}
+	if c.LatencyBoundUS <= 0 {
+		c.LatencyBoundUS = 250_000
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.99
+	}
+	if c.ShortWindow <= 0 {
+		c.ShortWindow = 30 * time.Second
+	}
+	if c.LongWindow < c.ShortWindow {
+		c.LongWindow = 10 * c.ShortWindow
+	}
+	if c.FastBurn <= 0 {
+		c.FastBurn = 10
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MinEvents <= 0 {
+		c.MinEvents = 10
+	}
+	if c.Rearm <= 0 {
+		c.Rearm = c.ShortWindow
+	}
+}
+
+// ObjectiveStatus is the JSON-ready state of one objective.
+type ObjectiveStatus struct {
+	Name          string  `json:"name"`
+	Target        float64 `json:"target"`
+	BoundUS       float64 `json:"bound_us,omitempty"`
+	ShortBurn     float64 `json:"short_burn"`
+	LongBurn      float64 `json:"long_burn"`
+	ShortBadFrac  float64 `json:"short_bad_frac"`
+	WindowEvents  int64   `json:"window_events"`
+	Breaching     bool    `json:"breaching"`
+	BreachCount   int64   `json:"breach_count"`
+	LastBreachMS  int64   `json:"last_breach_unix_ms,omitempty"`
+	BudgetPerHour float64 `json:"budget_burn_per_hour"`
+}
+
+// SLOStatus is the tracker's full JSON-ready state, served at /v1/slo.
+type SLOStatus struct {
+	ShortWindowSec float64           `json:"short_window_sec"`
+	LongWindowSec  float64           `json:"long_window_sec"`
+	FastBurn       float64           `json:"fast_burn_threshold"`
+	FastBurning    bool              `json:"fast_burning"`
+	Objectives     []ObjectiveStatus `json:"objectives"`
+}
+
+type sloPoint struct {
+	t time.Time
+	s SLOSample
+}
+
+type objectiveState struct {
+	breaching   bool
+	breachCount int64
+	lastBreach  time.Time
+}
+
+// SLOTracker evaluates the two objectives against sampled counters. Use
+// NewSLOTracker, then either Start for the background ticker loop or
+// Tick directly (tests, custom cadences).
+type SLOTracker struct {
+	cfg    SLOConfig
+	sample func() SLOSample
+	now    func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	ring     []sloPoint
+	avail    objectiveState
+	latency  objectiveState
+	lastFire time.Time
+	onFast   func(SLOStatus)
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSLOTracker builds a tracker over the given cumulative-sample source.
+func NewSLOTracker(cfg SLOConfig, sample func() SLOSample) *SLOTracker {
+	cfg.fillDefaults()
+	return &SLOTracker{
+		cfg:    cfg,
+		sample: sample,
+		now:    time.Now,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// OnFastBurn registers the callback fired (rate-limited by Rearm) when a
+// fast burn begins. The callback runs on the tracker's goroutine — keep
+// it bounded; profile capture offloads its slow part internally.
+func (t *SLOTracker) OnFastBurn(f func(SLOStatus)) {
+	t.mu.Lock()
+	t.onFast = f
+	t.mu.Unlock()
+}
+
+// Start launches the background sampling loop. Stop with Stop.
+func (t *SLOTracker) Start() {
+	t.mu.Lock()
+	t.started = true
+	t.mu.Unlock()
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(t.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop started by Start and waits for it. Idempotent; safe
+// to call even if Start was never called.
+func (t *SLOTracker) Stop() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	t.mu.Lock()
+	started := t.started
+	t.mu.Unlock()
+	if started {
+		<-t.done
+	}
+}
+
+// Tick takes one sample and re-evaluates both objectives, firing the
+// fast-burn callback on a rearm-gated transition into burning.
+func (t *SLOTracker) Tick() {
+	now := t.now()
+	s := t.sample()
+
+	t.mu.Lock()
+	t.ring = append(t.ring, sloPoint{t: now, s: s})
+	cutoff := now.Add(-t.cfg.LongWindow - t.cfg.Interval)
+	for len(t.ring) > 1 && t.ring[0].t.Before(cutoff) {
+		t.ring = t.ring[1:]
+	}
+	availShort, latShort, nShort := t.windowLocked(now, t.cfg.ShortWindow)
+	availLong, latLong, _ := t.windowLocked(now, t.cfg.LongWindow)
+
+	enough := nShort >= t.cfg.MinEvents
+	availBurning := enough &&
+		availShort >= t.cfg.FastBurn && availLong >= t.cfg.FastBurn
+	latBurning := enough &&
+		latShort >= t.cfg.FastBurn && latLong >= t.cfg.FastBurn
+
+	fired := false
+	for _, o := range []struct {
+		st      *objectiveState
+		burning bool
+	}{{&t.avail, availBurning}, {&t.latency, latBurning}} {
+		if o.burning && !o.st.breaching {
+			o.st.breachCount++
+			o.st.lastBreach = now
+			fired = true
+		}
+		o.st.breaching = o.burning
+	}
+	var cb func(SLOStatus)
+	if fired && t.onFast != nil && now.Sub(t.lastFire) >= t.cfg.Rearm {
+		t.lastFire = now
+		cb = t.onFast
+	}
+	st := t.statusLocked(now)
+	t.mu.Unlock()
+
+	if cb != nil {
+		cb(st)
+	}
+}
+
+// windowLocked returns (availability burn, latency burn, total events)
+// over the trailing window d. With fewer than two samples, or an empty
+// window, burns are 0. Caller holds t.mu.
+func (t *SLOTracker) windowLocked(now time.Time, d time.Duration) (availBurn, latBurn float64, events int64) {
+	if len(t.ring) < 2 {
+		return 0, 0, 0
+	}
+	latest := t.ring[len(t.ring)-1]
+	// Newest point at or before the window start; the oldest point when
+	// history is shorter than the window (burn over what we have).
+	base := t.ring[0]
+	start := now.Add(-d)
+	for _, p := range t.ring {
+		if p.t.After(start) {
+			break
+		}
+		base = p
+	}
+	dTotal := latest.s.Total - base.s.Total
+	dErr := latest.s.Errors - base.s.Errors
+	if dTotal > 0 {
+		availBurn = (float64(dErr) / float64(dTotal)) / (1 - t.cfg.Availability)
+	}
+	dLatTotal := latest.s.LatTotal - base.s.LatTotal
+	dUnder := latest.s.LatUnder - base.s.LatUnder
+	if dLatTotal > 0 {
+		bad := float64(dLatTotal-dUnder) / float64(dLatTotal)
+		latBurn = bad / (1 - t.cfg.LatencyTarget)
+	}
+	return availBurn, latBurn, dTotal
+}
+
+// Status snapshots the tracker state for /v1/slo.
+func (t *SLOTracker) Status() SLOStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.statusLocked(t.now())
+}
+
+func (t *SLOTracker) statusLocked(now time.Time) SLOStatus {
+	availShort, latShort, nShort := t.windowLocked(now, t.cfg.ShortWindow)
+	availLong, latLong, _ := t.windowLocked(now, t.cfg.LongWindow)
+	mk := func(name string, target, boundUS, short, long float64, st objectiveState) ObjectiveStatus {
+		o := ObjectiveStatus{
+			Name:         name,
+			Target:       target,
+			BoundUS:      boundUS,
+			ShortBurn:    short,
+			LongBurn:     long,
+			ShortBadFrac: short * (1 - target),
+			WindowEvents: nShort,
+			Breaching:    st.breaching,
+			BreachCount:  st.breachCount,
+			// Burn b consumes b error budgets per objective period; report
+			// it normalised to budgets/hour of long window for operators.
+			BudgetPerHour: long * (time.Hour.Seconds() / t.cfg.LongWindow.Seconds()) * (1 - target),
+		}
+		if !st.lastBreach.IsZero() {
+			o.LastBreachMS = st.lastBreach.UnixMilli()
+		}
+		return o
+	}
+	return SLOStatus{
+		ShortWindowSec: t.cfg.ShortWindow.Seconds(),
+		LongWindowSec:  t.cfg.LongWindow.Seconds(),
+		FastBurn:       t.cfg.FastBurn,
+		FastBurning:    t.avail.breaching || t.latency.breaching,
+		Objectives: []ObjectiveStatus{
+			mk("availability", t.cfg.Availability, 0, availShort, availLong, t.avail),
+			mk("latency_p99", t.cfg.LatencyTarget, t.cfg.LatencyBoundUS, latShort, latLong, t.latency),
+		},
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloHarness drives a tracker with a manual clock and a scripted sample
+// stream.
+type sloHarness struct {
+	tr     *SLOTracker
+	clock  time.Time
+	sample SLOSample
+}
+
+func newSLOHarness(cfg SLOConfig) *sloHarness {
+	h := &sloHarness{clock: time.Unix(1_700_000_000, 0)}
+	h.tr = NewSLOTracker(cfg, func() SLOSample { return h.sample })
+	h.tr.now = func() time.Time { return h.clock }
+	return h
+}
+
+// step advances the clock one interval, adds the given deltas to the
+// cumulative sample, and ticks.
+func (h *sloHarness) step(total, errors, latTotal, latUnder int64) {
+	h.clock = h.clock.Add(h.tr.cfg.Interval)
+	h.sample.Total += total
+	h.sample.Errors += errors
+	h.sample.LatTotal += latTotal
+	h.sample.LatUnder += latUnder
+	h.tr.Tick()
+}
+
+func TestSLOHealthyTrafficNoBreach(t *testing.T) {
+	h := newSLOHarness(SLOConfig{
+		Availability: 0.999, LatencyTarget: 0.99,
+		ShortWindow: 5 * time.Second, LongWindow: 20 * time.Second,
+		Interval: time.Second, FastBurn: 10, MinEvents: 5,
+	})
+	for i := 0; i < 30; i++ {
+		h.step(100, 0, 100, 100)
+	}
+	st := h.tr.Status()
+	if st.FastBurning {
+		t.Fatalf("healthy traffic burning: %+v", st)
+	}
+	for _, o := range st.Objectives {
+		if o.Breaching || o.BreachCount != 0 || o.ShortBurn != 0 {
+			t.Fatalf("objective %s not clean: %+v", o.Name, o)
+		}
+	}
+}
+
+func TestSLOAvailabilityFastBurnFiresOnceAndRecovers(t *testing.T) {
+	h := newSLOHarness(SLOConfig{
+		Availability: 0.999, LatencyTarget: 0.99,
+		ShortWindow: 5 * time.Second, LongWindow: 10 * time.Second,
+		Interval: time.Second, FastBurn: 10, MinEvents: 5,
+		Rearm: time.Hour, // one callback per test
+	})
+	var fires []SLOStatus
+	h.tr.OnFastBurn(func(st SLOStatus) { fires = append(fires, st) })
+
+	// Warm up healthy, then a 100% error burst: burn = 1/0.001 = 1000.
+	for i := 0; i < 12; i++ {
+		h.step(50, 0, 50, 50)
+	}
+	for i := 0; i < 12; i++ {
+		h.step(50, 50, 50, 50)
+	}
+	if len(fires) != 1 {
+		t.Fatalf("fast-burn callbacks = %d, want 1 (rearm gating)", len(fires))
+	}
+	st := h.tr.Status()
+	if !st.FastBurning || !st.Objectives[0].Breaching {
+		t.Fatalf("availability should be breaching: %+v", st)
+	}
+	if st.Objectives[0].BreachCount != 1 {
+		t.Fatalf("breach count = %d, want 1", st.Objectives[0].BreachCount)
+	}
+	if st.Objectives[1].Breaching {
+		t.Fatalf("latency objective should not breach: %+v", st.Objectives[1])
+	}
+
+	// Recovery: healthy traffic long enough to flush both windows.
+	for i := 0; i < 25; i++ {
+		h.step(50, 0, 50, 50)
+	}
+	st = h.tr.Status()
+	if st.FastBurning || st.Objectives[0].Breaching {
+		t.Fatalf("should have recovered: %+v", st)
+	}
+	if st.Objectives[0].BreachCount != 1 {
+		t.Fatalf("recovery must not reset breach count: %+v", st.Objectives[0])
+	}
+}
+
+func TestSLOLatencyObjectiveBreaches(t *testing.T) {
+	h := newSLOHarness(SLOConfig{
+		Availability: 0.999, LatencyTarget: 0.99,
+		ShortWindow: 5 * time.Second, LongWindow: 10 * time.Second,
+		Interval: time.Second, FastBurn: 10, MinEvents: 5,
+	})
+	fired := 0
+	h.tr.OnFastBurn(func(SLOStatus) { fired++ })
+	// Every request succeeds but half are over the bound: bad frac 0.5,
+	// burn 50 ≥ 10.
+	for i := 0; i < 15; i++ {
+		h.step(40, 0, 40, 20)
+	}
+	st := h.tr.Status()
+	if st.Objectives[0].Breaching {
+		t.Fatalf("availability must not breach: %+v", st.Objectives[0])
+	}
+	if !st.Objectives[1].Breaching || fired == 0 {
+		t.Fatalf("latency should breach (fired=%d): %+v", fired, st.Objectives[1])
+	}
+}
+
+func TestSLOMinEventsGuardsIdleServer(t *testing.T) {
+	h := newSLOHarness(SLOConfig{
+		Availability: 0.999, ShortWindow: 5 * time.Second,
+		LongWindow: 10 * time.Second, Interval: time.Second,
+		FastBurn: 10, MinEvents: 100,
+	})
+	// A lone failed request on an idle server: burn is enormous but the
+	// event floor suppresses the verdict.
+	for i := 0; i < 15; i++ {
+		h.step(1, 1, 1, 0)
+	}
+	if st := h.tr.Status(); st.FastBurning {
+		t.Fatalf("min-events floor failed: %+v", st)
+	}
+}
+
+func TestSLOStartStop(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{Interval: time.Millisecond}, func() SLOSample { return SLOSample{} })
+	tr.Start()
+	time.Sleep(10 * time.Millisecond)
+	tr.Stop()
+	tr.Stop() // idempotent
+
+	// Stop without Start must not hang.
+	tr2 := NewSLOTracker(SLOConfig{}, func() SLOSample { return SLOSample{} })
+	done := make(chan struct{})
+	go func() { tr2.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+}

@@ -225,6 +225,43 @@ func endTree(s *Span, now time.Time) {
 	}
 }
 
+// RecordStages attaches a finished StageTimer breakdown to the trace as
+// pre-ended synthetic child spans of the root, named "stage.<name>" and
+// tiled sequentially from the trace start. The HTTP layer calls this right
+// before handing the trace to the store, so /v1/traces/<id> shows where a
+// request's time went stage by stage even though the stages were measured
+// across goroutines (where live spans would race). Works on finished
+// traces too: the spans carry their own durations.
+func (t *Trace) RecordStages(stages []StageDur) {
+	if t == nil || len(stages) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	off := time.Duration(0)
+	for _, sd := range stages {
+		if sd.Dur <= 0 {
+			continue
+		}
+		if t.nspans >= t.maxSpans {
+			t.dropped++
+			continue
+		}
+		t.nspans++
+		s := &Span{
+			name:   "stage." + sd.Kind.String(),
+			id:     SpanID(randID()),
+			start:  t.start.Add(off),
+			dur:    sd.Dur,
+			ended:  true,
+			parent: t.root,
+			t:      t,
+		}
+		t.root.children = append(t.root.children, s)
+		off += sd.Dur
+	}
+}
+
 // Render returns the trace's span tree as indented text. Same-named
 // siblings are merged into one line with a repetition count, total, and
 // mean duration; their children are merged recursively, so 44 LOSO folds

@@ -112,6 +112,11 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// Each calls f for every child in sorted label order (the same
+// deterministic order Dump and the Prometheus exposition use). f must not
+// call back into the vec.
+func (v *CounterVec) Each(f func(values []string, c *Counter)) { v.each(f) }
+
 // each calls f for every child in sorted label order.
 func (v *CounterVec) each(f func(values []string, c *Counter)) {
 	v.mu.RLock()
@@ -187,6 +192,10 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	v.children[k] = g
 	return g
 }
+
+// Each calls f for every child in sorted label order. f must not call
+// back into the vec.
+func (v *GaugeVec) Each(f func(values []string, g *Gauge)) { v.each(f) }
 
 func (v *GaugeVec) each(f func(values []string, g *Gauge)) {
 	v.mu.RLock()
@@ -265,6 +274,10 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	v.children[k] = h
 	return h
 }
+
+// Each calls f for every child in sorted label order. f must not call
+// back into the vec.
+func (v *HistogramVec) Each(f func(values []string, h *Histogram)) { v.each(f) }
 
 func (v *HistogramVec) each(f func(values []string, h *Histogram)) {
 	v.mu.RLock()

@@ -43,7 +43,18 @@ type InferResult struct {
 	// QueueWait is the time from submission to the start of the
 	// request's model pass.
 	QueueWait time.Duration
-	Err       error
+	// BatchWait is the tail of QueueWait spent after the dispatch round was
+	// collected — concurrency-semaphore plus per-model-lock wait. The
+	// leading part (QueueWait − BatchWait) is pure queue/coalescing delay.
+	BatchWait time.Duration
+	// Forward is the wall time of the batched model pass the request rode
+	// in; Quant is the part of it spent in activation-quantisation layers.
+	// Both are per-round, not per-request: every rider reports the same
+	// pass cost, which is what stage attribution wants (the request waited
+	// for the whole pass).
+	Forward time.Duration
+	Quant   time.Duration
+	Err     error
 }
 
 // Executor is the batched inference dispatcher. A single goroutine
@@ -259,7 +270,7 @@ func (e *Executor) dispatch() {
 		}
 		timer.Stop()
 		gQueueDepth.Set(float64(len(e.queue)))
-		e.run(batch)
+		e.run(batch, time.Now())
 	}
 }
 
@@ -267,8 +278,11 @@ func (e *Executor) dispatch() {
 // minibatch pass, concurrently across distinct models. Requests whose
 // context already expired while queued are answered ErrTimeout and dropped
 // from the pass — their waiter is long gone and a dead request must not
-// consume accelerator time.
-func (e *Executor) run(batch []*inferRequest) {
+// consume accelerator time. collected is when the coalescing window
+// closed; it splits each request's wait into queue time (enqueue →
+// collected) and batch time (collected → pass start) for stage
+// attribution.
+func (e *Executor) run(batch []*inferRequest, collected time.Time) {
 	live := batch[:0]
 	for _, r := range batch {
 		if r.ctx.Err() != nil {
@@ -315,7 +329,7 @@ func (e *Executor) run(batch []*inferRequest) {
 			for i, r := range g {
 				xs[i] = r.x
 			}
-			probs := m.ProbabilitiesBatch(xs)
+			probs, timing := m.ProbabilitiesBatchTimed(xs)
 			if wd != nil {
 				wd.Stop()
 			}
@@ -326,6 +340,9 @@ func (e *Executor) run(batch []*inferRequest) {
 					Probs:     probs[i],
 					Batch:     round,
 					QueueWait: started.Sub(r.enqueued),
+					BatchWait: started.Sub(collected),
+					Forward:   timing.Total,
+					Quant:     timing.Quant,
 				}
 			}
 		}(m, g, len(batch))

@@ -137,6 +137,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.traced("status", s.handleStatus))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.traced("delete", s.handleDelete))
 	mux.HandleFunc("GET /v1/stats", s.traced("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/slo", s.traced("slo", s.handleSLO))
 	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", s.handleTrace))
 	oh := obs.Handler()
 	mux.Handle("/metrics", oh)
@@ -175,6 +176,17 @@ func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		start := time.Now()
 		tr := obs.NewTraceFromParent("http."+endpoint, r.Header.Get("traceparent"))
 		ctx := obs.WithTrace(r.Context(), tr)
+		// Stage attribution rides the windows endpoint (the serving hot
+		// path): the timer starts here, layers add their stages via ctx,
+		// and the flush below both feeds stage_latency_us{stage,cluster}
+		// and becomes the request's http_latency_us observation — one
+		// clock, so the reconciliation invariant is exact up to per-stage
+		// µs truncation.
+		var st *obs.StageTimer
+		if endpoint == "windows" {
+			st = obs.NewStageTimer()
+			ctx = obs.WithStageTimer(ctx, st)
+		}
 		// Headers go out before the handler writes anything.
 		w.Header().Set("traceparent", tr.Traceparent())
 		w.Header().Set("X-Trace-Id", tr.ID().Short())
@@ -187,8 +199,13 @@ func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		if code >= 400 {
 			tr.MarkError()
 		}
-		s.traces.Add(tr)
 		durUS := time.Since(start).Microseconds()
+		if st != nil {
+			total, stages := st.FlushTo(hStageUS)
+			tr.RecordStages(stages)
+			durUS = total.Microseconds()
+		}
+		s.traces.Add(tr)
 		mHTTPReqVec.With(endpoint, strconv.Itoa(code)).Inc()
 		hHTTPLatVec.With(endpoint).Observe(float64(durUS))
 		obs.Log(ctx).Debug("http request",
@@ -226,17 +243,21 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	st := obs.StageTimerOf(r.Context())
 	sess, err := s.Session(r.PathValue("id"))
 	if err != nil {
 		writeError(w, r, err)
 		return
 	}
+	stopDecode := st.Time(obs.StageDecode)
 	var payload WindowPayload
 	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+		stopDecode()
 		writeError(w, r, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
 	m, err := s.decodeWindow(&payload)
+	stopDecode()
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -270,7 +291,15 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		resp.SmoothProb = &smooth
 		resp.Alarm = &alarm
 	}
+	stopEncode := st.Time(obs.StageEncode)
 	writeJSON(w, http.StatusOK, resp)
+	stopEncode()
+}
+
+// handleSLO serves the burn-rate tracker's status plus the breach/capture
+// history.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.SLOReportNow())
 }
 
 // decodeWindow turns a payload into the raw feature map the session

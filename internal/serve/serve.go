@@ -116,6 +116,12 @@ var (
 	mWindowsVec = obs.GetCounterVec("serve.windows_served", "cluster", "degraded")
 	mFTByVec    = obs.GetCounterVec("serve.finetunes_by", "cluster", "outcome")
 	gBreakerVec = obs.GetGaugeVec("serve.breaker_state", "cluster")
+
+	// Per-request stage attribution (obs.StageTimer): one histogram per
+	// {stage, cluster}. Shares http_latency_us's bucket layout so the
+	// reconciliation invariant (Σ stage sums ≈ Σ end-to-end) compares like
+	// with like.
+	hStageUS = obs.GetHistogramVec("serve.stage_latency_us", obs.ExpBuckets(1, 2, 26), "stage", "cluster")
 )
 
 // clusterLabel renders a cluster index as a metric label value.
@@ -208,6 +214,34 @@ type Config struct {
 	// FlightEvents sizes each session's flight-recorder ring. Default 64.
 	FlightEvents int
 
+	// SLO engine (internal/obs/slo.go): a multi-window burn-rate tracker
+	// over the serving HTTP metrics (availability = non-5xx fraction,
+	// latency = fraction of requests under SLOLatencyBoundUS), served at
+	// /v1/slo. On a fast burn the server captures CPU/heap pprof profiles
+	// into the bounded on-disk ring at ProfileDir (disabled when empty)
+	// and stamps an always-kept "slo.breach" trace. SLODisabled turns the
+	// tracker off. Defaults: availability 0.999, latency bound 262144µs
+	// (a http_latency_us bucket edge) at target 0.99, windows 30s/5m,
+	// fast-burn 10, interval 1s, min events 10.
+	SLODisabled       bool
+	SLOAvailability   float64
+	SLOLatencyBoundUS float64
+	SLOLatencyTarget  float64
+	SLOShortWindow    time.Duration
+	SLOLongWindow     time.Duration
+	SLOFastBurn       float64
+	SLOInterval       time.Duration
+	SLOMinEvents      int64
+
+	// Triggered profile capture (internal/obs/profcap.go). ProfileDir
+	// empty disables capture; ProfileMax bounds the on-disk ring (default
+	// 8 pairs); ProfileCPUDur is the CPU profile length (default 250ms);
+	// ProfileMinGap the storm guard between captures (default 10s).
+	ProfileDir    string
+	ProfileMax    int
+	ProfileCPUDur time.Duration
+	ProfileMinGap time.Duration
+
 	// Fault, when non-nil, arms deterministic fault injection (chaos
 	// testing): build failures, inference stalls, window corruption. The
 	// production path pays only nil checks when unset.
@@ -293,6 +327,28 @@ func (c *Config) fillDefaults() {
 	if c.FlightEvents == 0 {
 		c.FlightEvents = 64
 	}
+	if c.SLOLatencyBoundUS == 0 {
+		c.SLOLatencyBoundUS = 262_144 // 2^18 µs, an ExpBuckets(1,2,26) edge
+	}
+	if c.SLOShortWindow == 0 {
+		c.SLOShortWindow = 30 * time.Second
+	}
+	if c.SLOLongWindow == 0 {
+		c.SLOLongWindow = 5 * time.Minute
+	}
+	if c.SLOInterval == 0 {
+		c.SLOInterval = time.Second
+	}
+	// Remaining SLO fields default inside obs.SLOConfig.fillDefaults.
+	if c.ProfileMax == 0 {
+		c.ProfileMax = 8
+	}
+	if c.ProfileCPUDur == 0 {
+		c.ProfileCPUDur = 250 * time.Millisecond
+	}
+	if c.ProfileMinGap == 0 {
+		c.ProfileMinGap = 10 * time.Second
+	}
 }
 
 // Server owns the session registry and the shared serving machinery.
@@ -319,6 +375,14 @@ type Server struct {
 	// traces is the bounded tail-sampled request/job trace store behind
 	// GET /v1/traces/{id}.
 	traces *obs.TraceStore
+
+	// slo is the burn-rate tracker behind /v1/slo (nil when disabled);
+	// profcap the triggered pprof ring (nil when ProfileDir unset).
+	// sloEvents remembers the last few breach/capture events.
+	slo       *obs.SLOTracker
+	profcap   *obs.ProfileCapturer
+	sloEvMu   sync.Mutex
+	sloEvents []SLOEvent
 
 	// clusterArchetype, when set by the embedding binary, maps each
 	// cluster to the dominant ground-truth archetype of its training
@@ -395,6 +459,9 @@ func New(pipe *core.Pipeline, cfg Config) (*Server, error) {
 	if cfg.SnapshotPath != "" {
 		s.snapWG.Add(1)
 		go s.snapshotLoop()
+	}
+	if err := s.startSLO(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -625,6 +692,9 @@ func (s *Server) Shutdown() {
 	s.ftMu.Unlock()
 	s.ftWG.Wait()
 	s.exec.Close()
+	if s.slo != nil {
+		s.slo.Stop()
+	}
 	s.snapWG.Wait()
 	if s.cfg.SnapshotPath != "" {
 		_ = s.SnapshotFile(s.cfg.SnapshotPath)

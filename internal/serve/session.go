@@ -214,12 +214,24 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 		m = corruptMap(m, inj.Intn(2), inj.Intn(3))
 	}
 
+	// Stage attribution: the HTTP layer plants a StageTimer in ctx (and
+	// flushes it); direct in-process callers get a session-owned timer so
+	// the stage histograms cover embedded use (clear-bench) too.
+	st := obs.StageTimerOf(ctx)
+	ownStages := false
+	if st == nil {
+		st = obs.NewStageTimer()
+		ownStages = true
+	}
+
 	s.mu.Lock()
 	if s.state == StateClosed {
 		s.mu.Unlock()
 		return WindowResult{}, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
 	}
+	stopSan := st.Time(obs.StageSanitize)
 	clean, err := s.sanitizeWindowLocked(m)
+	stopSan()
 	if err != nil {
 		s.mu.Unlock()
 		s.record(ctx, evRejected, "window=%d err=%v", s.pushed, err)
@@ -256,9 +268,13 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 			cl = clusterLabel(a.Cluster)
 		}
 		s.mu.Unlock()
+		st.SetCluster(cl)
 		mWindows.Inc()
 		mWindowsVec.With(cl, "false").Inc()
 		hWindowUS.Observe(float64(time.Since(start).Microseconds()))
+		if ownStages {
+			st.FlushTo(hStageUS)
+		}
 		return res, nil
 	}
 
@@ -296,6 +312,13 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	if err != nil {
 		return WindowResult{}, err
 	}
+	// The executor measured the request's waits and its round's pass cost
+	// on its own goroutines; recording them here (the request goroutine)
+	// keeps the StageTimer single-writer.
+	st.Add(obs.StageQueueWait, ir.QueueWait-ir.BatchWait)
+	st.Add(obs.StageBatchWait, ir.BatchWait)
+	st.Add(obs.StageForward, ir.Forward-ir.Quant)
+	st.Add(obs.StageQuant, ir.Quant)
 	raw := 0.0
 	if len(ir.Probs) > 1 {
 		raw = ir.Probs[1]
@@ -318,9 +341,13 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	res.Degraded = degraded
 	res.BatchSize = ir.Batch
 	res.QueueWait = ir.QueueWait
+	st.SetCluster(clusterLabel(a.Cluster))
 	mWindows.Inc()
 	mWindowsVec.With(clusterLabel(a.Cluster), strconv.FormatBool(degraded)).Inc()
 	hWindowUS.Observe(float64(time.Since(start).Microseconds()))
+	if ownStages {
+		st.FlushTo(hStageUS)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,209 @@
+package serve
+
+// Performance-observability acceptance suite: the stage-attribution
+// reconciliation invariant (per-request stage sums tile the end-to-end
+// http_latency_us observation) and the breach-to-diagnosis path (a fast
+// SLO burn shows up at /v1/slo, drops a pprof pair into the capture ring,
+// and stamps a resolvable breach trace). Run with -race.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stageSums totals count and sum(µs) across every stage_latency_us child,
+// and returns the set of stage labels seen.
+func stageSums() (count int64, sumUS float64, stages map[string]bool, clusters map[string]bool) {
+	stages = map[string]bool{}
+	clusters = map[string]bool{}
+	hStageUS.Each(func(values []string, h *obs.Histogram) {
+		count += h.Count()
+		sumUS += h.Sum()
+		if h.Count() > 0 {
+			stages[values[0]] = true
+			clusters[values[1]] = true
+		}
+	})
+	return
+}
+
+// TestStageLatencyReconcilesWithHTTPLatency pushes a user's whole stream
+// over HTTP and asserts the tentpole invariant: the per-stage sums added
+// by decode/sanitize/queue/batch/forward/encode plus the residual "other"
+// reconcile with the end-to-end http_latency_us{endpoint="windows"} sum.
+// The traced middleware derives both from the same StageTimer clock, so
+// the only slack is per-stage microsecond truncation.
+func TestStageLatencyReconcilesWithHTTPLatency(t *testing.T) {
+	_, users := fixture(t)
+	srv := newTestServer(t, Config{MaxDelay: 500 * time.Microsecond})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	u := users[1]
+
+	httpLat := hHTTPLatVec.With("windows")
+	lat0, cnt0 := httpLat.Sum(), httpLat.Count()
+	_, stageSum0, _, _ := stageSums()
+
+	var body bytes.Buffer
+	_ = json.NewEncoder(&body).Encode(CreateSessionRequest{UserID: u.ID, ExpectedWindows: len(u.Maps)})
+	resp, err := http.Post(hs.URL+"/v1/sessions", "application/json", &body)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var cr CreateSessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatalf("create decode: %v", err)
+	}
+	resp.Body.Close()
+
+	pushed := 0
+	for _, lm := range u.Maps {
+		m := lm.Map
+		var wb bytes.Buffer
+		_ = json.NewEncoder(&wb).Encode(WindowPayload{Map: &MapPayload{
+			Rows: m.Shape[0], Cols: m.Shape[1], Data: m.Data,
+		}})
+		wr, err := http.Post(hs.URL+"/v1/sessions/"+cr.ID+"/windows", "application/json", &wb)
+		if err != nil {
+			t.Fatalf("window %d: %v", pushed, err)
+		}
+		if wr.StatusCode != http.StatusOK {
+			t.Fatalf("window %d: status %d", pushed, wr.StatusCode)
+		}
+		wr.Body.Close()
+		pushed++
+	}
+
+	dLat := httpLat.Sum() - lat0
+	dCnt := httpLat.Count() - cnt0
+	_, stageSum1, stages, clusters := stageSums()
+	dStage := stageSum1 - stageSum0
+
+	if dCnt != int64(pushed) {
+		t.Fatalf("http_latency_us{windows} count moved by %d, want %d", dCnt, pushed)
+	}
+	// Each request truncates up to NumStages durations to whole µs, and the
+	// http observation truncates once more.
+	tol := float64(pushed) * float64(obs.NumStages+1)
+	if diff := math.Abs(dLat - dStage); diff > tol {
+		t.Fatalf("stage sums do not reconcile with http latency: Σstages=%.0fµs vs http=%.0fµs (|Δ|=%.0f > tol %.0f)",
+			dStage, dLat, diff, tol)
+	}
+
+	// The decomposition is real, not one catch-all bucket: the pipeline
+	// stages each appeared, and post-assignment windows carry a concrete
+	// cluster label.
+	for _, want := range []string{"decode", "sanitize", "queue_wait", "forward", "encode", "other"} {
+		if !stages[want] {
+			t.Errorf("stage %q never observed (saw %v)", want, stages)
+		}
+	}
+	delete(clusters, "none")
+	if len(clusters) == 0 {
+		t.Fatal("no stage series with a concrete cluster label")
+	}
+}
+
+// TestSLOFastBurnCapturesProfileAndTrace drives a latency fast burn with a
+// deliberately impossible bound (1µs) and asserts the full diagnosis
+// chain: /v1/slo reports the breach, a pprof pair lands in the capture
+// ring on disk, and the stamped breach trace is resolvable over HTTP.
+func TestSLOFastBurnCapturesProfileAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, Config{
+		MaxDelay:          500 * time.Microsecond,
+		SLOLatencyBoundUS: 1, // every real request breaches
+		SLOShortWindow:    50 * time.Millisecond,
+		SLOLongWindow:     200 * time.Millisecond,
+		SLOInterval:       10 * time.Millisecond,
+		SLOMinEvents:      5,
+		ProfileDir:        dir,
+		ProfileCPUDur:     30 * time.Millisecond,
+		ProfileMinGap:     time.Millisecond,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	var rep SLOReport
+	for time.Now().Before(deadline) {
+		// Keep traffic flowing so the short window has events.
+		sr, err := http.Get(hs.URL + "/v1/stats")
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		sr.Body.Close()
+
+		resp, err := http.Get(hs.URL + "/v1/slo")
+		if err != nil {
+			t.Fatalf("slo: %v", err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatalf("slo decode: %v", err)
+		}
+		resp.Body.Close()
+		if len(rep.Events) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if !rep.Enabled {
+		t.Fatal("/v1/slo reports the tracker disabled")
+	}
+	if len(rep.Events) == 0 {
+		t.Fatalf("no breach event recorded under a 1µs latency bound: %+v", rep.SLO)
+	}
+	ev := rep.Events[0]
+	found := false
+	for _, name := range ev.Burning {
+		if name == "latency_p99" || name == "latency" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("breach does not name the latency objective: %v", ev.Burning)
+	}
+
+	// Profile pair on disk.
+	if ev.Capture == nil {
+		t.Fatal("breach event carries no profile capture")
+	}
+	if ev.Capture.HeapFile == "" {
+		t.Fatalf("capture has no heap profile (err=%q)", ev.Capture.Err)
+	}
+	if st, err := os.Stat(ev.Capture.HeapFile); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+	if len(rep.Captures) == 0 || rep.ProfileDir != dir {
+		t.Fatalf("capture ring not surfaced: dir=%q captures=%d", rep.ProfileDir, len(rep.Captures))
+	}
+
+	// Breach trace resolvable over the public surface.
+	tresp, err := http.Get(hs.URL + "/v1/traces/" + ev.TraceID)
+	if err != nil {
+		t.Fatalf("trace fetch: %v", err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("breach trace %s not resolvable: %d", ev.TraceID, tresp.StatusCode)
+	}
+	var snap struct {
+		Name  string `json:"name"`
+		Error bool   `json:"error"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "slo.breach" || !snap.Error {
+		t.Fatalf("trace %s is %+v, want errored slo.breach", ev.TraceID, snap)
+	}
+}

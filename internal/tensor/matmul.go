@@ -1,6 +1,30 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kernel op accounting: every matmul-family call bumps two process-global
+// atomics (call count and multiply-accumulate count). Two uncontended
+// atomic adds per kernel call are noise next to the O(m·k·n) work, and
+// they give the runtime telemetry an accelerator-utilisation signal
+// (MACs/s) without this package importing anything.
+var (
+	matmulCalls atomic.Int64
+	matmulMACs  atomic.Int64
+)
+
+// OpStats returns the cumulative matmul-family call and multiply-
+// accumulate counts for the process.
+func OpStats() (calls, macs int64) {
+	return matmulCalls.Load(), matmulMACs.Load()
+}
+
+func countMatMul(m, k, n int) {
+	matmulCalls.Add(1)
+	matmulMACs.Add(int64(m) * int64(k) * int64(n))
+}
 
 // MatMul returns the matrix product t @ u. t must be (m, k) and u (k, n);
 // the result is (m, n). The inner loops are ordered i-k-j so the innermost
@@ -37,6 +61,7 @@ func checkMatMul(t, u *Tensor) (m, k, n int) {
 }
 
 func matMulInto(dst, a, b []float64, m, k, n int) {
+	countMatMul(m, k, n)
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -62,6 +87,7 @@ func (t *Tensor) MatMulAccInto(dst, u *Tensor) *Tensor {
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulAccInto dst shape %v, want [%d %d]", dst.Shape, m, n))
 	}
+	countMatMul(m, k, n)
 	a, b, d := t.Data, u.Data, dst.Data
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
@@ -106,6 +132,7 @@ func (t *Tensor) MatVec(v *Tensor) *Tensor {
 	if v.Size() != k {
 		panic(fmt.Sprintf("tensor: MatVec vector size %d, want %d", v.Size(), k))
 	}
+	countMatMul(m, k, 1)
 	out := New(m)
 	for i := 0; i < m; i++ {
 		row := t.Data[i*k : (i+1)*k]
