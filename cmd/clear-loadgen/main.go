@@ -9,11 +9,21 @@
 //
 // Usage:
 //
-//	clear-loadgen [-addr http://localhost:8080] [-users 32] [-concurrency 32]
+//	clear-loadgen [-addr http://localhost:8080[,http://localhost:8081,...]]
+//	              [-users 32] [-concurrency 32]
 //	              [-trials 10] [-trialsec 45] [-seed 99] [-ftfrac 0.2]
 //	              [-raw] [-keep] [-tracesample F]
 //	              [-chaos] [-chaosdrop F] [-accfloor F] [-expectbreaker]
 //	              [-driftusers N] [-driftstart F] [-expectreassign]
+//
+// -addr accepts a comma-separated list of clear-serve replicas. Requests
+// rotate round-robin across the pool (the router forwards per-session
+// requests to the owning replica, so any endpoint can serve any session),
+// and a transport error, 502, or 503 — the shapes a replica mid-restart
+// produces — rotates to the next endpoint instead of failing the
+// lifecycle. This is the client half of the rolling-restart smoke: with
+// replicas restarting under it, the run must still complete every
+// lifecycle with zero unexpected 5xx (the no_5xx verdict in -json).
 //
 // -chaos turns the run into a fault-tolerance check: each window is
 // dropped-channel-corrupted client-side at rate -chaosdrop (simulating a
@@ -48,12 +58,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
@@ -110,6 +122,48 @@ type statsResp struct {
 // srvErrs counts 5xx responses other than the tolerated 503/504 — in chaos
 // mode any of these (a 500 is what a handler bug looks like) fails the SLO.
 var srvErrs int64
+
+// endpoints is the rotating pool of clear-serve base URLs. A single -addr
+// degenerates to the classic one-server loop; a comma-separated list
+// spreads requests round-robin and lets postRetry/getEP fail over to the
+// next replica when one is mid-restart.
+type endpoints struct {
+	urls []string
+	next uint64
+}
+
+func newEndpoints(addr string) *endpoints {
+	eps := &endpoints{}
+	for _, u := range strings.Split(addr, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			eps.urls = append(eps.urls, u)
+		}
+	}
+	if len(eps.urls) == 0 {
+		die(fmt.Errorf("-addr: no endpoints in %q", addr))
+	}
+	return eps
+}
+
+// pick returns the next endpoint round-robin (atomic, so concurrent
+// sessions spread evenly without coordination).
+func (e *endpoints) pick() string {
+	n := atomic.AddUint64(&e.next, 1)
+	return e.urls[int((n-1)%uint64(len(e.urls)))]
+}
+
+// rotatable reports whether an error warrants retrying the request on the
+// next endpoint: transport failures (connection refused/reset — the
+// replica is down or draining its listener) and 502/503 responses. A 502
+// still counts in srvErrs — this stack never legitimately emits one — but
+// the lifecycle gets a chance to complete elsewhere.
+func rotatable(err error) bool {
+	if he, ok := err.(*httpError); ok {
+		return he.code == http.StatusBadGateway || he.code == http.StatusServiceUnavailable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
 
 // traceCheck implements -tracesample. Every `every`-th request (atomic
 // counter, so the schedule is deterministic regardless of goroutine
@@ -298,7 +352,7 @@ type userResult struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "clear-serve base URL")
+		addr     = flag.String("addr", "http://localhost:8080", "clear-serve base URL(s), comma-separated; requests rotate across the pool")
 		users    = flag.Int("users", 32, "simulated users")
 		conc     = flag.Int("concurrency", 32, "concurrent sessions")
 		trials   = flag.Int("trials", 10, "windows per user")
@@ -323,6 +377,11 @@ func main() {
 		jsonOut = flag.String("json", "", "write the closed-loop report as machine-readable JSON to this path ('-' for stdout)")
 	)
 	flag.Parse()
+
+	eps := newEndpoints(*addr)
+	if len(eps.urls) > 1 {
+		fmt.Printf("endpoint pool: %d replicas, rotating with failover on transport errors/502/503\n", len(eps.urls))
+	}
 
 	if *traceFr > 0 {
 		if *traceFr >= 1 {
@@ -401,7 +460,7 @@ func main() {
 				case <-time.After(50 * time.Millisecond):
 				}
 				var st statsResp
-				if err := getJSON(client, *addr+"/v1/stats", &st); err != nil {
+				if err := getEP(client, eps, "/v1/stats", &st); err != nil {
 					continue
 				}
 				tally.mu.Lock()
@@ -439,7 +498,7 @@ func main() {
 			// An -expectbreaker run keeps sessions open so the healing
 			// phase below has live sessions to drive probes through.
 			keepOpen := *keep || (ccfg.enabled && *expectBreaker)
-			results[i] = runUser(client, *addr, v, um, *ftFrac, keepOpen, observe, ccfg, rng, tally)
+			results[i] = runUser(client, eps, v, um, *ftFrac, keepOpen, observe, ccfg, rng, tally)
 		}(i, v)
 	}
 	wg.Wait()
@@ -469,7 +528,7 @@ func main() {
 				}
 				v := ds.Volunteers[i]
 				var wr windowResp
-				_, _ = postRetry(client, r.base+"/windows", windowPayload(v, um, len(v.Trials)-1), &wr)
+				_, _ = postRetry(client, eps, r.base+"/windows", windowPayload(v, um, len(v.Trials)-1), &wr)
 			}
 			time.Sleep(100 * time.Millisecond)
 		}
@@ -479,7 +538,7 @@ func main() {
 				if r.base == "" {
 					continue
 				}
-				req, _ := http.NewRequest(http.MethodDelete, r.base, nil)
+				req, _ := http.NewRequest(http.MethodDelete, eps.pick()+r.base, nil)
 				if resp, err := client.Do(req); err == nil {
 					resp.Body.Close()
 				}
@@ -491,7 +550,7 @@ func main() {
 
 	// Cluster → dominant archetype, for assignment scoring.
 	var stats statsResp
-	if err := getJSON(client, *addr+"/v1/stats", &stats); err != nil {
+	if err := getEP(client, eps, "/v1/stats", &stats); err != nil {
 		die(err)
 	}
 
@@ -683,7 +742,9 @@ func main() {
 	}
 	verdict("lifecycles_complete", completed >= *users,
 		fmt.Sprintf("%d/%d completed", completed, *users))
-	rep.Pass = completed >= *users && !traceFailed
+	n := atomic.LoadInt64(&srvErrs)
+	verdict("no_5xx", n == 0, fmt.Sprintf("%d unexpected 5xx responses", n))
+	rep.Pass = completed >= *users && n == 0 && !traceFailed
 	if *jsonOut != "" {
 		writeReport(*jsonOut, rep)
 	}
@@ -696,19 +757,19 @@ func main() {
 // client-side at the configured rate, re-sends the clean copy when the
 // server rejects one as unrecoverable (422, a client "re-read"), and
 // absorbs inference timeouts (504) instead of failing the lifecycle.
-func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.UserMaps,
+func runUser(client *http.Client, eps *endpoints, v *wemac.Volunteer, um *wemac.UserMaps,
 	ftFrac float64, keep bool, observe func(time.Duration, int),
 	chaos chaosCfg, rng *rand.Rand, tally *chaosTally) userResult {
 
 	res := userResult{cluster: -1, archetype: v.Archetype, drifter: v.DriftTo >= 0}
 	total := len(v.Trials)
 	var cr createResp
-	if err := postJSON(client, addr+"/v1/sessions",
+	if _, err := postRetry(client, eps, "/v1/sessions",
 		createReq{UserID: v.ID, ExpectedWindows: total}, &cr); err != nil {
 		res.err = fmt.Errorf("create: %w", err)
 		return res
 	}
-	base := addr + "/v1/sessions/" + cr.ID
+	base := "/v1/sessions/" + cr.ID
 	lifecycleStart := time.Now()
 
 	// Labels cover the first ftFrac of post-assignment windows.
@@ -727,7 +788,7 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 		}
 		var wr windowResp
 		start := time.Now()
-		shed, err := postRetry(client, base+"/windows", payload, &wr)
+		shed, err := postRetry(client, eps, base+"/windows", payload, &wr)
 		if chaos.enabled && err != nil {
 			if he, ok := err.(*httpError); ok {
 				switch he.code {
@@ -741,7 +802,7 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 					tally.mu.Unlock()
 					for try := 0; try < 3; try++ {
 						shed2 := 0
-						shed2, err = postRetry(client, base+"/windows", windowPayload(v, um, t), &wr)
+						shed2, err = postRetry(client, eps, base+"/windows", windowPayload(v, um, t), &wr)
 						shed += shed2
 						if he2, ok := err.(*httpError); !ok || he2.code != http.StatusUnprocessableEntity {
 							break
@@ -802,12 +863,12 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 				}
 			}
 			var lr statusResp
-			if _, err := postRetry(client, base+"/labels",
+			if _, err := postRetry(client, eps, base+"/labels",
 				map[string]any{"labels": labels}, &lr); err != nil {
 				res.err = fmt.Errorf("labels: %w", err)
 				return res
 			}
-			if err := waitMonitoring(client, base, chaos.enabled); err != nil {
+			if err := waitMonitoring(client, eps, base, chaos.enabled); err != nil {
 				res.err = err
 				return res
 			}
@@ -816,7 +877,7 @@ func runUser(client *http.Client, addr string, v *wemac.Volunteer, um *wemac.Use
 	res.lifecycleS = time.Since(lifecycleStart).Seconds()
 	res.ok = true
 	if !keep {
-		req, _ := http.NewRequest(http.MethodDelete, base, nil)
+		req, _ := http.NewRequest(http.MethodDelete, eps.pick()+base, nil)
 		if resp, err := client.Do(req); err == nil {
 			resp.Body.Close()
 		}
@@ -848,11 +909,11 @@ func windowPayload(v *wemac.Volunteer, um *wemac.UserMaps, t int) map[string]any
 // breaker-suppressed and the session is legitimately serving from the
 // cluster baseline — the lifecycle continues rather than stalling on a
 // checkpoint that may never arrive.
-func waitMonitoring(client *http.Client, base string, tolerateDegraded bool) error {
+func waitMonitoring(client *http.Client, eps *endpoints, base string, tolerateDegraded bool) error {
 	deadline := time.Now().Add(5 * time.Minute)
 	for time.Now().Before(deadline) {
 		var st statusResp
-		if err := getJSON(client, base, &st); err != nil {
+		if err := getEP(client, eps, base, &st); err != nil {
 			return fmt.Errorf("status: %w", err)
 		}
 		if st.State == "monitoring" || st.Personalized {
@@ -919,12 +980,16 @@ func dropPayloadChannel(payload map[string]any, ch int) map[string]any {
 	return map[string]any{"recording": out}
 }
 
-// postRetry POSTs with bounded retry on 429, returning how many times the
-// request was shed.
-func postRetry(client *http.Client, url string, body any, out any) (int, error) {
-	shed := 0
+// postRetry POSTs with bounded retry on 429 (shed back-pressure: pause,
+// resend) and bounded endpoint rotation on transport errors/502/503 (the
+// replica is down or restarting: try the next one). Every attempt picks
+// the next endpoint round-robin; the router forwards per-session requests
+// to the owning replica, so stickiness is unnecessary. Returns how many
+// times the request was shed.
+func postRetry(client *http.Client, eps *endpoints, path string, body any, out any) (int, error) {
+	shed, rot := 0, 0
 	for {
-		err := postJSON(client, url, body, out)
+		err := postJSON(client, eps.pick()+path, body, out)
 		if err == nil {
 			return shed, nil
 		}
@@ -933,8 +998,26 @@ func postRetry(client *http.Client, url string, body any, out any) (int, error) 
 			time.Sleep(time.Duration(10+5*shed) * time.Millisecond)
 			continue
 		}
+		if rotatable(err) && rot < 4*len(eps.urls) {
+			rot++
+			time.Sleep(time.Duration(25*rot) * time.Millisecond)
+			continue
+		}
 		return shed, err
 	}
+}
+
+// getEP GETs with the same endpoint rotation as postRetry (GETs are
+// idempotent, so rotation is always safe).
+func getEP(client *http.Client, eps *endpoints, path string, out any) error {
+	var err error
+	for rot := 0; rot <= 4*len(eps.urls); rot++ {
+		if err = getJSON(client, eps.pick()+path, out); err == nil || !rotatable(err) {
+			return err
+		}
+		time.Sleep(time.Duration(25*(rot+1)) * time.Millisecond)
+	}
+	return err
 }
 
 type httpError struct {

@@ -10,7 +10,8 @@
 //	            [-pipeline ckpt] [-save ckpt] [-device gpu|coral|pi]
 //	            [-maxsessions N] [-batch N] [-maxdelay D] [-cachesize N]
 //	            [-ftworkers N] [-assignfrac F] [-loglevel debug|info|warn|error]
-//	            [-snapshot path] [-snapinterval D]
+//	            [-store dir] [-snapshot dir] [-snapinterval D]
+//	            [-peers url,url,...] [-self url] [-vnodes N]
 //	            [-fault-seed N] [-fault-build F] [-fault-stall F]
 //	            [-fault-corrupt F] [-infertimeout D]
 //	            [-drift-window N] [-drift-threshold F] [-drift-consecutive N]
@@ -20,11 +21,21 @@
 //	            [-slo-minevents N] [-profdir DIR] [-profmax N] [-profcpu D]
 //	            [-profgap D] [-runtimesample D]
 //
-// -snapshot enables crash-safe session recovery: the registry is restored
-// from the file at boot (if present), persisted every -snapinterval, and
-// persisted once more on SIGTERM. The -fault-* flags arm the deterministic
-// fault injector (chaos testing); all default to 0 (off). The -drift-*
-// flags tune the self-healing cluster-assignment detector
+// -store enables durable session persistence through the file-backed
+// internal/store backend rooted at the given directory: sessions are
+// written through on every lifecycle mutation (plus a periodic
+// -snapinterval flush and one more on SIGTERM), fine-tuned models persist
+// as content-addressed checkpoint blobs, and owned sessions are restored
+// at boot. -snapshot is the legacy alias for the same directory.
+//
+// -peers turns on router mode: the comma-separated replica URLs (this
+// one included, named by -self) form a consistent-hash ring that assigns
+// every session ID one owning replica. Non-owners proxy per-session
+// requests to the owner; a down owner's sessions fail over to the next
+// live node, which hydrates them from the shared -store directory — so
+// all replicas in one ring must share it. The -fault-* flags arm the
+// deterministic fault injector (chaos testing); all default to 0 (off).
+// The -drift-* flags tune the self-healing cluster-assignment detector
 // (internal/serve/drift.go); -drift-off disables it entirely.
 //
 // The observability surface (/metrics, /debug/pprof, /debug/vars,
@@ -37,11 +48,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +64,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/wemac"
 )
 
@@ -71,8 +86,12 @@ func main() {
 		assignFrac  = flag.Float64("assignfrac", 0.10, "default unlabeled cold-start budget")
 		logLevel    = flag.String("loglevel", "info", "structured log threshold: debug, info, warn, or error")
 
-		snapPath     = flag.String("snapshot", "", "session-registry snapshot file (enables crash-safe recovery)")
-		snapInterval = flag.Duration("snapinterval", 10*time.Second, "snapshot period")
+		storeDir     = flag.String("store", "", "durable store directory (enables crash-safe recovery and multi-replica handoff)")
+		snapPath     = flag.String("snapshot", "", "legacy alias for -store")
+		snapInterval = flag.Duration("snapinterval", 10*time.Second, "periodic store flush cadence")
+		peers        = flag.String("peers", "", "comma-separated replica URLs forming the placement ring (router mode)")
+		self         = flag.String("self", "", "this replica's URL in -peers")
+		vnodes       = flag.Int("vnodes", 0, "virtual nodes per replica on the ring (0 = default 128)")
 		inferTimeout = flag.Duration("infertimeout", 10*time.Second, "default per-window inference deadline")
 
 		faultSeed    = flag.Int64("fault-seed", 1, "fault injector seed")
@@ -136,6 +155,35 @@ func main() {
 		fmt.Printf("saved pipeline checkpoint to %s\n", *savePath)
 	}
 
+	// Durable store: -store, with -snapshot as the legacy alias.
+	dir := *storeDir
+	if dir == "" {
+		dir = *snapPath
+	}
+	var st store.Store
+	if dir != "" {
+		st, err = store.NewFile(dir)
+		die(err)
+		fmt.Printf("durable store at %s\n", dir)
+	}
+
+	// Router mode: -peers forms the consistent-hash placement ring.
+	var ring *shard.Ring
+	selfName := *self
+	if *peers != "" {
+		nodes := strings.Split(*peers, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimSpace(nodes[i])
+		}
+		ring = shard.New(nodes, *vnodes)
+		if selfName == "" || !ring.Has(selfName) {
+			die(fmt.Errorf("-peers requires -self naming one of the peer URLs (got %q)", selfName))
+		}
+		if st == nil {
+			die(fmt.Errorf("-peers requires a shared -store directory for session handoff"))
+		}
+	}
+
 	var inj *fault.Injector
 	if *faultBuild > 0 || *faultStall > 0 || *faultCorrupt > 0 {
 		inj = fault.New(*faultSeed).
@@ -147,7 +195,7 @@ func main() {
 			*faultSeed, *faultBuild, *faultStall, *faultCorrupt)
 	}
 
-	srv, err := serve.New(pipe, serve.Config{
+	scfg := serve.Config{
 		MaxSessions:      *maxSessions,
 		AssignFrac:       *assignFrac,
 		Device:           dev,
@@ -158,7 +206,8 @@ func main() {
 		InferTimeout:     *inferTimeout,
 		BreakerThreshold: *brThreshold,
 		BreakerCooldown:  *brCooldown,
-		SnapshotPath:     *snapPath,
+		Store:            st,
+		Self:             selfName,
 		SnapshotInterval: *snapInterval,
 		Fault:            inj,
 		DriftWindow:      *driftWindow,
@@ -181,16 +230,24 @@ func main() {
 		ProfileMax:    *profMax,
 		ProfileCPUDur: *profCPU,
 		ProfileMinGap: *profGap,
-	})
+	}
+	if ring != nil {
+		r := ring
+		me := selfName
+		scfg.OwnsID = func(id string) bool { return r.Owner(id) == me }
+	}
+	srv, err := serve.New(pipe, scfg)
 	die(err)
 	if arch != nil {
 		srv.SetClusterArchetypes(arch)
 	}
-	if *snapPath != "" {
-		n, err := srv.RestoreFile(*snapPath)
+	if st != nil {
+		// Restore this replica's share of the stored sessions (all of
+		// them outside router mode).
+		n, err := srv.RestoreAll(context.Background(), scfg.OwnsID)
 		die(err)
 		if n > 0 {
-			fmt.Printf("restored %d sessions from %s\n", n, *snapPath)
+			fmt.Printf("restored %d sessions from %s\n", n, dir)
 		}
 	}
 
@@ -204,7 +261,15 @@ func main() {
 		fmt.Printf("triggered profile capture armed: dir %s\n", *profDir)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	var router *serve.Router
+	if ring != nil {
+		router = serve.NewRouter(srv, serve.RouterConfig{Self: selfName, Ring: ring})
+		handler = router.Handler()
+		fmt.Printf("router mode: self %s, ring %v\n", selfName, ring.Nodes())
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		fmt.Printf("serving CLEAR lifecycle on %s (device %s, clusters %v)\n",
 			*addr, dev.Name, pipe.ClusterSizes())
@@ -218,7 +283,13 @@ func main() {
 	<-sig
 	fmt.Println("\ndraining...")
 	_ = hs.Close()
+	if router != nil {
+		router.Stop()
+	}
 	srv.Shutdown()
+	if st != nil {
+		_ = st.Close()
+	}
 	sampler.Stop()
 	fmt.Println("\n── span tree ──")
 	fmt.Println(obs.SpanTree())

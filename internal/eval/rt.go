@@ -84,7 +84,7 @@ func RunRT(pipe *core.Pipeline, users []*wemac.UserMaps, cycles int, scfg serve.
 	}
 	sp := obs.StartSpan("eval.rt")
 	defer sp.End()
-	scfg.SnapshotPath = ""
+	scfg.Store = nil
 	scfg.Fault = nil
 
 	// One server per arm: the detector switch is server-wide, and

@@ -46,6 +46,12 @@ const (
 	StageQuant
 	// StageEncode is response marshalling + write.
 	StageEncode
+	// StageStore is durable-store I/O on the request path: write-through
+	// session persists and on-demand hydration reads (internal/store).
+	StageStore
+	// StageProxy is time spent forwarding a request to the replica that
+	// owns its session (consistent-hash routing, internal/shard).
+	StageProxy
 	// StageOther is the residual: total minus every measured stage
 	// (middleware, locking, scheduling gaps).
 	StageOther
@@ -55,7 +61,7 @@ const (
 
 var stageNames = [NumStages]string{
 	"decode", "sanitize", "queue_wait", "batch_wait",
-	"forward", "quant", "encode", "other",
+	"forward", "quant", "encode", "store", "proxy", "other",
 }
 
 // String returns the stage's metric label value.

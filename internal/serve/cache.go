@@ -83,6 +83,22 @@ func (c *ModelCache) beginLoad(key string) (*cacheEntry, bool) {
 	return e, true
 }
 
+// put inserts an already-built checkpoint directly (store hydration
+// priming: the model was deployed before it was persisted, so there is no
+// build to single-flight). An existing entry — completed or in-flight —
+// wins; hydration must never clobber a live build.
+func (c *ModelCache) put(key string, m *nn.Model) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return
+	}
+	e := &cacheEntry{key: key, model: m, done: true}
+	c.byKey[key] = c.ll.PushFront(e)
+	c.evictLocked()
+	gCacheSize.Set(float64(c.ll.Len()))
+}
+
 // abort withdraws an in-flight reservation (e.g. the worker pool shed the
 // job).
 func (c *ModelCache) abort(e *cacheEntry) {

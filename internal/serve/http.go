@@ -139,10 +139,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.traced("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/slo", s.traced("slo", s.handleSLO))
 	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", s.handleTrace))
+	// Liveness probe: cheap, untraced, used by router peers to build their
+	// failover down-set.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	oh := obs.Handler()
 	mux.Handle("/metrics", oh)
 	mux.Handle("/debug/", oh)
 	return mux
+}
+
+// handleHealthz answers 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
 }
 
 // statusWriter captures the response status for metrics/trace labeling.
@@ -244,7 +259,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	st := obs.StageTimerOf(r.Context())
-	sess, err := s.Session(r.PathValue("id"))
+	sess, err := s.SessionCtx(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -330,7 +345,7 @@ func (s *Server) decodeWindow(p *WindowPayload) (*tensorT, error) {
 }
 
 func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.Session(r.PathValue("id"))
+	sess, err := s.SessionCtx(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -351,7 +366,7 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.Session(r.PathValue("id"))
+	sess, err := s.SessionCtx(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeError(w, r, err)
 		return

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/store"
 )
 
 // TestBreakerStateMachine walks the breaker through its full cycle on a
@@ -442,11 +443,18 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 }
 
-// TestSnapshotFileAndRestoreFile exercises the atomic file path, including
-// the missing-file boot case.
-func TestSnapshotFileAndRestoreFile(t *testing.T) {
-	path := t.TempDir() + "/sessions.snap"
-	srvA := newTestServer(t, Config{})
+// TestStoreFlushAndRestoreAll exercises the store-backed persistence path
+// that replaced the direct snapshot file: create/push write through to
+// the store, FlushAll persists the registry wholesale, and a second
+// server hydrates via RestoreAll — with the ownership predicate
+// filtering, and an empty store booting to an empty registry.
+func TestStoreFlushAndRestoreAll(t *testing.T) {
+	ctx := context.Background()
+	st, err := store.NewFile(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	srvA := newTestServer(t, Config{Store: st, Self: "a"})
 	_, users := fixture(t)
 	u := users[5]
 	sess, err := srvA.CreateSession(u.ID, len(u.Maps), 0.9)
@@ -456,16 +464,41 @@ func TestSnapshotFileAndRestoreFile(t *testing.T) {
 	if _, err := sess.PushWindow(u.Maps[0].Map); err != nil {
 		t.Fatalf("PushWindow: %v", err)
 	}
-	if err := srvA.SnapshotFile(path); err != nil {
-		t.Fatalf("SnapshotFile: %v", err)
+	// Create and push both wrote through already; FlushAll must still
+	// cover the whole registry.
+	if n := srvA.FlushAll(ctx); n != 1 {
+		t.Fatalf("FlushAll = %d, want 1", n)
+	}
+	if got := st.Stats().Sessions; got != 1 {
+		t.Fatalf("store sessions = %d, want 1", got)
 	}
 
-	srvB := newTestServer(t, Config{})
-	if n, err := srvB.RestoreFile(path); n != 1 || err != nil {
-		t.Fatalf("RestoreFile = (%d, %v), want (1, nil)", n, err)
+	srvB := newTestServer(t, Config{Store: st, Self: "b"})
+	if n, err := srvB.RestoreAll(ctx, nil); n != 1 || err != nil {
+		t.Fatalf("RestoreAll = (%d, %v), want (1, nil)", n, err)
 	}
-	if n, err := srvB.RestoreFile(path + ".missing"); n != 0 || err != nil {
-		t.Fatalf("missing-file RestoreFile = (%d, %v), want (0, nil)", n, err)
+	r, err := srvB.Session(sess.ID())
+	if err != nil {
+		t.Fatalf("restored session: %v", err)
+	}
+	if got := r.Status().Windows; got != 1 {
+		t.Fatalf("restored windows = %d, want 1", got)
+	}
+
+	// The ownership predicate keeps other replicas' sessions out.
+	srvC := newTestServer(t, Config{Store: st, Self: "c"})
+	if n, err := srvC.RestoreAll(ctx, func(string) bool { return false }); n != 0 || err != nil {
+		t.Fatalf("filtered RestoreAll = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// Empty store boots to an empty registry.
+	st2, err := store.NewFile(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	srvD := newTestServer(t, Config{Store: st2})
+	if n, err := srvD.RestoreAll(ctx, nil); n != 0 || err != nil {
+		t.Fatalf("empty-store RestoreAll = (%d, %v), want (0, nil)", n, err)
 	}
 }
 

@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// Router turns one Server replica into a member of a multi-node
+// deployment: a consistent-hash ring (internal/shard) maps every session
+// ID to exactly one owning replica, and the router either serves a
+// request locally (we own it, or it was already forwarded once) or
+// proxies it to the owner. Combined with the durable store this gives
+// horizontal scale-out with zero lifecycle loss:
+//
+//   - Any replica accepts POST /v1/sessions; mint-until-owned
+//     (Config.OwnsID) guarantees the new ID is locally owned, so creation
+//     never forwards and replicas can never mint colliding IDs.
+//   - Per-session requests hash to their owner. Non-owners forward with
+//     an X-Clear-Forwarded marker; a forwarded request is always served
+//     locally, so a stale or disagreeing ring can cause at most one hop,
+//     never a loop.
+//   - A health janitor probes peers' /healthz. Requests owned by a down
+//     replica fail over to the ring's next live node (OwnerExcluding),
+//     which hydrates the session from the shared store — write-through
+//     persistence means the store already holds everything the dead
+//     replica acknowledged. Without a persisted checkpoint the hydrated
+//     session serves from the degraded cluster baseline and replays its
+//     labels (the PR 3/4 machinery); with one it resumes personalised.
+//   - When the owner comes back, the janitor persists and evicts the
+//     failover copy so exactly one replica serves each session again.
+//
+// The ring itself is static per process (topology changes are rolling
+// restarts with a new -peers list); the down-set handles transient
+// deaths between restarts.
+
+// forwardedHeader marks a proxied request; its value is the forwarding
+// node. Its presence forces local serving — the one-hop loop guard.
+const forwardedHeader = "X-Clear-Forwarded"
+
+// Proxy telemetry: outcome ∈ {ok, error, failover}; target cardinality is
+// the (small, fixed) peer list.
+var (
+	mProxyVec   = obs.GetCounterVec("serve.proxy", "target", "outcome")
+	hProxyLatUS = obs.GetHistogramVec("serve.proxy_latency_us", obs.ExpBuckets(1, 2, 26), "target")
+	mEvicted    = obs.GetCounter("serve.sessions_evicted")
+)
+
+// RouterConfig parameterises a Router.
+type RouterConfig struct {
+	// Self is this replica's node name, which must be one of Ring's nodes
+	// and the base URL peers reach it at (e.g. "http://127.0.0.1:8081").
+	Self string
+	// Ring is the shared placement ring. Every replica must be built with
+	// the same node list (order-insensitive: the ring sorts).
+	Ring *shard.Ring
+	// HealthInterval is the peer probe + janitor cadence. Default 500ms.
+	HealthInterval time.Duration
+	// ForwardTimeout bounds one proxied request. Default 30s.
+	ForwardTimeout time.Duration
+}
+
+// Router proxies per-session requests to their ring owner.
+type Router struct {
+	srv    *Server
+	cfg    RouterConfig
+	client *http.Client
+	probe  *http.Client
+
+	mu   sync.Mutex
+	down map[string]bool
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mForwards  *obs.Counter
+	mFailovers *obs.Counter
+}
+
+// NewRouter builds a router around srv and starts its health janitor.
+// Callers must Stop it before the process exits.
+func NewRouter(srv *Server, cfg RouterConfig) *Router {
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 30 * time.Second
+	}
+	rt := &Router{
+		srv:        srv,
+		cfg:        cfg,
+		client:     &http.Client{Timeout: cfg.ForwardTimeout},
+		probe:      &http.Client{Timeout: cfg.HealthInterval},
+		down:       map[string]bool{},
+		stopc:      make(chan struct{}),
+		mForwards:  obs.GetCounter("serve.forwards"),
+		mFailovers: obs.GetCounter("serve.failovers"),
+	}
+	srv.SetShardStats(rt.stats)
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	return rt
+}
+
+// Stop halts the health janitor.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stopc) })
+	rt.wg.Wait()
+}
+
+// Handler mirrors Server.Handler with per-session routes wrapped in
+// ownership routing. Registry-independent routes (create, stats, slo,
+// traces, health, obs) are always local.
+func (rt *Router) Handler() http.Handler {
+	s := rt.srv
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.traced("sessions", s.handleCreate))
+	mux.HandleFunc("POST /v1/sessions/{id}/windows", rt.route("windows", s.handleWindow))
+	mux.HandleFunc("POST /v1/sessions/{id}/labels", rt.route("labels", s.handleLabels))
+	mux.HandleFunc("GET /v1/sessions/{id}", rt.route("status", s.handleStatus))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", rt.route("delete", s.handleDelete))
+	mux.HandleFunc("GET /v1/stats", s.traced("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/slo", s.traced("slo", s.handleSLO))
+	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", s.handleTrace))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	oh := obs.Handler()
+	mux.Handle("/metrics", oh)
+	mux.Handle("/debug/", oh)
+	return mux
+}
+
+// route serves a per-session endpoint locally when this replica owns the
+// ID (or the request already hopped once), else forwards to the owner.
+func (rt *Router) route(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	local := rt.srv.traced(endpoint, h)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(forwardedHeader) != "" {
+			local(w, r)
+			return
+		}
+		owner, failover := rt.ownerFor(r.PathValue("id"))
+		if owner == "" || owner == rt.cfg.Self {
+			local(w, r)
+			return
+		}
+		if failover {
+			rt.mFailovers.Inc()
+		}
+		rt.forward(w, r, endpoint, owner, local)
+	}
+}
+
+// ownerFor resolves an ID's live owner: the ring owner, skipping the
+// current down-set. failover reports that the primary owner was skipped.
+func (rt *Router) ownerFor(id string) (owner string, failover bool) {
+	rt.mu.Lock()
+	var down map[string]bool
+	if len(rt.down) > 0 {
+		down = make(map[string]bool, len(rt.down))
+		for n := range rt.down {
+			down[n] = true
+		}
+	}
+	rt.mu.Unlock()
+	primary := rt.cfg.Ring.Owner(id)
+	if down == nil {
+		return primary, false
+	}
+	o := rt.cfg.Ring.OwnerExcluding(id, down)
+	return o, o != primary && o != ""
+}
+
+// forward proxies one request to owner, falling back — once — to the
+// next live node (or local serving) when the owner turns out dead. The
+// round-trip is attributed to StageProxy for the windows endpoint so
+// Σ stages keeps tiling wall time on the hot path.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owner string, local http.HandlerFunc) {
+	var st *obs.StageTimer
+	if endpoint == "windows" {
+		st = obs.NewStageTimer()
+	}
+	stop := st.Time(obs.StageProxy)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		stop()
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ok := rt.tryForward(w, r, owner, body)
+	if !ok {
+		// The owner died under us: mark it down and re-resolve. The
+		// failover owner hydrates from the shared store; when it is this
+		// replica, serve locally (restoring r.Body for the handler).
+		rt.markDown(owner, true)
+		rt.mFailovers.Inc()
+		next, _ := rt.ownerFor(r.PathValue("id"))
+		if next == "" || next == rt.cfg.Self || next == owner {
+			stop()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			local(w, r)
+			return
+		}
+		if !rt.tryForward(w, r, next, body) {
+			rt.markDown(next, true)
+			stop()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			local(w, r)
+			return
+		}
+	}
+	stop()
+	rt.mForwards.Inc()
+	if st != nil {
+		st.FlushTo(hStageUS)
+	}
+}
+
+// tryForward attempts one proxied round-trip, streaming the response
+// through verbatim (status, headers, body). A transport error returns
+// false with nothing written — the caller can still retry or serve
+// locally; once the upstream responded, its answer is relayed as-is.
+func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target string, body []byte) bool {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		mProxyVec.With(target, "error").Inc()
+		return false
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(forwardedHeader, rt.cfg.Self)
+	resp, err := rt.client.Do(req)
+	hProxyLatUS.With(target).Observe(float64(time.Since(start).Microseconds()))
+	if err != nil {
+		mProxyVec.With(target, "error").Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	mProxyVec.With(target, "ok").Inc()
+	return true
+}
+
+// markDown updates one node's health, logging transitions.
+func (rt *Router) markDown(node string, down bool) {
+	if node == rt.cfg.Self {
+		return
+	}
+	rt.mu.Lock()
+	was := rt.down[node]
+	if down {
+		rt.down[node] = true
+	} else {
+		delete(rt.down, node)
+	}
+	rt.mu.Unlock()
+	if was != down {
+		obs.Logger().Info("peer health changed", "peer", node, "down", down)
+	}
+}
+
+// healthLoop probes peers and runs the ownership janitor on one cadence.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			rt.probePeers()
+			rt.evictNotOwned()
+		case <-rt.stopc:
+			return
+		}
+	}
+}
+
+// probePeers refreshes the down-set from every peer's /healthz.
+func (rt *Router) probePeers() {
+	for _, node := range rt.cfg.Ring.Nodes() {
+		if node == rt.cfg.Self {
+			continue
+		}
+		resp, err := rt.probe.Get(node + "/healthz")
+		up := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		rt.markDown(node, !up)
+	}
+}
+
+// evictNotOwned persists-then-evicts local live sessions whose live owner
+// is another (up) replica: the failover copies this node accumulated
+// while a peer was down, handed back now that the peer recovered. The
+// persist-first ordering means the returning owner hydrates state at
+// least as fresh as anything we served.
+func (rt *Router) evictNotOwned() {
+	s := rt.srv
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	for _, id := range ids {
+		owner, _ := rt.ownerFor(id)
+		if owner == "" || owner == rt.cfg.Self {
+			continue
+		}
+		sess, err := s.Session(id)
+		if err != nil {
+			continue
+		}
+		s.persistSession(context.Background(), sess)
+		if s.evictSession(id) {
+			mEvicted.Inc()
+			obs.Logger().Info("session handed back", "session", id, "owner", owner)
+		}
+	}
+}
+
+// ShardStats is the consistent-hash routing block of /v1/stats.
+type ShardStats struct {
+	Self  string   `json:"self"`
+	Nodes []string `json:"nodes"`
+	Down  []string `json:"down,omitempty"`
+	// OwnedSessions counts live local sessions this replica owns under
+	// the ring; LocalSessions counts all live local sessions (the
+	// difference is failover copies pending hand-back).
+	OwnedSessions int   `json:"owned_sessions"`
+	LocalSessions int   `json:"local_sessions"`
+	Forwards      int64 `json:"forwards"`
+	Failovers     int64 `json:"failovers"`
+	Evicted       int64 `json:"evicted_sessions"`
+}
+
+// stats snapshots the routing surface for Server.Stats.
+func (rt *Router) stats() *ShardStats {
+	s := rt.srv
+	s.mu.RLock()
+	local := len(s.sessions)
+	owned := 0
+	for id := range s.sessions {
+		if rt.cfg.Ring.Owner(id) == rt.cfg.Self {
+			owned++
+		}
+	}
+	s.mu.RUnlock()
+	rt.mu.Lock()
+	down := make([]string, 0, len(rt.down))
+	for n := range rt.down {
+		down = append(down, n)
+	}
+	rt.mu.Unlock()
+	sort.Strings(down)
+	return &ShardStats{
+		Self:          rt.cfg.Self,
+		Nodes:         rt.cfg.Ring.Nodes(),
+		Down:          down,
+		OwnedSessions: owned,
+		LocalSessions: local,
+		Forwards:      rt.mForwards.Value(),
+		Failovers:     rt.mFailovers.Value(),
+		Evicted:       mEvicted.Value(),
+	}
+}

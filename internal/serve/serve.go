@@ -62,6 +62,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
@@ -200,11 +201,30 @@ type Config struct {
 	DriftCooldown    int
 	DriftDisabled    bool
 
-	// SnapshotPath, when set, enables crash-safe session recovery: the
-	// registry is snapshotted there every SnapshotInterval (default 10s)
-	// and once more on Shutdown, atomically (tmp + rename).
-	SnapshotPath     string
+	// Store, when non-nil, enables durable session persistence through
+	// internal/store: sessions are written through on every lifecycle
+	// mutation (create, retained window, labels, assignment, fine-tune,
+	// close), flushed wholesale every SnapshotInterval (default 10s) and
+	// once more on Shutdown, and hydrated back on boot (RestoreAll) or on
+	// demand when a request reaches a replica that doesn't hold the
+	// session live (migration after a topology change). Fine-tuned models
+	// persist alongside as content-addressed checkpoint blobs.
+	Store store.Store
+	// Self identifies this replica as a lease owner in Store (fine-tune
+	// leases) and as the advertised node name in router mode. Default
+	// "local".
+	Self string
+	// OwnsID, when set, restricts session-ID minting: CreateSession
+	// advances the sequence counter until OwnsID accepts the ID. Router
+	// deployments set this to the consistent-hash ownership predicate so
+	// locally-minted IDs are always locally-owned — ownership partitions
+	// the ID space, so replicas can never mint colliding IDs.
+	OwnsID func(id string) bool
+	// SnapshotInterval is the periodic FlushAll cadence when Store is set.
 	SnapshotInterval time.Duration
+	// FineTuneLeaseTTL bounds how long a crashed replica's fine-tune lease
+	// can wedge a session. Default 30s.
+	FineTuneLeaseTTL time.Duration
 
 	// TraceCapacity bounds the in-memory request-trace store (FIFO
 	// eviction); TraceOKPerSec is the tail-sampling budget for successful
@@ -318,6 +338,12 @@ func (c *Config) fillDefaults() {
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 10 * time.Second
 	}
+	if c.Self == "" {
+		c.Self = "local"
+	}
+	if c.FineTuneLeaseTTL == 0 {
+		c.FineTuneLeaseTTL = 30 * time.Second
+	}
 	if c.TraceCapacity == 0 {
 		c.TraceCapacity = 4096
 	}
@@ -400,6 +426,10 @@ type Server struct {
 
 	snapWG sync.WaitGroup
 
+	// shardFn, when set by the router, reports ring ownership for Stats.
+	shardMu sync.Mutex
+	shardFn func() *ShardStats
+
 	mu       sync.RWMutex
 	sessions map[string]*Session
 	seq      int64
@@ -456,9 +486,9 @@ func New(pipe *core.Pipeline, cfg Config) (*Server, error) {
 		s.ftWG.Add(1)
 		go s.fineTuneWorker()
 	}
-	if cfg.SnapshotPath != "" {
+	if cfg.Store != nil {
 		s.snapWG.Add(1)
-		go s.snapshotLoop()
+		go s.persistLoop()
 	}
 	if err := s.startSLO(); err != nil {
 		return nil, err
@@ -507,14 +537,45 @@ func (s *Server) fineTuneWorker() {
 	for job := range s.ftq {
 		tr := obs.NewTrace("serve.finetune")
 		ctx := obs.WithTrace(context.Background(), tr)
-		model, err := s.buildWithRetry(ctx, job)
+		model, err := s.buildLeased(ctx, job)
 		if err != nil {
 			tr.MarkError()
 		}
 		s.cache.complete(job.e, model, err)
 		job.s.fineTuneDone(ctx, err)
+		if err == nil && model != nil {
+			job.s.mu.Lock()
+			labels := job.s.ftLabeled
+			job.s.mu.Unlock()
+			s.persistCheckpoint(ctx, job.s, job.k, model, labels)
+		}
+		s.persistSession(ctx, job.s)
 		s.traces.Add(tr)
 	}
+}
+
+// buildLeased wraps buildWithRetry in a per-session fine-tune lease when
+// a store is configured: exactly one replica fine-tunes a given user at a
+// time, even when two replicas briefly both hold the session live during
+// a consistent-hash handoff. A refused lease fails the job like a build
+// failure — the session serves degraded from the cluster baseline and the
+// heal path retries later, by which time the holder's checkpoint is in
+// the store and hydration picks it up instead of rebuilding.
+func (s *Server) buildLeased(ctx context.Context, job ftJob) (*nn.Model, error) {
+	if s.cfg.Store == nil {
+		return s.buildWithRetry(ctx, job)
+	}
+	lease, err := s.cfg.Store.Lock(ctx, "ft:"+job.s.id, s.cfg.Self, s.cfg.FineTuneLeaseTTL)
+	if errors.Is(err, store.ErrLocked) {
+		job.s.record(ctx, evFTSuppressed, "cluster=%d fine-tune leased to another replica", job.k)
+		mFTSuppressed.Inc()
+		return nil, fmt.Errorf("serve: session %s fine-tune leased elsewhere", job.s.id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = lease.Release() }()
+	return s.buildWithRetry(ctx, job)
 }
 
 // buildWithRetry runs one fine-tune job: up to FineTuneRetries attempts
@@ -620,33 +681,62 @@ func (s *Server) CreateSessionCtx(ctx context.Context, userID int, expectedWindo
 		assignFrac = s.cfg.AssignFrac
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, ErrShutdown
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
 		mShed.Inc()
 		return nil, fmt.Errorf("%w: session cap %d reached", ErrOverloaded, s.cfg.MaxSessions)
 	}
 	s.seq++
-	sess := newSession(s, fmt.Sprintf("s%06d", s.seq), userID, expectedWindows, assignFrac)
+	id := fmt.Sprintf("s%06d", s.seq)
+	// Mint-until-owned: advance the counter until it lands on an ID this
+	// replica owns under the consistent-hash ring (no-op without OwnsID).
+	// The cap guards against a predicate that rejects everything.
+	for i := 0; s.cfg.OwnsID != nil && !s.cfg.OwnsID(id); i++ {
+		if i >= 1<<16 {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: cannot mint a locally-owned session id", ErrOverloaded)
+		}
+		s.seq++
+		id = fmt.Sprintf("s%06d", s.seq)
+	}
+	sess := newSession(s, id, userID, expectedWindows, assignFrac)
 	s.sessions[sess.id] = sess
 	mSessionsOpen.Inc()
 	gSessions.Set(float64(len(s.sessions)))
+	s.mu.Unlock()
 	sess.record(ctx, evCreated, "user=%d expected_windows=%d assign_frac=%.3f",
 		userID, expectedWindows, assignFrac)
+	s.persistSession(ctx, sess)
 	return sess, nil
 }
 
 // Session looks a live session up by ID.
 func (s *Server) Session(id string) (*Session, error) {
+	return s.SessionCtx(context.Background(), id)
+}
+
+// SessionCtx is Session with on-demand store hydration: an ID absent from
+// the live registry but present in the durable store is hydrated into the
+// registry before returning — the migration path after a consistent-hash
+// topology change, where the session's new owner pulls its state (and any
+// fine-tuned checkpoint) from the store on first touch.
+func (s *Server) SessionCtx(ctx context.Context, id string) (*Session, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	sess, ok := s.sessions[id]
-	if !ok {
+	s.mu.RUnlock()
+	if ok {
+		return sess, nil
+	}
+	if s.cfg.Store == nil {
 		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
 	}
-	return sess, nil
+	stop := obs.StageTimerOf(ctx).Time(obs.StageStore)
+	defer stop()
+	return s.hydrateSession(ctx, id)
 }
 
 // CloseSession removes a session from the registry and releases its cached
@@ -672,13 +762,44 @@ func (s *Server) CloseSessionCtx(ctx context.Context, id string) error {
 	if m := s.cache.Remove(sess.id); m != nil {
 		s.exec.Forget(m)
 	}
+	if s.cfg.Store != nil {
+		// A closed session's lifecycle is complete: drop its durable
+		// record and manifest (shared blobs stay — other sessions may
+		// reference the same cluster baseline).
+		_ = s.cfg.Store.DeleteSession(ctx, id)
+		_ = s.cfg.Store.DeleteCheckpoint(ctx, id)
+	}
 	return nil
+}
+
+// evictSession drops a session from the live registry WITHOUT touching
+// its durable record — the handoff primitive. A replica that lost
+// ownership of a session under a topology change evicts its live copy
+// (the new owner hydrates from the store), so eviction must not destroy
+// the very state the new owner hydrates from. Callers persist first.
+func (s *Server) evictSession(id string) bool {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		gSessions.Set(float64(len(s.sessions)))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sess.close()
+	if m := s.cache.Remove(id); m != nil {
+		s.exec.Forget(m)
+	}
+	return true
 }
 
 // Shutdown drains the server: no new sessions, the fine-tune pool finishes
 // queued jobs (aborting pending backoff sleeps), the executor completes
-// pending inferences, and — when snapshotting is configured — one final
-// registry snapshot is written so a restart restores every live session.
+// pending inferences, and — when a store is configured — every live
+// session is flushed through it so a restart (or the session's next
+// owner) restores every live session.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	s.draining = true
@@ -696,9 +817,9 @@ func (s *Server) Shutdown() {
 		s.slo.Stop()
 	}
 	s.snapWG.Wait()
-	if s.cfg.SnapshotPath != "" {
-		_ = s.SnapshotFile(s.cfg.SnapshotPath)
-	}
+	// A departing replica's final flush is the migration handoff: every
+	// hot session lands in the store so the next owner hydrates it.
+	s.FlushAll(context.Background())
 }
 
 // StateCounts tallies live sessions by state.
@@ -741,6 +862,19 @@ type Stats struct {
 	RestoredSessions   int64    `json:"restored_sessions"`
 	Snapshots          int64    `json:"snapshots"`
 
+	// Durable-store surface: write-through persists / hydrations /
+	// checkpoint cuts, plus the backend's own census (sessions stored,
+	// physical vs logical blobs — the content-address dedup ratio).
+	SessionPersists    int64        `json:"session_persists"`
+	PersistErrors      int64        `json:"persist_errors"`
+	HydratedSessions   int64        `json:"hydrated_sessions"`
+	CheckpointPersists int64        `json:"checkpoint_persists"`
+	CheckpointHits     int64        `json:"checkpoint_hydrations"`
+	Store              *store.Stats `json:"store,omitempty"`
+	// Shard is the consistent-hash routing surface (router mode only):
+	// ring membership, local ownership share, forward/failover counters.
+	Shard *ShardStats `json:"shard,omitempty"`
+
 	// Self-healing assignment surface: verdict/re-assignment/flap
 	// suppression totals, plus how many live sessions have re-assigned at
 	// least once and the largest cumulative drift-evidence score any live
@@ -782,7 +916,7 @@ func (s *Server) Stats() Stats {
 		brs[k] = st.String()
 		s.noteBreaker(context.Background(), nil, k, st)
 	}
-	return Stats{
+	st := Stats{
 		UptimeSec:          time.Since(s.start).Seconds(),
 		Sessions:           n,
 		SessionsOpened:     mSessionsOpen.Value(),
@@ -811,6 +945,30 @@ func (s *Server) Stats() Stats {
 		Cache:              s.cache.Stats(),
 		Executor:           s.exec.Stats(),
 	}
+	st.SessionPersists = mPersists.Value()
+	st.PersistErrors = mPersistErrs.Value()
+	st.HydratedSessions = mHydrated.Value()
+	st.CheckpointPersists = mCkptPersists.Value()
+	st.CheckpointHits = mCkptHits.Value()
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		st.Store = &ss
+	}
+	s.shardMu.Lock()
+	fn := s.shardFn
+	s.shardMu.Unlock()
+	if fn != nil {
+		st.Shard = fn()
+	}
+	return st
+}
+
+// SetShardStats installs the router's ring-ownership reporter, surfaced
+// as the "shard" block in /v1/stats.
+func (s *Server) SetShardStats(f func() *ShardStats) {
+	s.shardMu.Lock()
+	s.shardFn = f
+	s.shardMu.Unlock()
 }
 
 // BreakerFor exposes cluster k's breaker (nil when out of range) so

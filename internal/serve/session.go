@@ -222,6 +222,7 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	if st == nil {
 		st = obs.NewStageTimer()
 		ownStages = true
+		ctx = obs.WithStageTimer(ctx, st)
 	}
 
 	s.mu.Lock()
@@ -240,8 +241,10 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	imputed := clean != m
 	m = clean
 	s.pushed++
+	retained := false
 	if len(s.maps) < s.expected {
 		s.maps = append(s.maps, m)
+		retained = true
 	}
 	if imputed {
 		s.record(ctx, evImputed, "window=%d", s.pushed)
@@ -269,6 +272,10 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 		}
 		s.mu.Unlock()
 		st.SetCluster(cl)
+		// Enrolling pushes always retain their map (the label-eligible
+		// set): write through before acknowledging, so a crash or handoff
+		// never loses a window the client was told we accepted.
+		s.srv.persistSession(ctx, s)
 		mWindows.Inc()
 		mWindowsVec.With(cl, "false").Inc()
 		hWindowUS.Observe(float64(time.Since(start).Microseconds()))
@@ -342,6 +349,12 @@ func (s *Session) PushWindowCtx(ctx context.Context, m *tensorT) (WindowResult, 
 	res.BatchSize = ir.Batch
 	res.QueueWait = ir.QueueWait
 	st.SetCluster(clusterLabel(a.Cluster))
+	if retained || res.Reassigned {
+		// Durable state changed: a new retained map, or a self-heal swap.
+		// Steady-state monitoring pushes past the retained range change
+		// nothing durable and skip the store round-trip.
+		s.srv.persistSession(ctx, s)
+	}
 	mWindows.Inc()
 	mWindowsVec.With(clusterLabel(a.Cluster), strconv.FormatBool(degraded)).Inc()
 	hWindowUS.Observe(float64(time.Since(start).Microseconds()))
@@ -384,33 +397,43 @@ func (s *Session) PushLabels(labels map[int]int) (LabelsResult, error) {
 // PushLabelsCtx is PushLabels with request-scoped tracing: flight events
 // raised by the trigger (queued/suppressed) carry the request's trace id.
 func (s *Session) PushLabelsCtx(ctx context.Context, labels map[int]int) (LabelsResult, error) {
-	classes := s.srv.pipe.Cfg.Model.Classes
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.state == StateClosed {
-		return LabelsResult{}, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
-	}
-	for idx, y := range labels {
-		if idx < 0 || idx >= s.pushed {
-			return LabelsResult{}, fmt.Errorf("%w: label for unknown window %d (have %d)",
-				ErrBadRequest, idx, s.pushed)
+	res, err := func() (LabelsResult, error) {
+		classes := s.srv.pipe.Cfg.Model.Classes
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.state == StateClosed {
+			return LabelsResult{}, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
 		}
-		if idx >= len(s.maps) {
-			return LabelsResult{}, fmt.Errorf("%w: window %d is past the retained range [0,%d)",
-				ErrBadRequest, idx, len(s.maps))
+		for idx, y := range labels {
+			if idx < 0 || idx >= s.pushed {
+				return LabelsResult{}, fmt.Errorf("%w: label for unknown window %d (have %d)",
+					ErrBadRequest, idx, s.pushed)
+			}
+			if idx >= len(s.maps) {
+				return LabelsResult{}, fmt.Errorf("%w: window %d is past the retained range [0,%d)",
+					ErrBadRequest, idx, len(s.maps))
+			}
+			if y < 0 || y >= classes {
+				return LabelsResult{}, fmt.Errorf("%w: label %d out of range [0,%d)", ErrBadRequest, y, classes)
+			}
 		}
-		if y < 0 || y >= classes {
-			return LabelsResult{}, fmt.Errorf("%w: label %d out of range [0,%d)", ErrBadRequest, y, classes)
+		for idx, y := range labels {
+			s.labels[idx] = y
 		}
-	}
-	for idx, y := range labels {
-		s.labels[idx] = y
-	}
-	queued, err := s.tryFineTuneLocked(ctx)
+		queued, err := s.tryFineTuneLocked(ctx)
+		if err != nil {
+			return LabelsResult{}, err
+		}
+		return LabelsResult{SessionID: s.id, State: s.state, Labeled: len(s.labels), FineTuneQueued: queued}, nil
+	}()
 	if err != nil {
-		return LabelsResult{}, err
+		return res, err
 	}
-	return LabelsResult{SessionID: s.id, State: s.state, Labeled: len(s.labels), FineTuneQueued: queued}, nil
+	// Labels are the one input the client cannot re-derive: write them
+	// through before acknowledging — the zero-lost-labels guarantee the
+	// rolling-restart smoke gates on.
+	s.srv.persistSession(ctx, s)
+	return res, nil
 }
 
 // tryFineTuneLocked starts a personalisation job when the session is

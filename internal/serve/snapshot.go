@@ -2,41 +2,64 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/edge"
+	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
-// Session-registry snapshot format (little-endian), sharing the repo's
-// store framing via core.WriteHeader / core.ReadHeader:
+// Session persistence. Two encodings share the same per-session record
+// (sessSnap) and the repo's core.WriteHeader framing:
 //
-//	magic   uint32 0x534E5353 ("SSNS")
-//	hdrLen  uint32, hdr JSON (sequence counter + one record per session)
-//	retained feature maps in tensor binary format, session order, each
-//	session contributing exactly NMaps tensors.
+//   - Registry snapshot (Snapshot/Restore): one stream, magic "SSNS",
+//     every live session in one header plus their retained feature maps.
+//     Kept for tests and for whole-registry export.
+//   - Store records (persistSession/hydrateSession): one record per
+//     session, magic "SESS", written through a store.Store backend. This
+//     is the production path: sessions are written through on every
+//     lifecycle mutation (create, retained window, labels, assignment,
+//     fine-tune outcome, drift swap), so a replica crash — or a
+//     consistent-hash handoff to another replica — loses nothing the
+//     client was told we accepted. The periodic/SIGTERM snapshot path
+//     routes through the same backend; there is no separate direct-file
+//     snapshot to diverge from the store.
 //
 // Snapshots carry everything a restart cannot recompute: lifecycle state,
 // the cold-start assignment, the label budget, and the retained raw maps
-// the labels index into. Fine-tuned checkpoints are deliberately NOT
-// snapshotted — restored sessions re-enter monitoring on the shared
-// cluster baseline and their merged labels replay a fine-tune, which keeps
-// snapshots small and the restore path free of stale-model hazards.
+// the labels index into. Fine-tuned weights live separately as
+// content-addressed checkpoint blobs (persistCheckpoint): each session's
+// manifest references the cluster-baseline blob it started from — shared
+// by every session fine-tuned off that baseline — plus its own fine blob.
+// A hydrating replica that finds a checkpoint resumes personalised
+// serving without replaying the fine-tune; one that doesn't demotes to
+// degraded baseline serving and replays labels, the PR 3/4 machinery.
 
-const snapshotMagic uint32 = 0x534E5353
+const (
+	// snapshotMagic frames whole-registry snapshots ("SSNS").
+	snapshotMagic uint32 = 0x534E5353
+	// sessionMagic frames one per-session store record ("SESS").
+	sessionMagic uint32 = 0x53455353
+)
 
 // Snapshot telemetry.
 var (
 	mSnapshots    = obs.GetCounter("serve.snapshots")
 	mSnapshotErrs = obs.GetCounter("serve.snapshot_errors")
 	mRestored     = obs.GetCounter("serve.sessions_restored")
+	mHydrated     = obs.GetCounter("serve.sessions_hydrated")
+	mPersists     = obs.GetCounter("serve.session_persists")
+	mPersistErrs  = obs.GetCounter("serve.session_persist_errors")
+	mCkptPersists = obs.GetCounter("serve.checkpoint_persists")
+	mCkptHits     = obs.GetCounter("serve.checkpoint_hydrations")
 )
 
 // sessSnap is one session's JSON record inside a snapshot header.
@@ -71,16 +94,66 @@ type sessSnap struct {
 	Events []FlightEvent `json:"events,omitempty"`
 }
 
-// snapHeader is the snapshot's JSON block.
+// snapHeader is the whole-registry snapshot's JSON block.
 type snapHeader struct {
 	Seq      int64      `json:"seq"`
 	Sessions []sessSnap `json:"sessions"`
 }
 
+// sessRecHeader is the per-session store record's JSON block. Seq is the
+// server's session-ID counter at persist time, so a restoring replica
+// resumes minting above every persisted ID.
+type sessRecHeader struct {
+	Seq int64    `json:"seq"`
+	Rec sessSnap `json:"rec"`
+}
+
+// snapRecordLocked copies one session into its snapshot record plus its
+// retained map references (the maps are append-only, so sharing the
+// tensors is safe). Callers hold sess.mu. Closed sessions return ok=false.
+func snapRecordLocked(sess *Session) (rec sessSnap, maps []*tensorT, ok bool) {
+	if sess.state == StateClosed {
+		return sessSnap{}, nil, false
+	}
+	rec = sessSnap{
+		ID:       sess.id,
+		UserID:   sess.userID,
+		State:    int(sess.state),
+		Expected: sess.expected,
+		AssignAt: sess.assignAt,
+		Frac:     sess.frac,
+		Pushed:   sess.pushed,
+		HaveAsg:  sess.haveAsg,
+		Cluster:  -1,
+		Degraded: sess.degraded,
+		NMaps:    len(sess.maps),
+		Created:  sess.created.Unix(),
+	}
+	if len(sess.labels) > 0 {
+		rec.Labels = make(map[int]int, len(sess.labels))
+		for k, v := range sess.labels {
+			rec.Labels[k] = v
+		}
+	}
+	if sess.haveAsg {
+		rec.Cluster = sess.asg.Cluster
+		rec.Scores = append([]float64(nil), sess.asg.Scores...)
+		rec.FracUsed = sess.asg.FracUsed
+	}
+	rec.Reassigns = sess.reassigns
+	if sess.reassigns > 0 {
+		rec.PrevCluster = sess.prevCluster
+	}
+	if sess.drift != nil {
+		rec.DriftCooldown = sess.drift.cooldown
+	}
+	maps = append(maps, sess.maps...)
+	return rec, maps, true
+}
+
 // Snapshot serialises the live session registry to w. It holds each
-// session's lock only long enough to copy scalar state and map references
-// (retained maps are append-only, so sharing the tensors is safe); closed
-// sessions are skipped.
+// session's lock only long enough to copy scalar state and map references;
+// closed sessions are skipped.
 func (s *Server) Snapshot(w io.Writer) error {
 	s.mu.RLock()
 	seq := s.seq
@@ -94,45 +167,13 @@ func (s *Server) Snapshot(w io.Writer) error {
 	var maps []*tensorT
 	for _, sess := range live {
 		sess.mu.Lock()
-		if sess.state == StateClosed {
-			sess.mu.Unlock()
+		rec, m, ok := snapRecordLocked(sess)
+		sess.mu.Unlock()
+		if !ok {
 			continue
 		}
-		rec := sessSnap{
-			ID:       sess.id,
-			UserID:   sess.userID,
-			State:    int(sess.state),
-			Expected: sess.expected,
-			AssignAt: sess.assignAt,
-			Frac:     sess.frac,
-			Pushed:   sess.pushed,
-			HaveAsg:  sess.haveAsg,
-			Cluster:  -1,
-			Degraded: sess.degraded,
-			NMaps:    len(sess.maps),
-			Created:  sess.created.Unix(),
-		}
-		if len(sess.labels) > 0 {
-			rec.Labels = make(map[int]int, len(sess.labels))
-			for k, v := range sess.labels {
-				rec.Labels[k] = v
-			}
-		}
-		if sess.haveAsg {
-			rec.Cluster = sess.asg.Cluster
-			rec.Scores = append([]float64(nil), sess.asg.Scores...)
-			rec.FracUsed = sess.asg.FracUsed
-		}
-		rec.Reassigns = sess.reassigns
-		if sess.reassigns > 0 {
-			rec.PrevCluster = sess.prevCluster
-		}
-		if sess.drift != nil {
-			rec.DriftCooldown = sess.drift.cooldown
-		}
-		maps = append(maps, sess.maps...)
-		sess.mu.Unlock()
 		rec.Events = sess.flight.events()
+		maps = append(maps, m...)
 		hdr.Sessions = append(hdr.Sessions, rec)
 	}
 
@@ -148,42 +189,15 @@ func (s *Server) Snapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SnapshotFile writes a snapshot atomically: to path+".tmp", then rename.
-// A crash mid-write leaves the previous snapshot intact.
-func (s *Server) SnapshotFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		mSnapshotErrs.Inc()
-		return err
-	}
-	if err := s.Snapshot(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		mSnapshotErrs.Inc()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		mSnapshotErrs.Inc()
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		mSnapshotErrs.Inc()
-		return err
-	}
-	mSnapshots.Inc()
-	return nil
-}
-
 // Restore rebuilds the session registry from a snapshot written by
 // Snapshot, returning how many sessions were recovered. It must run before
 // the server takes traffic (it assumes an empty registry for the restored
 // IDs). Restored sessions keep their lifecycle position with one
 // deliberate demotion: anything past assignment re-enters StateAssigned on
-// the shared cluster baseline — fine-tuned checkpoints are not persisted —
-// and sessions with merged labels immediately re-queue a fine-tune, so
-// personalisation replays from durable state.
+// the shared cluster baseline and sessions with merged labels immediately
+// re-queue a fine-tune, so personalisation replays from durable state.
+// (The store path, hydrateSession, improves on this by reloading the
+// persisted checkpoint when one exists.)
 func (s *Server) Restore(r io.Reader) (int, error) {
 	br := bufio.NewReader(r)
 	var hdr snapHeader
@@ -212,23 +226,34 @@ func (s *Server) Restore(r io.Reader) (int, error) {
 	return n, nil
 }
 
-// RestoreFile restores from path; a missing file is not an error (0, nil)
-// so boot code can call it unconditionally.
-func (s *Server) RestoreFile(path string) (int, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
+// restoreOne reads one session's NMaps tensors from the snapshot stream
+// and materialises the session (no checkpoint: snapshots predate the
+// store's blob layer, so personalisation replays from labels).
+func (s *Server) restoreOne(br *bufio.Reader, rec sessSnap) (*Session, error) {
+	if rec.NMaps < 0 {
+		return nil, fmt.Errorf("%w: session %q has negative map count", ErrBadSnapshot, rec.ID)
 	}
-	if err != nil {
-		return 0, err
+	maps := make([]*tensorT, 0, rec.NMaps)
+	for i := 0; i < rec.NMaps; i++ {
+		var t tensor.Tensor
+		if _, err := t.ReadFrom(br); err != nil {
+			return nil, fmt.Errorf("%w: session %q map %d: %v", ErrBadSnapshot, rec.ID, i, err)
+		}
+		maps = append(maps, &t)
 	}
-	defer f.Close()
-	return s.Restore(f)
+	return s.materializeSession(rec, maps, nil, 0)
 }
 
-// restoreOne materialises one session record and its NMaps tensors.
-func (s *Server) restoreOne(br *bufio.Reader, rec sessSnap) (*Session, error) {
-	if rec.Expected < 1 || rec.NMaps < 0 || rec.NMaps > rec.Expected {
+// materializeSession rebuilds a Session from its record and retained
+// maps. When ckpt is non-nil it is the session's reloaded fine-tuned
+// model (already at device precision) covering ckLabels labels: the
+// session resumes personalised monitoring with the checkpoint primed in
+// the model cache, and only labels beyond ckLabels trigger a replay.
+// Without a checkpoint, anything past assignment demotes to StateAssigned
+// on the shared cluster baseline (degraded-handoff serving) and merged
+// labels replay a fine-tune.
+func (s *Server) materializeSession(rec sessSnap, maps []*tensorT, ckpt *nn.Model, ckLabels int) (*Session, error) {
+	if rec.Expected < 1 || len(maps) != rec.NMaps || rec.NMaps > rec.Expected {
 		return nil, fmt.Errorf("%w: session %q has inconsistent window counts", ErrBadSnapshot, rec.ID)
 	}
 	if rec.HaveAsg && (rec.Cluster < 0 || rec.Cluster >= len(s.deps)) {
@@ -252,66 +277,304 @@ func (s *Server) restoreOne(br *bufio.Reader, rec sessSnap) (*Session, error) {
 	for k, v := range rec.Labels {
 		sess.labels[k] = v
 	}
-	for i := 0; i < rec.NMaps; i++ {
-		var t tensor.Tensor
-		if _, err := t.ReadFrom(br); err != nil {
-			return nil, fmt.Errorf("%w: session %q map %d: %v", ErrBadSnapshot, rec.ID, i, err)
-		}
-		sess.maps = append(sess.maps, &t)
-	}
-	if rec.HaveAsg {
-		sess.asg = core.Assignment{Cluster: rec.Cluster, Scores: rec.Scores, FracUsed: rec.FracUsed}
-		sess.haveAsg = true
-		sess.mon = edge.NewMonitor(s.deps[rec.Cluster], nil, s.pipe.Cfg.Extractor)
-		// Resume the healed assignment, not the pre-swap one: the
-		// snapshot's Cluster already reflects any re-assignment, and the
-		// restored cooldown keeps the detector from flapping straight
-		// back. The evidence ring itself is recent-signal state and
-		// rebuilds from live traffic.
-		sess.reassigns = rec.Reassigns
-		if rec.Reassigns > 0 {
-			sess.prevCluster = rec.PrevCluster
-		}
-		if rec.DriftCooldown > 0 && !s.cfg.DriftDisabled {
-			sess.ensureDriftLocked().cooldown = rec.DriftCooldown
-		}
-		// Demote to the cluster baseline: personalised checkpoints are not
-		// persisted, so monitoring resumes un-personalised and any merged
-		// labels replay the fine-tune below. A session caught mid-drift or
-		// mid-re-assignment (StateDrifting/StateReassigning) lands here
-		// too — never half-swapped: its cluster is the post-swap one, its
-		// labels replay, and the evidence streak restarts.
-		switch State(rec.State) {
-		case StateEnrolling, StateClosed:
-			return nil, fmt.Errorf("%w: session %q state %d inconsistent with assignment", ErrBadSnapshot, rec.ID, rec.State)
-		default:
-			sess.state = StateAssigned
-		}
-		sess.record(context.Background(), evRestored, "state=%s cluster=%d labels=%d maps=%d",
-			State(rec.State), rec.Cluster, len(rec.Labels), rec.NMaps)
-		sess.mu.Lock()
-		_, _ = sess.tryFineTuneLocked(context.Background())
-		sess.mu.Unlock()
-	} else {
+	sess.maps = maps
+	if !rec.HaveAsg {
 		if State(rec.State) != StateEnrolling {
 			return nil, fmt.Errorf("%w: session %q state %d without assignment", ErrBadSnapshot, rec.ID, rec.State)
 		}
 		sess.state = StateEnrolling
 		sess.record(context.Background(), evRestored, "state=%s maps=%d", StateEnrolling, rec.NMaps)
+		return sess, nil
 	}
+
+	sess.asg = core.Assignment{Cluster: rec.Cluster, Scores: rec.Scores, FracUsed: rec.FracUsed}
+	sess.haveAsg = true
+	sess.mon = edge.NewMonitor(s.deps[rec.Cluster], nil, s.pipe.Cfg.Extractor)
+	// Resume the healed assignment, not the pre-swap one: the snapshot's
+	// Cluster already reflects any re-assignment, and the restored
+	// cooldown keeps the detector from flapping straight back. The
+	// evidence ring itself is recent-signal state and rebuilds from live
+	// traffic.
+	sess.reassigns = rec.Reassigns
+	if rec.Reassigns > 0 {
+		sess.prevCluster = rec.PrevCluster
+	}
+	if rec.DriftCooldown > 0 && !s.cfg.DriftDisabled {
+		sess.ensureDriftLocked().cooldown = rec.DriftCooldown
+	}
+	switch State(rec.State) {
+	case StateEnrolling, StateClosed:
+		return nil, fmt.Errorf("%w: session %q state %d inconsistent with assignment", ErrBadSnapshot, rec.ID, rec.State)
+	}
+	if ckpt != nil {
+		// The persisted fine-tuned checkpoint covers the session's labels
+		// up to ckLabels: prime the model cache and resume personalised
+		// monitoring directly — no replay, no degraded handoff window.
+		s.cache.put(rec.ID, ckpt)
+		sess.personalized = true
+		sess.degraded = false
+		sess.ftLabeled = ckLabels
+		sess.state = StateMonitoring
+		mCkptHits.Inc()
+		sess.record(context.Background(), evRestored,
+			"state=%s cluster=%d labels=%d maps=%d checkpoint=reloaded",
+			StateMonitoring, rec.Cluster, len(rec.Labels), rec.NMaps)
+	} else {
+		// Demote to the cluster baseline (degraded-handoff serving): any
+		// merged labels replay the fine-tune below. A session caught
+		// mid-drift or mid-re-assignment lands here too — never
+		// half-swapped: its cluster is the post-swap one, its labels
+		// replay, and the evidence streak restarts.
+		sess.state = StateAssigned
+		sess.record(context.Background(), evRestored, "state=%s cluster=%d labels=%d maps=%d",
+			State(rec.State), rec.Cluster, len(rec.Labels), rec.NMaps)
+	}
+	sess.mu.Lock()
+	_, _ = sess.tryFineTuneLocked(context.Background())
+	sess.mu.Unlock()
 	return sess, nil
 }
 
-// snapshotLoop periodically persists the registry to cfg.SnapshotPath
-// until Shutdown (which writes the final snapshot itself).
-func (s *Server) snapshotLoop() {
+// encodeSessionRec serialises one per-session store record.
+func encodeSessionRec(seq int64, rec sessSnap, maps []*tensorT) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := core.WriteHeader(&buf, sessionMagic, sessRecHeader{Seq: seq, Rec: rec}); err != nil {
+		return nil, err
+	}
+	for _, m := range maps {
+		if _, err := m.WriteTo(&buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSessionRec parses a record written by encodeSessionRec.
+func decodeSessionRec(data []byte) (sessRecHeader, []*tensorT, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	var hdr sessRecHeader
+	if err := core.ReadHeader(br, sessionMagic, &hdr); err != nil {
+		return sessRecHeader{}, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if hdr.Rec.NMaps < 0 {
+		return sessRecHeader{}, nil, fmt.Errorf("%w: negative map count", ErrBadSnapshot)
+	}
+	maps := make([]*tensorT, 0, hdr.Rec.NMaps)
+	for i := 0; i < hdr.Rec.NMaps; i++ {
+		var t tensor.Tensor
+		if _, err := t.ReadFrom(br); err != nil {
+			return sessRecHeader{}, nil, fmt.Errorf("%w: map %d: %v", ErrBadSnapshot, i, err)
+		}
+		maps = append(maps, &t)
+	}
+	return hdr, maps, nil
+}
+
+// persistSession writes one session through the store (write-through
+// persistence point). No-op without a store. Errors are counted and
+// logged, not returned: a failed persist must not fail the request that
+// triggered it — durability degrades to the last successful write, which
+// the periodic FlushAll retries.
+func (s *Server) persistSession(ctx context.Context, sess *Session) {
+	if s.cfg.Store == nil {
+		return
+	}
+	stop := obs.StageTimerOf(ctx).Time(obs.StageStore)
+	defer stop()
+	s.mu.RLock()
+	seq := s.seq
+	s.mu.RUnlock()
+	sess.mu.Lock()
+	rec, maps, ok := snapRecordLocked(sess)
+	sess.mu.Unlock()
+	if !ok {
+		return
+	}
+	rec.Events = sess.flight.events()
+	data, err := encodeSessionRec(seq, rec, maps)
+	if err == nil {
+		err = s.cfg.Store.PutSession(ctx, rec.ID, data)
+	}
+	if err != nil {
+		mPersistErrs.Inc()
+		obs.Log(ctx).Warn("session persist failed", "session", rec.ID, "err", err)
+		return
+	}
+	mPersists.Inc()
+}
+
+// FlushAll persists every live session through the store: the Shutdown /
+// SIGTERM path (a departing replica flushes its hot sessions so the next
+// owner can hydrate them) and the periodic persistLoop catch-all. Returns
+// how many sessions were written.
+func (s *Server) FlushAll(ctx context.Context) int {
+	if s.cfg.Store == nil {
+		return 0
+	}
+	s.mu.RLock()
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.RUnlock()
+	n := 0
+	for _, sess := range live {
+		s.persistSession(ctx, sess)
+		n++
+	}
+	mSnapshots.Inc()
+	return n
+}
+
+// RestoreAll hydrates every stored session this replica should own
+// (owned nil means all — the single-replica boot path). Sessions that
+// fail to decode are skipped with an error count rather than aborting
+// boot: one corrupt record must not take out the replica.
+func (s *Server) RestoreAll(ctx context.Context, owned func(id string) bool) (int, error) {
+	if s.cfg.Store == nil {
+		return 0, nil
+	}
+	ids, err := s.cfg.Store.ListSessions(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range ids {
+		if owned != nil && !owned(id) {
+			continue
+		}
+		if _, err := s.hydrateSession(ctx, id); err != nil {
+			mSnapshotErrs.Inc()
+			obs.Log(ctx).Warn("session restore failed", "session", id, "err", err)
+			continue
+		}
+		n++
+	}
+	return n, nil
+}
+
+// hydrateSession loads one session from the store into the live registry:
+// decode the record, reload its fine-tuned checkpoint when one is
+// persisted, materialise, and insert — racing hydrations collapse onto
+// whichever inserted first. This is both the boot restore path and the
+// on-demand migration path (SessionCtx miss on the new owner after a
+// topology change).
+func (s *Server) hydrateSession(ctx context.Context, id string) (*Session, error) {
+	data, err := s.cfg.Store.GetSession(ctx, id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+		}
+		return nil, err
+	}
+	hdr, maps, err := decodeSessionRec(data)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Rec.ID != id {
+		return nil, fmt.Errorf("%w: record for %q stored under %q", ErrBadSnapshot, hdr.Rec.ID, id)
+	}
+	ckpt, ckLabels := s.loadCheckpoint(ctx, id, hdr.Rec.Cluster)
+	sess, err := s.materializeSession(hdr.Rec, maps, ckpt, ckLabels)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if cur, ok := s.sessions[id]; ok {
+		// Lost the hydration race; serve the winner's copy. (Any cache
+		// priming we did wrote the same checkpoint content — harmless.)
+		s.mu.Unlock()
+		return cur, nil
+	}
+	s.sessions[id] = sess
+	if hdr.Seq > s.seq {
+		s.seq = hdr.Seq
+	}
+	gSessions.Set(float64(len(s.sessions)))
+	s.mu.Unlock()
+	mHydrated.Inc()
+	return sess, nil
+}
+
+// loadCheckpoint reloads id's persisted fine-tuned model from the
+// content-addressed blob layer. Any miss or mismatch returns (nil, 0) —
+// the caller falls back to degraded baseline serving plus label replay,
+// so checkpoint corruption can never block hydration.
+func (s *Server) loadCheckpoint(ctx context.Context, id string, cluster int) (*nn.Model, int) {
+	if s.cfg.Store == nil {
+		return nil, 0
+	}
+	ck, err := s.cfg.Store.GetCheckpoint(ctx, id)
+	if err != nil {
+		return nil, 0
+	}
+	if ck.Cluster != cluster {
+		// Checkpoint predates a drift re-assignment: stale, replay instead.
+		return nil, 0
+	}
+	blob, err := s.cfg.Store.GetBlob(ctx, ck.Fine)
+	if err != nil {
+		obs.Log(ctx).Warn("checkpoint blob unreadable", "session", id, "digest", string(ck.Fine), "err", err)
+		return nil, 0
+	}
+	m, err := nn.Load(bytes.NewReader(blob))
+	if err != nil {
+		obs.Log(ctx).Warn("checkpoint blob undecodable", "session", id, "err", err)
+		return nil, 0
+	}
+	return m, ck.Labels
+}
+
+// persistCheckpoint stores a session's freshly fine-tuned model as a
+// content-addressed manifest: the cluster-baseline blob (deduplicated
+// across every session fine-tuned from cluster k) plus the fine-tuned
+// weights blob. Runs on the fine-tune worker after a successful build.
+func (s *Server) persistCheckpoint(ctx context.Context, sess *Session, k int, model *nn.Model, labels int) {
+	if s.cfg.Store == nil || model == nil {
+		return
+	}
+	var baseBuf, fineBuf bytes.Buffer
+	if err := s.pipe.ModelFor(k).Save(&baseBuf); err != nil {
+		mPersistErrs.Inc()
+		return
+	}
+	if err := model.Save(&fineBuf); err != nil {
+		mPersistErrs.Inc()
+		return
+	}
+	base, _, err := s.cfg.Store.PutBlob(ctx, baseBuf.Bytes())
+	if err != nil {
+		mPersistErrs.Inc()
+		obs.Log(ctx).Warn("baseline blob persist failed", "session", sess.id, "err", err)
+		return
+	}
+	fine, _, err := s.cfg.Store.PutBlob(ctx, fineBuf.Bytes())
+	if err != nil {
+		mPersistErrs.Inc()
+		obs.Log(ctx).Warn("fine blob persist failed", "session", sess.id, "err", err)
+		return
+	}
+	ck := store.Checkpoint{Key: sess.id, Cluster: k, Base: base, Fine: fine, Labels: labels}
+	if err := s.cfg.Store.PutCheckpoint(ctx, ck); err != nil {
+		mPersistErrs.Inc()
+		obs.Log(ctx).Warn("checkpoint manifest persist failed", "session", sess.id, "err", err)
+		return
+	}
+	mCkptPersists.Inc()
+}
+
+// persistLoop periodically flushes the registry through the store until
+// Shutdown (which flushes once more itself). The write-through points
+// make this a catch-all for anything they missed (e.g. a persist that
+// failed transiently), not the primary durability mechanism.
+func (s *Server) persistLoop() {
 	defer s.snapWG.Done()
 	t := time.NewTicker(s.cfg.SnapshotInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			_ = s.SnapshotFile(s.cfg.SnapshotPath)
+			s.FlushAll(context.Background())
 		case <-s.stopc:
 			return
 		}

@@ -1,0 +1,35 @@
+package store_test
+
+import (
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/store/storetest"
+)
+
+// Both backends run the identical conformance suite; a behavioural
+// difference between them fails here, not in production.
+
+func TestMemConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) (store.Store, func(t *testing.T) store.Store) {
+		return store.NewMem(), nil // memory has no crash durability
+	})
+}
+
+func TestFileConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) (store.Store, func(t *testing.T) store.Store) {
+		dir := t.TempDir()
+		s, err := store.NewFile(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reopen := func(t *testing.T) store.Store {
+			s2, err := store.NewFile(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s2
+		}
+		return s, reopen
+	})
+}
