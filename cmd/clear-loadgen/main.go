@@ -14,6 +14,8 @@
 //	              [-trials 10] [-trialsec 45] [-seed 99] [-ftfrac 0.2]
 //	              [-raw] [-keep] [-tracesample F]
 //	              [-chaos] [-chaosdrop F] [-accfloor F] [-expectbreaker]
+//	              [-storeoutage D] [-outageafter D]
+//	              [-partitionfor D] [-partitionafter D]
 //	              [-driftusers N] [-driftstart F] [-expectreassign]
 //
 // -addr accepts a comma-separated list of clear-serve replicas. Requests
@@ -34,6 +36,18 @@
 // no 5xx server errors, assignment accuracy stays above -accfloor, and —
 // with -expectbreaker — a circuit breaker is observed opening and closing
 // again during the run.
+//
+// -storeoutage and -partitionfor arm server-side chaos windows mid-run
+// through POST /v1/chaos (the server must run with -chaos-admin): the
+// store outage fails every replica's store writes for the window, driving
+// the write-behind replay queue, store breaker, and durability admission
+// control; the partition silences one replica (the last in -addr) so the
+// others must fail its sessions over and hand them back afterwards. A
+// run with either window armed appends four extra SLO verdicts —
+// no_lifecycle_loss, replay_drained (all queues back to zero, nothing
+// dropped), handed_back (local == owned everywhere after a recovery
+// wait), and shed_retry_after (every 503 carried a Retry-After hint) —
+// and fails unless all hold.
 //
 // -tracesample F sends a client-generated W3C traceparent on roughly that
 // fraction of requests and turns the run into a distributed-tracing
@@ -69,6 +83,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -117,7 +132,30 @@ type statsResp struct {
 	DriftVerdicts     int64    `json:"drift_verdicts"`
 	DriftReassigns    int64    `json:"drift_reassigns"`
 	DriftSuppressed   int64    `json:"drift_suppressed"`
+	WriteBehind       *struct {
+		Queue           int    `json:"queue"`
+		Cap             int    `json:"cap"`
+		Enqueued        int64  `json:"enqueued"`
+		Replayed        int64  `json:"replayed"`
+		Dropped         int64  `json:"dropped"`
+		Shed            int64  `json:"shed"`
+		Breaker         string `json:"breaker"`
+		PersistFailures int64  `json:"persist_failures"`
+	} `json:"write_behind"`
+	Shard *struct {
+		Self          string   `json:"self"`
+		Down          []string `json:"down"`
+		OwnedSessions int      `json:"owned_sessions"`
+		LocalSessions int      `json:"local_sessions"`
+		Failovers     int64    `json:"failovers"`
+		Evicted       int64    `json:"evicted_sessions"`
+	} `json:"shard"`
 }
+
+// shed503 / shed503NoRA count 503 responses and the subset missing a
+// Retry-After header — under chaos windows every shed must tell the
+// client when to come back (the shed_retry_after verdict).
+var shed503, shed503NoRA int64
 
 // srvErrs counts 5xx responses other than the tolerated 503/504 — in chaos
 // mode any of these (a 500 is what a handler bug looks like) fails the SLO.
@@ -308,8 +346,29 @@ type loadgenReport struct {
 		ErrResolved int64 `json:"err_resolved"`
 		ErrMissing  int64 `json:"err_missing"`
 	} `json:"tracing,omitempty"`
-	SLO  []sloVerdict `json:"slo"`
-	Pass bool         `json:"pass"`
+	// ChaosWindows aggregates the write-behind / failover surface across
+	// all replicas after the recovery wait; present when -storeoutage or
+	// -partitionfor armed a window.
+	ChaosWindows *chaosWindowsReport `json:"chaos_windows,omitempty"`
+	SLO          []sloVerdict        `json:"slo"`
+	Pass         bool                `json:"pass"`
+}
+
+type chaosWindowsReport struct {
+	StoreOutageSec  float64 `json:"store_outage_sec,omitempty"`
+	PartitionSec    float64 `json:"partition_sec,omitempty"`
+	PartitionTarget string  `json:"partition_target,omitempty"`
+	ReplayEnqueued  int64   `json:"replay_enqueued"`
+	ReplayReplayed  int64   `json:"replay_replayed"`
+	ReplayDropped   int64   `json:"replay_dropped"`
+	ReplayQueueFinal int    `json:"replay_queue_final"`
+	PersistFailures int64   `json:"persist_failures"`
+	ShedCreates     int64   `json:"shed_creates"`
+	Failovers       int64   `json:"failovers"`
+	HandedBack      bool    `json:"handed_back"`
+	Sheds503        int64   `json:"sheds_503"`
+	Sheds503NoRA    int64   `json:"sheds_503_no_retry_after"`
+	RecoverySec     float64 `json:"recovery_sec"`
 }
 
 // sloVerdict is one named pass/fail check from the run's SLO gate.
@@ -369,6 +428,11 @@ func main() {
 		chaosDrop     = flag.Float64("chaosdrop", 0.15, "chaos: per-window channel-dropout rate")
 		accFloor      = flag.Float64("accfloor", 25, "chaos: minimum assignment accuracy %% (4 clusters ⇒ 25 is chance)")
 		expectBreaker = flag.Bool("expectbreaker", false, "chaos: require a breaker open→closed cycle to be observed")
+
+		storeOutage    = flag.Duration("storeoutage", 0, "chaos window: fail store writes on every replica for this long (server needs -chaos-admin)")
+		outageAfter    = flag.Duration("outageafter", 2*time.Second, "chaos window: delay before arming the store outage")
+		partitionFor   = flag.Duration("partitionfor", 0, "chaos window: partition one replica (the last in -addr) for this long")
+		partitionAfter = flag.Duration("partitionafter", 3*time.Second, "chaos window: delay before arming the partition")
 
 		driftUsers     = flag.Int("driftusers", 0, "turn the first N users into drift personas (archetype migrates mid-stream)")
 		driftStart     = flag.Float64("driftstart", 0.35, "stream fraction at which drift personas start migrating")
@@ -480,6 +544,41 @@ func main() {
 		}()
 	}
 
+	// Chaos windows arm mid-run via POST /v1/chaos: the store outage hits
+	// every replica (each process wraps its own injector around the shared
+	// store, so a "disk outage" must be armed everywhere); the partition
+	// isolates exactly one replica — deterministically the last in -addr —
+	// so the others' routers must fail its sessions over and hand them
+	// back when the window closes.
+	windowsArmed := *storeOutage > 0 || *partitionFor > 0
+	var partitionTarget string
+	if *partitionFor > 0 {
+		partitionTarget = eps.urls[len(eps.urls)-1]
+	}
+	if *storeOutage > 0 {
+		d := *storeOutage
+		time.AfterFunc(*outageAfter, func() {
+			for _, u := range eps.urls {
+				if err := postJSON(client, u+"/v1/chaos",
+					map[string]any{"store_outage_ms": d.Milliseconds()}, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "chaos: arming store outage on %s: %v\n", u, err)
+				}
+			}
+			fmt.Printf("chaos: store outage armed for %v on %d replicas\n", d, len(eps.urls))
+		})
+	}
+	if *partitionFor > 0 {
+		d, target := *partitionFor, partitionTarget
+		time.AfterFunc(*partitionAfter, func() {
+			if err := postJSON(client, target+"/v1/chaos",
+				map[string]any{"partition_ms": d.Milliseconds()}, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: arming partition on %s: %v\n", target, err)
+			} else {
+				fmt.Printf("chaos: %s partitioned for %v\n", target, d)
+			}
+		})
+	}
+
 	start := time.Now()
 	results := make([]userResult, *users)
 	sem := make(chan struct{}, *conc)
@@ -547,6 +646,76 @@ func main() {
 	}
 	close(pollDone)
 	pollWG.Wait()
+
+	// Recovery wait: after chaos windows, the run is not over until every
+	// replica reports its write-behind replay queue drained (and breaker
+	// closed) and every failover session handed back (local == owned).
+	var cw *chaosWindowsReport
+	if windowsArmed {
+		cw = &chaosWindowsReport{
+			StoreOutageSec:  storeOutage.Seconds(),
+			PartitionSec:    partitionFor.Seconds(),
+			PartitionTarget: partitionTarget,
+			ReplayQueueFinal: -1,
+		}
+		recoverStart := time.Now()
+		deadline := recoverStart.Add(90 * time.Second)
+		for {
+			drained, owned, reachable := true, true, true
+			for _, u := range eps.urls {
+				var st statsResp
+				if err := getJSON(client, u+"/v1/stats", &st); err != nil {
+					reachable = false
+					break
+				}
+				if st.WriteBehind != nil && (st.WriteBehind.Queue > 0 || st.WriteBehind.Breaker == "open") {
+					drained = false
+				}
+				if st.Shard != nil && st.Shard.LocalSessions != st.Shard.OwnedSessions {
+					owned = false
+				}
+			}
+			if (reachable && drained && owned) || time.Now().After(deadline) {
+				cw.HandedBack = reachable && owned
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		cw.RecoverySec = time.Since(recoverStart).Seconds()
+		// Final sweep: aggregate the resilience counters across replicas.
+		cw.ReplayQueueFinal = 0
+		for _, u := range eps.urls {
+			var st statsResp
+			if err := getJSON(client, u+"/v1/stats", &st); err != nil {
+				cw.ReplayQueueFinal = -1 // unreachable replica: fail replay_drained
+				continue
+			}
+			if wb := st.WriteBehind; wb != nil {
+				if cw.ReplayQueueFinal >= 0 {
+					cw.ReplayQueueFinal += wb.Queue
+				}
+				cw.ReplayEnqueued += wb.Enqueued
+				cw.ReplayReplayed += wb.Replayed
+				cw.ReplayDropped += wb.Dropped
+				cw.ShedCreates += wb.Shed
+				cw.PersistFailures += wb.PersistFailures
+			}
+			if st.Shard != nil {
+				cw.Failovers += st.Shard.Failovers
+			}
+		}
+		cw.Sheds503 = atomic.LoadInt64(&shed503)
+		cw.Sheds503NoRA = atomic.LoadInt64(&shed503NoRA)
+		fmt.Printf("\n── chaos windows ──\n")
+		fmt.Printf("windows          store outage %v (all replicas), partition %v (%s)\n",
+			*storeOutage, *partitionFor, partitionTarget)
+		fmt.Printf("write-behind     %d enqueued, %d replayed, %d dropped, final queue %d, %d persist failures\n",
+			cw.ReplayEnqueued, cw.ReplayReplayed, cw.ReplayDropped, cw.ReplayQueueFinal, cw.PersistFailures)
+		fmt.Printf("admission        %d creates shed;  %d 503s (%d without Retry-After)\n",
+			cw.ShedCreates, cw.Sheds503, cw.Sheds503NoRA)
+		fmt.Printf("failover         %d failovers;  handed back %v;  recovery took %.1fs\n",
+			cw.Failovers, cw.HandedBack, cw.RecoverySec)
+	}
 
 	// Cluster → dominant archetype, for assignment scoring.
 	var stats statsResp
@@ -676,6 +845,30 @@ func main() {
 		assignAcc = 100 * float64(assignedRight) / float64(completed)
 	}
 	rep.Lifecycle.AssignAccPct = assignAcc
+
+	// Chaos-window SLOs: zero lifecycle loss through the windows, replay
+	// queues drained to zero, failover sessions handed back, and every
+	// shed carrying a Retry-After hint.
+	cwFailed := false
+	if cw != nil {
+		rep.ChaosWindows = cw
+		cwVerdict := func(name string, pass bool, detail string) {
+			verdict(name, pass, detail)
+			if !pass {
+				fmt.Printf("SLO FAIL: %s: %s\n", name, detail)
+				cwFailed = true
+			}
+		}
+		cwVerdict("no_lifecycle_loss", completed >= *users,
+			fmt.Sprintf("%d/%d lifecycles completed through the chaos windows", completed, *users))
+		cwVerdict("replay_drained", cw.ReplayQueueFinal == 0 && cw.ReplayDropped == 0,
+			fmt.Sprintf("final queue %d, %d dropped (%d enqueued, %d replayed)",
+				cw.ReplayQueueFinal, cw.ReplayDropped, cw.ReplayEnqueued, cw.ReplayReplayed))
+		cwVerdict("handed_back", cw.HandedBack,
+			fmt.Sprintf("local == owned on all replicas: %v (%d failovers)", cw.HandedBack, cw.Failovers))
+		cwVerdict("shed_retry_after", cw.Sheds503NoRA == 0,
+			fmt.Sprintf("%d of %d 503s missing Retry-After", cw.Sheds503NoRA, cw.Sheds503))
+	}
 	if *chaos {
 		tally.mu.Lock()
 		fmt.Printf("\n── chaos report ──\n")
@@ -730,7 +923,7 @@ func main() {
 				fmt.Sprintf("%d re-assigned, %d flapped", reassignedSessions, flapped))
 		}
 		tally.mu.Unlock()
-		rep.Pass = !failed && !traceFailed
+		rep.Pass = !failed && !traceFailed && !cwFailed
 		if *jsonOut != "" {
 			writeReport(*jsonOut, rep)
 		}
@@ -744,7 +937,7 @@ func main() {
 		fmt.Sprintf("%d/%d completed", completed, *users))
 	n := atomic.LoadInt64(&srvErrs)
 	verdict("no_5xx", n == 0, fmt.Sprintf("%d unexpected 5xx responses", n))
-	rep.Pass = completed >= *users && n == 0 && !traceFailed
+	rep.Pass = completed >= *users && n == 0 && !traceFailed && !cwFailed
 	if *jsonOut != "" {
 		writeReport(*jsonOut, rep)
 	}
@@ -1000,7 +1193,19 @@ func postRetry(client *http.Client, eps *endpoints, path string, body any, out a
 		}
 		if rotatable(err) && rot < 4*len(eps.urls) {
 			rot++
-			time.Sleep(time.Duration(25*rot) * time.Millisecond)
+			sleep := time.Duration(25*rot) * time.Millisecond
+			// A 503 with Retry-After is admission control (durability at
+			// risk, or a partition window just closed), not a dead replica:
+			// honour the hint (capped) before coming back.
+			if he, ok := err.(*httpError); ok && he.retryAfter > 0 {
+				if ra := time.Duration(he.retryAfter) * time.Second; ra > sleep {
+					sleep = ra
+				}
+				if sleep > 2*time.Second {
+					sleep = 2 * time.Second
+				}
+			}
+			time.Sleep(sleep)
 			continue
 		}
 		return shed, err
@@ -1021,8 +1226,9 @@ func getEP(client *http.Client, eps *endpoints, path string, out any) error {
 }
 
 type httpError struct {
-	code int
-	body string
+	code       int
+	body       string
+	retryAfter int // seconds, from the Retry-After header (0 = none)
 }
 
 func (e *httpError) Error() string { return fmt.Sprintf("http %d: %s", e.code, e.body) }
@@ -1075,7 +1281,16 @@ func decodeJSON(resp *http.Response, out any) error {
 			resp.StatusCode != http.StatusGatewayTimeout {
 			atomic.AddInt64(&srvErrs, 1)
 		}
-		return &httpError{code: resp.StatusCode, body: string(bytes.TrimSpace(raw))}
+		ra := 0
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			atomic.AddInt64(&shed503, 1)
+			if v := resp.Header.Get("Retry-After"); v != "" {
+				ra, _ = strconv.Atoi(v)
+			} else {
+				atomic.AddInt64(&shed503NoRA, 1)
+			}
+		}
+		return &httpError{code: resp.StatusCode, body: string(bytes.TrimSpace(raw)), retryAfter: ra}
 	}
 	if out == nil {
 		return nil

@@ -13,7 +13,8 @@
 //	            [-store dir] [-snapshot dir] [-snapinterval D]
 //	            [-peers url,url,...] [-self url] [-vnodes N]
 //	            [-fault-seed N] [-fault-build F] [-fault-stall F]
-//	            [-fault-corrupt F] [-infertimeout D]
+//	            [-fault-corrupt F] [-fault-store F] [-chaos-admin]
+//	            [-replaycap N] [-infertimeout D]
 //	            [-drift-window N] [-drift-threshold F] [-drift-consecutive N]
 //	            [-drift-cooldown N] [-drift-off]
 //	            [-slo-off] [-slo-availability F] [-slo-p99us F] [-slo-lattarget F]
@@ -35,6 +36,13 @@
 // live node, which hydrates them from the shared -store directory — so
 // all replicas in one ring must share it. The -fault-* flags arm the
 // deterministic fault injector (chaos testing); all default to 0 (off).
+// With any fault armed (or -chaos-admin set) the durable store is wrapped
+// in the fault injector plus a transient-retry decorator, and persist
+// failures that survive the retries flow into the serving layer's
+// write-behind replay queue instead of being dropped. -chaos-admin
+// additionally mounts POST /v1/chaos, which arms time-bounded store
+// outages and inbound partitions on the live process — the hook
+// cmd/clear-loadgen's -chaos mode drives.
 // The -drift-* flags tune the self-healing cluster-assignment detector
 // (internal/serve/drift.go); -drift-off disables it entirely.
 //
@@ -98,6 +106,9 @@ func main() {
 		faultBuild   = flag.Float64("fault-build", 0, "model-build failure rate [0,1]")
 		faultStall   = flag.Float64("fault-stall", 0, "inference stall rate [0,1]")
 		faultCorrupt = flag.Float64("fault-corrupt", 0, "window corruption rate [0,1]")
+		faultStore   = flag.Float64("fault-store", 0, "store write failure rate [0,1]")
+		chaosAdmin   = flag.Bool("chaos-admin", false, "mount POST /v1/chaos for runtime fault windows (testing only)")
+		replayCap    = flag.Int("replaycap", 0, "write-behind replay queue capacity (0 = default 256)")
 
 		brThreshold = flag.Int("breakerthreshold", 3, "consecutive build failures that open a cluster's breaker")
 		brCooldown  = flag.Duration("breakercooldown", 5*time.Second, "breaker open→half-open cooldown")
@@ -185,14 +196,21 @@ func main() {
 	}
 
 	var inj *fault.Injector
-	if *faultBuild > 0 || *faultStall > 0 || *faultCorrupt > 0 {
+	if *faultBuild > 0 || *faultStall > 0 || *faultCorrupt > 0 || *faultStore > 0 || *chaosAdmin {
 		inj = fault.New(*faultSeed).
 			Enable(fault.ModelBuild, *faultBuild).
 			Enable(fault.InferStall, *faultStall).
-			Enable(fault.CorruptWindow, *faultCorrupt)
+			Enable(fault.CorruptWindow, *faultCorrupt).
+			Enable(fault.StorePutFail, *faultStore)
 		pipe.Fault = inj
-		fmt.Printf("fault injection armed (seed %d): build %.2f, stall %.2f, corrupt %.2f\n",
-			*faultSeed, *faultBuild, *faultStall, *faultCorrupt)
+		fmt.Printf("fault injection armed (seed %d): build %.2f, stall %.2f, corrupt %.2f, store %.2f\n",
+			*faultSeed, *faultBuild, *faultStall, *faultCorrupt, *faultStore)
+	}
+	if inj != nil && st != nil {
+		// Faults inject below the retry decorator, so transient bursts are
+		// absorbed the same way a real flaky disk's would be; what leaks
+		// through lands in the serving layer's write-behind queue.
+		st = store.WithRetry(store.WithFault(st, inj), store.RetryConfig{})
 	}
 
 	scfg := serve.Config{
@@ -209,7 +227,9 @@ func main() {
 		Store:            st,
 		Self:             selfName,
 		SnapshotInterval: *snapInterval,
+		ReplayQueueCap:   *replayCap,
 		Fault:            inj,
+		ChaosAdmin:       *chaosAdmin,
 		DriftWindow:      *driftWindow,
 		DriftThreshold:   *driftThreshold,
 		DriftConsecutive: *driftConsecutive,

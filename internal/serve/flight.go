@@ -42,6 +42,11 @@ const (
 	evReassigned    = "reassigned"
 	evOverride      = "assignment_override"
 	evClosed        = "closed"
+	// Write-behind durability events: a failed write-through, the session
+	// entering the replay queue, and the replay landing it durably again.
+	evPersistFail     = "persist_failed"
+	evPersistQueued   = "persist_queued"
+	evPersistReplayed = "persist_replayed"
 )
 
 // FlightEvent is one recorded lifecycle transition.

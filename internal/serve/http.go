@@ -142,10 +142,12 @@ func (s *Server) Handler() http.Handler {
 	// Liveness probe: cheap, untraced, used by router peers to build their
 	// failover down-set.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Chaos admin (403 unless Config.ChaosAdmin).
+	mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	oh := obs.Handler()
 	mux.Handle("/metrics", oh)
 	mux.Handle("/debug/", oh)
-	return mux
+	return s.chaosGate(mux)
 }
 
 // handleHealthz answers 200 while serving, 503 while draining.
@@ -405,6 +407,12 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 		code = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrShutdown):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotDurable), errors.Is(err, ErrStoreUnavailable):
+		// Durability admission control / store-outage hydration: shed with
+		// an explicit retry hint — the condition clears when the replay
+		// queue drains or the store recovers.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrTimeout):
 		code = http.StatusGatewayTimeout
 	}

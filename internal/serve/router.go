@@ -3,7 +3,9 @@ package serve
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -45,7 +47,10 @@ import (
 // node. Its presence forces local serving — the one-hop loop guard.
 const forwardedHeader = "X-Clear-Forwarded"
 
-// Proxy telemetry: outcome ∈ {ok, error, failover}; target cardinality is
+// errPeerProbe feeds a failed /healthz probe into the peer's breaker.
+var errPeerProbe = errors.New("serve: peer healthz probe failed")
+
+// Proxy telemetry: outcome ∈ {ok, error, timeout}; target cardinality is
 // the (small, fixed) peer list.
 var (
 	mProxyVec   = obs.GetCounterVec("serve.proxy", "target", "outcome")
@@ -61,10 +66,26 @@ type RouterConfig struct {
 	// Ring is the shared placement ring. Every replica must be built with
 	// the same node list (order-insensitive: the ring sorts).
 	Ring *shard.Ring
-	// HealthInterval is the peer probe + janitor cadence. Default 500ms.
+	// HealthInterval is the peer probe + janitor cadence. Each tick is
+	// jittered ±25% so a restarted node's peers don't probe in lockstep
+	// (thundering-herd on recovery). Default 500ms.
 	HealthInterval time.Duration
-	// ForwardTimeout bounds one proxied request. Default 30s.
+	// ForwardTimeout bounds a proxied request end to end (all attempts).
+	// Default 30s.
 	ForwardTimeout time.Duration
+	// ForwardAttemptTimeout is the per-attempt forward deadline: an owner
+	// that hasn't answered within it is presumed partitioned and the
+	// request makes its single hedged retry to the OwnerExcluding
+	// failover target. Default 2s (capped at ForwardTimeout).
+	ForwardAttemptTimeout time.Duration
+	// PeerBreakerThreshold consecutive forward failures to one peer open
+	// its breaker for PeerBreakerCooldown: the peer joins the effective
+	// down-set, so requests fail over immediately instead of each eating
+	// a forward deadline. Healthz probe outcomes feed the breakers too,
+	// closing them (and triggering proactive hand-back) on recovery.
+	// Defaults 3 and 2s.
+	PeerBreakerThreshold int
+	PeerBreakerCooldown  time.Duration
 }
 
 // Router proxies per-session requests to their ring owner.
@@ -74,8 +95,15 @@ type Router struct {
 	client *http.Client
 	probe  *http.Client
 
-	mu   sync.Mutex
-	down map[string]bool
+	mu       sync.Mutex
+	down     map[string]bool
+	breakers map[string]*Breaker // per-peer forward breakers
+
+	// kick wakes the janitor immediately (buffered, coalescing): fired on
+	// a peer's down→up probe transition or its breaker re-closing, so
+	// failover-held sessions hand back proactively instead of waiting out
+	// the next janitor tick.
+	kick chan struct{}
 
 	stopc    chan struct{}
 	stopOnce sync.Once
@@ -94,15 +122,34 @@ func NewRouter(srv *Server, cfg RouterConfig) *Router {
 	if cfg.ForwardTimeout <= 0 {
 		cfg.ForwardTimeout = 30 * time.Second
 	}
+	if cfg.ForwardAttemptTimeout <= 0 {
+		cfg.ForwardAttemptTimeout = 2 * time.Second
+	}
+	if cfg.ForwardAttemptTimeout > cfg.ForwardTimeout {
+		cfg.ForwardAttemptTimeout = cfg.ForwardTimeout
+	}
+	if cfg.PeerBreakerThreshold <= 0 {
+		cfg.PeerBreakerThreshold = 3
+	}
+	if cfg.PeerBreakerCooldown <= 0 {
+		cfg.PeerBreakerCooldown = 2 * time.Second
+	}
 	rt := &Router{
 		srv:        srv,
 		cfg:        cfg,
 		client:     &http.Client{Timeout: cfg.ForwardTimeout},
 		probe:      &http.Client{Timeout: cfg.HealthInterval},
 		down:       map[string]bool{},
+		breakers:   map[string]*Breaker{},
+		kick:       make(chan struct{}, 1),
 		stopc:      make(chan struct{}),
 		mForwards:  obs.GetCounter("serve.forwards"),
 		mFailovers: obs.GetCounter("serve.failovers"),
+	}
+	for _, node := range cfg.Ring.Nodes() {
+		if node != cfg.Self {
+			rt.breakers[node] = NewBreaker(cfg.PeerBreakerThreshold, cfg.PeerBreakerCooldown)
+		}
 	}
 	srv.SetShardStats(rt.stats)
 	rt.wg.Add(1)
@@ -131,10 +178,11 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/slo", s.traced("slo", s.handleSLO))
 	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", s.handleTrace))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	oh := obs.Handler()
 	mux.Handle("/metrics", oh)
 	mux.Handle("/debug/", oh)
-	return mux
+	return s.chaosGate(mux)
 }
 
 // route serves a per-session endpoint locally when this replica owns the
@@ -158,20 +206,32 @@ func (rt *Router) route(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// ownerFor resolves an ID's live owner: the ring owner, skipping the
-// current down-set. failover reports that the primary owner was skipped.
-func (rt *Router) ownerFor(id string) (owner string, failover bool) {
+// effectiveDown is the routing down-set: peers the janitor probed down,
+// plus peers whose forward breaker is open (answering healthz but failing
+// forwards — an asymmetric partition). Breaker cooldown expiry promotes
+// open → half-open, which drops the peer from this set so live traffic
+// can probe it.
+func (rt *Router) effectiveDown() map[string]bool {
+	down := map[string]bool{}
 	rt.mu.Lock()
-	var down map[string]bool
-	if len(rt.down) > 0 {
-		down = make(map[string]bool, len(rt.down))
-		for n := range rt.down {
+	for n := range rt.down {
+		down[n] = true
+	}
+	rt.mu.Unlock()
+	for n, br := range rt.breakers {
+		if br.State() == BreakerOpen {
 			down[n] = true
 		}
 	}
-	rt.mu.Unlock()
+	return down
+}
+
+// ownerFor resolves an ID's live owner: the ring owner, skipping the
+// effective down-set. failover reports that the primary owner was skipped.
+func (rt *Router) ownerFor(id string) (owner string, failover bool) {
+	down := rt.effectiveDown()
 	primary := rt.cfg.Ring.Owner(id)
-	if down == nil {
+	if len(down) == 0 {
 		return primary, false
 	}
 	o := rt.cfg.Ring.OwnerExcluding(id, down)
@@ -179,7 +239,8 @@ func (rt *Router) ownerFor(id string) (owner string, failover bool) {
 }
 
 // forward proxies one request to owner, falling back — once — to the
-// next live node (or local serving) when the owner turns out dead. The
+// next live node (or local serving) when the owner turns out dead or
+// misses the per-attempt deadline: the single hedged retry. The
 // round-trip is attributed to StageProxy for the windows endpoint so
 // Σ stages keeps tiling wall time on the hot path.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owner string, local http.HandlerFunc) {
@@ -223,13 +284,18 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owne
 	}
 }
 
-// tryForward attempts one proxied round-trip, streaming the response
-// through verbatim (status, headers, body). A transport error returns
-// false with nothing written — the caller can still retry or serve
-// locally; once the upstream responded, its answer is relayed as-is.
+// tryForward attempts one proxied round-trip under the per-attempt
+// deadline, streaming the response through verbatim (status, headers,
+// body). A transport error or deadline miss returns false with nothing
+// written — the caller can still hedge or serve locally; once the
+// upstream responded, its answer is relayed as-is. Each attempt's
+// outcome feeds the target's breaker, except when the caller itself
+// gave up (its error, not the peer's).
 func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target string, body []byte) bool {
 	start := time.Now()
-	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ForwardAttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method,
 		target+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		mProxyVec.With(target, "error").Inc()
@@ -240,9 +306,17 @@ func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target stri
 	resp, err := rt.client.Do(req)
 	hProxyLatUS.With(target).Observe(float64(time.Since(start).Microseconds()))
 	if err != nil {
-		mProxyVec.With(target, "error").Inc()
+		outcome := "error"
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			outcome = "timeout" // attempt deadline fired: peer presumed partitioned
+		}
+		mProxyVec.With(target, outcome).Inc()
+		if r.Context().Err() == nil {
+			rt.peerDone(target, err)
+		}
 		return false
 	}
+	rt.peerDone(target, nil)
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
 		for _, v := range vs {
@@ -255,7 +329,9 @@ func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target stri
 	return true
 }
 
-// markDown updates one node's health, logging transitions.
+// markDown updates one node's health, logging transitions. A down→up
+// transition kicks the janitor so failover-held sessions hand back
+// immediately instead of waiting out the next tick.
 func (rt *Router) markDown(node string, down bool) {
 	if node == rt.cfg.Self {
 		return
@@ -270,26 +346,77 @@ func (rt *Router) markDown(node string, down bool) {
 	rt.mu.Unlock()
 	if was != down {
 		obs.Logger().Info("peer health changed", "peer", node, "down", down)
-	}
-}
-
-// healthLoop probes peers and runs the ownership janitor on one cadence.
-func (rt *Router) healthLoop() {
-	defer rt.wg.Done()
-	t := time.NewTicker(rt.cfg.HealthInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			rt.probePeers()
-			rt.evictNotOwned()
-		case <-rt.stopc:
-			return
+		if !down {
+			rt.kickJanitor()
 		}
 	}
 }
 
-// probePeers refreshes the down-set from every peer's /healthz.
+// peerDone feeds one forward/probe outcome into node's breaker. The
+// State() call first lazily promotes an expired open breaker to
+// half-open, so a success can close it. A transition back to closed
+// kicks the janitor: the owner is healthy again, hand sessions back now.
+func (rt *Router) peerDone(node string, err error) {
+	br := rt.breakers[node]
+	if br == nil {
+		return
+	}
+	before := br.State()
+	br.Done(err)
+	after := br.State()
+	if before == after {
+		return
+	}
+	obs.Logger().Info("peer breaker transition",
+		"peer", node, "from", before.String(), "to", after.String())
+	if after == BreakerClosed {
+		rt.kickJanitor()
+	}
+}
+
+// kickJanitor wakes healthLoop immediately (coalescing: a pending kick
+// is enough).
+func (rt *Router) kickJanitor() {
+	select {
+	case rt.kick <- struct{}{}:
+	default:
+	}
+}
+
+// jittered spreads janitor ticks across [0.75, 1.25)×HealthInterval so
+// replicas started together — or all watching the same peer recover —
+// don't probe and hand back in lockstep.
+func (rt *Router) jittered() time.Duration {
+	return time.Duration(float64(rt.cfg.HealthInterval) * (0.75 + 0.5*rand.Float64()))
+}
+
+// healthLoop probes peers and runs the ownership janitor on one jittered
+// cadence, waking early on kicks (peer recovery, breaker re-close).
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	t := time.NewTimer(rt.jittered())
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-rt.kick:
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+		case <-rt.stopc:
+			return
+		}
+		rt.probePeers()
+		rt.evictNotOwned()
+		t.Reset(rt.jittered())
+	}
+}
+
+// probePeers refreshes the down-set (and each peer's breaker) from every
+// peer's /healthz.
 func (rt *Router) probePeers() {
 	for _, node := range rt.cfg.Ring.Nodes() {
 		if node == rt.cfg.Self {
@@ -301,6 +428,11 @@ func (rt *Router) probePeers() {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		}
+		if up {
+			rt.peerDone(node, nil)
+		} else {
+			rt.peerDone(node, errPeerProbe)
+		}
 		rt.markDown(node, !up)
 	}
 }
@@ -309,7 +441,9 @@ func (rt *Router) probePeers() {
 // is another (up) replica: the failover copies this node accumulated
 // while a peer was down, handed back now that the peer recovered. The
 // persist-first ordering means the returning owner hydrates state at
-// least as fresh as anything we served.
+// least as fresh as anything we served — so a failed (or deferred,
+// store-breaker-open) persist keeps the session here until a later tick
+// lands it durably.
 func (rt *Router) evictNotOwned() {
 	s := rt.srv
 	s.mu.RLock()
@@ -327,7 +461,11 @@ func (rt *Router) evictNotOwned() {
 		if err != nil {
 			continue
 		}
-		s.persistSession(context.Background(), sess)
+		if err := s.persistSession(context.Background(), sess); err != nil {
+			obs.Logger().Warn("hand-back deferred: persist failed",
+				"session", id, "owner", owner, "err", err)
+			continue
+		}
 		if s.evictSession(id) {
 			mEvicted.Inc()
 			obs.Logger().Info("session handed back", "session", id, "owner", owner)
@@ -348,6 +486,9 @@ type ShardStats struct {
 	Forwards      int64 `json:"forwards"`
 	Failovers     int64 `json:"failovers"`
 	Evicted       int64 `json:"evicted_sessions"`
+	// PeerBreakers maps each peer to its forward-breaker state; an "open"
+	// peer routes as down even while its /healthz still answers.
+	PeerBreakers map[string]string `json:"peer_breakers,omitempty"`
 }
 
 // stats snapshots the routing surface for Server.Stats.
@@ -369,6 +510,10 @@ func (rt *Router) stats() *ShardStats {
 	}
 	rt.mu.Unlock()
 	sort.Strings(down)
+	breakers := make(map[string]string, len(rt.breakers))
+	for n, br := range rt.breakers {
+		breakers[n] = br.State().String()
+	}
 	return &ShardStats{
 		Self:          rt.cfg.Self,
 		Nodes:         rt.cfg.Ring.Nodes(),
@@ -378,5 +523,6 @@ func (rt *Router) stats() *ShardStats {
 		Forwards:      rt.mForwards.Value(),
 		Failovers:     rt.mFailovers.Value(),
 		Evicted:       mEvicted.Value(),
+		PeerBreakers:  breakers,
 	}
 }

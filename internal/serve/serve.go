@@ -94,6 +94,14 @@ var (
 	// ErrTraceNotFound reports a trace id absent from the trace store
 	// (never recorded, shed by tail-sampling, or already evicted).
 	ErrTraceNotFound = errors.New("serve: trace not found")
+	// ErrNotDurable reports durability admission control: the write-behind
+	// replay queue is saturated, so new sessions are shed (503 +
+	// Retry-After) rather than accepting writes we cannot make durable.
+	ErrNotDurable = errors.New("serve: durability at risk: replay queue saturated")
+	// ErrStoreUnavailable reports a store failure on the hydrate path —
+	// the session may exist but cannot be loaded right now (503 +
+	// Retry-After; another replica or a later retry may succeed).
+	ErrStoreUnavailable = errors.New("serve: durable store unavailable")
 )
 
 // Serving telemetry, all on the default obs registry.
@@ -225,6 +233,16 @@ type Config struct {
 	// FineTuneLeaseTTL bounds how long a crashed replica's fine-tune lease
 	// can wedge a session. Default 30s.
 	FineTuneLeaseTTL time.Duration
+	// Write-behind durability (writebehind.go), active when Store is set:
+	// StoreBreakerThreshold consecutive persist failures open the
+	// store-health breaker for StoreBreakerCooldown (persists then skip
+	// the store and queue directly; the first persist after the cooldown
+	// is the half-open probe). ReplayQueueCap bounds the per-node replay
+	// queue; at saturation new session creates shed with ErrNotDurable.
+	// Defaults 3, 2s, 256.
+	StoreBreakerThreshold int
+	StoreBreakerCooldown  time.Duration
+	ReplayQueueCap        int
 
 	// TraceCapacity bounds the in-memory request-trace store (FIFO
 	// eviction); TraceOKPerSec is the tail-sampling budget for successful
@@ -266,6 +284,10 @@ type Config struct {
 	// testing): build failures, inference stalls, window corruption. The
 	// production path pays only nil checks when unset.
 	Fault *fault.Injector
+	// ChaosAdmin mounts POST /v1/chaos (chaos.go): runtime-armed
+	// store-outage and inbound-partition windows for chaos harness runs.
+	// Never enable in production.
+	ChaosAdmin bool
 }
 
 func (c *Config) fillDefaults() {
@@ -343,6 +365,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.FineTuneLeaseTTL == 0 {
 		c.FineTuneLeaseTTL = 30 * time.Second
+	}
+	if c.StoreBreakerThreshold == 0 {
+		c.StoreBreakerThreshold = 3
+	}
+	if c.StoreBreakerCooldown == 0 {
+		c.StoreBreakerCooldown = 2 * time.Second
+	}
+	if c.ReplayQueueCap == 0 {
+		c.ReplayQueueCap = 256
 	}
 	if c.TraceCapacity == 0 {
 		c.TraceCapacity = 4096
@@ -426,6 +457,18 @@ type Server struct {
 
 	snapWG sync.WaitGroup
 
+	// wb is the write-behind replay queue + store-health breaker (nil
+	// without a store).
+	wb *writeBehind
+
+	// partUntil, when in the future, is the chaos partition gate's
+	// deadline: every request (except /v1/chaos) stalls until then and
+	// answers 503 without reaching its handler (chaos.go).
+	partUntil int64 // atomic, UnixNano
+
+	// chaos tracks runtime-armed fault windows (chaos.go).
+	chaos chaosState
+
 	// shardFn, when set by the router, reports ring ownership for Stats.
 	shardMu sync.Mutex
 	shardFn func() *ShardStats
@@ -487,6 +530,7 @@ func New(pipe *core.Pipeline, cfg Config) (*Server, error) {
 		go s.fineTuneWorker()
 	}
 	if cfg.Store != nil {
+		s.wb = newWriteBehind(s, cfg.ReplayQueueCap, cfg.StoreBreakerThreshold, cfg.StoreBreakerCooldown)
 		s.snapWG.Add(1)
 		go s.persistLoop()
 	}
@@ -680,6 +724,15 @@ func (s *Server) CreateSessionCtx(ctx context.Context, userID int, expectedWindo
 	if assignFrac == 0 {
 		assignFrac = s.cfg.AssignFrac
 	}
+	if s.wb != nil && s.wb.saturated() {
+		// Durability admission control: the replay queue is full, so a new
+		// session's writes could not be made durable. Shed the create (503
+		// + Retry-After) instead of accepting state we might lose;
+		// established sessions keep serving.
+		mShed.Inc()
+		mWBShed.Inc()
+		return nil, fmt.Errorf("%w (queue %d)", ErrNotDurable, s.wb.depth())
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -736,7 +789,14 @@ func (s *Server) SessionCtx(ctx context.Context, id string) (*Session, error) {
 	}
 	stop := obs.StageTimerOf(ctx).Time(obs.StageStore)
 	defer stop()
-	return s.hydrateSession(ctx, id)
+	sess, err := s.hydrateSession(ctx, id)
+	if err != nil && !errors.Is(err, ErrSessionNotFound) && !errors.Is(err, ErrBadSnapshot) {
+		// The store failed mid-hydration (as opposed to the session being
+		// genuinely absent or its record corrupt): surface as retriable
+		// 503 so clients fail over to a replica with the session live.
+		return nil, fmt.Errorf("%w: %v", ErrStoreUnavailable, err)
+	}
+	return sess, err
 }
 
 // CloseSession removes a session from the registry and releases its cached
@@ -765,9 +825,18 @@ func (s *Server) CloseSessionCtx(ctx context.Context, id string) error {
 	if s.cfg.Store != nil {
 		// A closed session's lifecycle is complete: drop its durable
 		// record and manifest (shared blobs stay — other sessions may
-		// reference the same cluster baseline).
-		_ = s.cfg.Store.DeleteSession(ctx, id)
-		_ = s.cfg.Store.DeleteCheckpoint(ctx, id)
+		// reference the same cluster baseline). Failed deletes are
+		// surfaced, not swallowed: a leaked record costs storage and a
+		// spurious hydration, so it must be visible in metrics.
+		if err := s.cfg.Store.DeleteSession(ctx, id); err != nil {
+			s.notePersistFailure(ctx, sess, "delete_session", err)
+		}
+		if err := s.cfg.Store.DeleteCheckpoint(ctx, id); err != nil {
+			s.notePersistFailure(ctx, sess, "delete_checkpoint", err)
+		}
+		if s.wb != nil {
+			s.wb.remove(id)
+		}
 	}
 	return nil
 }
@@ -871,6 +940,10 @@ type Stats struct {
 	CheckpointPersists int64        `json:"checkpoint_persists"`
 	CheckpointHits     int64        `json:"checkpoint_hydrations"`
 	Store              *store.Stats `json:"store,omitempty"`
+	// WriteBehind is the store-outage resilience surface: replay queue
+	// depth/bound, enqueue/replay/drop/shed totals, and the store-health
+	// breaker position (store mode only).
+	WriteBehind *WriteBehindStats `json:"write_behind,omitempty"`
 	// Shard is the consistent-hash routing surface (router mode only):
 	// ring membership, local ownership share, forward/failover counters.
 	Shard *ShardStats `json:"shard,omitempty"`
@@ -953,6 +1026,9 @@ func (s *Server) Stats() Stats {
 	if s.cfg.Store != nil {
 		ss := s.cfg.Store.Stats()
 		st.Store = &ss
+	}
+	if s.wb != nil {
+		st.WriteBehind = s.wb.statsSnap()
 	}
 	s.shardMu.Lock()
 	fn := s.shardFn

@@ -644,6 +644,11 @@ type SessionStatus struct {
 	// Restored reports the session was recovered from a registry snapshot
 	// after a restart.
 	Restored bool `json:"restored"`
+	// Durability is "ok" when the session's durable record is current,
+	// "at_risk" while a failed persist awaits write-behind replay or the
+	// store-health breaker is not closed (store mode only; empty without
+	// a store).
+	Durability string `json:"durability,omitempty"`
 
 	Monitor   *edge.MonitorStats `json:"monitor,omitempty"`
 	LastEvent *edge.Event        `json:"last_event,omitempty"`
@@ -679,6 +684,9 @@ func (s *Session) Status() SessionStatus {
 		Degraded:         s.degraded,
 		Restored:         s.restored,
 		LastEvent:        s.lastEvent,
+	}
+	if s.srv.wb != nil {
+		st.Durability = s.srv.wb.durability(s.id)
 	}
 	if s.haveAsg {
 		st.Cluster = s.asg.Cluster

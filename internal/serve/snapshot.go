@@ -371,16 +371,35 @@ func decodeSessionRec(data []byte) (sessRecHeader, []*tensorT, error) {
 }
 
 // persistSession writes one session through the store (write-through
-// persistence point). No-op without a store. Errors are counted and
-// logged, not returned: a failed persist must not fail the request that
-// triggered it — durability degrades to the last successful write, which
-// the periodic FlushAll retries.
-func (s *Server) persistSession(ctx context.Context, sess *Session) {
+// persistence point). No-op without a store. The returned error is
+// informational — a failed persist must not fail the request that
+// triggered it: the session enters the write-behind replay queue
+// (writebehind.go), keeps serving with durability at-risk, and the
+// drain / periodic FlushAll retries. Callers that *require* a fresh
+// durable record before acting (the hand-back janitor) check the error.
+func (s *Server) persistSession(ctx context.Context, sess *Session) error {
 	if s.cfg.Store == nil {
-		return
+		return nil
 	}
 	stop := obs.StageTimerOf(ctx).Time(obs.StageStore)
 	defer stop()
+	if s.wb != nil && !s.wb.allow() {
+		// Store breaker open: skip the doomed round-trip (no latency tax
+		// on the request path) and queue for replay.
+		s.wb.defer_(ctx, sess)
+		return errPersistDeferred
+	}
+	err := s.persistSessionDirect(ctx, sess)
+	if s.wb != nil {
+		s.wb.outcome(ctx, sess, err)
+	}
+	return err
+}
+
+// persistSessionDirect does one encode + PutSession round-trip, with
+// failure accounting but no breaker/queue interaction — the primitive
+// shared by the write-through path and the replay drain.
+func (s *Server) persistSessionDirect(ctx context.Context, sess *Session) error {
 	s.mu.RLock()
 	seq := s.seq
 	s.mu.RUnlock()
@@ -388,7 +407,7 @@ func (s *Server) persistSession(ctx context.Context, sess *Session) {
 	rec, maps, ok := snapRecordLocked(sess)
 	sess.mu.Unlock()
 	if !ok {
-		return
+		return nil // closed: its terminal delete path owns durability
 	}
 	rec.Events = sess.flight.events()
 	data, err := encodeSessionRec(seq, rec, maps)
@@ -397,10 +416,26 @@ func (s *Server) persistSession(ctx context.Context, sess *Session) {
 	}
 	if err != nil {
 		mPersistErrs.Inc()
-		obs.Log(ctx).Warn("session persist failed", "session", rec.ID, "err", err)
-		return
+		s.notePersistFailure(ctx, sess, "put_session", err)
+		return err
 	}
 	mPersists.Inc()
+	return nil
+}
+
+// notePersistFailure is the satellite fix for silent persist swallowing:
+// every failed write-through lands in store_persist_failures{backend,op},
+// the session's flight recorder, and the structured log.
+func (s *Server) notePersistFailure(ctx context.Context, sess *Session, op string, err error) {
+	backend := "none"
+	if s.cfg.Store != nil {
+		backend = s.cfg.Store.Backend()
+	}
+	mPersistFailVec.With(backend, op).Inc()
+	if sess != nil {
+		sess.record(ctx, evPersistFail, "op=%s err=%v", op, err)
+	}
+	obs.Log(ctx).Warn("store persist failed", "op", op, "err", err)
 }
 
 // FlushAll persists every live session through the store: the Shutdown /
@@ -545,19 +580,19 @@ func (s *Server) persistCheckpoint(ctx context.Context, sess *Session, k int, mo
 	base, _, err := s.cfg.Store.PutBlob(ctx, baseBuf.Bytes())
 	if err != nil {
 		mPersistErrs.Inc()
-		obs.Log(ctx).Warn("baseline blob persist failed", "session", sess.id, "err", err)
+		s.notePersistFailure(ctx, sess, "put_blob", err)
 		return
 	}
 	fine, _, err := s.cfg.Store.PutBlob(ctx, fineBuf.Bytes())
 	if err != nil {
 		mPersistErrs.Inc()
-		obs.Log(ctx).Warn("fine blob persist failed", "session", sess.id, "err", err)
+		s.notePersistFailure(ctx, sess, "put_blob", err)
 		return
 	}
 	ck := store.Checkpoint{Key: sess.id, Cluster: k, Base: base, Fine: fine, Labels: labels}
 	if err := s.cfg.Store.PutCheckpoint(ctx, ck); err != nil {
 		mPersistErrs.Inc()
-		obs.Log(ctx).Warn("checkpoint manifest persist failed", "session", sess.id, "err", err)
+		s.notePersistFailure(ctx, sess, "put_checkpoint", err)
 		return
 	}
 	mCkptPersists.Inc()

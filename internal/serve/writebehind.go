@@ -1,0 +1,306 @@
+package serve
+
+// Write-behind durability: the store-outage half of the distributed
+// resilience layer. Write-through persistence (snapshot.go) assumes the
+// store answers; when it stops answering, sessions must keep serving —
+// the paper's edge setting treats a flaky backhaul as the norm, not an
+// incident. The writeBehind guard gives every persist point three
+// behaviours:
+//
+//   - Store healthy (breaker closed): write through as before. A success
+//     also drains any queued replays, oldest-first.
+//   - Store failing: the failed session ID enters a bounded FIFO replay
+//     queue and the failure feeds a store-health circuit breaker. The
+//     session keeps serving with durability marked "at_risk" in its
+//     status, stats, and flight recorder.
+//   - Breaker open: persists skip the store round-trip entirely (no
+//     latency tax on the request path) and go straight to the queue.
+//     After the cooldown the breaker half-opens and the next persist is
+//     the probe; its success closes the breaker and kicks the drain.
+//
+// The queue holds session IDs, not payloads: a replay re-encodes the
+// session's *current* state, so N failed writes to one session collapse
+// into one queued entry and the replay can never resurrect stale bytes.
+// Saturation is an admission-control signal — new session creates shed
+// with ErrNotDurable (503 + Retry-After) rather than accepting writes we
+// cannot make durable; established sessions keep serving because their
+// periodic FlushAll retry is the catch-all.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// errPersistDeferred reports a persist skipped because the store-health
+// breaker is open; the session is queued for replay.
+var errPersistDeferred = errors.New("serve: persist deferred: store breaker open")
+
+// Write-behind telemetry.
+var (
+	// mPersistFailVec is the satellite-1 fix: every failed write-through,
+	// labeled by backend and op, so at-risk durability is visible before
+	// the breaker opens. (Renders as store_persist_failures{backend,op}.)
+	mPersistFailVec = obs.GetCounterVec("store.persist_failures", "backend", "op")
+
+	mWBEnqueued   = obs.GetCounter("serve.writebehind_enqueued")
+	mWBReplayed   = obs.GetCounter("serve.writebehind_replayed")
+	mWBDropped    = obs.GetCounter("serve.writebehind_dropped")
+	mWBShed       = obs.GetCounter("serve.writebehind_shed")
+	gWBQueue      = obs.GetGauge("serve.writebehind_queue")
+	gStoreBreaker = obs.GetGauge("serve.store_breaker_state")
+)
+
+// writeBehind is the per-node replay queue plus the store-health breaker.
+type writeBehind struct {
+	srv *Server
+	br  *Breaker
+	cap int
+
+	mu       sync.Mutex
+	ids      []string        // FIFO of session IDs awaiting replay (may hold stale entries)
+	set      map[string]bool // live membership; the source of truth for size
+	draining bool            // single-flight drain guard
+	lastSt   BreakerState    // last published breaker state (transition logging)
+}
+
+func newWriteBehind(srv *Server, capN, threshold int, cooldown time.Duration) *writeBehind {
+	if capN <= 0 {
+		capN = 256
+	}
+	return &writeBehind{
+		srv: srv,
+		br:  NewBreaker(threshold, cooldown),
+		cap: capN,
+		set: map[string]bool{},
+	}
+}
+
+// allow reports whether a persist should attempt the store round-trip.
+// Closed: yes. Open: no (queue instead). Half-open: exactly one caller
+// becomes the probe; the rest queue.
+func (wb *writeBehind) allow() bool {
+	ok := wb.br.Allow()
+	wb.publish()
+	return ok
+}
+
+// outcome feeds one attempted persist's result to the breaker and the
+// queue: success removes the session from the queue (its current state
+// just landed) and kicks the drain; failure enqueues it for replay.
+func (wb *writeBehind) outcome(ctx context.Context, sess *Session, err error) {
+	wb.br.Done(err)
+	wb.publish()
+	if err != nil {
+		wb.enqueue(ctx, sess)
+		return
+	}
+	wb.remove(sess.id)
+	wb.kickDrain()
+}
+
+// defer_ queues a persist that skipped the store (breaker open).
+func (wb *writeBehind) defer_(ctx context.Context, sess *Session) {
+	wb.enqueue(ctx, sess)
+}
+
+// enqueue adds sess to the replay queue (idempotent per session). A full
+// queue drops the add with a counter — the periodic FlushAll is the
+// catch-all that retries every live session anyway.
+func (wb *writeBehind) enqueue(ctx context.Context, sess *Session) {
+	wb.mu.Lock()
+	if wb.set[sess.id] {
+		wb.mu.Unlock()
+		return
+	}
+	if len(wb.set) >= wb.cap {
+		wb.mu.Unlock()
+		mWBDropped.Inc()
+		obs.Log(ctx).Warn("write-behind queue full; session relies on periodic flush",
+			"session", sess.id, "cap", wb.cap)
+		return
+	}
+	wb.ids = append(wb.ids, sess.id)
+	wb.set[sess.id] = true
+	n := len(wb.set)
+	wb.mu.Unlock()
+	mWBEnqueued.Inc()
+	gWBQueue.Set(float64(n))
+	sess.record(ctx, evPersistQueued, "queue=%d/%d breaker=%s", n, wb.cap, wb.br.State())
+}
+
+// remove drops id from the queue membership (the FIFO slice keeps a stale
+// entry the drain skips; compact keeps it bounded).
+func (wb *writeBehind) remove(id string) {
+	wb.mu.Lock()
+	if wb.set[id] {
+		delete(wb.set, id)
+		gWBQueue.Set(float64(len(wb.set)))
+	}
+	wb.compactLocked()
+	wb.mu.Unlock()
+}
+
+// compactLocked rebuilds the FIFO slice once stale entries dominate.
+func (wb *writeBehind) compactLocked() {
+	if len(wb.ids) <= 2*wb.cap || len(wb.ids) < 2*len(wb.set) {
+		return
+	}
+	live := wb.ids[:0]
+	for _, id := range wb.ids {
+		if wb.set[id] {
+			live = append(live, id)
+		}
+	}
+	wb.ids = live
+}
+
+// pop returns the oldest queued session ID without removing it (removal
+// happens on replay success, so a failed replay keeps its place).
+func (wb *writeBehind) pop() (string, bool) {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	for len(wb.ids) > 0 {
+		id := wb.ids[0]
+		if wb.set[id] {
+			return id, true
+		}
+		wb.ids = wb.ids[1:] // stale: already replayed or session gone
+	}
+	return "", false
+}
+
+// pending reports whether id awaits replay (its durable record is stale).
+func (wb *writeBehind) pending(id string) bool {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return wb.set[id]
+}
+
+// depth returns the live queue size.
+func (wb *writeBehind) depth() int {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return len(wb.set)
+}
+
+// saturated reports the admission-control condition: the queue is full,
+// so the node cannot promise durability for new sessions.
+func (wb *writeBehind) saturated() bool {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return len(wb.set) >= wb.cap
+}
+
+// durability classifies one session's durability for status surfaces:
+// "at_risk" while its replay is pending or the store breaker is not
+// closed, "ok" otherwise.
+func (wb *writeBehind) durability(id string) string {
+	if wb.pending(id) || wb.br.State() != BreakerClosed {
+		return "at_risk"
+	}
+	return "ok"
+}
+
+// publish mirrors the breaker state onto the gauge and logs transitions.
+func (wb *writeBehind) publish() {
+	st := wb.br.State()
+	gStoreBreaker.Set(float64(st))
+	wb.mu.Lock()
+	prev := wb.lastSt
+	wb.lastSt = st
+	wb.mu.Unlock()
+	if st != prev {
+		obs.Logger().Info("store breaker transition", "from", prev.String(), "to", st.String(),
+			"queue", wb.depth())
+	}
+}
+
+// kickDrain starts one background drain pass if the queue is non-empty
+// and none is running.
+func (wb *writeBehind) kickDrain() {
+	wb.mu.Lock()
+	if wb.draining || len(wb.set) == 0 {
+		wb.mu.Unlock()
+		return
+	}
+	wb.draining = true
+	wb.mu.Unlock()
+	go wb.drain()
+}
+
+// drain replays queued sessions oldest-first until the queue empties or
+// the store fails again (the failed session keeps its place; the breaker
+// re-opens and the next successful persist re-kicks). Sessions that left
+// the live registry (closed, or handed off after a successful persist)
+// are dropped — there is nothing to re-encode and their terminal persist
+// path already ran.
+func (wb *writeBehind) drain() {
+	defer func() {
+		wb.mu.Lock()
+		wb.draining = false
+		wb.mu.Unlock()
+	}()
+	ctx := context.Background()
+	for {
+		id, ok := wb.pop()
+		if !ok {
+			return
+		}
+		wb.srv.mu.RLock()
+		sess := wb.srv.sessions[id]
+		wb.srv.mu.RUnlock()
+		if sess == nil {
+			wb.remove(id)
+			continue
+		}
+		if !wb.br.Allow() {
+			wb.publish()
+			return // breaker re-opened mid-drain
+		}
+		err := wb.srv.persistSessionDirect(ctx, sess)
+		wb.br.Done(err)
+		wb.publish()
+		if err != nil {
+			return
+		}
+		wb.remove(id)
+		mWBReplayed.Inc()
+		sess.record(ctx, evPersistReplayed, "queue=%d", wb.depth())
+	}
+}
+
+// WriteBehindStats is the write-behind block of /v1/stats.
+type WriteBehindStats struct {
+	// Queue is the current replay-queue depth; Cap its bound.
+	Queue int `json:"queue"`
+	Cap   int `json:"cap"`
+	// Enqueued/Replayed/Dropped count queue adds, successful replays, and
+	// saturation drops over the process lifetime.
+	Enqueued int64 `json:"enqueued"`
+	Replayed int64 `json:"replayed"`
+	Dropped  int64 `json:"dropped"`
+	// Shed counts session creates refused by durability admission control.
+	Shed int64 `json:"shed"`
+	// Breaker is the store-health breaker's position.
+	Breaker string `json:"breaker"`
+	// PersistFailures mirrors serve.session_persist_errors for this node.
+	PersistFailures int64 `json:"persist_failures"`
+}
+
+// statsSnap snapshots the write-behind surface.
+func (wb *writeBehind) statsSnap() *WriteBehindStats {
+	return &WriteBehindStats{
+		Queue:           wb.depth(),
+		Cap:             wb.cap,
+		Enqueued:        mWBEnqueued.Value(),
+		Replayed:        mWBReplayed.Value(),
+		Dropped:         mWBDropped.Value(),
+		Shed:            mWBShed.Value(),
+		Breaker:         wb.br.State().String(),
+		PersistFailures: mPersistErrs.Value(),
+	}
+}

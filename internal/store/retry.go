@@ -1,0 +1,200 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// IsTransient classifies a store error: transient errors (I/O hiccups,
+// injected outages, anything a backend didn't map to a typed error) are
+// worth retrying; permanent errors are semantic outcomes retrying cannot
+// change — the record is missing, the lease is held by someone else, the
+// bytes are corrupt, the store is closed, or the caller's context is done.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrNotFound),
+		errors.Is(err, ErrLocked),
+		errors.Is(err, ErrLeaseLost),
+		errors.Is(err, ErrCorrupt),
+		errors.Is(err, ErrClosed),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	return true
+}
+
+// RetryConfig bounds the retry decorator's backoff schedule.
+type RetryConfig struct {
+	// Attempts is the total number of tries per op (first call included).
+	// Default 3.
+	Attempts int
+	// Base is the first retry's backoff; each subsequent retry doubles it.
+	// Default 10ms.
+	Base time.Duration
+	// Cap bounds the per-retry backoff. Default 500ms.
+	Cap time.Duration
+}
+
+func (c *RetryConfig) fill() {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Base <= 0 {
+		c.Base = 10 * time.Millisecond
+	}
+	if c.Cap <= 0 {
+		c.Cap = 500 * time.Millisecond
+	}
+}
+
+// Retry wraps a Store and re-issues transiently failing ops with capped
+// exponential backoff. Permanent errors (see IsTransient) pass through on
+// the first attempt; reads and writes alike are safe to retry because
+// every Store op is idempotent (puts replace, deletes are no-ops on
+// missing keys, PutBlob is content-addressed).
+type Retry struct {
+	inner Store
+	cfg   RetryConfig
+}
+
+var mStoreRetries = obs.GetCounterVec("store.retries", "backend", "op")
+
+// WithRetry wraps inner with the given retry policy.
+func WithRetry(inner Store, cfg RetryConfig) *Retry {
+	cfg.fill()
+	return &Retry{inner: inner, cfg: cfg}
+}
+
+// Backend reports the inner backend's name: the wrapper is transparent to
+// metrics and stats labels.
+func (r *Retry) Backend() string { return r.inner.Backend() }
+
+// Stats implements Store.
+func (r *Retry) Stats() Stats { return r.inner.Stats() }
+
+// Close implements Store.
+func (r *Retry) Close() error { return r.inner.Close() }
+
+// do runs op until it succeeds, fails permanently, attempts are exhausted,
+// or ctx is done — whichever comes first.
+func (r *Retry) do(ctx context.Context, op string, fn func() error) error {
+	backoff := r.cfg.Base
+	var err error
+	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			mStoreRetries.With(r.inner.Backend(), op).Inc()
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return checkCtx(ctx)
+			}
+			if backoff *= 2; backoff > r.cfg.Cap {
+				backoff = r.cfg.Cap
+			}
+		}
+		if err = fn(); !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// PutSession implements SessionStore.
+func (r *Retry) PutSession(ctx context.Context, id string, data []byte) error {
+	return r.do(ctx, "put_session", func() error {
+		return r.inner.PutSession(ctx, id, data)
+	})
+}
+
+// GetSession implements SessionStore.
+func (r *Retry) GetSession(ctx context.Context, id string) (data []byte, err error) {
+	err = r.do(ctx, "get_session", func() error {
+		data, err = r.inner.GetSession(ctx, id)
+		return err
+	})
+	return data, err
+}
+
+// DeleteSession implements SessionStore.
+func (r *Retry) DeleteSession(ctx context.Context, id string) error {
+	return r.do(ctx, "delete_session", func() error {
+		return r.inner.DeleteSession(ctx, id)
+	})
+}
+
+// ListSessions implements SessionStore.
+func (r *Retry) ListSessions(ctx context.Context) (ids []string, err error) {
+	err = r.do(ctx, "list_sessions", func() error {
+		ids, err = r.inner.ListSessions(ctx)
+		return err
+	})
+	return ids, err
+}
+
+// PutBlob implements CheckpointStore.
+func (r *Retry) PutBlob(ctx context.Context, data []byte) (d Digest, created bool, err error) {
+	err = r.do(ctx, "put_blob", func() error {
+		d, created, err = r.inner.PutBlob(ctx, data)
+		return err
+	})
+	return d, created, err
+}
+
+// GetBlob implements CheckpointStore.
+func (r *Retry) GetBlob(ctx context.Context, d Digest) (data []byte, err error) {
+	err = r.do(ctx, "get_blob", func() error {
+		data, err = r.inner.GetBlob(ctx, d)
+		return err
+	})
+	return data, err
+}
+
+// HasBlob implements CheckpointStore.
+func (r *Retry) HasBlob(ctx context.Context, d Digest) (ok bool, err error) {
+	err = r.do(ctx, "has_blob", func() error {
+		ok, err = r.inner.HasBlob(ctx, d)
+		return err
+	})
+	return ok, err
+}
+
+// PutCheckpoint implements CheckpointStore.
+func (r *Retry) PutCheckpoint(ctx context.Context, ck Checkpoint) error {
+	return r.do(ctx, "put_checkpoint", func() error {
+		return r.inner.PutCheckpoint(ctx, ck)
+	})
+}
+
+// GetCheckpoint implements CheckpointStore.
+func (r *Retry) GetCheckpoint(ctx context.Context, key string) (ck Checkpoint, err error) {
+	err = r.do(ctx, "get_checkpoint", func() error {
+		ck, err = r.inner.GetCheckpoint(ctx, key)
+		return err
+	})
+	return ck, err
+}
+
+// DeleteCheckpoint implements CheckpointStore.
+func (r *Retry) DeleteCheckpoint(ctx context.Context, key string) error {
+	return r.do(ctx, "delete_checkpoint", func() error {
+		return r.inner.DeleteCheckpoint(ctx, key)
+	})
+}
+
+// Lock implements LockSource. ErrLocked is permanent (another owner holds
+// the lease — the caller's backoff discipline applies, not ours), so only
+// genuine backend failures are retried.
+func (r *Retry) Lock(ctx context.Context, key, owner string, ttl time.Duration) (ls Lease, err error) {
+	err = r.do(ctx, "lock", func() error {
+		ls, err = r.inner.Lock(ctx, key, owner, ttl)
+		return err
+	})
+	return ls, err
+}

@@ -1,0 +1,112 @@
+package store_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+	"repro/internal/store/storetest"
+)
+
+// The full production stack — retry over fault over mem, faults off —
+// must still pass conformance.
+func TestRetryFaultConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) (store.Store, func(t *testing.T) store.Store) {
+		fs := store.WithFault(store.NewMem(), fault.New(1))
+		return store.WithRetry(fs, store.RetryConfig{}), nil
+	})
+}
+
+func TestIsTransient(t *testing.T) {
+	permanent := []error{
+		store.ErrNotFound, store.ErrLocked, store.ErrLeaseLost,
+		store.ErrCorrupt, store.ErrClosed,
+		context.Canceled, context.DeadlineExceeded, nil,
+	}
+	for _, err := range permanent {
+		if store.IsTransient(err) {
+			t.Errorf("IsTransient(%v) = true, want false", err)
+		}
+	}
+	if !store.IsTransient(errors.New("disk on fire")) {
+		t.Error("unknown error classified permanent")
+	}
+	if !store.IsTransient(fault.ErrInjected) {
+		t.Error("injected outage classified permanent")
+	}
+}
+
+// countingStore counts calls to one overridden op.
+type countingStore struct {
+	store.Store
+	gets int
+	errs []error // error script for successive GetSession calls
+}
+
+func (c *countingStore) GetSession(ctx context.Context, id string) ([]byte, error) {
+	i := c.gets
+	c.gets++
+	if i < len(c.errs) && c.errs[i] != nil {
+		return nil, c.errs[i]
+	}
+	return c.Store.GetSession(ctx, id)
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	flaky := errors.New("transient hiccup")
+	cs := &countingStore{Store: store.NewMem(), errs: []error{flaky, flaky}}
+	ctx := context.Background()
+	if err := cs.Store.PutSession(ctx, "s1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rs := store.WithRetry(cs, store.RetryConfig{Attempts: 3, Base: time.Millisecond, Cap: 2 * time.Millisecond})
+	got, err := rs.GetSession(ctx, "s1")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("GetSession = %q, %v after transient errors", got, err)
+	}
+	if cs.gets != 3 {
+		t.Fatalf("attempts = %d, want 3 (two failures + success)", cs.gets)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	flaky := errors.New("transient hiccup")
+	cs := &countingStore{Store: store.NewMem(), errs: []error{flaky, flaky, flaky, flaky}}
+	rs := store.WithRetry(cs, store.RetryConfig{Attempts: 2, Base: time.Millisecond})
+	if _, err := rs.GetSession(context.Background(), "s1"); !errors.Is(err, flaky) {
+		t.Fatalf("err = %v, want the last transient error", err)
+	}
+	if cs.gets != 2 {
+		t.Fatalf("attempts = %d, want exactly Attempts", cs.gets)
+	}
+}
+
+func TestRetryPermanentNoRetry(t *testing.T) {
+	cs := &countingStore{Store: store.NewMem()}
+	rs := store.WithRetry(cs, store.RetryConfig{Attempts: 5, Base: time.Millisecond})
+	if _, err := rs.GetSession(context.Background(), "missing"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if cs.gets != 1 {
+		t.Fatalf("attempts = %d for permanent error, want 1", cs.gets)
+	}
+}
+
+func TestRetryHonoursContext(t *testing.T) {
+	flaky := errors.New("transient hiccup")
+	cs := &countingStore{Store: store.NewMem(), errs: []error{flaky, flaky, flaky}}
+	rs := store.WithRetry(cs, store.RetryConfig{Attempts: 4, Base: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := rs.GetSession(ctx, "s1")
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("retry slept past context deadline")
+	}
+}
