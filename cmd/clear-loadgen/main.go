@@ -16,7 +16,22 @@
 //	              [-chaos] [-chaosdrop F] [-accfloor F] [-expectbreaker]
 //	              [-storeoutage D] [-outageafter D]
 //	              [-partitionfor D] [-partitionafter D]
+//	              [-joinafter D] [-joinnode url] [-drainafter D] [-drainnode url]
 //	              [-driftusers N] [-driftstart F] [-expectreassign]
+//
+// -joinafter/-drainafter turn the run into a live-topology smoke (the
+// servers must run with -membership-admin): at t+joinafter the loadgen
+// POSTs a membership join for -joinnode (a standby replica started
+// outside the ring) to the first endpoint and adds it to the rotation;
+// at t+drainafter it POSTs a drain to -drainnode (default: the last
+// endpoint) and removes it from the rotation. Either flag appends
+// topology verdicts to -json: zero_loss_on_join (every lifecycle
+// completed, zero unexpected 5xx, the join was applied), drain_clean
+// (the drained replica handed off every session — none remaining, not
+// incomplete — and the survivors' ring excludes it at a higher epoch),
+// and, when a join ran, minimal_movement (the fraction of this run's
+// session IDs whose ring owner changed stays near the 1/N consistent-
+// hashing ideal, computed with the server's own ring arithmetic).
 //
 // -addr accepts a comma-separated list of clear-serve replicas. Requests
 // rotate round-robin across the pool (the router forwards per-session
@@ -90,6 +105,7 @@ import (
 	"time"
 
 	"repro/internal/features"
+	"repro/internal/shard"
 	"repro/internal/wemac"
 )
 
@@ -150,6 +166,22 @@ type statsResp struct {
 		Failovers     int64    `json:"failovers"`
 		Evicted       int64    `json:"evicted_sessions"`
 	} `json:"shard"`
+	Membership *struct {
+		Epoch           uint64   `json:"epoch"`
+		Members         []string `json:"members"`
+		Draining        bool     `json:"draining"`
+		DrainRemaining  int      `json:"drain_remaining"`
+		DrainHandedOff  int      `json:"drain_handed_off"`
+		DrainFailures   int      `json:"drain_failures"`
+		DrainIncomplete bool     `json:"drain_incomplete"`
+	} `json:"membership"`
+}
+
+// membershipResp mirrors GET /v1/membership (and the POST responses).
+type membershipResp struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+	Hash    string   `json:"hash"`
 }
 
 // shed503 / shed503NoRA count 503 responses and the subset missing a
@@ -164,8 +196,11 @@ var srvErrs int64
 // endpoints is the rotating pool of clear-serve base URLs. A single -addr
 // degenerates to the classic one-server loop; a comma-separated list
 // spreads requests round-robin and lets postRetry/getEP fail over to the
-// next replica when one is mid-restart.
+// next replica when one is mid-restart. The pool is mutable mid-run: the
+// topology choreography adds a joined replica and removes a draining one
+// (mu guards urls; pick and snapshot are the only readers during the run).
 type endpoints struct {
+	mu   sync.RWMutex
 	urls []string
 	next uint64
 }
@@ -187,7 +222,43 @@ func newEndpoints(addr string) *endpoints {
 // sessions spread evenly without coordination).
 func (e *endpoints) pick() string {
 	n := atomic.AddUint64(&e.next, 1)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.urls[int((n-1)%uint64(len(e.urls)))]
+}
+
+// snapshot returns a copy of the current pool.
+func (e *endpoints) snapshot() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.urls...)
+}
+
+// add admits a replica to the rotation (idempotent).
+func (e *endpoints) add(u string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, have := range e.urls {
+		if have == u {
+			return
+		}
+	}
+	e.urls = append(e.urls, u)
+}
+
+// remove drops a replica from the rotation.
+func (e *endpoints) remove(u string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	live := e.urls[:0]
+	for _, have := range e.urls {
+		if have != u {
+			live = append(live, have)
+		}
+	}
+	if len(live) > 0 { // never empty the pool
+		e.urls = live
+	}
 }
 
 // rotatable reports whether an error warrants retrying the request on the
@@ -398,6 +469,7 @@ func writeReport(path string, rep *loadgenReport) {
 type userResult struct {
 	ok           bool
 	err          error
+	id           string // session ID (for post-hoc ring-movement math)
 	base         string // session URL, set when the session was kept open
 	cluster      int    // FIRST cluster the session reported (cold-start)
 	archetype    int
@@ -434,6 +506,11 @@ func main() {
 		partitionFor   = flag.Duration("partitionfor", 0, "chaos window: partition one replica (the last in -addr) for this long")
 		partitionAfter = flag.Duration("partitionafter", 3*time.Second, "chaos window: delay before arming the partition")
 
+		joinAfter  = flag.Duration("joinafter", 0, "topology: POST a membership join for -joinnode this long into the run (server needs -membership-admin)")
+		joinNode   = flag.String("joinnode", "", "topology: replica URL to join (a standby started outside the ring)")
+		drainAfter = flag.Duration("drainafter", 0, "topology: POST a graceful drain to -drainnode this long into the run")
+		drainNode  = flag.String("drainnode", "", "topology: replica URL to drain (default: the last endpoint in -addr)")
+
 		driftUsers     = flag.Int("driftusers", 0, "turn the first N users into drift personas (archetype migrates mid-stream)")
 		driftStart     = flag.Float64("driftstart", 0.35, "stream fraction at which drift personas start migrating")
 		expectReassign = flag.Bool("expectreassign", false, "chaos: require ≥1 detector re-assignment, and no session to flap")
@@ -443,8 +520,8 @@ func main() {
 	flag.Parse()
 
 	eps := newEndpoints(*addr)
-	if len(eps.urls) > 1 {
-		fmt.Printf("endpoint pool: %d replicas, rotating with failover on transport errors/502/503\n", len(eps.urls))
+	if len(eps.snapshot()) > 1 {
+		fmt.Printf("endpoint pool: %d replicas, rotating with failover on transport errors/502/503\n", len(eps.snapshot()))
 	}
 
 	if *traceFr > 0 {
@@ -553,18 +630,19 @@ func main() {
 	windowsArmed := *storeOutage > 0 || *partitionFor > 0
 	var partitionTarget string
 	if *partitionFor > 0 {
-		partitionTarget = eps.urls[len(eps.urls)-1]
+		us := eps.snapshot()
+		partitionTarget = us[len(us)-1]
 	}
 	if *storeOutage > 0 {
 		d := *storeOutage
 		time.AfterFunc(*outageAfter, func() {
-			for _, u := range eps.urls {
+			for _, u := range eps.snapshot() {
 				if err := postJSON(client, u+"/v1/chaos",
 					map[string]any{"store_outage_ms": d.Milliseconds()}, nil); err != nil {
 					fmt.Fprintf(os.Stderr, "chaos: arming store outage on %s: %v\n", u, err)
 				}
 			}
-			fmt.Printf("chaos: store outage armed for %v on %d replicas\n", d, len(eps.urls))
+			fmt.Printf("chaos: store outage armed for %v on %d replicas\n", d, len(eps.snapshot()))
 		})
 	}
 	if *partitionFor > 0 {
@@ -576,6 +654,77 @@ func main() {
 			} else {
 				fmt.Printf("chaos: %s partitioned for %v\n", target, d)
 			}
+		})
+	}
+
+	// Topology choreography: join a standby replica and/or gracefully drain
+	// one mid-run (the servers must run with -membership-admin). The join
+	// goes to the first endpoint (any member can admit); the drain goes to
+	// the draining replica itself, which leaves the ring and hands its
+	// sessions off while the load keeps flowing.
+	topoArmed := *joinAfter > 0 || *drainAfter > 0
+	var topo struct {
+		mu            sync.Mutex
+		initMembers   []string
+		joined        bool
+		joinEpoch     uint64
+		drainTarget   string
+		drainAccepted bool
+		preDrainEpoch uint64
+	}
+	if topoArmed {
+		if *joinAfter > 0 && *joinNode == "" {
+			die(fmt.Errorf("-joinafter requires -joinnode"))
+		}
+		var mv membershipResp
+		if err := getEP(client, eps, "/v1/membership", &mv); err != nil {
+			die(fmt.Errorf("topology run needs GET /v1/membership (router mode): %w", err))
+		}
+		topo.initMembers = mv.Members
+		topo.drainTarget = strings.TrimRight(*drainNode, "/")
+		if topo.drainTarget == "" {
+			us := eps.snapshot()
+			topo.drainTarget = us[len(us)-1]
+		}
+		fmt.Printf("topology: initial epoch %d, members %v\n", mv.Epoch, mv.Members)
+	}
+	if *joinAfter > 0 {
+		node := strings.TrimRight(*joinNode, "/")
+		admin := eps.snapshot()[0]
+		time.AfterFunc(*joinAfter, func() {
+			var v membershipResp
+			if err := postJSON(client, admin+"/v1/membership",
+				map[string]any{"action": "join", "node": node}, &v); err != nil {
+				fmt.Fprintf(os.Stderr, "topology: join %s: %v\n", node, err)
+				return
+			}
+			eps.add(node)
+			topo.mu.Lock()
+			topo.joined = true
+			topo.joinEpoch = v.Epoch
+			topo.mu.Unlock()
+			fmt.Printf("topology: %s joined at epoch %d\n", node, v.Epoch)
+		})
+	}
+	if *drainAfter > 0 {
+		time.AfterFunc(*drainAfter, func() {
+			topo.mu.Lock()
+			target := topo.drainTarget
+			topo.mu.Unlock()
+			var pre membershipResp
+			_ = getJSON(client, target+"/v1/membership", &pre)
+			var v membershipResp
+			if err := postJSON(client, target+"/v1/membership",
+				map[string]any{"action": "drain"}, &v); err != nil {
+				fmt.Fprintf(os.Stderr, "topology: drain %s: %v\n", target, err)
+				return
+			}
+			eps.remove(target)
+			topo.mu.Lock()
+			topo.drainAccepted = true
+			topo.preDrainEpoch = pre.Epoch
+			topo.mu.Unlock()
+			fmt.Printf("topology: drain of %s accepted (pre-drain epoch %d)\n", target, pre.Epoch)
 		})
 	}
 
@@ -647,6 +796,31 @@ func main() {
 	close(pollDone)
 	pollWG.Wait()
 
+	// A short run must not outrun its own choreography: the join/drain
+	// timers fire at wall-clock offsets from start, so wait for each armed
+	// action to be applied (with slack for its HTTP round-trip) before
+	// judging the topology verdicts.
+	if topoArmed {
+		waitTopo := func(after time.Duration, what string, fired func() bool) {
+			if after <= 0 {
+				return
+			}
+			deadline := start.Add(after + 10*time.Second)
+			for time.Now().Before(deadline) {
+				topo.mu.Lock()
+				ok := fired()
+				topo.mu.Unlock()
+				if ok {
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			fmt.Fprintf(os.Stderr, "topology: %s never applied\n", what)
+		}
+		waitTopo(*joinAfter, "join", func() bool { return topo.joined })
+		waitTopo(*drainAfter, "drain", func() bool { return topo.drainAccepted })
+	}
+
 	// Recovery wait: after chaos windows, the run is not over until every
 	// replica reports its write-behind replay queue drained (and breaker
 	// closed) and every failover session handed back (local == owned).
@@ -662,7 +836,7 @@ func main() {
 		deadline := recoverStart.Add(90 * time.Second)
 		for {
 			drained, owned, reachable := true, true, true
-			for _, u := range eps.urls {
+			for _, u := range eps.snapshot() {
 				var st statsResp
 				if err := getJSON(client, u+"/v1/stats", &st); err != nil {
 					reachable = false
@@ -684,7 +858,7 @@ func main() {
 		cw.RecoverySec = time.Since(recoverStart).Seconds()
 		// Final sweep: aggregate the resilience counters across replicas.
 		cw.ReplayQueueFinal = 0
-		for _, u := range eps.urls {
+		for _, u := range eps.snapshot() {
 			var st statsResp
 			if err := getJSON(client, u+"/v1/stats", &st); err != nil {
 				cw.ReplayQueueFinal = -1 // unreachable replica: fail replay_drained
@@ -869,6 +1043,103 @@ func main() {
 		cwVerdict("shed_retry_after", cw.Sheds503NoRA == 0,
 			fmt.Sprintf("%d of %d 503s missing Retry-After", cw.Sheds503NoRA, cw.Sheds503))
 	}
+
+	// Topology verdicts: zero loss through the join, a clean drain, and
+	// minimal ring movement (consistent hashing's 1/N promise).
+	topoFailed := false
+	if topoArmed {
+		tVerdict := func(name string, pass bool, detail string) {
+			verdict(name, pass, detail)
+			if !pass {
+				fmt.Printf("SLO FAIL: %s: %s\n", name, detail)
+				topoFailed = true
+			}
+		}
+		fmt.Printf("\n── topology report ──\n")
+		n5xx := atomic.LoadInt64(&srvErrs)
+		topo.mu.Lock()
+		joined, joinEpoch := topo.joined, topo.joinEpoch
+		drainTarget, drainAccepted, preDrainEpoch := topo.drainTarget, topo.drainAccepted, topo.preDrainEpoch
+		initMembers := topo.initMembers
+		topo.mu.Unlock()
+		if *joinAfter > 0 {
+			tVerdict("zero_loss_on_join", joined && completed >= *users && n5xx == 0,
+				fmt.Sprintf("join applied %v (epoch %d); %d/%d lifecycles, %d unexpected 5xx",
+					joined, joinEpoch, completed, *users, n5xx))
+			// Minimal movement: re-derive ownership of this run's real
+			// session IDs under the pre- and post-join rings with the
+			// server's own ring arithmetic; consistent hashing should move
+			// about 1/N of them, and never wholesale reshuffle.
+			pre := shard.New(initMembers, 0)
+			post := pre.With(strings.TrimRight(*joinNode, "/"))
+			moved, totalIDs := 0, 0
+			for _, r := range results {
+				if r.id == "" {
+					continue
+				}
+				totalIDs++
+				if pre.Owner(r.id) != post.Owner(r.id) {
+					moved++
+				}
+			}
+			frac := 0.0
+			if totalIDs > 0 {
+				frac = float64(moved) / float64(totalIDs)
+			}
+			bound := 1.6 / float64(post.Len())
+			fmt.Printf("movement         %d/%d session owners changed across the join (bound %.0f%%)\n",
+				moved, totalIDs, 100*bound)
+			tVerdict("minimal_movement", totalIDs > 0 && frac <= bound,
+				fmt.Sprintf("%d/%d sessions moved (%.0f%% vs bound %.0f%%)",
+					moved, totalIDs, 100*frac, 100*bound))
+		}
+		if *drainAfter > 0 {
+			// Settle: the drained replica must report zero remaining (and
+			// not incomplete), and every survivor must exclude it from the
+			// ring at an epoch past the pre-drain one.
+			clean := false
+			cleanDetail := "drain request was not accepted"
+			if drainAccepted {
+				deadline := time.Now().Add(30 * time.Second)
+				for time.Now().Before(deadline) {
+					drainedOK := false
+					var st statsResp
+					if err := getJSON(client, drainTarget+"/v1/stats", &st); err == nil && st.Membership != nil {
+						m := st.Membership
+						drainedOK = m.Draining && m.DrainRemaining == 0 && !m.DrainIncomplete
+						cleanDetail = fmt.Sprintf("drained node: remaining %d, handed off %d, incomplete %v",
+							m.DrainRemaining, m.DrainHandedOff, m.DrainIncomplete)
+					}
+					survivorsOK := true
+					for _, u := range eps.snapshot() {
+						var mv membershipResp
+						if err := getJSON(client, u+"/v1/membership", &mv); err != nil {
+							survivorsOK = false
+							break
+						}
+						excluded := true
+						for _, m := range mv.Members {
+							if m == drainTarget {
+								excluded = false
+							}
+						}
+						if !excluded || mv.Epoch <= preDrainEpoch {
+							survivorsOK = false
+							break
+						}
+					}
+					if drainedOK && survivorsOK {
+						clean = true
+						break
+					}
+					time.Sleep(100 * time.Millisecond)
+				}
+			}
+			tVerdict("drain_clean", clean,
+				fmt.Sprintf("%s; survivors exclude %s past epoch %d: %v",
+					cleanDetail, drainTarget, preDrainEpoch, clean))
+		}
+	}
 	if *chaos {
 		tally.mu.Lock()
 		fmt.Printf("\n── chaos report ──\n")
@@ -923,7 +1194,7 @@ func main() {
 				fmt.Sprintf("%d re-assigned, %d flapped", reassignedSessions, flapped))
 		}
 		tally.mu.Unlock()
-		rep.Pass = !failed && !traceFailed && !cwFailed
+		rep.Pass = !failed && !traceFailed && !cwFailed && !topoFailed
 		if *jsonOut != "" {
 			writeReport(*jsonOut, rep)
 		}
@@ -937,7 +1208,7 @@ func main() {
 		fmt.Sprintf("%d/%d completed", completed, *users))
 	n := atomic.LoadInt64(&srvErrs)
 	verdict("no_5xx", n == 0, fmt.Sprintf("%d unexpected 5xx responses", n))
-	rep.Pass = completed >= *users && n == 0 && !traceFailed && !cwFailed
+	rep.Pass = completed >= *users && n == 0 && !traceFailed && !cwFailed && !topoFailed
 	if *jsonOut != "" {
 		writeReport(*jsonOut, rep)
 	}
@@ -962,6 +1233,7 @@ func runUser(client *http.Client, eps *endpoints, v *wemac.Volunteer, um *wemac.
 		res.err = fmt.Errorf("create: %w", err)
 		return res
 	}
+	res.id = cr.ID
 	base := "/v1/sessions/" + cr.ID
 	lifecycleStart := time.Now()
 
@@ -1191,7 +1463,7 @@ func postRetry(client *http.Client, eps *endpoints, path string, body any, out a
 			time.Sleep(time.Duration(10+5*shed) * time.Millisecond)
 			continue
 		}
-		if rotatable(err) && rot < 4*len(eps.urls) {
+		if rotatable(err) && rot < 4*len(eps.snapshot()) {
 			rot++
 			sleep := time.Duration(25*rot) * time.Millisecond
 			// A 503 with Retry-After is admission control (durability at
@@ -1216,7 +1488,7 @@ func postRetry(client *http.Client, eps *endpoints, path string, body any, out a
 // idempotent, so rotation is always safe).
 func getEP(client *http.Client, eps *endpoints, path string, out any) error {
 	var err error
-	for rot := 0; rot <= 4*len(eps.urls); rot++ {
+	for rot := 0; rot <= 4*len(eps.snapshot()); rot++ {
 		if err = getJSON(client, eps.pick()+path, out); err == nil || !rotatable(err) {
 			return err
 		}

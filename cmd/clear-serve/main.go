@@ -12,6 +12,7 @@
 //	            [-ftworkers N] [-assignfrac F] [-loglevel debug|info|warn|error]
 //	            [-store dir] [-snapshot dir] [-snapinterval D]
 //	            [-peers url,url,...] [-self url] [-vnodes N]
+//	            [-membership-admin] [-drain-timeout D]
 //	            [-fault-seed N] [-fault-build F] [-fault-stall F]
 //	            [-fault-corrupt F] [-fault-store F] [-chaos-admin]
 //	            [-replaycap N] [-infertimeout D]
@@ -98,8 +99,10 @@ func main() {
 		snapPath     = flag.String("snapshot", "", "legacy alias for -store")
 		snapInterval = flag.Duration("snapinterval", 10*time.Second, "periodic store flush cadence")
 		peers        = flag.String("peers", "", "comma-separated replica URLs forming the placement ring (router mode)")
-		self         = flag.String("self", "", "this replica's URL in -peers")
+		self         = flag.String("self", "", "this replica's URL (router mode; may be absent from -peers to boot as a standby awaiting a join)")
 		vnodes       = flag.Int("vnodes", 0, "virtual nodes per replica on the ring (0 = default 128)")
+		membAdmin    = flag.Bool("membership-admin", false, "mount POST /v1/membership for runtime join/leave/drain (testing/ops only)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain handoff bound on SIGTERM (router mode)")
 		inferTimeout = flag.Duration("infertimeout", 10*time.Second, "default per-window inference deadline")
 
 		faultSeed    = flag.Int64("fault-seed", 1, "fault injector seed")
@@ -178,20 +181,26 @@ func main() {
 		fmt.Printf("durable store at %s\n", dir)
 	}
 
-	// Router mode: -peers forms the consistent-hash placement ring.
-	var ring *shard.Ring
+	// Router mode: -peers forms the initial (epoch-1) membership of the
+	// versioned placement ring. -self may be absent from it: the replica
+	// then boots as a standby — owning nothing, forwarding everything —
+	// until an admin join (POST /v1/membership) admits it.
+	var memb *shard.Membership
 	selfName := *self
 	if *peers != "" {
 		nodes := strings.Split(*peers, ",")
 		for i := range nodes {
 			nodes[i] = strings.TrimSpace(nodes[i])
 		}
-		ring = shard.New(nodes, *vnodes)
-		if selfName == "" || !ring.Has(selfName) {
-			die(fmt.Errorf("-peers requires -self naming one of the peer URLs (got %q)", selfName))
+		memb = shard.NewMembership(nodes, *vnodes)
+		if selfName == "" {
+			die(fmt.Errorf("-peers requires -self naming this replica's URL"))
 		}
 		if st == nil {
 			die(fmt.Errorf("-peers requires a shared -store directory for session handoff"))
+		}
+		if !memb.View().Contains(selfName) {
+			fmt.Printf("standby boot: %s is not in the initial ring; awaiting membership join\n", selfName)
 		}
 	}
 
@@ -230,6 +239,7 @@ func main() {
 		ReplayQueueCap:   *replayCap,
 		Fault:            inj,
 		ChaosAdmin:       *chaosAdmin,
+		MembershipAdmin:  *membAdmin,
 		DriftWindow:      *driftWindow,
 		DriftThreshold:   *driftThreshold,
 		DriftConsecutive: *driftConsecutive,
@@ -251,10 +261,13 @@ func main() {
 		ProfileCPUDur: *profCPU,
 		ProfileMinGap: *profGap,
 	}
-	if ring != nil {
-		r := ring
+	if memb != nil {
+		m := memb
 		me := selfName
-		scfg.OwnsID = func(id string) bool { return r.Owner(id) == me }
+		scfg.OwnsID = func(id string) bool {
+			v := m.View()
+			return v.Contains(me) && v.Ring().Owner(id) == me
+		}
 	}
 	srv, err := serve.New(pipe, scfg)
 	die(err)
@@ -283,10 +296,15 @@ func main() {
 
 	handler := srv.Handler()
 	var router *serve.Router
-	if ring != nil {
-		router = serve.NewRouter(srv, serve.RouterConfig{Self: selfName, Ring: ring})
+	if memb != nil {
+		router = serve.NewRouter(srv, serve.RouterConfig{
+			Self:         selfName,
+			Membership:   memb,
+			DrainTimeout: *drainTimeout,
+		})
 		handler = router.Handler()
-		fmt.Printf("router mode: self %s, ring %v\n", selfName, ring.Nodes())
+		v := memb.View()
+		fmt.Printf("router mode: self %s, epoch %d, ring %v\n", selfName, v.Epoch, v.Members)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: handler}
@@ -302,6 +320,19 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\ndraining...")
+	// Router mode: graceful drain first, with the HTTP server still up —
+	// the replica leaves the ring, sheds creates, and hands every owned
+	// session to its new owner (persist → rehydrate-notify → evict)
+	// before connections close. An incomplete drain keeps its sessions
+	// live until shutdown and exits non-zero with an explicit count.
+	drainErr := error(nil)
+	if router != nil {
+		drainErr = router.Drain(context.Background())
+		if drainErr != nil {
+			fmt.Fprintf(os.Stderr, "clear-serve: drain_incomplete remaining=%d: %v\n",
+				len(srv.LocalIDs()), drainErr)
+		}
+	}
 	_ = hs.Close()
 	if router != nil {
 		router.Stop()
@@ -315,6 +346,9 @@ func main() {
 	fmt.Println(obs.SpanTree())
 	fmt.Println("\n── metrics ──")
 	fmt.Println(obs.MetricsDump())
+	if drainErr != nil {
+		os.Exit(1)
+	}
 }
 
 // trainPipeline builds the serving pipeline from a synthetic WEMAC

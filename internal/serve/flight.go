@@ -47,6 +47,12 @@ const (
 	evPersistFail     = "persist_failed"
 	evPersistQueued   = "persist_queued"
 	evPersistReplayed = "persist_replayed"
+	// Live-topology events: a persist rejected by the store's epoch/seq
+	// fence (this replica's copy is stale), and a session re-hydrated from
+	// the store on (re)gaining ownership — the stale-copy fix: the owner
+	// discards any in-memory copy and serves from durable state.
+	evPersistFenced = "persist_fenced"
+	evRehydrated    = "rehydrated"
 )
 
 // FlightEvent is one recorded lifecycle transition.
@@ -155,7 +161,7 @@ func (s *Session) record(ctx context.Context, kind, format string, args ...any) 
 	lg := obs.Log(ctx)
 	switch kind {
 	case evAssigned, evReassigned, evOverride, evBreaker,
-		evFTFailed, evRestored, evRejected:
+		evFTFailed, evRestored, evRejected, evRehydrated, evPersistFenced:
 		lg.Info("session "+kind, "session", s.id, "seq", ev.Seq, "detail", detail)
 	default:
 		lg.Debug("session "+kind, "session", s.id, "seq", ev.Seq, "detail", detail)

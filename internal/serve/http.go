@@ -150,16 +150,43 @@ func (s *Server) Handler() http.Handler {
 	return s.chaosGate(mux)
 }
 
-// handleHealthz answers 200 while serving, 503 while draining.
+// HealthzResponse is the GET /healthz body. Beyond liveness, it carries
+// the replica's ring epoch and member-set hash so the router's peer probe
+// (and the janitor behind it) detects membership skew in the probe it was
+// already making — a lagging replica pulls and adopts the newer view.
+type HealthzResponse struct {
+	Status string `json:"status"` // "ok" or "draining"
+	// Epoch and MembersHash are the versioned-ring coordinates (router
+	// mode only; 0/"" single-replica).
+	Epoch       uint64 `json:"epoch,omitempty"`
+	MembersHash string `json:"members_hash,omitempty"`
+	// Draining reports graceful drain in progress: the replica has left
+	// the ring and is handing sessions off, but still answers 200 — it
+	// must keep serving owned sessions until the handoff completes.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// handleHealthz answers 200 while serving (including during a graceful
+// drain — the replica still serves its not-yet-handed-off sessions), 503
+// once full shutdown begins.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
+	resp := HealthzResponse{Status: "ok"}
+	if ms := s.membershipStats(); ms != nil {
+		resp.Epoch = ms.Epoch
+		resp.MembersHash = ms.Hash
+		resp.Draining = ms.Draining
+		if ms.Draining {
+			resp.Status = "draining"
+		}
+	}
 	if draining {
-		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	w.WriteHeader(http.StatusOK)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusWriter captures the response status for metrics/trace labeling.
@@ -407,6 +434,11 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 		code = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrShutdown):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDraining):
+		// Graceful drain sheds only creates; another replica accepts the
+		// session after one Retry-After hop.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrNotDurable), errors.Is(err, ErrStoreUnavailable):
 		// Durability admission control / store-outage hydration: shed with
 		// an explicit retry hint — the condition clears when the replay

@@ -1,0 +1,466 @@
+package serve
+
+// Live ring membership: the router's topology-change surface. The ring
+// stops being a boot-time constant here — replicas join, leave, and
+// drain at runtime through a small admin API, and the cluster converges
+// on the newest view without restarts:
+//
+//   - POST /v1/membership {action: join|leave|drain, node} (gated by
+//     Config.MembershipAdmin, like the chaos endpoint) mutates the local
+//     view — bumping its epoch — and broadcasts the new view to every
+//     member. A replica that misses the broadcast converges anyway: the
+//     health probe carries epoch + member-set hash, and any skew makes
+//     the lagging side pull GET /v1/membership and Adopt the newer view.
+//   - Forwards carry the sender's epoch (router.go); fenced persists
+//     carry {epoch, seq} (snapshot.go). Together they make a topology
+//     change safe against stragglers: a stale sender is refused with 421
+//     and re-resolves, a stale ex-owner's write loses at the store.
+//   - drain is the graceful exit: the replica sheds new-session creates
+//     (503 + Retry-After), leaves the ring, and hands off every local
+//     session — persist, notify the new owner to re-hydrate, evict —
+//     until none remain or DrainTimeout expires. Progress is visible in
+//     /v1/stats.membership; an incomplete drain is an explicit error
+//     (drain_incomplete), never a silent drop.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+// Membership telemetry.
+var (
+	mMembChanges   = obs.GetCounter("serve.membership_changes")
+	mViewsAdopted  = obs.GetCounter("serve.membership_views_adopted")
+	mDrainHandoffs = obs.GetCounter("serve.drain_handoffs")
+	mDrainFailures = obs.GetCounter("serve.drain_failures")
+	gRingEpoch     = obs.GetGauge("serve.ring_epoch")
+)
+
+// MembershipStats is the versioned-ring block of /v1/stats (and the
+// source of the /healthz epoch fields).
+type MembershipStats struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+	Hash    string   `json:"hash"`
+	// Draining reports a graceful drain in progress (or finished: the
+	// flag stays up once set — a drained replica does not rejoin on its
+	// own). The remaining fields are its progress counters.
+	Draining        bool `json:"draining,omitempty"`
+	DrainRemaining  int  `json:"drain_remaining,omitempty"`
+	DrainHandedOff  int  `json:"drain_handed_off,omitempty"`
+	DrainFailures   int  `json:"drain_failures,omitempty"`
+	DrainIncomplete bool `json:"drain_incomplete,omitempty"`
+}
+
+// drainState tracks graceful-drain progress for stats; remaining is
+// maintained by the drain loop (not read live from the registry) so
+// stats snapshots never touch Server.mu.
+type drainState struct {
+	mu         sync.Mutex
+	active     bool
+	remaining  int
+	handedOff  int
+	failures   int
+	incomplete bool
+}
+
+// Draining reports whether a graceful drain has started on this replica.
+func (rt *Router) Draining() bool {
+	rt.drain.mu.Lock()
+	defer rt.drain.mu.Unlock()
+	return rt.drain.active
+}
+
+// membStats snapshots the membership surface for Server.Stats / healthz.
+func (rt *Router) membStats() *MembershipStats {
+	v := rt.view()
+	gRingEpoch.Set(float64(v.Epoch))
+	rt.drain.mu.Lock()
+	defer rt.drain.mu.Unlock()
+	return &MembershipStats{
+		Epoch:           v.Epoch,
+		Members:         v.Members,
+		Hash:            v.Hash(),
+		Draining:        rt.drain.active,
+		DrainRemaining:  rt.drain.remaining,
+		DrainHandedOff:  rt.drain.handedOff,
+		DrainFailures:   rt.drain.failures,
+		DrainIncomplete: rt.drain.incomplete,
+	}
+}
+
+// Drain gracefully removes this replica from the cluster: shed creates,
+// leave the ring (bumping the epoch, broadcast to peers), then hand off
+// every local session — persist (fenced), notify its new owner to
+// re-hydrate from the store, evict — retrying failures until none remain
+// or the DrainTimeout bound (layered onto ctx) expires. Returns nil when
+// every session landed; an explicit drain-incomplete error otherwise —
+// the un-handed-off sessions stay live and keep serving. Idempotent: a
+// second call returns immediately (the first owns the loop).
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.drain.mu.Lock()
+	if rt.drain.active {
+		rt.drain.mu.Unlock()
+		return nil
+	}
+	rt.drain.active = true
+	rt.drain.mu.Unlock()
+
+	rt.srv.SetShedCreates(true)
+	if v, changed := rt.memb.Leave(rt.cfg.Self); changed {
+		mMembChanges.Inc()
+		rt.broadcast(v)
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.DrainTimeout)
+	defer cancel()
+
+	start := time.Now()
+	obs.Logger().Info("drain started", "self", rt.cfg.Self,
+		"sessions", len(rt.srv.LocalIDs()), "timeout", rt.cfg.DrainTimeout)
+	for {
+		ids := rt.srv.LocalIDs()
+		rt.setDrainRemaining(len(ids))
+		if len(ids) == 0 {
+			obs.Logger().Info("drain complete", "self", rt.cfg.Self,
+				"handed_off", rt.drainHandedOff(), "elapsed", time.Since(start))
+			return nil
+		}
+		progress := false
+		for _, id := range ids {
+			if ctx.Err() != nil {
+				break
+			}
+			if rt.drainOne(ctx, id) {
+				progress = true
+			}
+		}
+		ids = rt.srv.LocalIDs()
+		rt.setDrainRemaining(len(ids))
+		if len(ids) == 0 {
+			continue // loop once more to log completion
+		}
+		if ctx.Err() != nil {
+			rt.drain.mu.Lock()
+			rt.drain.incomplete = true
+			n := len(ids)
+			rt.drain.mu.Unlock()
+			obs.Logger().Error("drain incomplete", "self", rt.cfg.Self,
+				"remaining", n, "elapsed", time.Since(start))
+			return fmt.Errorf("serve: drain incomplete: %d sessions still local after %s",
+				n, rt.cfg.DrainTimeout)
+		}
+		if !progress {
+			select {
+			case <-ctx.Done():
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// drainOne hands one session off: persist → notify the new owner to
+// re-hydrate → evict. Any failed step leaves the session live (it keeps
+// serving here) and reports no progress so the drain loop retries it.
+func (rt *Router) drainOne(ctx context.Context, id string) bool {
+	s := rt.srv
+	s.mu.RLock()
+	sess := s.sessions[id]
+	s.mu.RUnlock()
+	if sess == nil {
+		return true // already gone
+	}
+	if s.cfg.Store != nil {
+		err := s.persistSessionDirect(ctx, sess)
+		if errors.Is(err, store.ErrFenced) {
+			err = nil // the new owner already wrote newer state
+		}
+		if err != nil {
+			rt.drainFailure()
+			obs.Logger().Warn("drain: persist failed; session stays live",
+				"session", id, "err", err)
+			return false
+		}
+		owner, _ := rt.ownerFor(id)
+		if owner != "" && owner != rt.cfg.Self {
+			if err := rt.notifyRehydrate(owner, id); err != nil {
+				rt.drainFailure()
+				obs.Logger().Warn("drain: rehydrate notify failed; session stays live",
+					"session", id, "owner", owner, "err", err)
+				return false
+			}
+		}
+	}
+	if s.evictSession(id) {
+		mEvicted.Inc()
+		mDrainHandoffs.Inc()
+		rt.drain.mu.Lock()
+		rt.drain.handedOff++
+		rt.drain.mu.Unlock()
+	}
+	return true
+}
+
+func (rt *Router) setDrainRemaining(n int) {
+	rt.drain.mu.Lock()
+	rt.drain.remaining = n
+	rt.drain.mu.Unlock()
+}
+
+func (rt *Router) drainFailure() {
+	mDrainFailures.Inc()
+	rt.drain.mu.Lock()
+	rt.drain.failures++
+	rt.drain.mu.Unlock()
+}
+
+func (rt *Router) drainHandedOff() int {
+	rt.drain.mu.Lock()
+	defer rt.drain.mu.Unlock()
+	return rt.drain.handedOff
+}
+
+// membershipView is the GET /v1/membership (and sync-response) body.
+type membershipView struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+	Hash    string   `json:"hash"`
+}
+
+func viewBody(v shard.View) membershipView {
+	return membershipView{Epoch: v.Epoch, Members: v.Members, Hash: v.Hash()}
+}
+
+// membershipMutation is the POST /v1/membership admin body.
+type membershipMutation struct {
+	// Action is "join", "leave", or "drain".
+	Action string `json:"action"`
+	// Node is the join/leave target (its base URL, the ring node name).
+	// A drain must be posted to the draining replica itself; Node, if
+	// set, must match it.
+	Node string `json:"node,omitempty"`
+}
+
+// membershipSyncRequest is the replica-to-replica view push.
+type membershipSyncRequest struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// rehydrateRequest is the hand-off notification body: "your session; I
+// persisted it; re-read the store before serving it again".
+type rehydrateRequest struct {
+	ID string `json:"id"`
+}
+
+// handleMembershipGet returns the current view (ungated: peers and
+// operators read it freely).
+func (rt *Router) handleMembershipGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, viewBody(rt.view()))
+}
+
+// handleMembershipPost is the topology admin endpoint, gated like the
+// chaos endpoint: join and leave mutate the view and broadcast it; drain
+// starts this replica's graceful exit in the background and answers 202
+// immediately (progress is in /v1/stats.membership).
+func (rt *Router) handleMembershipPost(w http.ResponseWriter, r *http.Request) {
+	if !rt.srv.cfg.MembershipAdmin {
+		writeJSON(w, http.StatusForbidden, errorResponse{
+			Error: "membership admin endpoint disabled; start the server with membership admin enabled"})
+		return
+	}
+	var req membershipMutation
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad membership body: " + err.Error()})
+		return
+	}
+	switch req.Action {
+	case "join", "leave":
+		if req.Node == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "membership " + req.Action + " requires node"})
+			return
+		}
+		var v shard.View
+		var changed bool
+		if req.Action == "join" {
+			v, changed = rt.memb.Join(req.Node)
+		} else {
+			v, changed = rt.memb.Leave(req.Node)
+		}
+		if changed {
+			mMembChanges.Inc()
+			obs.Logger().Info("membership changed", "action", req.Action,
+				"node", req.Node, "epoch", v.Epoch, "members", len(v.Members))
+			rt.broadcast(v)
+			// A joined node learns its own admission immediately (it is a
+			// member now, so broadcast already covers it; this is only for
+			// the node that was just removed and would otherwise serve a
+			// stale view until its next probe).
+			if req.Action == "leave" && req.Node != rt.cfg.Self {
+				go rt.postSync(req.Node, v)
+			}
+			rt.kickJanitor()
+		}
+		writeJSON(w, http.StatusOK, viewBody(v))
+	case "drain":
+		if req.Node != "" && req.Node != rt.cfg.Self {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: "drain must be posted to the draining node itself (node=" + req.Node + ", self=" + rt.cfg.Self + ")"})
+			return
+		}
+		go func() {
+			_ = rt.Drain(context.Background())
+		}()
+		writeJSON(w, http.StatusAccepted, viewBody(rt.view()))
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "unknown membership action " + req.Action})
+	}
+}
+
+// handleMembershipSync receives a peer's view push (ungated — it can only
+// move the local view forward, by the Adopt total order) and answers with
+// the view now in effect, so a pushing peer with the older view learns
+// the newer one from the response.
+func (rt *Router) handleMembershipSync(w http.ResponseWriter, r *http.Request) {
+	var req membershipSyncRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad sync body: " + err.Error()})
+		return
+	}
+	v, adopted := rt.memb.Adopt(req.Epoch, req.Members)
+	if adopted {
+		mViewsAdopted.Inc()
+		obs.Logger().Info("membership view adopted", "epoch", v.Epoch, "members", len(v.Members))
+		rt.kickJanitor()
+	}
+	writeJSON(w, http.StatusOK, viewBody(v))
+}
+
+// handleRehydrate receives a hand-off notification: the sender persisted
+// the session and this replica now owns it, so drop any live (possibly
+// stale) local copy and re-hydrate from the store before serving. 200
+// is the sender's licence to evict its copy.
+func (rt *Router) handleRehydrate(w http.ResponseWriter, r *http.Request) {
+	var req rehydrateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil || req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad rehydrate body"})
+		return
+	}
+	if _, err := rt.srv.rehydrateSession(r.Context(), req.ID); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrSessionNotFound) {
+			code = http.StatusNotFound
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "rehydrated", "id": req.ID})
+}
+
+// broadcast pushes view v to every member except self (fire-and-forget:
+// a missed push converges via the probe's skew detection).
+func (rt *Router) broadcast(v shard.View) {
+	for _, node := range v.Members {
+		if node == rt.cfg.Self {
+			continue
+		}
+		go rt.postSync(node, v)
+	}
+}
+
+// postSync pushes one view to one peer and adopts the peer's answer if
+// it turns out newer (the push raced a fresher mutation).
+func (rt *Router) postSync(node string, v shard.View) {
+	body, _ := json.Marshal(membershipSyncRequest{Epoch: v.Epoch, Members: v.Members})
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ForwardAttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		node+"/v1/membership/sync", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		obs.Logger().Warn("membership sync push failed", "peer", node, "err", err)
+		return
+	}
+	defer resp.Body.Close()
+	var got membershipView
+	if resp.StatusCode == http.StatusOK &&
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&got) == nil {
+		if _, adopted := rt.memb.Adopt(got.Epoch, got.Members); adopted {
+			mViewsAdopted.Inc()
+			rt.kickJanitor()
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+// pullViewFrom fetches node's view and adopts it if newer. Used when a
+// forward or probe reveals this replica's view is stale.
+func (rt *Router) pullViewFrom(node string) {
+	if node == "" || node == rt.cfg.Self {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ForwardAttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/membership", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		obs.Logger().Warn("membership pull failed", "peer", node, "err", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var got membershipView
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&got) != nil {
+		return
+	}
+	if v, adopted := rt.memb.Adopt(got.Epoch, got.Members); adopted {
+		mViewsAdopted.Inc()
+		obs.Logger().Info("membership view adopted", "from", node,
+			"epoch", v.Epoch, "members", len(v.Members))
+		rt.kickJanitor()
+	}
+}
+
+// notifyRehydrate tells owner to re-hydrate id from the store. The
+// caller must have persisted first; only a 200 licences eviction.
+func (rt *Router) notifyRehydrate(owner, id string) error {
+	body, _ := json.Marshal(rehydrateRequest{ID: id})
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ForwardAttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		owner+"/v1/rehydrate", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rehydrate notify: %s answered %d", owner, resp.StatusCode)
+	}
+	return nil
+}

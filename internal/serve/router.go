@@ -3,16 +3,19 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 // Router turns one Server replica into a member of a multi-node
@@ -37,15 +40,29 @@ import (
 //     session serves from the degraded cluster baseline and replays its
 //     labels (the PR 3/4 machinery); with one it resumes personalised.
 //   - When the owner comes back, the janitor persists and evicts the
-//     failover copy so exactly one replica serves each session again.
+//     failover copy — and notifies the owner to re-hydrate from the store
+//     first, so it never serves the stale copy it held before losing
+//     ownership — so exactly one replica serves each session again.
 //
-// The ring itself is static per process (topology changes are rolling
-// restarts with a new -peers list); the down-set handles transient
-// deaths between restarts.
+// The ring is a runtime concept (shard.Membership): every view carries a
+// monotonic epoch, replicas join/leave/drain without a restart
+// (membership.go), forwards carry the sender's epoch so a disagreeing
+// pair re-resolves against the newer view instead of serving stale
+// ownership or looping, and every persist is fenced at
+// {epoch, per-session seq} so a lagging ex-owner's write loses at the
+// store. The down-set still handles transient deaths within an epoch.
 
 // forwardedHeader marks a proxied request; its value is the forwarding
 // node. Its presence forces local serving — the one-hop loop guard.
 const forwardedHeader = "X-Clear-Forwarded"
+
+// epochHeader carries the sender's ring epoch on every forward. The
+// receiver compares it with its own: a newer request epoch makes the
+// receiver pull the sender's view before serving; an older one makes the
+// receiver refuse with 421 + its epoch (when it does not own the ID under
+// its newer ring) so the sender catches up and re-resolves — never a loop,
+// never serving under a ring both sides know is stale.
+const epochHeader = "X-Ring-Epoch"
 
 // errPeerProbe feeds a failed /healthz probe into the peer's breaker.
 var errPeerProbe = errors.New("serve: peer healthz probe failed")
@@ -60,12 +77,24 @@ var (
 
 // RouterConfig parameterises a Router.
 type RouterConfig struct {
-	// Self is this replica's node name, which must be one of Ring's nodes
-	// and the base URL peers reach it at (e.g. "http://127.0.0.1:8081").
+	// Self is this replica's node name and the base URL peers reach it at
+	// (e.g. "http://127.0.0.1:8081"). A replica whose Self is NOT in the
+	// initial ring boots as a standby: it owns nothing and forwards
+	// everything until an admin join admits it.
 	Self string
-	// Ring is the shared placement ring. Every replica must be built with
-	// the same node list (order-insensitive: the ring sorts).
+	// Ring is the initial placement ring, the epoch-1 membership. Every
+	// replica must be built with the same node list (order-insensitive:
+	// the ring sorts). Ignored when Membership is set.
 	Ring *shard.Ring
+	// Membership, when set, is the versioned ring to route by (shared with
+	// the embedding binary's OwnsID predicate). When nil one is derived
+	// from Ring at epoch 1.
+	Membership *shard.Membership
+	// DrainTimeout bounds Drain's handoff loop: a draining replica that
+	// cannot land every owned session durably within it exits with an
+	// explicit drain_incomplete error instead of silently dropping them.
+	// Default 30s.
+	DrainTimeout time.Duration
 	// HealthInterval is the peer probe + janitor cadence. Each tick is
 	// jittered ±25% so a restarted node's peers don't probe in lockstep
 	// (thundering-herd on recovery). Default 500ms.
@@ -92,12 +121,16 @@ type RouterConfig struct {
 type Router struct {
 	srv    *Server
 	cfg    RouterConfig
+	memb   *shard.Membership
 	client *http.Client
 	probe  *http.Client
 
+	// drain tracks graceful-drain progress (membership.go).
+	drain drainState
+
 	mu       sync.Mutex
 	down     map[string]bool
-	breakers map[string]*Breaker // per-peer forward breakers
+	breakers map[string]*Breaker // per-peer forward breakers (lazily grown on join)
 
 	// kick wakes the janitor immediately (buffered, coalescing): fired on
 	// a peer's down→up probe transition or its breaker re-closing, so
@@ -134,9 +167,17 @@ func NewRouter(srv *Server, cfg RouterConfig) *Router {
 	if cfg.PeerBreakerCooldown <= 0 {
 		cfg.PeerBreakerCooldown = 2 * time.Second
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	memb := cfg.Membership
+	if memb == nil {
+		memb = shard.NewMembership(cfg.Ring.Nodes(), cfg.Ring.VNodes())
+	}
 	rt := &Router{
 		srv:        srv,
 		cfg:        cfg,
+		memb:       memb,
 		client:     &http.Client{Timeout: cfg.ForwardTimeout},
 		probe:      &http.Client{Timeout: cfg.HealthInterval},
 		down:       map[string]bool{},
@@ -146,15 +187,40 @@ func NewRouter(srv *Server, cfg RouterConfig) *Router {
 		mForwards:  obs.GetCounter("serve.forwards"),
 		mFailovers: obs.GetCounter("serve.failovers"),
 	}
-	for _, node := range cfg.Ring.Nodes() {
+	for _, node := range memb.View().Members {
 		if node != cfg.Self {
 			rt.breakers[node] = NewBreaker(cfg.PeerBreakerThreshold, cfg.PeerBreakerCooldown)
 		}
 	}
 	srv.SetShardStats(rt.stats)
+	srv.SetMembershipStats(rt.membStats)
+	srv.SetEpochSource(memb.Epoch)
 	rt.wg.Add(1)
 	go rt.healthLoop()
 	return rt
+}
+
+// Membership exposes the router's versioned ring (the embedding binary's
+// OwnsID predicate and tests read it).
+func (rt *Router) Membership() *shard.Membership { return rt.memb }
+
+// view snapshots the current membership.
+func (rt *Router) view() shard.View { return rt.memb.View() }
+
+// breakerFor returns node's forward breaker, creating one on first use —
+// peers admitted by a runtime join get breakers lazily.
+func (rt *Router) breakerFor(node string) *Breaker {
+	if node == rt.cfg.Self {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	br := rt.breakers[node]
+	if br == nil {
+		br = NewBreaker(rt.cfg.PeerBreakerThreshold, rt.cfg.PeerBreakerCooldown)
+		rt.breakers[node] = br
+	}
+	return br
 }
 
 // Stop halts the health janitor.
@@ -169,7 +235,7 @@ func (rt *Router) Stop() {
 func (rt *Router) Handler() http.Handler {
 	s := rt.srv
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.traced("sessions", s.handleCreate))
+	mux.HandleFunc("POST /v1/sessions", rt.routeCreate(s.traced("sessions", s.handleCreate)))
 	mux.HandleFunc("POST /v1/sessions/{id}/windows", rt.route("windows", s.handleWindow))
 	mux.HandleFunc("POST /v1/sessions/{id}/labels", rt.route("labels", s.handleLabels))
 	mux.HandleFunc("GET /v1/sessions/{id}", rt.route("status", s.handleStatus))
@@ -179,6 +245,12 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", s.handleTrace))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/chaos", s.handleChaos)
+	// Live topology (membership.go): read the view, mutate it (admin), the
+	// replica-to-replica view sync, and the handoff rehydrate notification.
+	mux.HandleFunc("GET /v1/membership", rt.handleMembershipGet)
+	mux.HandleFunc("POST /v1/membership", rt.handleMembershipPost)
+	mux.HandleFunc("POST /v1/membership/sync", rt.handleMembershipSync)
+	mux.HandleFunc("POST /v1/rehydrate", rt.handleRehydrate)
 	oh := obs.Handler()
 	mux.Handle("/metrics", oh)
 	mux.Handle("/debug/", oh)
@@ -191,10 +263,17 @@ func (rt *Router) route(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	local := rt.srv.traced(endpoint, h)
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Header.Get(forwardedHeader) != "" {
+			rt.serveForwarded(w, r, local)
+			return
+		}
+		id := r.PathValue("id")
+		if rt.Draining() && rt.srv.HasLocal(id) {
+			// Graceful drain: sessions whose handoff hasn't landed yet keep
+			// serving here; once handed off, ownership routes them away.
 			local(w, r)
 			return
 		}
-		owner, failover := rt.ownerFor(r.PathValue("id"))
+		owner, failover := rt.ownerFor(id)
 		if owner == "" || owner == rt.cfg.Self {
 			local(w, r)
 			return
@@ -203,6 +282,73 @@ func (rt *Router) route(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 			rt.mFailovers.Inc()
 		}
 		rt.forward(w, r, endpoint, owner, local)
+	}
+}
+
+// serveForwarded handles a request that already hopped once, fencing it
+// by epoch. Same epoch (or a pre-epoch sender): serve — the one-hop
+// guard's invariant. A newer request epoch means this replica missed a
+// topology change: pull the sender's view, adopt it, then serve (the
+// sender resolved ownership under that newer ring). An older request
+// epoch means the sender is stale: serve only if this replica owns the
+// ID under its newer ring (or still holds it live); otherwise answer 421
+// with the local epoch so the sender catches up and re-resolves — never
+// serve under a placement both sides can see is stale, and never loop.
+func (rt *Router) serveForwarded(w http.ResponseWriter, r *http.Request, local http.HandlerFunc) {
+	reqEpoch, _ := strconv.ParseUint(r.Header.Get(epochHeader), 10, 64)
+	v := rt.view()
+	switch {
+	case reqEpoch > v.Epoch:
+		if from := r.Header.Get(forwardedHeader); from != "" {
+			rt.pullViewFrom(from)
+		}
+		local(w, r)
+	case reqEpoch != 0 && reqEpoch < v.Epoch:
+		id := r.PathValue("id")
+		owner, _ := rt.ownerFor(id)
+		if owner == "" || owner == rt.cfg.Self || rt.srv.HasLocal(id) {
+			local(w, r)
+			return
+		}
+		w.Header().Set(epochHeader, strconv.FormatUint(v.Epoch, 10))
+		writeJSON(w, http.StatusMisdirectedRequest,
+			errorResponse{Error: "serve: ring epoch mismatch: request resolved under a stale view"})
+	default:
+		local(w, r)
+	}
+}
+
+// routeCreate serves session creation locally when this replica is a ring
+// member, and forwards it to a live member otherwise — a standby (booted
+// outside the ring, awaiting its join) or a drained replica can still
+// accept client traffic without minting sessions it could never own.
+// While shedding (graceful drain) creation stays local so the 503 +
+// Retry-After admission-control answer reaches the client.
+func (rt *Router) routeCreate(local http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v := rt.view()
+		if r.Header.Get(forwardedHeader) != "" || v.Contains(rt.cfg.Self) || rt.Draining() {
+			local(w, r)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		down := rt.effectiveDown()
+		for _, member := range v.Members {
+			if member == rt.cfg.Self || down[member] {
+				continue
+			}
+			if rt.tryForward(w, r, member, body) == fwdOK {
+				rt.mForwards.Inc()
+				return
+			}
+		}
+		// No live member reachable: serve locally (single-node fallback).
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		local(w, r)
 	}
 }
 
@@ -217,8 +363,12 @@ func (rt *Router) effectiveDown() map[string]bool {
 	for n := range rt.down {
 		down[n] = true
 	}
-	rt.mu.Unlock()
+	brs := make(map[string]*Breaker, len(rt.breakers))
 	for n, br := range rt.breakers {
+		brs[n] = br
+	}
+	rt.mu.Unlock()
+	for n, br := range brs {
 		if br.State() == BreakerOpen {
 			down[n] = true
 		}
@@ -226,22 +376,42 @@ func (rt *Router) effectiveDown() map[string]bool {
 	return down
 }
 
-// ownerFor resolves an ID's live owner: the ring owner, skipping the
-// effective down-set. failover reports that the primary owner was skipped.
+// ownerFor resolves an ID's live owner under the current view: the ring
+// owner, skipping the effective down-set. failover reports that the
+// primary owner was skipped.
 func (rt *Router) ownerFor(id string) (owner string, failover bool) {
+	ring := rt.view().Ring()
 	down := rt.effectiveDown()
-	primary := rt.cfg.Ring.Owner(id)
+	primary := ring.Owner(id)
 	if len(down) == 0 {
 		return primary, false
 	}
-	o := rt.cfg.Ring.OwnerExcluding(id, down)
+	o := ring.OwnerExcluding(id, down)
 	return o, o != primary && o != ""
 }
 
+// fwdStatus classifies one forward attempt.
+type fwdStatus int
+
+const (
+	// fwdOK: the peer answered and its response was relayed verbatim.
+	fwdOK fwdStatus = iota
+	// fwdFail: transport error or attempt deadline; nothing was written,
+	// the caller can hedge or serve locally.
+	fwdFail
+	// fwdMisdirected: the peer refused with 421 + its (newer) epoch —
+	// ownership was resolved under a stale view. Nothing was written; the
+	// caller pulls the peer's view and re-resolves.
+	fwdMisdirected
+)
+
 // forward proxies one request to owner, falling back — once — to the
 // next live node (or local serving) when the owner turns out dead or
-// misses the per-attempt deadline: the single hedged retry. The
-// round-trip is attributed to StageProxy for the windows endpoint so
+// misses the per-attempt deadline: the single hedged retry. A 421
+// epoch-mismatch refusal instead pulls the refusing peer's newer view,
+// re-resolves ownership under it, and makes one corrected forward (or
+// serves locally if the newer ring points here) — bounded, never a loop.
+// The round-trip is attributed to StageProxy for the windows endpoint so
 // Σ stages keeps tiling wall time on the hot path.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owner string, local http.HandlerFunc) {
 	var st *obs.StageTimer
@@ -255,8 +425,13 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owne
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	ok := rt.tryForward(w, r, owner, body)
-	if !ok {
+	serveLocal := func() {
+		stop()
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		local(w, r)
+	}
+	switch rt.tryForward(w, r, owner, body) {
+	case fwdFail:
 		// The owner died under us: mark it down and re-resolve. The
 		// failover owner hydrates from the shared store; when it is this
 		// replica, serve locally (restoring r.Body for the handler).
@@ -264,16 +439,24 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owne
 		rt.mFailovers.Inc()
 		next, _ := rt.ownerFor(r.PathValue("id"))
 		if next == "" || next == rt.cfg.Self || next == owner {
-			stop()
-			r.Body = io.NopCloser(bytes.NewReader(body))
-			local(w, r)
+			serveLocal()
 			return
 		}
-		if !rt.tryForward(w, r, next, body) {
+		if rt.tryForward(w, r, next, body) != fwdOK {
 			rt.markDown(next, true)
-			stop()
-			r.Body = io.NopCloser(bytes.NewReader(body))
-			local(w, r)
+			serveLocal()
+			return
+		}
+	case fwdMisdirected:
+		// Our view was stale: adopt the peer's, re-resolve, one retry.
+		rt.pullViewFrom(owner)
+		next, _ := rt.ownerFor(r.PathValue("id"))
+		if next == "" || next == rt.cfg.Self {
+			serveLocal()
+			return
+		}
+		if rt.tryForward(w, r, next, body) != fwdOK {
+			serveLocal()
 			return
 		}
 	}
@@ -286,12 +469,13 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owne
 
 // tryForward attempts one proxied round-trip under the per-attempt
 // deadline, streaming the response through verbatim (status, headers,
-// body). A transport error or deadline miss returns false with nothing
-// written — the caller can still hedge or serve locally; once the
-// upstream responded, its answer is relayed as-is. Each attempt's
+// body) and stamping the forward with this replica's ring epoch. A
+// transport error, deadline miss, or epoch-mismatch 421 returns with
+// nothing written — the caller can still hedge, re-resolve, or serve
+// locally; any other upstream answer is relayed as-is. Each attempt's
 // outcome feeds the target's breaker, except when the caller itself
 // gave up (its error, not the peer's).
-func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target string, body []byte) bool {
+func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target string, body []byte) fwdStatus {
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ForwardAttemptTimeout)
 	defer cancel()
@@ -299,10 +483,11 @@ func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target stri
 		target+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		mProxyVec.With(target, "error").Inc()
-		return false
+		return fwdFail
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardedHeader, rt.cfg.Self)
+	req.Header.Set(epochHeader, strconv.FormatUint(rt.view().Epoch, 10))
 	resp, err := rt.client.Do(req)
 	hProxyLatUS.With(target).Observe(float64(time.Since(start).Microseconds()))
 	if err != nil {
@@ -314,10 +499,15 @@ func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target stri
 		if r.Context().Err() == nil {
 			rt.peerDone(target, err)
 		}
-		return false
+		return fwdFail
 	}
 	rt.peerDone(target, nil)
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusMisdirectedRequest && resp.Header.Get(epochHeader) != "" {
+		io.Copy(io.Discard, resp.Body)
+		mProxyVec.With(target, "misdirected").Inc()
+		return fwdMisdirected
+	}
 	for k, vs := range resp.Header {
 		for _, v := range vs {
 			w.Header().Add(k, v)
@@ -326,7 +516,7 @@ func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target stri
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
 	mProxyVec.With(target, "ok").Inc()
-	return true
+	return fwdOK
 }
 
 // markDown updates one node's health, logging transitions. A down→up
@@ -357,7 +547,7 @@ func (rt *Router) markDown(node string, down bool) {
 // half-open, so a success can close it. A transition back to closed
 // kicks the janitor: the owner is healthy again, hand sessions back now.
 func (rt *Router) peerDone(node string, err error) {
-	br := rt.breakers[node]
+	br := rt.breakerFor(node)
 	if br == nil {
 		return
 	}
@@ -416,15 +606,25 @@ func (rt *Router) healthLoop() {
 }
 
 // probePeers refreshes the down-set (and each peer's breaker) from every
-// peer's /healthz.
+// member's /healthz. The probe doubles as the anti-entropy path for the
+// membership view: a peer reporting a higher epoch — or the same epoch
+// with a different member-set hash — makes this replica pull and adopt
+// its view, so a replica that missed a join/leave broadcast converges
+// within one probe interval. (A standby probes all members; its Self is
+// simply absent from the list.)
 func (rt *Router) probePeers() {
-	for _, node := range rt.cfg.Ring.Nodes() {
+	v := rt.view()
+	for _, node := range v.Members {
 		if node == rt.cfg.Self {
 			continue
 		}
 		resp, err := rt.probe.Get(node + "/healthz")
 		up := err == nil && resp.StatusCode == http.StatusOK
+		var hz HealthzResponse
 		if resp != nil {
+			if up {
+				_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&hz)
+			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		}
@@ -434,17 +634,29 @@ func (rt *Router) probePeers() {
 			rt.peerDone(node, errPeerProbe)
 		}
 		rt.markDown(node, !up)
+		if up && (hz.Epoch > v.Epoch || (hz.Epoch == v.Epoch && hz.MembersHash != "" && hz.MembersHash != v.Hash())) {
+			rt.pullViewFrom(node)
+			v = rt.view()
+		}
 	}
 }
 
 // evictNotOwned persists-then-evicts local live sessions whose live owner
 // is another (up) replica: the failover copies this node accumulated
 // while a peer was down, handed back now that the peer recovered. The
-// persist-first ordering means the returning owner hydrates state at
-// least as fresh as anything we served — so a failed (or deferred,
-// store-breaker-open) persist keeps the session here until a later tick
-// lands it durably.
+// hand-back is a three-step handshake — persist, notify the owner to
+// re-hydrate from the store, evict — in that order. Persist-first means
+// the returning owner hydrates state at least as fresh as anything we
+// served, so a failed (or deferred, store-breaker-open) persist keeps the
+// session here. Notify-before-evict closes the stale-copy hole: the owner
+// drops whatever pre-partition copy it still holds and re-reads the
+// store before any request routes back to it; a failed notify also keeps
+// the session here for the next tick, because evicting without it would
+// let the owner serve its stale copy.
 func (rt *Router) evictNotOwned() {
+	if rt.Draining() {
+		return // Drain's handoff loop owns eviction while draining
+	}
 	s := rt.srv
 	s.mu.RLock()
 	ids := make([]string, 0, len(s.sessions))
@@ -461,8 +673,13 @@ func (rt *Router) evictNotOwned() {
 		if err != nil {
 			continue
 		}
-		if err := s.persistSession(context.Background(), sess); err != nil {
+		if err := s.persistSession(context.Background(), sess); err != nil && !errors.Is(err, store.ErrFenced) {
 			obs.Logger().Warn("hand-back deferred: persist failed",
+				"session", id, "owner", owner, "err", err)
+			continue
+		}
+		if err := rt.notifyRehydrate(owner, id); err != nil {
+			obs.Logger().Warn("hand-back deferred: rehydrate notify failed",
 				"session", id, "owner", owner, "err", err)
 			continue
 		}
@@ -493,12 +710,14 @@ type ShardStats struct {
 
 // stats snapshots the routing surface for Server.Stats.
 func (rt *Router) stats() *ShardStats {
+	v := rt.view()
+	ring := v.Ring()
 	s := rt.srv
 	s.mu.RLock()
 	local := len(s.sessions)
 	owned := 0
 	for id := range s.sessions {
-		if rt.cfg.Ring.Owner(id) == rt.cfg.Self {
+		if ring.Owner(id) == rt.cfg.Self {
 			owned++
 		}
 	}
@@ -508,15 +727,15 @@ func (rt *Router) stats() *ShardStats {
 	for n := range rt.down {
 		down = append(down, n)
 	}
-	rt.mu.Unlock()
-	sort.Strings(down)
 	breakers := make(map[string]string, len(rt.breakers))
 	for n, br := range rt.breakers {
 		breakers[n] = br.State().String()
 	}
+	rt.mu.Unlock()
+	sort.Strings(down)
 	return &ShardStats{
 		Self:          rt.cfg.Self,
-		Nodes:         rt.cfg.Ring.Nodes(),
+		Nodes:         v.Members,
 		Down:          down,
 		OwnedSessions: owned,
 		LocalSessions: local,

@@ -102,6 +102,11 @@ var (
 	// the session may exist but cannot be loaded right now (503 +
 	// Retry-After; another replica or a later retry may succeed).
 	ErrStoreUnavailable = errors.New("serve: durable store unavailable")
+	// ErrDraining reports graceful-drain admission control: this replica is
+	// leaving the ring, so new session creates are shed (503 + Retry-After
+	// — another replica accepts them) while established sessions keep
+	// serving until their handoff completes.
+	ErrDraining = errors.New("serve: draining: not accepting new sessions")
 )
 
 // Serving telemetry, all on the default obs registry.
@@ -288,6 +293,12 @@ type Config struct {
 	// store-outage and inbound-partition windows for chaos harness runs.
 	// Never enable in production.
 	ChaosAdmin bool
+	// MembershipAdmin arms POST /v1/membership (membership.go): runtime
+	// ring mutations (join / leave / drain). Gated like ChaosAdmin — the
+	// endpoint answers 403 when false. Read-only membership views (GET) and
+	// the replica-to-replica sync protocol are always available in router
+	// mode.
+	MembershipAdmin bool
 }
 
 func (c *Config) fillDefaults() {
@@ -470,13 +481,23 @@ type Server struct {
 	chaos chaosState
 
 	// shardFn, when set by the router, reports ring ownership for Stats.
+	// membFn reports the versioned ring-membership surface (stats +
+	// healthz); epochFn the current ring epoch, stamped into every fenced
+	// session persist so a lagging ex-owner's stale write loses at the
+	// store instead of clobbering the new owner's state.
 	shardMu sync.Mutex
 	shardFn func() *ShardStats
+	membFn  func() *MembershipStats
+	epochFn func() uint64
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
 	seq      int64
 	draining bool
+	// shedCreates is graceful-drain admission control: creates shed with
+	// ErrDraining while everything else keeps serving (distinct from
+	// draining, which is full shutdown).
+	shedCreates bool
 
 	start time.Time
 }
@@ -738,6 +759,14 @@ func (s *Server) CreateSessionCtx(ctx context.Context, userID int, expectedWindo
 		s.mu.Unlock()
 		return nil, ErrShutdown
 	}
+	if s.shedCreates {
+		// Graceful drain: this replica is leaving the ring. Only creates
+		// are shed (another member accepts them after one Retry-After);
+		// established sessions keep serving until their handoff lands.
+		s.mu.Unlock()
+		mShed.Inc()
+		return nil, ErrDraining
+	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		mShed.Inc()
@@ -947,6 +976,10 @@ type Stats struct {
 	// Shard is the consistent-hash routing surface (router mode only):
 	// ring membership, local ownership share, forward/failover counters.
 	Shard *ShardStats `json:"shard,omitempty"`
+	// Membership is the live-topology surface (router mode only): the ring
+	// epoch, member set and hash, plus drain progress while this replica is
+	// leaving the ring.
+	Membership *MembershipStats `json:"membership,omitempty"`
 
 	// Self-healing assignment surface: verdict/re-assignment/flap
 	// suppression totals, plus how many live sessions have re-assigned at
@@ -1032,9 +1065,13 @@ func (s *Server) Stats() Stats {
 	}
 	s.shardMu.Lock()
 	fn := s.shardFn
+	mfn := s.membFn
 	s.shardMu.Unlock()
 	if fn != nil {
 		st.Shard = fn()
+	}
+	if mfn != nil {
+		st.Membership = mfn()
 	}
 	return st
 }
@@ -1045,6 +1082,76 @@ func (s *Server) SetShardStats(f func() *ShardStats) {
 	s.shardMu.Lock()
 	s.shardFn = f
 	s.shardMu.Unlock()
+}
+
+// SetMembershipStats installs the router's versioned-ring reporter,
+// surfaced as the "membership" stats block and the epoch/hash fields of
+// /healthz (where peers detect membership skew).
+func (s *Server) SetMembershipStats(f func() *MembershipStats) {
+	s.shardMu.Lock()
+	s.membFn = f
+	s.shardMu.Unlock()
+}
+
+// SetEpochSource installs the ring-epoch reader. Once set, every session
+// persist goes through the store's conditional put fenced at
+// {current epoch, per-session persist seq}, so a replica writing under an
+// older topology loses to the session's new owner instead of silently
+// clobbering its state.
+func (s *Server) SetEpochSource(f func() uint64) {
+	s.shardMu.Lock()
+	s.epochFn = f
+	s.shardMu.Unlock()
+}
+
+// epochSource returns the installed epoch reader (nil in single-replica
+// deployments, which keep unconditional persists).
+func (s *Server) epochSource() func() uint64 {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	return s.epochFn
+}
+
+// membershipStats returns the installed membership reporter's snapshot
+// (nil outside router mode).
+func (s *Server) membershipStats() *MembershipStats {
+	s.shardMu.Lock()
+	fn := s.membFn
+	s.shardMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// SetShedCreates toggles graceful-drain admission control: while on, new
+// session creates shed with ErrDraining (503 + Retry-After) and
+// everything else keeps serving.
+func (s *Server) SetShedCreates(on bool) {
+	s.mu.Lock()
+	s.shedCreates = on
+	s.mu.Unlock()
+}
+
+// HasLocal reports whether id is live in this replica's registry (no
+// store hydration — the router's drain path uses it to keep serving
+// sessions whose handoff hasn't landed yet).
+func (s *Server) HasLocal(id string) bool {
+	s.mu.RLock()
+	_, ok := s.sessions[id]
+	s.mu.RUnlock()
+	return ok
+}
+
+// LocalIDs returns the IDs of all live local sessions.
+func (s *Server) LocalIDs() []string {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	return ids
 }
 
 // BreakerFor exposes cluster k's breaker (nil when out of range) so

@@ -122,6 +122,12 @@ type Session struct {
 	// flight is the session's lifecycle event ring (see flight.go). It has
 	// its own mutex and is safe to append to with or without mu held.
 	flight *flightRecorder
+
+	// fenceSeq numbers this replica's persists of the session (atomic,
+	// outside mu). Hydration seeds it from the stored record, so a session
+	// handed between owners keeps one monotonic sequence and a writer that
+	// is strictly behind the store is fenced off (snapshot.go).
+	fenceSeq uint64
 }
 
 func newSession(srv *Server, id string, userID, expected int, frac float64) *Session {

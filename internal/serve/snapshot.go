@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +61,11 @@ var (
 	mPersistErrs  = obs.GetCounter("serve.session_persist_errors")
 	mCkptPersists = obs.GetCounter("serve.checkpoint_persists")
 	mCkptHits     = obs.GetCounter("serve.checkpoint_hydrations")
+	// mPersistFenced counts persists the store rejected under a newer
+	// fence (a stale ex-owner's write losing, as designed); mRehydrated
+	// counts sessions re-hydrated from the store on (re)gaining ownership.
+	mPersistFenced = obs.GetCounter("serve.session_persists_fenced")
+	mRehydrated    = obs.GetCounter("serve.sessions_rehydrated")
 )
 
 // sessSnap is one session's JSON record inside a snapshot header.
@@ -102,10 +108,14 @@ type snapHeader struct {
 
 // sessRecHeader is the per-session store record's JSON block. Seq is the
 // server's session-ID counter at persist time, so a restoring replica
-// resumes minting above every persisted ID.
+// resumes minting above every persisted ID. FenceSeq is the session's
+// persist-fence sequence at write time: a hydrating owner seeds its own
+// counter from it, continuing the monotonic fence across handoffs
+// (absent in pre-fencing records, decoding as 0).
 type sessRecHeader struct {
-	Seq int64    `json:"seq"`
-	Rec sessSnap `json:"rec"`
+	Seq      int64    `json:"seq"`
+	FenceSeq uint64   `json:"fence_seq,omitempty"`
+	Rec      sessSnap `json:"rec"`
 }
 
 // snapRecordLocked copies one session into its snapshot record plus its
@@ -336,9 +346,9 @@ func (s *Server) materializeSession(rec sessSnap, maps []*tensorT, ckpt *nn.Mode
 }
 
 // encodeSessionRec serialises one per-session store record.
-func encodeSessionRec(seq int64, rec sessSnap, maps []*tensorT) ([]byte, error) {
+func encodeSessionRec(seq int64, fenceSeq uint64, rec sessSnap, maps []*tensorT) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := core.WriteHeader(&buf, sessionMagic, sessRecHeader{Seq: seq, Rec: rec}); err != nil {
+	if err := core.WriteHeader(&buf, sessionMagic, sessRecHeader{Seq: seq, FenceSeq: fenceSeq, Rec: rec}); err != nil {
 		return nil, err
 	}
 	for _, m := range maps {
@@ -377,6 +387,13 @@ func decodeSessionRec(data []byte) (sessRecHeader, []*tensorT, error) {
 // (writebehind.go), keeps serving with durability at-risk, and the
 // drain / periodic FlushAll retries. Callers that *require* a fresh
 // durable record before acting (the hand-back janitor) check the error.
+//
+// A fenced rejection (store.ErrFenced) is NOT a store failure: the store
+// answered, and it holds strictly newer state written by the session's
+// current owner — this replica's copy is stale. The breaker sees success,
+// nothing is queued for replay (a replay would be fenced again), and the
+// error is returned so ownership-churn callers can treat "already
+// superseded" as safe to evict.
 func (s *Server) persistSession(ctx context.Context, sess *Session) error {
 	if s.cfg.Store == nil {
 		return nil
@@ -391,14 +408,22 @@ func (s *Server) persistSession(ctx context.Context, sess *Session) error {
 	}
 	err := s.persistSessionDirect(ctx, sess)
 	if s.wb != nil {
-		s.wb.outcome(ctx, sess, err)
+		wbErr := err
+		if errors.Is(err, store.ErrFenced) {
+			wbErr = nil
+		}
+		s.wb.outcome(ctx, sess, wbErr)
 	}
 	return err
 }
 
-// persistSessionDirect does one encode + PutSession round-trip, with
-// failure accounting but no breaker/queue interaction — the primitive
-// shared by the write-through path and the replay drain.
+// persistSessionDirect does one encode + put round-trip, with failure
+// accounting but no breaker/queue interaction — the primitive shared by
+// the write-through path, the replay drain, and the drain handoff. With
+// an epoch source installed (router mode) the put is fenced at
+// {ring epoch, per-session persist seq}: the store rejects the write with
+// store.ErrFenced when its record carries a strictly newer fence, so a
+// lagging ex-owner cannot clobber the new owner's state.
 func (s *Server) persistSessionDirect(ctx context.Context, sess *Session) error {
 	s.mu.RLock()
 	seq := s.seq
@@ -410,9 +435,26 @@ func (s *Server) persistSessionDirect(ctx context.Context, sess *Session) error 
 		return nil // closed: its terminal delete path owns durability
 	}
 	rec.Events = sess.flight.events()
-	data, err := encodeSessionRec(seq, rec, maps)
+	epochFn := s.epochSource()
+	var fence store.Fence
+	if epochFn != nil {
+		fence = store.Fence{Epoch: epochFn(), Seq: atomic.AddUint64(&sess.fenceSeq, 1)}
+	}
+	data, err := encodeSessionRec(seq, fence.Seq, rec, maps)
 	if err == nil {
-		err = s.cfg.Store.PutSession(ctx, rec.ID, data)
+		if epochFn != nil {
+			err = s.cfg.Store.PutSessionFenced(ctx, rec.ID, fence, data)
+		} else {
+			err = s.cfg.Store.PutSession(ctx, rec.ID, data)
+		}
+	}
+	if errors.Is(err, store.ErrFenced) {
+		// The session's current owner already wrote newer state under a
+		// newer fence; our copy is stale by construction. Surface it on the
+		// flight recorder (it is the fencing working, not a store fault).
+		mPersistFenced.Inc()
+		sess.record(ctx, evPersistFenced, "epoch=%d seq=%d", fence.Epoch, fence.Seq)
+		return err
 	}
 	if err != nil {
 		mPersistErrs.Inc()
@@ -514,6 +556,10 @@ func (s *Server) hydrateSession(ctx context.Context, id string) (*Session, error
 	if err != nil {
 		return nil, err
 	}
+	// Continue the persist fence where the stored record left off, so this
+	// owner's first persist is already strictly newer than the record it
+	// hydrated from.
+	atomic.StoreUint64(&sess.fenceSeq, hdr.FenceSeq)
 	s.mu.Lock()
 	if cur, ok := s.sessions[id]; ok {
 		// Lost the hydration race; serve the winner's copy. (Any cache
@@ -528,6 +574,52 @@ func (s *Server) hydrateSession(ctx context.Context, id string) (*Session, error
 	gSessions.Set(float64(len(s.sessions)))
 	s.mu.Unlock()
 	mHydrated.Inc()
+	return sess, nil
+}
+
+// rehydrateSession forces a session to be served from durable state: any
+// live in-memory copy is discarded and the session is hydrated fresh from
+// the store. This is the stale-copy fix — a replica (re)gaining ownership
+// after a hand-back, drain handoff, or partition heal must not serve the
+// copy it held before losing ownership, because the interim owner served
+// (and persisted) newer state. The departing owner persists first, then
+// notifies the new owner through this path, then evicts; so the hydrate
+// here always sees state at least as fresh as anything acknowledged.
+func (s *Server) rehydrateSession(ctx context.Context, id string) (*Session, error) {
+	if s.cfg.Store == nil {
+		return nil, fmt.Errorf("%w: no store to rehydrate %q from", ErrSessionNotFound, id)
+	}
+	s.mu.Lock()
+	old, had := s.sessions[id]
+	if had {
+		delete(s.sessions, id)
+		gSessions.Set(float64(len(s.sessions)))
+	}
+	s.mu.Unlock()
+	staleWindows := -1
+	if had {
+		old.mu.Lock()
+		staleWindows = old.pushed
+		old.mu.Unlock()
+		old.close()
+		if m := s.cache.Remove(id); m != nil {
+			s.exec.Forget(m)
+		}
+		if s.wb != nil {
+			// A queued replay of the discarded copy must not run: its bytes
+			// are stale and a fenced store would reject them anyway.
+			s.wb.remove(id)
+		}
+	}
+	sess, err := s.hydrateSession(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	mRehydrated.Inc()
+	sess.mu.Lock()
+	windows := sess.pushed
+	sess.mu.Unlock()
+	sess.record(ctx, evRehydrated, "windows=%d stale_windows=%d", windows, staleWindows)
 	return sess, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // errPersistDeferred reports a persist skipped because the store-health
@@ -262,6 +263,11 @@ func (wb *writeBehind) drain() {
 			return // breaker re-opened mid-drain
 		}
 		err := wb.srv.persistSessionDirect(ctx, sess)
+		if errors.Is(err, store.ErrFenced) {
+			// The store answered and holds newer state from the session's
+			// current owner: the queued bytes are obsolete, not undurable.
+			err = nil
+		}
 		wb.br.Done(err)
 		wb.publish()
 		if err != nil {

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// View is one immutable snapshot of ring membership: a monotonically
+// increasing epoch, the sorted member set at that epoch, and the ring
+// derived from it. Views are value-copied freely; the ring pointer is
+// shared but Ring itself is immutable.
+type View struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+	ring    *Ring
+}
+
+// Ring returns the consistent-hash ring for this view's member set.
+func (v View) Ring() *Ring { return v.ring }
+
+// Contains reports whether node is a member of this view.
+func (v View) Contains(node string) bool {
+	i := sort.SearchStrings(v.Members, node)
+	return i < len(v.Members) && v.Members[i] == node
+}
+
+// Hash returns a short stable digest of the member set (epoch excluded):
+// two views with identical members hash identically regardless of how
+// they were reached. Exposed on /healthz so the router's probe detects
+// membership skew without comparing full member lists.
+func (v View) Hash() string {
+	return fmt.Sprintf("%016x", hash64(strings.Join(v.Members, "\x00")))
+}
+
+// Membership is a versioned, mutable ring: every Join/Leave derives a
+// new Ring via With/Without and bumps the epoch, so concurrent readers
+// always observe a consistent (epoch, members, ring) triple. Replicas
+// converge by exchanging views and adopting the newer one (Adopt).
+type Membership struct {
+	mu     sync.RWMutex
+	vnodes int
+	cur    View
+}
+
+// NewMembership starts a membership at epoch 1 over the given members
+// (deduplicated and sorted, like New). vnodes <= 0 means DefaultVNodes.
+func NewMembership(members []string, vnodes int) *Membership {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	ring := New(members, vnodes)
+	return &Membership{
+		vnodes: vnodes,
+		cur:    View{Epoch: 1, Members: ring.Nodes(), ring: ring},
+	}
+}
+
+// View returns the current membership snapshot.
+func (m *Membership) View() View {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cur
+}
+
+// Epoch returns the current epoch.
+func (m *Membership) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cur.Epoch
+}
+
+// Join adds node and bumps the epoch. A no-op (already a member, or
+// empty node) returns the current view and false.
+func (m *Membership) Join(node string) (View, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if node == "" || m.cur.ring.Has(node) {
+		return m.cur, false
+	}
+	ring := m.cur.ring.With(node)
+	m.cur = View{Epoch: m.cur.Epoch + 1, Members: ring.Nodes(), ring: ring}
+	return m.cur, true
+}
+
+// Leave removes node and bumps the epoch. A no-op returns the current
+// view and false. Removing the last member yields an empty ring — the
+// caller decides whether that is meaningful (a fully drained cluster).
+func (m *Membership) Leave(node string) (View, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.cur.ring.Has(node) {
+		return m.cur, false
+	}
+	ring := m.cur.ring.Without(node)
+	m.cur = View{Epoch: m.cur.Epoch + 1, Members: ring.Nodes(), ring: ring}
+	return m.cur, true
+}
+
+// Adopt replaces the local view with a remote one iff the remote view is
+// newer: strictly higher epoch, or — for concurrent mutations that raced
+// to the same epoch on different replicas — equal epoch with the smaller
+// member-set hash (an arbitrary but deterministic total order, so every
+// replica converges on the same winner; the losing mutation is dropped
+// and must be re-issued). Returns the view now in effect and whether the
+// remote one was adopted.
+func (m *Membership) Adopt(epoch uint64, members []string) (View, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	remote := View{Epoch: epoch, Members: New(members, m.vnodes).Nodes()}
+	if epoch < m.cur.Epoch {
+		return m.cur, false
+	}
+	if epoch == m.cur.Epoch && remote.Hash() >= m.cur.Hash() {
+		return m.cur, false
+	}
+	remote.ring = New(remote.Members, m.vnodes)
+	m.cur = remote
+	return m.cur, true
+}

@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMembershipEpochMonotonic drives a random-ish join/leave sequence
+// and asserts the epoch is strictly monotonic across every effective
+// mutation and unchanged across no-ops.
+func TestMembershipEpochMonotonic(t *testing.T) {
+	m := NewMembership([]string{"http://a:1", "http://b:2"}, 0)
+	last := m.Epoch()
+	if last != 1 {
+		t.Fatalf("fresh membership epoch = %d, want 1", last)
+	}
+	steps := []struct {
+		join bool
+		node string
+		eff  bool
+	}{
+		{true, "http://c:3", true},
+		{true, "http://c:3", false}, // duplicate join: no-op
+		{false, "http://a:1", true},
+		{false, "http://a:1", false}, // duplicate leave: no-op
+		{true, "", false},            // empty node: no-op
+		{true, "http://d:4", true},
+		{false, "http://b:2", true},
+	}
+	for i, s := range steps {
+		var v View
+		var ok bool
+		if s.join {
+			v, ok = m.Join(s.node)
+		} else {
+			v, ok = m.Leave(s.node)
+		}
+		if ok != s.eff {
+			t.Fatalf("step %d: effective = %v, want %v", i, ok, s.eff)
+		}
+		if s.eff {
+			if v.Epoch != last+1 {
+				t.Fatalf("step %d: epoch %d after %d, want strict +1", i, v.Epoch, last)
+			}
+			last = v.Epoch
+		} else if v.Epoch != last {
+			t.Fatalf("step %d: no-op changed epoch %d -> %d", i, last, v.Epoch)
+		}
+		if got := m.View().Epoch; got != last {
+			t.Fatalf("step %d: View().Epoch = %d, want %d", i, got, last)
+		}
+	}
+}
+
+// TestMembershipMinimalMovement reuses the ring rebalance property
+// through the Membership layer: each single join steals keys only for
+// the new node and each single leave moves only the departed node's
+// keys, both within the ≤ 1.6/N vnode-variance bound.
+func TestMembershipMinimalMovement(t *testing.T) {
+	members := []string{"http://r1:18080", "http://r2:18081", "http://r3:18082", "http://r4:18083"}
+	ks := keys(2000)
+	m := NewMembership(members, 0)
+
+	ownerMap := func(v View) map[string]string {
+		out := make(map[string]string, len(ks))
+		for _, k := range ks {
+			out[k] = v.Ring().Owner(k)
+		}
+		return out
+	}
+
+	before := ownerMap(m.View())
+
+	// Join: only the new node gains keys.
+	joined := "http://r5:18084"
+	vj, ok := m.Join(joined)
+	if !ok {
+		t.Fatal("join not effective")
+	}
+	afterJoin := ownerMap(vj)
+	moved := 0
+	for _, k := range ks {
+		if before[k] == afterJoin[k] {
+			continue
+		}
+		if afterJoin[k] != joined {
+			t.Fatalf("key %q moved %q -> %q on join of %q", k, before[k], afterJoin[k], joined)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("join moved zero keys")
+	}
+	if share := float64(moved) / float64(len(ks)); share > 1.6/float64(len(members)+1) {
+		t.Fatalf("join moved %.1f%% of keys, want ≈ %.1f%%", 100*share, 100.0/float64(len(members)+1))
+	}
+
+	// Leave: only the departed node's keys move.
+	departed := members[1]
+	vl, ok := m.Leave(departed)
+	if !ok {
+		t.Fatal("leave not effective")
+	}
+	afterLeave := ownerMap(vl)
+	moved = 0
+	for _, k := range ks {
+		if afterJoin[k] == departed {
+			moved++
+			if afterLeave[k] == departed {
+				t.Fatalf("key %q still owned by departed node", k)
+			}
+			continue
+		}
+		if afterLeave[k] != afterJoin[k] {
+			t.Fatalf("key %q moved %q -> %q but its owner did not leave", k, afterJoin[k], afterLeave[k])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("leave moved zero keys")
+	}
+	if share := float64(moved) / float64(len(ks)); share > 1.6/float64(len(members)+1) {
+		t.Fatalf("leave moved %.1f%% of keys, want ≈ %.1f%%", 100*share, 100.0/float64(len(members)+1))
+	}
+}
+
+// TestMembershipAdopt pins the convergence rule: higher epoch always
+// wins, lower never, and an equal-epoch tie breaks deterministically on
+// the member-set hash so two replicas that raced divergent mutations to
+// the same epoch agree on one winner.
+func TestMembershipAdopt(t *testing.T) {
+	base := []string{"http://a:1", "http://b:2"}
+
+	m := NewMembership(base, 0)
+	// Lower epoch: rejected.
+	if _, ok := m.Adopt(0, []string{"http://z:9"}); ok {
+		t.Fatal("adopted a lower epoch")
+	}
+	// Higher epoch: adopted.
+	v, ok := m.Adopt(7, []string{"http://a:1", "http://c:3"})
+	if !ok || v.Epoch != 7 || !v.Contains("http://c:3") {
+		t.Fatalf("higher-epoch adopt: ok=%v view=%+v", ok, v)
+	}
+	// Same epoch, same members: no-op.
+	if _, ok := m.Adopt(7, []string{"http://c:3", "http://a:1"}); ok {
+		t.Fatal("adopted an identical view")
+	}
+
+	// Equal-epoch divergence: both replicas must converge on the same
+	// view no matter which direction the exchange happens.
+	m1 := NewMembership(base, 0)
+	m2 := NewMembership(base, 0)
+	v1, _ := m1.Join("http://c:3")
+	v2, _ := m2.Join("http://d:4")
+	if v1.Epoch != v2.Epoch {
+		t.Fatalf("setup: epochs diverge %d vs %d", v1.Epoch, v2.Epoch)
+	}
+	m1.Adopt(v2.Epoch, v2.Members)
+	m2.Adopt(v1.Epoch, v1.Members)
+	g1, g2 := m1.View(), m2.View()
+	if g1.Hash() != g2.Hash() || g1.Epoch != g2.Epoch {
+		t.Fatalf("replicas did not converge: %+v vs %+v", g1, g2)
+	}
+}
+
+// TestViewHashStable asserts the hash depends only on the member set.
+func TestViewHashStable(t *testing.T) {
+	a := NewMembership([]string{"http://a:1", "http://b:2"}, 0)
+	b := NewMembership([]string{"http://b:2", "http://a:1", "http://a:1"}, 0)
+	if a.View().Hash() != b.View().Hash() {
+		t.Fatal("hash differs for identical member sets")
+	}
+	c, _ := a.Join("http://c:3")
+	if c.Hash() == b.View().Hash() {
+		t.Fatal("hash unchanged after membership change")
+	}
+	if want := fmt.Sprintf("%016x", hash64("http://a:1\x00http://b:2")); b.View().Hash() != want {
+		t.Fatalf("hash construction drifted: %s != %s", b.View().Hash(), want)
+	}
+}

@@ -91,6 +91,10 @@ func hash64(s string) uint64 {
 // Len returns the number of physical nodes.
 func (r *Ring) Len() int { return len(r.nodes) }
 
+// VNodes returns the virtual-node count the ring was built with, so a
+// derived structure (Membership) can rebuild compatible rings.
+func (r *Ring) VNodes() int { return r.vnodes }
+
 // Nodes returns the physical nodes in sorted order.
 func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
 

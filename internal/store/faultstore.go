@@ -84,6 +84,14 @@ func (f *Fault) PutSession(ctx context.Context, id string, data []byte) error {
 	return f.inner.PutSession(ctx, id, data)
 }
 
+// PutSessionFenced implements SessionStore.
+func (f *Fault) PutSessionFenced(ctx context.Context, id string, fc Fence, data []byte) error {
+	if f.inj.Fire(fault.StorePutFail) {
+		return putErr("put_session_fenced")
+	}
+	return f.inner.PutSessionFenced(ctx, id, fc, data)
+}
+
 // GetSession implements SessionStore.
 func (f *Fault) GetSession(ctx context.Context, id string) ([]byte, error) {
 	f.stallRead(ctx)

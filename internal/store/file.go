@@ -37,6 +37,14 @@ type File struct {
 	root   string
 	mu     sync.Mutex
 	closed bool
+	// fenceMu serializes fenced session writes so the read-compare-write
+	// in PutSessionFenced is atomic within this process. Replicas on one
+	// host share the directory but open separate File handles; the
+	// cross-process fence race window (two rename-based writers passing
+	// the compare simultaneously) collapses to last-wins, which matches
+	// the pre-fencing behavior and is closed for the deployment CI
+	// exercises because only one replica owns a session per epoch.
+	fenceMu sync.Mutex
 }
 
 const (
@@ -52,6 +60,11 @@ type recordHeader struct {
 	Len    int    `json:"len"`
 	Sum    Digest `json:"sum"`
 	Stored int64  `json:"stored_unix_us"`
+	// Epoch/Seq carry the write fence (see store.Fence). Absent on
+	// records written before fencing existed and on unfenced puts —
+	// both decode as the zero fence, which any fenced write dominates.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Seq   uint64 `json:"seq,omitempty"`
 }
 
 // NewFile opens (creating if needed) a file store rooted at dir.
@@ -142,7 +155,54 @@ func (f *File) PutSession(ctx context.Context, id string, data []byte) (err erro
 	if err = f.guard(ctx); err != nil {
 		return err
 	}
-	hdr := recordHeader{ID: id, Len: len(data), Sum: DigestOf(data), Stored: time.Now().UnixMicro()}
+	return f.putSessionRecord(id, Fence{}, data)
+}
+
+// PutSessionFenced implements SessionStore: read the stored record's
+// fence, reject if it is strictly newer, then write. fenceMu makes the
+// compare-and-write atomic against other fenced writers in this process.
+func (f *File) PutSessionFenced(ctx context.Context, id string, fc Fence, data []byte) (err error) {
+	start := time.Now()
+	defer func() { instrument("file", "put_session_fenced", start, err) }()
+	if err = f.guard(ctx); err != nil {
+		return err
+	}
+	f.fenceMu.Lock()
+	defer f.fenceMu.Unlock()
+	stored, err := f.readFence(id)
+	if err != nil {
+		return err
+	}
+	if fc.Before(stored) {
+		return ErrFenced
+	}
+	return f.putSessionRecord(id, fc, data)
+}
+
+// readFence returns the fence on id's stored record; a missing or
+// corrupt record reads as the zero fence (corrupt records must be
+// overwritable, not wedged forever behind an unreadable fence).
+func (f *File) readFence(id string) (Fence, error) {
+	r, err := os.Open(f.sessPath(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Fence{}, nil
+	}
+	if err != nil {
+		return Fence{}, err
+	}
+	defer r.Close()
+	var hdr recordHeader
+	if err := core.ReadHeader(r, recordMagic, &hdr); err != nil {
+		return Fence{}, nil
+	}
+	return Fence{Epoch: hdr.Epoch, Seq: hdr.Seq}, nil
+}
+
+func (f *File) putSessionRecord(id string, fc Fence, data []byte) error {
+	hdr := recordHeader{
+		ID: id, Len: len(data), Sum: DigestOf(data),
+		Stored: time.Now().UnixMicro(), Epoch: fc.Epoch, Seq: fc.Seq,
+	}
 	return writeAtomic(f.sessPath(id), func(w *os.File) error {
 		if err := core.WriteHeader(w, recordMagic, hdr); err != nil {
 			return err

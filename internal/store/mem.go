@@ -14,6 +14,7 @@ type Mem struct {
 	mu       sync.Mutex
 	closed   bool
 	sessions map[string][]byte
+	fences   map[string]Fence
 	blobs    map[Digest][]byte
 	cks      map[string]Checkpoint
 	locks    map[string]*memLock
@@ -23,6 +24,7 @@ type Mem struct {
 func NewMem() *Mem {
 	return &Mem{
 		sessions: map[string][]byte{},
+		fences:   map[string]Fence{},
 		blobs:    map[Digest][]byte{},
 		cks:      map[string]Checkpoint{},
 		locks:    map[string]*memLock{},
@@ -64,6 +66,24 @@ func (m *Mem) PutSession(ctx context.Context, id string, data []byte) (err error
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.sessions[id] = append([]byte(nil), data...)
+	m.fences[id] = Fence{} // unfenced write resets the fence: it always wins
+	return nil
+}
+
+// PutSessionFenced implements SessionStore.
+func (m *Mem) PutSessionFenced(ctx context.Context, id string, f Fence, data []byte) (err error) {
+	start := time.Now()
+	defer func() { instrument("mem", "put_session_fenced", start, err) }()
+	if err = m.guard(ctx); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; ok && f.Before(m.fences[id]) {
+		return ErrFenced
+	}
+	m.sessions[id] = append([]byte(nil), data...)
+	m.fences[id] = f
 	return nil
 }
 
@@ -93,6 +113,7 @@ func (m *Mem) DeleteSession(ctx context.Context, id string) (err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.sessions, id)
+	delete(m.fences, id)
 	return nil
 }
 

@@ -12,7 +12,8 @@ import (
 // injected outages, anything a backend didn't map to a typed error) are
 // worth retrying; permanent errors are semantic outcomes retrying cannot
 // change — the record is missing, the lease is held by someone else, the
-// bytes are corrupt, the store is closed, or the caller's context is done.
+// bytes are corrupt, the store is closed, the write lost its fence, or
+// the caller's context is done.
 func IsTransient(err error) bool {
 	if err == nil {
 		return false
@@ -23,6 +24,7 @@ func IsTransient(err error) bool {
 		errors.Is(err, ErrLeaseLost),
 		errors.Is(err, ErrCorrupt),
 		errors.Is(err, ErrClosed),
+		errors.Is(err, ErrFenced),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		return false
@@ -110,6 +112,14 @@ func (r *Retry) do(ctx context.Context, op string, fn func() error) error {
 func (r *Retry) PutSession(ctx context.Context, id string, data []byte) error {
 	return r.do(ctx, "put_session", func() error {
 		return r.inner.PutSession(ctx, id, data)
+	})
+}
+
+// PutSessionFenced implements SessionStore. ErrFenced is permanent — the
+// caller's state is stale by construction, retrying cannot change that.
+func (r *Retry) PutSessionFenced(ctx context.Context, id string, f Fence, data []byte) error {
+	return r.do(ctx, "put_session_fenced", func() error {
+		return r.inner.PutSessionFenced(ctx, id, f, data)
 	})
 }
 

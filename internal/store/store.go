@@ -54,7 +54,30 @@ var (
 	ErrCorrupt = errors.New("store: corrupt record")
 	// ErrClosed reports an operation on a closed store.
 	ErrClosed = errors.New("store: closed")
+	// ErrFenced reports a fenced session write losing to a record already
+	// stored under a newer fence — a lagging ex-owner trying to clobber
+	// the new owner's state. The write was not applied; the caller must
+	// not retry it (the state it holds is stale by construction).
+	ErrFenced = errors.New("store: write fenced off by newer record")
 )
+
+// Fence orders session writes across ownership changes: Epoch is the
+// ring-membership epoch the writer served under, Seq the writer's
+// session sequence. Ordering is epoch-first, then seq — an owner under a
+// newer ring epoch always dominates a lagging ex-owner regardless of how
+// many writes the ex-owner buffered.
+type Fence struct {
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
+
+// Before reports whether f is strictly older than g.
+func (f Fence) Before(g Fence) bool {
+	if f.Epoch != g.Epoch {
+		return f.Epoch < g.Epoch
+	}
+	return f.Seq < g.Seq
+}
 
 // Digest is a content address: "sha256:<64 hex chars>". The digest of a
 // blob is derived from its bytes alone, so two replicas writing the same
@@ -105,7 +128,14 @@ type Checkpoint struct {
 // SessionStore persists opaque per-session records.
 type SessionStore interface {
 	// PutSession durably stores data under id, replacing any prior record.
+	// Unfenced puts carry the zero Fence and always win — the pre-fencing
+	// behavior, kept for single-replica deployments and tooling.
 	PutSession(ctx context.Context, id string, data []byte) error
+	// PutSessionFenced conditionally stores data under id: if the stored
+	// record carries a fence strictly newer than f, the write is rejected
+	// with ErrFenced and the stored record is untouched. Writes at an
+	// equal fence are idempotent replays and are applied.
+	PutSessionFenced(ctx context.Context, id string, f Fence, data []byte) error
 	// GetSession returns the record for id, or ErrNotFound.
 	GetSession(ctx context.Context, id string) ([]byte, error)
 	// DeleteSession removes id's record. Deleting a missing id is a no-op.

@@ -30,6 +30,7 @@ type Factory func(t *testing.T) (s store.Store, reopen func(t *testing.T) store.
 func Run(t *testing.T, newStore Factory) {
 	t.Run("SessionRoundTrip", func(t *testing.T) { testSessionRoundTrip(t, newStore) })
 	t.Run("SessionOverwriteDelete", func(t *testing.T) { testSessionOverwriteDelete(t, newStore) })
+	t.Run("SessionFencedPut", func(t *testing.T) { testSessionFencedPut(t, newStore) })
 	t.Run("BlobContentAddress", func(t *testing.T) { testBlobContentAddress(t, newStore) })
 	t.Run("CheckpointManifest", func(t *testing.T) { testCheckpointManifest(t, newStore) })
 	t.Run("CheckpointRoundTripBitwise", func(t *testing.T) { testCheckpointBitwise(t, newStore) })
@@ -110,6 +111,68 @@ func testSessionOverwriteDelete(t *testing.T, newStore Factory) {
 	}
 	if err := s.DeleteSession(ctx, id); err != nil {
 		t.Fatalf("double delete must be a no-op, got %v", err)
+	}
+}
+
+// testSessionFencedPut pins the conditional-put contract that fences
+// ownership churn: a strictly older fence loses with ErrFenced and the
+// stored bytes are untouched; equal fences are idempotent replays;
+// epoch dominates seq; unfenced puts reset the fence and always win.
+func testSessionFencedPut(t *testing.T, newStore Factory) {
+	s, _ := newStore(t)
+	ctx := ctxT(t)
+	id := "s000033"
+
+	newOwner := randBytes(10, 1024)
+	if err := s.PutSessionFenced(ctx, id, store.Fence{Epoch: 3, Seq: 9}, newOwner); err != nil {
+		t.Fatalf("first fenced put: %v", err)
+	}
+	// A lagging ex-owner under an older epoch loses, even at higher seq.
+	stale := randBytes(11, 1024)
+	if err := s.PutSessionFenced(ctx, id, store.Fence{Epoch: 2, Seq: 999}, stale); !errors.Is(err, store.ErrFenced) {
+		t.Fatalf("stale-epoch put err = %v, want ErrFenced", err)
+	}
+	// Same epoch, older seq loses too.
+	if err := s.PutSessionFenced(ctx, id, store.Fence{Epoch: 3, Seq: 8}, stale); !errors.Is(err, store.ErrFenced) {
+		t.Fatalf("stale-seq put err = %v, want ErrFenced", err)
+	}
+	got, err := s.GetSession(ctx, id)
+	if err != nil || !bytes.Equal(got, newOwner) {
+		t.Fatalf("fenced-off write mutated the record: err=%v", err)
+	}
+	// Equal fence: idempotent replay, applied.
+	replay := randBytes(12, 512)
+	if err := s.PutSessionFenced(ctx, id, store.Fence{Epoch: 3, Seq: 9}, replay); err != nil {
+		t.Fatalf("equal-fence replay: %v", err)
+	}
+	// Newer seq within the epoch, then a newer epoch, both win.
+	if err := s.PutSessionFenced(ctx, id, store.Fence{Epoch: 3, Seq: 10}, randBytes(13, 512)); err != nil {
+		t.Fatalf("newer-seq put: %v", err)
+	}
+	next := randBytes(14, 512)
+	if err := s.PutSessionFenced(ctx, id, store.Fence{Epoch: 4, Seq: 0}, next); err != nil {
+		t.Fatalf("newer-epoch put: %v", err)
+	}
+	got, err = s.GetSession(ctx, id)
+	if err != nil || !bytes.Equal(got, next) {
+		t.Fatalf("newer-epoch write not visible: err=%v", err)
+	}
+	// Unfenced put resets the fence: it wins, and a later fenced put at
+	// any epoch wins over it.
+	plain := randBytes(15, 256)
+	if err := s.PutSession(ctx, id, plain); err != nil {
+		t.Fatalf("unfenced overwrite: %v", err)
+	}
+	got, err = s.GetSession(ctx, id)
+	if err != nil || !bytes.Equal(got, plain) {
+		t.Fatalf("unfenced overwrite not visible: err=%v", err)
+	}
+	if err := s.PutSessionFenced(ctx, id, store.Fence{Epoch: 1, Seq: 1}, randBytes(16, 256)); err != nil {
+		t.Fatalf("fenced put after unfenced reset: %v", err)
+	}
+	// A fenced put on a missing id is a plain create.
+	if err := s.PutSessionFenced(ctx, "fresh-id", store.Fence{Epoch: 9, Seq: 1}, randBytes(17, 128)); err != nil {
+		t.Fatalf("fenced create: %v", err)
 	}
 }
 
