@@ -354,6 +354,149 @@ func resolveErrTrace(client *http.Client, reqURL, tid string, err error) {
 	atomic.AddInt64(&traceCheck.errResolved, 1)
 }
 
+// probeTraceparent mints a deterministic W3C traceparent outside the
+// armTrace counter space, so probe trace ids cannot collide with any id
+// the load run minted.
+func probeTraceparent(n uint64) (header, tid string) {
+	n += 1 << 40
+	tid = fmt.Sprintf("%016x%016x", n, n*2654435761+1)
+	return fmt.Sprintf("00-%s-%016x-01", tid, n+7), tid
+}
+
+// probeDo issues one probe request with an explicit traceparent and
+// returns the X-Clear-Node stamp (which replica actually served it)
+// alongside the decoded body. It bypasses armTrace/getJSON so the probe
+// cannot perturb the run's tracing tallies.
+func probeDo(client *http.Client, method, url, traceparent string, body, out any) (string, error) {
+	var rd io.Reader
+	if body != nil {
+		js, err := json.Marshal(body)
+		if err != nil {
+			return "", err
+		}
+		rd = bytes.NewReader(js)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return "", err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	return resp.Header.Get("X-Clear-Node"), decodeJSON(resp, out)
+}
+
+// sameNode compares replica URLs modulo a trailing slash.
+func sameNode(a, b string) bool {
+	return strings.TrimRight(a, "/") == strings.TrimRight(b, "/")
+}
+
+// probeTraceStitch drives one cross-node request after the load and
+// asserts the fleet observability contract end to end: a traced request
+// entering a NON-OWNER replica is forwarded (the X-Clear-Node stamp names
+// the owner), and its trace then resolves at that same non-owner as one
+// stitched tree with spans from at least two nodes, including the
+// `forward` hop attributed to the owner. It runs post-load because the
+// server's trace store tail-samples OK traces under sustained QPS; with
+// the run drained the probe's trace is always kept. A few full retries
+// (fresh session, fresh trace ids) absorb topology transitions mid-probe
+// — a restarting replica or a join landing between the create and the
+// forwarded GET; in a steady cluster a failure is deterministic.
+func probeTraceStitch(client *http.Client, pool []string) (bool, string) {
+	detail := ""
+	for attempt := uint64(0); attempt < 4; attempt++ {
+		var ok bool
+		if ok, detail = probeTraceStitchOnce(client, pool, attempt); ok {
+			return true, detail
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	return false, detail
+}
+
+func probeTraceStitchOnce(client *http.Client, pool []string, attempt uint64) (bool, string) {
+	header, _ := probeTraceparent(2 * attempt)
+	var cr createResp
+	owner, err := probeDo(client, http.MethodPost, pool[0]+"/v1/sessions", header,
+		createReq{UserID: 0, ExpectedWindows: 4}, &cr)
+	if err != nil {
+		return false, fmt.Sprintf("probe session create failed: %v", err)
+	}
+	defer probeDo(client, http.MethodDelete, pool[0]+"/v1/sessions/"+cr.ID, "", nil, nil)
+	if owner == "" {
+		return false, "create response carries no X-Clear-Node stamp"
+	}
+	entry := ""
+	for _, u := range pool {
+		if !sameNode(u, owner) {
+			entry = u
+			break
+		}
+	}
+	if entry == "" {
+		return false, fmt.Sprintf("no non-owner entry in pool (owner %s)", owner)
+	}
+
+	header, tid := probeTraceparent(2*attempt + 1)
+	servedBy, err := probeDo(client, http.MethodGet, entry+"/v1/sessions/"+cr.ID, header, nil, nil)
+	if err != nil {
+		return false, fmt.Sprintf("forwarded status GET via %s failed: %v", entry, err)
+	}
+	if !sameNode(servedBy, owner) {
+		return false, fmt.Sprintf("status GET via %s served by %q, want owner %q", entry, servedBy, owner)
+	}
+
+	// Both segments (the entry's proxy span and the owner's handler span)
+	// land asynchronously with the relayed response, so poll briefly.
+	var ft struct {
+		TraceID string   `json:"trace_id"`
+		Nodes   []string `json:"nodes"`
+		Spans   []struct {
+			Name  string            `json:"name"`
+			Node  string            `json:"node"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"spans"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = probeDo(client, http.MethodGet, entry+"/v1/traces/"+tid, "", nil, &ft)
+		if err == nil && len(ft.Nodes) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return false, fmt.Sprintf("trace %s never stitched across >=2 nodes at %s (last: err %v, nodes %v)",
+				tid, entry, err, ft.Nodes)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if ft.TraceID != tid {
+		return false, fmt.Sprintf("stitched trace id %q, want %q", ft.TraceID, tid)
+	}
+	nodes := map[string]bool{}
+	fwdPeer := ""
+	for _, sp := range ft.Spans {
+		nodes[sp.Node] = true
+		if sp.Name == "forward" && fwdPeer == "" {
+			fwdPeer = sp.Attrs["peer"]
+		}
+	}
+	if len(nodes) < 2 {
+		return false, fmt.Sprintf("stitched spans cover %d node(s): %v", len(nodes), ft.Nodes)
+	}
+	if !sameNode(fwdPeer, owner) {
+		return false, fmt.Sprintf("forward span peer %q, want owner %q", fwdPeer, owner)
+	}
+	return true, fmt.Sprintf("trace %s resolved at non-owner %s: spans from %d nodes, forward hop -> %s",
+		tid[16:], entry, len(nodes), owner)
+}
+
 // chaosCfg is the per-run chaos-mode configuration; rng draws are per-user
 // (seeded from the run seed + user ID) so runs replay deterministically
 // regardless of goroutine scheduling.
@@ -411,12 +554,7 @@ type loadgenReport struct {
 		Reassigned       int     `json:"reassigned_sessions,omitempty"`
 		Flapped          int     `json:"flapped_sessions,omitempty"`
 	} `json:"lifecycle"`
-	Tracing *struct {
-		Sent        int64 `json:"sent"`
-		Mismatches  int64 `json:"mismatches"`
-		ErrResolved int64 `json:"err_resolved"`
-		ErrMissing  int64 `json:"err_missing"`
-	} `json:"tracing,omitempty"`
+	Tracing *tracingReport `json:"tracing,omitempty"`
 	// ChaosWindows aggregates the write-behind / failover surface across
 	// all replicas after the recovery wait; present when -storeoutage or
 	// -partitionfor armed a window.
@@ -440,6 +578,17 @@ type chaosWindowsReport struct {
 	Sheds503        int64   `json:"sheds_503"`
 	Sheds503NoRA    int64   `json:"sheds_503_no_retry_after"`
 	RecoverySec     float64 `json:"recovery_sec"`
+}
+
+// tracingReport is the -tracesample block of the -json report.
+type tracingReport struct {
+	Sent        int64 `json:"sent"`
+	Mismatches  int64 `json:"mismatches"`
+	ErrResolved int64 `json:"err_resolved"`
+	ErrMissing  int64 `json:"err_missing"`
+	// Stitched is the post-run cross-node stitch probe verdict; present
+	// only when the endpoint pool spans more than one replica.
+	Stitched *bool `json:"stitched,omitempty"`
 }
 
 // sloVerdict is one named pass/fail check from the run's SLO gate.
@@ -1004,14 +1153,27 @@ func main() {
 			fmt.Println("TRACE FAIL: every traced response must echo its trace id and every traced error must resolve via /v1/traces")
 			traceFailed = true
 		}
-		rep.Tracing = &struct {
-			Sent        int64 `json:"sent"`
-			Mismatches  int64 `json:"mismatches"`
-			ErrResolved int64 `json:"err_resolved"`
-			ErrMissing  int64 `json:"err_missing"`
-		}{sent, mm, res, miss}
+		rep.Tracing = &tracingReport{Sent: sent, Mismatches: mm, ErrResolved: res, ErrMissing: miss}
 		verdict("trace_roundtrip", !traceFailed,
 			fmt.Sprintf("%d traced, %d mismatches, %d unresolvable error traces", sent, mm, miss))
+	}
+
+	// Cross-node stitch probe: with tracing armed and a multi-replica
+	// pool, a forwarded request's trace must resolve at a non-owner
+	// replica as one tree spanning both hops.
+	stitchFailed := false
+	if traceCheck.every > 0 && len(eps.snapshot()) >= 2 {
+		pass, detail := probeTraceStitch(client, eps.snapshot())
+		fmt.Printf("trace stitch     %s\n", detail)
+		if !pass {
+			fmt.Println("TRACE FAIL: a forwarded request's trace must resolve at a non-owner replica with spans from >=2 nodes")
+			stitchFailed = true
+		}
+		if rep.Tracing != nil {
+			ok := pass
+			rep.Tracing.Stitched = &ok
+		}
+		verdict("trace_stitched", pass, detail)
 	}
 
 	assignAcc := 100.0
@@ -1194,7 +1356,7 @@ func main() {
 				fmt.Sprintf("%d re-assigned, %d flapped", reassignedSessions, flapped))
 		}
 		tally.mu.Unlock()
-		rep.Pass = !failed && !traceFailed && !cwFailed && !topoFailed
+		rep.Pass = !failed && !traceFailed && !stitchFailed && !cwFailed && !topoFailed
 		if *jsonOut != "" {
 			writeReport(*jsonOut, rep)
 		}
@@ -1208,7 +1370,7 @@ func main() {
 		fmt.Sprintf("%d/%d completed", completed, *users))
 	n := atomic.LoadInt64(&srvErrs)
 	verdict("no_5xx", n == 0, fmt.Sprintf("%d unexpected 5xx responses", n))
-	rep.Pass = completed >= *users && n == 0 && !traceFailed && !cwFailed && !topoFailed
+	rep.Pass = completed >= *users && n == 0 && !traceFailed && !stitchFailed && !cwFailed && !topoFailed
 	if *jsonOut != "" {
 		writeReport(*jsonOut, rep)
 	}

@@ -112,6 +112,7 @@ func main() {
 		faultStore   = flag.Float64("fault-store", 0, "store write failure rate [0,1]")
 		chaosAdmin   = flag.Bool("chaos-admin", false, "mount POST /v1/chaos for runtime fault windows (testing only)")
 		replayCap    = flag.Int("replaycap", 0, "write-behind replay queue capacity (0 = default 256)")
+		journalCap   = flag.Int("journal", 0, "cluster event journal ring size behind GET /v1/events (0 = default 256)")
 
 		brThreshold = flag.Int("breakerthreshold", 3, "consecutive build failures that open a cluster's breaker")
 		brCooldown  = flag.Duration("breakercooldown", 5*time.Second, "breaker open→half-open cooldown")
@@ -237,6 +238,7 @@ func main() {
 		Self:             selfName,
 		SnapshotInterval: *snapInterval,
 		ReplayQueueCap:   *replayCap,
+		JournalEvents:    *journalCap,
 		Fault:            inj,
 		ChaosAdmin:       *chaosAdmin,
 		MembershipAdmin:  *membAdmin,

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Journal is a bounded per-node ring of operator-grade cluster events:
+// membership changes, drains, epoch adoptions, breaker transitions, chaos
+// windows, SLO breaches. Each event is stamped with the recording node,
+// a per-node monotonic sequence number, the ring epoch in effect when it
+// was recorded, and (when the recording context carries a trace) the
+// request trace id — so a fleet-merged event stream can be ordered
+// causally by epoch and tied back to the traces that drove it. The ring
+// overwrites oldest-first once capacity is hit, like the per-session
+// flight recorder: the journal answers "what happened to this cluster
+// recently", not "everything that ever happened".
+type Journal struct {
+	mu      sync.Mutex
+	node    string
+	epochFn func() uint64
+	buf     []JournalEvent
+	next    int
+	n       int
+	seq     int64
+	total   int64
+}
+
+// JournalEvent is one recorded cluster event.
+type JournalEvent struct {
+	// Node is the replica that recorded the event; Seq its per-node
+	// monotonic sequence number. (Node, Seq) is unique fleet-wide, and
+	// within one node Seq is the recording order.
+	Node string `json:"node"`
+	Seq  int64  `json:"seq"`
+	// Epoch is the ring epoch in effect when the event was recorded
+	// (0 single-replica / before the router installs its epoch source).
+	Epoch uint64 `json:"epoch"`
+	// TMS is the wall-clock record time (Unix ms) — display only; merge
+	// ordering uses (Epoch, Node, Seq), never the clock.
+	TMS int64 `json:"t_ms"`
+	// Kind classifies the event (node_joined, node_left, drain,
+	// view_adopted, peer_down, peer_up, peer_breaker, store_breaker,
+	// chaos, slo_breach, ...); Detail is its human-readable payload.
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	// TraceID is the short id of the trace under which the event was
+	// recorded, when the recording context carried one.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// NewJournal returns a journal for node holding at most capacity events.
+func NewJournal(node string, capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{node: node, buf: make([]JournalEvent, capacity)}
+}
+
+// SetEpochSource installs the ring-epoch reader stamped into every
+// subsequent event (router mode; nil-safe to leave unset).
+func (j *Journal) SetEpochSource(fn func() uint64) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.epochFn = fn
+	j.mu.Unlock()
+}
+
+// Record appends one event. The ctx's trace id (if any) is stamped onto
+// it; a nil journal drops the event, so call sites need no guards.
+func (j *Journal) Record(ctx context.Context, kind, format string, args ...any) {
+	if j == nil {
+		return
+	}
+	ev := JournalEvent{
+		TMS:    time.Now().UnixMilli(),
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	if t := TraceOf(ctx); t != nil {
+		ev.TraceID = t.ID().Short()
+	}
+	j.mu.Lock()
+	ev.Node = j.node
+	if j.epochFn != nil {
+		ev.Epoch = j.epochFn()
+	}
+	j.seq++
+	ev.Seq = j.seq
+	j.buf[j.next] = ev
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	j.total++
+	j.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (j *Journal) Events() []JournalEvent {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JournalEvent, 0, j.n)
+	start := j.next - j.n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// JournalStats is the journal's accounting surface.
+type JournalStats struct {
+	// Held is the number of events currently retained; Cap the ring bound;
+	// Total the number ever recorded (Total-Held were overwritten).
+	Held  int   `json:"held"`
+	Cap   int   `json:"cap"`
+	Total int64 `json:"total"`
+}
+
+// Stats snapshots the journal's accounting.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{Held: j.n, Cap: len(j.buf), Total: j.total}
+}
+
+// MergeEvents merges per-node event segments into one fleet-ordered
+// stream: by epoch first (the cluster's causal clock — an event recorded
+// under epoch 3 cannot precede the change that minted epoch 3), then by
+// node and per-node sequence for a deterministic total order that is
+// stable regardless of which replica performed the merge or the order
+// segments arrived in.
+func MergeEvents(segments ...[]JournalEvent) []JournalEvent {
+	var out []JournalEvent
+	for _, seg := range segments {
+		out = append(out, seg...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Epoch != out[b].Epoch {
+			return out[a].Epoch < out[b].Epoch
+		}
+		if out[a].Node != out[b].Node {
+			return out[a].Node < out[b].Node
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out
+}
+
+var nodeInfoOnce sync.Once
+
+// PublishNodeInfo registers the node_info{node} identity gauge (constant
+// 1, build_info convention) so a Prometheus scraping several replicas of
+// this process can tell them apart by a stable label rather than by
+// scrape target address. Idempotent — first caller wins, matching the
+// one-node-per-process deployment model.
+func PublishNodeInfo(node string) {
+	if node == "" {
+		return
+	}
+	nodeInfoOnce.Do(func() {
+		GetGaugeVec("node_info", "node").With(node).Set(1)
+	})
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestJournalWrap fills a small ring past capacity and checks the oldest
+// events fall off while order, sequence numbering, and accounting hold.
+func TestJournalWrap(t *testing.T) {
+	j := NewJournal("nodeA", 4)
+	for i := 0; i < 10; i++ {
+		j.Record(context.Background(), "k", "event %d", i)
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("held %d events, want ring capacity 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := int64(7 + i) // events 6..9 survive, seq is 1-based
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("event %d", 6+i); ev.Detail != want {
+			t.Fatalf("event %d detail = %q, want %q", i, ev.Detail, want)
+		}
+		if ev.Node != "nodeA" {
+			t.Fatalf("event %d node = %q", i, ev.Node)
+		}
+	}
+	st := j.Stats()
+	if st.Held != 4 || st.Cap != 4 || st.Total != 10 {
+		t.Fatalf("stats = %+v, want held=4 cap=4 total=10", st)
+	}
+}
+
+// TestJournalEpochAndTrace checks the epoch source and the recording
+// context's trace id are stamped onto events.
+func TestJournalEpochAndTrace(t *testing.T) {
+	j := NewJournal("nodeA", 8)
+	epoch := uint64(0)
+	j.SetEpochSource(func() uint64 { return epoch })
+	j.Record(context.Background(), "a", "before")
+	epoch = 3
+	tr := NewTrace("test")
+	j.Record(WithTrace(context.Background(), tr), "b", "after")
+	evs := j.Events()
+	if evs[0].Epoch != 0 || evs[1].Epoch != 3 {
+		t.Fatalf("epochs = %d,%d, want 0,3", evs[0].Epoch, evs[1].Epoch)
+	}
+	if evs[0].TraceID != "" {
+		t.Fatalf("untraced event carries trace id %q", evs[0].TraceID)
+	}
+	if evs[1].TraceID != tr.ID().Short() {
+		t.Fatalf("traced event id = %q, want %q", evs[1].TraceID, tr.ID().Short())
+	}
+}
+
+// TestJournalConcurrentWriters hammers one journal from many goroutines
+// (run under -race) and checks every surviving event is well-formed with
+// strictly increasing sequence numbers.
+func TestJournalConcurrentWriters(t *testing.T) {
+	j := NewJournal("nodeA", 64)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Record(context.Background(), "k", "writer %d event %d", w, i)
+			}
+		}(w)
+	}
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() { // concurrent reader: Events must be safe mid-write
+		defer rwg.Done()
+		for i := 0; i < 100; i++ {
+			j.Events()
+			j.Stats()
+		}
+	}()
+	wg.Wait()
+	rwg.Wait()
+	evs := j.Events()
+	if len(evs) != 64 {
+		t.Fatalf("held %d events, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq gap at %d: %d -> %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if st := j.Stats(); st.Total != writers*perWriter {
+		t.Fatalf("total = %d, want %d", st.Total, writers*perWriter)
+	}
+}
+
+// TestMergeEventsStable checks the fleet merge is ordered by
+// (epoch, node, seq) and is independent of segment arrival order — the
+// stitched stream must be identical no matter which replica merged it.
+func TestMergeEventsStable(t *testing.T) {
+	a := []JournalEvent{
+		{Node: "a", Seq: 1, Epoch: 1, Kind: "node_joined"},
+		{Node: "a", Seq: 2, Epoch: 2, Kind: "view_adopted"},
+		{Node: "a", Seq: 3, Epoch: 2, Kind: "peer_down"},
+	}
+	b := []JournalEvent{
+		{Node: "b", Seq: 1, Epoch: 1, Kind: "node_joined"},
+		{Node: "b", Seq: 2, Epoch: 1, Kind: "chaos"},
+		{Node: "b", Seq: 3, Epoch: 2, Kind: "view_adopted"},
+	}
+	ab := MergeEvents(a, b)
+	ba := MergeEvents(b, a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge order depends on segment order:\nab=%v\nba=%v", ab, ba)
+	}
+	for i := 1; i < len(ab); i++ {
+		prev, cur := ab[i-1], ab[i]
+		if cur.Epoch < prev.Epoch {
+			t.Fatalf("epoch order violated at %d: %+v after %+v", i, cur, prev)
+		}
+		if cur.Epoch == prev.Epoch && cur.Node == prev.Node && cur.Seq < prev.Seq {
+			t.Fatalf("per-node seq order violated at %d", i)
+		}
+	}
+	// Epoch-1 events from both nodes all precede every epoch-2 event.
+	for i, ev := range ab {
+		if ev.Epoch == 2 {
+			for _, rest := range ab[i:] {
+				if rest.Epoch < 2 {
+					t.Fatalf("epoch-1 event after first epoch-2 event: %v", ab)
+				}
+			}
+			break
+		}
+	}
+}

@@ -19,6 +19,7 @@ type Span struct {
 	dur      time.Duration
 	ended    bool
 	err      error
+	attrs    map[string]string
 	parent   *Span
 	children []*Span
 	t        *Trace
@@ -30,6 +31,22 @@ func (s *Span) ID() SpanID {
 		return 0
 	}
 	return s.id
+}
+
+// SetAttr records a key/value attribute on the span (e.g. the peer and
+// ring epoch of a cross-node hop). Attributes ride the span into
+// SpanSnap.Attrs, so a federated trace shows which replica each hop
+// targeted. Nil-safe, like every Span method.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
 }
 
 // End closes the span, recording its wall-clock duration. Ending a span

@@ -288,6 +288,13 @@ type SpanSnap struct {
 	StartUS int64  `json:"start_us"`
 	DurUS   int64  `json:"dur_us"`
 	Err     string `json:"error,omitempty"`
+	// Attrs carries span attributes (SetAttr): cross-node hops record the
+	// peer they targeted and the ring epoch they were sent under.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Node names the replica that recorded the span. Empty in a single
+	// node's own snapshot; the federated trace stitcher stamps it so a
+	// merged tree attributes every span to its origin replica.
+	Node string `json:"node,omitempty"`
 }
 
 // TraceSnapshot is an immutable JSON-ready copy of a trace, the unit the
@@ -337,6 +344,12 @@ func (t *Trace) Snapshot() TraceSnapshot {
 			}
 			if c.err != nil {
 				ss.Err = c.err.Error()
+			}
+			if len(c.attrs) > 0 {
+				ss.Attrs = make(map[string]string, len(c.attrs))
+				for k, v := range c.attrs {
+					ss.Attrs[k] = v
+				}
 			}
 			snap.Spans = append(snap.Spans, ss)
 			walk(c, c.id)

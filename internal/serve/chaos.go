@@ -21,6 +21,7 @@ package serve
 //     stalled request is ever half-applied after the client gave up.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -87,6 +88,7 @@ func (s *Server) armStoreOutage(d time.Duration) {
 	s.chaos.mu.Unlock()
 	s.cfg.Fault.Enable(fault.StorePutFail, 1)
 	obs.Logger().Warn("chaos: store outage armed", "for", d.String())
+	s.journal.Record(context.Background(), "chaos", "store outage armed for %s", d)
 	time.AfterFunc(d, func() {
 		s.chaos.mu.Lock()
 		stale := s.chaos.gen != gen
@@ -103,6 +105,7 @@ func (s *Server) armStoreOutage(d time.Duration) {
 func (s *Server) armPartition(d time.Duration) {
 	atomic.StoreInt64(&s.partUntil, time.Now().Add(d).UnixNano())
 	obs.Logger().Warn("chaos: inbound partition armed", "for", d.String())
+	s.journal.Record(context.Background(), "chaos", "inbound partition armed for %s", d)
 }
 
 func (s *Server) chaosStatus() ChaosResponse {
@@ -119,9 +122,16 @@ func (s *Server) chaosStatus() ChaosResponse {
 }
 
 // chaosGate wraps a handler chain with the partition gate. Unarmed (the
-// overwhelming default) it costs one atomic load per request.
+// overwhelming default) it costs one atomic load per request. It also
+// stamps X-Clear-Node (this replica's node name) on every response —
+// being the outermost wrapper on both the single-node and router muxes,
+// it gives one-glance serving-node attribution on every path. A proxied
+// response relays the owner's header instead (router.go drops this one
+// before copying the upstream's), so the header always names the replica
+// whose handler produced the body.
 func (s *Server) chaosGate(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(nodeHeader, s.cfg.Self)
 		until := atomic.LoadInt64(&s.partUntil)
 		if until == 0 || time.Now().UnixNano() >= until {
 			h.ServeHTTP(w, r)

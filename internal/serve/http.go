@@ -139,6 +139,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.traced("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/slo", s.traced("slo", s.handleSLO))
 	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", s.handleTrace))
+	// Fleet surfaces degenerate gracefully on a single replica: /v1/events
+	// serves the local journal, /v1/fleet a one-node report.
+	mux.HandleFunc("GET /v1/events", s.traced("events", s.handleEvents))
+	mux.HandleFunc("GET /v1/fleet", s.traced("fleet", s.handleFleetLocal))
 	// Liveness probe: cheap, untraced, used by router peers to build their
 	// failover down-set.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -235,7 +239,12 @@ func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("traceparent", tr.Traceparent())
 		w.Header().Set("X-Trace-Id", tr.ID().Short())
 		sw := &statusWriter{ResponseWriter: w}
+		// The handler runs under a `handle` span so every segment of a
+		// cross-node trace carries at least one locally-recorded span — the
+		// federated stitcher attributes it to this replica.
+		sp := tr.Start("handle")
 		h(sw, r.WithContext(ctx))
+		sp.End()
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK
@@ -256,6 +265,23 @@ func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 			"method", r.Method, "endpoint", endpoint, "path", r.URL.Path,
 			"code", code, "dur_us", durUS)
 	}
+}
+
+// EventsResponse is the GET /v1/events body: this node's journal segment
+// plus its ring accounting.
+type EventsResponse struct {
+	Node    string             `json:"node"`
+	Journal obs.JournalStats   `json:"journal"`
+	Events  []obs.JournalEvent `json:"events"`
+}
+
+// handleEvents serves the node's cluster event journal, oldest-first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, EventsResponse{
+		Node:    s.cfg.Self,
+		Journal: s.journal.Stats(),
+		Events:  s.journal.Events(),
+	})
 }
 
 // handleTrace serves a recorded trace snapshot by 32- or 16-hex id.

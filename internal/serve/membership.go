@@ -82,6 +82,33 @@ func (rt *Router) Draining() bool {
 	return rt.drain.active
 }
 
+// journalViewDiff records node_joined/node_left journal events for the
+// member-set difference between prev and next. It runs on every replica
+// that observes a topology change — the mutating node and every adopter
+// alike — so a fleet-merged journal shows the same join/leave from each
+// survivor's vantage point, stamped with the epoch that minted it.
+func (rt *Router) journalViewDiff(ctx context.Context, prev, next shard.View) {
+	j := rt.srv.journal
+	prevSet := make(map[string]bool, len(prev.Members))
+	for _, n := range prev.Members {
+		prevSet[n] = true
+	}
+	nextSet := make(map[string]bool, len(next.Members))
+	for _, n := range next.Members {
+		nextSet[n] = true
+	}
+	for _, n := range next.Members {
+		if !prevSet[n] {
+			j.Record(ctx, "node_joined", "%s (epoch %d)", n, next.Epoch)
+		}
+	}
+	for _, n := range prev.Members {
+		if !nextSet[n] {
+			j.Record(ctx, "node_left", "%s (epoch %d)", n, next.Epoch)
+		}
+	}
+}
+
 // membStats snapshots the membership surface for Server.Stats / healthz.
 func (rt *Router) membStats() *MembershipStats {
 	v := rt.view()
@@ -118,8 +145,10 @@ func (rt *Router) Drain(ctx context.Context) error {
 	rt.drain.mu.Unlock()
 
 	rt.srv.SetShedCreates(true)
+	prev := rt.view()
 	if v, changed := rt.memb.Leave(rt.cfg.Self); changed {
 		mMembChanges.Inc()
+		rt.journalViewDiff(ctx, prev, v)
 		rt.broadcast(v)
 	}
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.DrainTimeout)
@@ -128,12 +157,16 @@ func (rt *Router) Drain(ctx context.Context) error {
 	start := time.Now()
 	obs.Logger().Info("drain started", "self", rt.cfg.Self,
 		"sessions", len(rt.srv.LocalIDs()), "timeout", rt.cfg.DrainTimeout)
+	rt.srv.journal.Record(ctx, "drain", "started: %d sessions to hand off",
+		len(rt.srv.LocalIDs()))
 	for {
 		ids := rt.srv.LocalIDs()
 		rt.setDrainRemaining(len(ids))
 		if len(ids) == 0 {
 			obs.Logger().Info("drain complete", "self", rt.cfg.Self,
 				"handed_off", rt.drainHandedOff(), "elapsed", time.Since(start))
+			rt.srv.journal.Record(ctx, "drain", "complete: %d sessions handed off",
+				rt.drainHandedOff())
 			return nil
 		}
 		progress := false
@@ -157,6 +190,8 @@ func (rt *Router) Drain(ctx context.Context) error {
 			rt.drain.mu.Unlock()
 			obs.Logger().Error("drain incomplete", "self", rt.cfg.Self,
 				"remaining", n, "elapsed", time.Since(start))
+			rt.srv.journal.Record(context.Background(), "drain",
+				"incomplete: %d sessions still local after %s", n, rt.cfg.DrainTimeout)
 			return fmt.Errorf("serve: drain incomplete: %d sessions still local after %s",
 				n, rt.cfg.DrainTimeout)
 		}
@@ -290,6 +325,7 @@ func (rt *Router) handleMembershipPost(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "membership " + req.Action + " requires node"})
 			return
 		}
+		prev := rt.view()
 		var v shard.View
 		var changed bool
 		if req.Action == "join" {
@@ -301,6 +337,7 @@ func (rt *Router) handleMembershipPost(w http.ResponseWriter, r *http.Request) {
 			mMembChanges.Inc()
 			obs.Logger().Info("membership changed", "action", req.Action,
 				"node", req.Node, "epoch", v.Epoch, "members", len(v.Members))
+			rt.journalViewDiff(r.Context(), prev, v)
 			rt.broadcast(v)
 			// A joined node learns its own admission immediately (it is a
 			// member now, so broadcast already covers it; this is only for
@@ -337,10 +374,14 @@ func (rt *Router) handleMembershipSync(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad sync body: " + err.Error()})
 		return
 	}
+	prev := rt.view()
 	v, adopted := rt.memb.Adopt(req.Epoch, req.Members)
 	if adopted {
 		mViewsAdopted.Inc()
 		obs.Logger().Info("membership view adopted", "epoch", v.Epoch, "members", len(v.Members))
+		rt.journalViewDiff(r.Context(), prev, v)
+		rt.srv.journal.Record(r.Context(), "view_adopted",
+			"epoch %d, %d members (pushed)", v.Epoch, len(v.Members))
 		rt.kickJanitor()
 	}
 	writeJSON(w, http.StatusOK, viewBody(v))
@@ -379,32 +420,51 @@ func (rt *Router) broadcast(v shard.View) {
 }
 
 // postSync pushes one view to one peer and adopts the peer's answer if
-// it turns out newer (the push raced a fresher mutation).
+// it turns out newer (the push raced a fresher mutation). The push runs
+// under an rpc trace whose traceparent rides the request, so the peer's
+// membership_sync handler segment joins the same trace id and the hop is
+// visible end to end in the federated trace view.
 func (rt *Router) postSync(node string, v shard.View) {
+	tr := obs.NewTrace("rpc.membership_sync")
+	sp := tr.Start("sync")
+	sp.SetAttr("peer", node)
+	sp.SetAttr("epoch", fmt.Sprintf("%d", v.Epoch))
+	defer func() {
+		tr.Finish()
+		rt.srv.traces.Add(tr)
+	}()
 	body, _ := json.Marshal(membershipSyncRequest{Epoch: v.Epoch, Members: v.Members})
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ForwardAttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		node+"/v1/membership/sync", bytes.NewReader(body))
 	if err != nil {
+		sp.Fail(err)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", tr.Traceparent())
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		obs.Logger().Warn("membership sync push failed", "peer", node, "err", err)
+		sp.Fail(err)
 		return
 	}
 	defer resp.Body.Close()
 	var got membershipView
 	if resp.StatusCode == http.StatusOK &&
 		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&got) == nil {
-		if _, adopted := rt.memb.Adopt(got.Epoch, got.Members); adopted {
+		prev := rt.view()
+		if nv, adopted := rt.memb.Adopt(got.Epoch, got.Members); adopted {
 			mViewsAdopted.Inc()
+			rt.journalViewDiff(obs.WithTrace(ctx, tr), prev, nv)
+			rt.srv.journal.Record(obs.WithTrace(ctx, tr), "view_adopted",
+				"epoch %d, %d members (from %s)", nv.Epoch, len(nv.Members), node)
 			rt.kickJanitor()
 		}
 	}
 	io.Copy(io.Discard, resp.Body)
+	sp.End()
 }
 
 // pullViewFrom fetches node's view and adopts it if newer. Used when a
@@ -433,34 +493,55 @@ func (rt *Router) pullViewFrom(node string) {
 	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&got) != nil {
 		return
 	}
+	prev := rt.view()
 	if v, adopted := rt.memb.Adopt(got.Epoch, got.Members); adopted {
 		mViewsAdopted.Inc()
 		obs.Logger().Info("membership view adopted", "from", node,
 			"epoch", v.Epoch, "members", len(v.Members))
+		rt.journalViewDiff(ctx, prev, v)
+		rt.srv.journal.Record(ctx, "view_adopted",
+			"epoch %d, %d members (pulled from %s)", v.Epoch, len(v.Members), node)
 		rt.kickJanitor()
 	}
 }
 
 // notifyRehydrate tells owner to re-hydrate id from the store. The
-// caller must have persisted first; only a 200 licences eviction.
+// caller must have persisted first; only a 200 licences eviction. Like
+// postSync, the notification runs under an rpc trace whose traceparent
+// rides the request, so the hand-back is one stitched trace: the
+// `rehydrate` span here and the owner's handler segment share an id.
 func (rt *Router) notifyRehydrate(owner, id string) error {
+	tr := obs.NewTrace("rpc.rehydrate")
+	sp := tr.Start("rehydrate")
+	sp.SetAttr("peer", owner)
+	sp.SetAttr("session", id)
+	defer func() {
+		tr.Finish()
+		rt.srv.traces.Add(tr)
+	}()
 	body, _ := json.Marshal(rehydrateRequest{ID: id})
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ForwardAttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		owner+"/v1/rehydrate", bytes.NewReader(body))
 	if err != nil {
+		sp.Fail(err)
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", tr.Traceparent())
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		sp.Fail(err)
 		return err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("rehydrate notify: %s answered %d", owner, resp.StatusCode)
+		err := fmt.Errorf("rehydrate notify: %s answered %d", owner, resp.StatusCode)
+		sp.Fail(err)
+		return err
 	}
+	sp.End()
 	return nil
 }

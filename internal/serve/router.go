@@ -64,6 +64,18 @@ const forwardedHeader = "X-Clear-Forwarded"
 // never serving under a ring both sides know is stale.
 const epochHeader = "X-Ring-Epoch"
 
+// nodeHeader names the replica whose handler produced the response body.
+// chaosGate stamps it on every response; a proxied response relays the
+// upstream's value instead (tryForward drops the local stamp before
+// copying), so clients and the loadgen's stitching probe can always tell
+// which replica actually served them.
+const nodeHeader = "X-Clear-Node"
+
+// federationHeader marks a fleet fan-out request (federated trace lookup
+// or fleet report scrape). A peer seeing it answers from local state
+// only — the loop guard that keeps federation at exactly one hop.
+const federationHeader = "X-Clear-Federated"
+
 // errPeerProbe feeds a failed /healthz probe into the peer's breaker.
 var errPeerProbe = errors.New("serve: peer healthz probe failed")
 
@@ -242,15 +254,23 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", rt.route("delete", s.handleDelete))
 	mux.HandleFunc("GET /v1/stats", s.traced("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/slo", s.traced("slo", s.handleSLO))
-	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", s.handleTrace))
+	// Fleet observability (fleet.go): traces federate across the ring (a
+	// node that doesn't hold the id fans out to peers and stitches the
+	// returned segments), /v1/fleet merges every member's stats/SLO/events
+	// into one report, /v1/events serves this node's journal segment.
+	mux.HandleFunc("GET /v1/traces/{id}", s.traced("traces", rt.handleFederatedTrace))
+	mux.HandleFunc("GET /v1/fleet", s.traced("fleet", rt.handleFleet))
+	mux.HandleFunc("GET /v1/events", s.traced("events", s.handleEvents))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	// Live topology (membership.go): read the view, mutate it (admin), the
 	// replica-to-replica view sync, and the handoff rehydrate notification.
+	// Sync and rehydrate run traced so the caller's rpc trace id joins the
+	// receiving replica's segment.
 	mux.HandleFunc("GET /v1/membership", rt.handleMembershipGet)
 	mux.HandleFunc("POST /v1/membership", rt.handleMembershipPost)
-	mux.HandleFunc("POST /v1/membership/sync", rt.handleMembershipSync)
-	mux.HandleFunc("POST /v1/rehydrate", rt.handleRehydrate)
+	mux.HandleFunc("POST /v1/membership/sync", s.traced("membership_sync", rt.handleMembershipSync))
+	mux.HandleFunc("POST /v1/rehydrate", s.traced("rehydrate", rt.handleRehydrate))
 	oh := obs.Handler()
 	mux.Handle("/metrics", oh)
 	mux.Handle("/debug/", oh)
@@ -336,18 +356,23 @@ func (rt *Router) routeCreate(local http.HandlerFunc) http.HandlerFunc {
 			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
+		tr := obs.NewTraceFromParent("proxy.sessions", r.Header.Get("traceparent"))
 		down := rt.effectiveDown()
 		for _, member := range v.Members {
 			if member == rt.cfg.Self || down[member] {
 				continue
 			}
-			if rt.tryForward(w, r, member, body) == fwdOK {
+			if rt.tryForward(w, r, member, body, tr) == fwdOK {
 				rt.mForwards.Inc()
+				tr.Finish()
+				rt.srv.traces.Add(tr)
 				return
 			}
 		}
-		// No live member reachable: serve locally (single-node fallback).
+		// No live member reachable: serve locally (single-node fallback),
+		// under the same trace id the forward attempts carried.
 		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.Header.Set("traceparent", tr.Traceparent())
 		local(w, r)
 	}
 }
@@ -413,6 +438,13 @@ const (
 // serves locally if the newer ring points here) — bounded, never a loop.
 // The round-trip is attributed to StageProxy for the windows endpoint so
 // Σ stages keeps tiling wall time on the hot path.
+//
+// The hop runs under its own trace segment continuing the client's
+// traceparent (or minting a fresh 128-bit id): each attempt records a
+// `forward` span carrying the peer and ring epoch, the outgoing request
+// carries the segment's traceparent so the owner's handler trace joins
+// the same id, and on a relayed response the segment is retained locally
+// — so GET /v1/traces/{id} federates into one tree spanning both hops.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owner string, local http.HandlerFunc) {
 	var st *obs.StageTimer
 	if endpoint == "windows" {
@@ -425,12 +457,16 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owne
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	tr := obs.NewTraceFromParent("proxy."+endpoint, r.Header.Get("traceparent"))
 	serveLocal := func() {
 		stop()
+		// Local serving replaces the proxy segment: hand the handler the
+		// same trace id so its traced() segment keeps the client's id.
 		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.Header.Set("traceparent", tr.Traceparent())
 		local(w, r)
 	}
-	switch rt.tryForward(w, r, owner, body) {
+	switch rt.tryForward(w, r, owner, body, tr) {
 	case fwdFail:
 		// The owner died under us: mark it down and re-resolve. The
 		// failover owner hydrates from the shared store; when it is this
@@ -442,7 +478,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owne
 			serveLocal()
 			return
 		}
-		if rt.tryForward(w, r, next, body) != fwdOK {
+		if rt.tryForward(w, r, next, body, tr) != fwdOK {
 			rt.markDown(next, true)
 			serveLocal()
 			return
@@ -455,13 +491,15 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owne
 			serveLocal()
 			return
 		}
-		if rt.tryForward(w, r, next, body) != fwdOK {
+		if rt.tryForward(w, r, next, body, tr) != fwdOK {
 			serveLocal()
 			return
 		}
 	}
 	stop()
 	rt.mForwards.Inc()
+	tr.Finish()
+	rt.srv.traces.Add(tr)
 	if st != nil {
 		st.FlushTo(hStageUS)
 	}
@@ -469,25 +507,36 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, owne
 
 // tryForward attempts one proxied round-trip under the per-attempt
 // deadline, streaming the response through verbatim (status, headers,
-// body) and stamping the forward with this replica's ring epoch. A
+// body) and stamping the forward with this replica's ring epoch and the
+// proxy trace's traceparent (so the peer's handler segment joins the
+// same 128-bit trace id). The hop is recorded on tr as a `forward` span
+// carrying the peer, the epoch it was sent under, and its outcome. A
 // transport error, deadline miss, or epoch-mismatch 421 returns with
 // nothing written — the caller can still hedge, re-resolve, or serve
 // locally; any other upstream answer is relayed as-is. Each attempt's
 // outcome feeds the target's breaker, except when the caller itself
 // gave up (its error, not the peer's).
-func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target string, body []byte) fwdStatus {
+func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target string, body []byte, tr *obs.Trace) fwdStatus {
 	start := time.Now()
+	epoch := rt.view().Epoch
+	sp := tr.Start("forward")
+	sp.SetAttr("peer", target)
+	sp.SetAttr("epoch", strconv.FormatUint(epoch, 10))
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ForwardAttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, r.Method,
 		target+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		mProxyVec.With(target, "error").Inc()
+		sp.Fail(err)
 		return fwdFail
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardedHeader, rt.cfg.Self)
-	req.Header.Set(epochHeader, strconv.FormatUint(rt.view().Epoch, 10))
+	req.Header.Set(epochHeader, strconv.FormatUint(epoch, 10))
+	if tp := tr.Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := rt.client.Do(req)
 	hProxyLatUS.With(target).Observe(float64(time.Since(start).Microseconds()))
 	if err != nil {
@@ -496,6 +545,8 @@ func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target stri
 			outcome = "timeout" // attempt deadline fired: peer presumed partitioned
 		}
 		mProxyVec.With(target, outcome).Inc()
+		sp.SetAttr("outcome", outcome)
+		sp.Fail(err)
 		if r.Context().Err() == nil {
 			rt.peerDone(target, err)
 		}
@@ -506,8 +557,13 @@ func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target stri
 	if resp.StatusCode == http.StatusMisdirectedRequest && resp.Header.Get(epochHeader) != "" {
 		io.Copy(io.Discard, resp.Body)
 		mProxyVec.With(target, "misdirected").Inc()
+		sp.SetAttr("outcome", "misdirected")
+		sp.End()
 		return fwdMisdirected
 	}
+	// Drop the local node stamp so the relayed response keeps the serving
+	// replica's — the header names whoever produced the body.
+	w.Header().Del(nodeHeader)
 	for k, vs := range resp.Header {
 		for _, v := range vs {
 			w.Header().Add(k, v)
@@ -516,6 +572,9 @@ func (rt *Router) tryForward(w http.ResponseWriter, r *http.Request, target stri
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
 	mProxyVec.With(target, "ok").Inc()
+	sp.SetAttr("outcome", "ok")
+	sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
+	sp.End()
 	return fwdOK
 }
 
@@ -536,6 +595,11 @@ func (rt *Router) markDown(node string, down bool) {
 	rt.mu.Unlock()
 	if was != down {
 		obs.Logger().Info("peer health changed", "peer", node, "down", down)
+		kind := "peer_up"
+		if down {
+			kind = "peer_down"
+		}
+		rt.srv.journal.Record(context.Background(), kind, "peer %s", node)
 		if !down {
 			rt.kickJanitor()
 		}
@@ -559,6 +623,8 @@ func (rt *Router) peerDone(node string, err error) {
 	}
 	obs.Logger().Info("peer breaker transition",
 		"peer", node, "from", before.String(), "to", after.String())
+	rt.srv.journal.Record(context.Background(), "peer_breaker",
+		"peer %s: %s -> %s", node, before, after)
 	if after == BreakerClosed {
 		rt.kickJanitor()
 	}

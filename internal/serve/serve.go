@@ -256,6 +256,10 @@ type Config struct {
 	TraceOKPerSec int
 	// FlightEvents sizes each session's flight-recorder ring. Default 64.
 	FlightEvents int
+	// JournalEvents sizes the node's cluster event journal ring (the
+	// operator-grade membership/breaker/chaos/SLO event log served at
+	// /v1/events and merged into /v1/fleet). Default 256.
+	JournalEvents int
 
 	// SLO engine (internal/obs/slo.go): a multi-window burn-rate tracker
 	// over the serving HTTP metrics (availability = non-5xx fraction,
@@ -395,6 +399,9 @@ func (c *Config) fillDefaults() {
 	if c.FlightEvents == 0 {
 		c.FlightEvents = 64
 	}
+	if c.JournalEvents == 0 {
+		c.JournalEvents = 256
+	}
 	if c.SLOLatencyBoundUS == 0 {
 		c.SLOLatencyBoundUS = 262_144 // 2^18 µs, an ExpBuckets(1,2,26) edge
 	}
@@ -443,6 +450,10 @@ type Server struct {
 	// traces is the bounded tail-sampled request/job trace store behind
 	// GET /v1/traces/{id}.
 	traces *obs.TraceStore
+
+	// journal is the node's bounded cluster event journal behind
+	// GET /v1/events (and the per-node segment of the /v1/fleet merge).
+	journal *obs.Journal
 
 	// slo is the burn-rate tracker behind /v1/slo (nil when disabled);
 	// profcap the triggered pprof ring (nil when ProfileDir unset).
@@ -542,6 +553,8 @@ func New(pipe *core.Pipeline, cfg Config) (*Server, error) {
 		s.gBreaker[k].Set(float64(BreakerClosed))
 	}
 	s.traces = obs.NewTraceStore(cfg.TraceCapacity, float64(cfg.TraceOKPerSec))
+	s.journal = obs.NewJournal(cfg.Self, cfg.JournalEvents)
+	obs.PublishNodeInfo(cfg.Self)
 	s.exec = NewExecutor(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueDepth, cfg.InferConcurrency)
 	s.exec.SetWatchdog(time.Duration(float64(cfg.InferTimeout) * cfg.WatchdogFactor))
 	s.exec.SetFault(cfg.Fault)
@@ -576,6 +589,10 @@ func (s *Server) SetClusterArchetypes(arch []int) {
 // Traces exposes the server's trace store (status endpoints, loadgen
 // assertions, tests).
 func (s *Server) Traces() *obs.TraceStore { return s.traces }
+
+// Journal exposes the node's cluster event journal so the router, chaos
+// admin, and embedding binaries can record operator-grade events.
+func (s *Server) Journal() *obs.Journal { return s.journal }
 
 // noteBreaker publishes cluster k's breaker state to the labeled gauge
 // and, when the state changed since the last publication, records the
@@ -933,6 +950,9 @@ func (s *Server) StateCounts() map[string]int {
 
 // Stats is the aggregate surface behind GET /v1/stats.
 type Stats struct {
+	// Node is this replica's node name (Config.Self), so a fleet scrape
+	// can attribute every stats block without tracking request targets.
+	Node            string         `json:"node"`
 	UptimeSec       float64        `json:"uptime_sec"`
 	Sessions        int            `json:"sessions"`
 	SessionsOpened  int64          `json:"sessions_opened"`
@@ -1023,6 +1043,7 @@ func (s *Server) Stats() Stats {
 		s.noteBreaker(context.Background(), nil, k, st)
 	}
 	st := Stats{
+		Node:               s.cfg.Self,
 		UptimeSec:          time.Since(s.start).Seconds(),
 		Sessions:           n,
 		SessionsOpened:     mSessionsOpen.Value(),
@@ -1102,6 +1123,9 @@ func (s *Server) SetEpochSource(f func() uint64) {
 	s.shardMu.Lock()
 	s.epochFn = f
 	s.shardMu.Unlock()
+	// The journal stamps the same epoch onto every event it records, so
+	// the fleet merge can order cross-node events causally.
+	s.journal.SetEpochSource(f)
 }
 
 // epochSource returns the installed epoch reader (nil in single-replica

@@ -128,6 +128,9 @@ func (s *Server) onSLOBreach(st obs.SLOStatus) {
 	}
 	s.sloEvMu.Unlock()
 
+	s.journal.Record(obs.WithTrace(context.Background(), tr), "slo_breach",
+		"burning=%s", strings.Join(burning, ","))
+
 	lg := obs.Log(obs.WithTrace(context.Background(), tr))
 	if capture != nil {
 		lg.Warn("slo fast burn", "burning", strings.Join(burning, ","),

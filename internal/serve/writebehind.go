@@ -217,6 +217,8 @@ func (wb *writeBehind) publish() {
 	if st != prev {
 		obs.Logger().Info("store breaker transition", "from", prev.String(), "to", st.String(),
 			"queue", wb.depth())
+		wb.srv.journal.Record(context.Background(), "store_breaker",
+			"%s -> %s (queue=%d)", prev, st, wb.depth())
 	}
 }
 
